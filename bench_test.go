@@ -1,0 +1,311 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table or
+// figure of the paper's evaluation (Section 11). These complement cmd/bench,
+// which regenerates the full data series; the benchmarks here time the
+// systems' core operations under `go test -bench`.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/ctexact"
+	"repro/internal/baseline/libkin"
+	"repro/internal/baseline/maybms"
+	"repro/internal/baseline/mcdb"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/pdbench"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// --- Figure 10: certain answers over C-tables vs UA-DBs ---
+
+func BenchmarkFig10(b *testing.B) {
+	cfg := experiments.DefaultFig10()
+	cfg.Rows = 25
+	cfg.QueriesPerOp = 2
+	cfg.MaxOps = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(cfg)
+	}
+}
+
+// pdbenchSetup materializes every system's input once.
+type pdbenchEnv struct {
+	w      *pdbench.Workload
+	detCat *engine.Catalog
+	front  *rewrite.Frontend
+	codd   *engine.Catalog
+	linDB  *kdb.Database[maybms.Lineage]
+}
+
+func setupPDBench(b *testing.B, sf, u float64) *pdbenchEnv {
+	b.Helper()
+	w := pdbench.Generate(pdbench.Config{SF: sf, Uncertainty: u, Seed: 7})
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range w.Tables {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	linDB, _ := maybms.BuildDB(w.Tables)
+	return &pdbenchEnv{
+		w:      w,
+		detCat: rewrite.DetCatalog(uaDB),
+		front:  rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB)),
+		codd:   libkin.CoddCatalog(w.Tables),
+		linDB:  linDB,
+	}
+}
+
+// --- Figures 11-14: PDBench systems comparison ---
+
+func BenchmarkFig11PDBench(b *testing.B) {
+	env := setupPDBench(b, 0.02, 0.10)
+	for _, q := range pdbench.Queries() {
+		q := q
+		b.Run(q.Name+"/Det", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.NewPlanner(env.detCat).Run(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.Name+"/UADB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.front.Run(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.Name+"/Libkin", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := libkin.Run(env.codd, q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.Name+"/MayBMS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := maybms.Eval(q.RA, env.linDB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.Name+"/MCDB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mcdb.Run(env.w.Tables, q.SQL, 10, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig12ResultSizes(b *testing.B) {
+	env := setupPDBench(b, 0.02, 0.30)
+	q := pdbench.Queries()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uaRes, err := env.front.Run(q.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linRes, err := maybms.Eval(q.RA, env.linDB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if uaRes.NumRows() > linRes.Len() {
+			b.Fatal("UA-DB result cannot exceed the possible answers")
+		}
+	}
+}
+
+func BenchmarkFig13CertainFraction(b *testing.B) {
+	env := setupPDBench(b, 0.02, 0.10)
+	q := pdbench.Queries()[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := env.front.Run(q.SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := res.Schema.Arity() - 1
+		n := 0
+		for _, row := range res.Rows {
+			if row[c].Int() == 1 {
+				n++
+			}
+		}
+	}
+}
+
+func BenchmarkFig14Scaling(b *testing.B) {
+	for _, sf := range []float64{0.01, 0.04} {
+		env := setupPDBench(b, sf, 0.02)
+		q := pdbench.Queries()[0]
+		b.Run(bname("SF", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.front.Run(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 15/16: dataset generation and FNR measurement ---
+
+func BenchmarkFig15ProjectionFNR(b *testing.B) {
+	spec := datagen.Specs()[1] // Shootings in Buffalo
+	d := datagen.Generate(spec)
+	ua := uadb.FromXDB(d.X)
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	uaDB.Put(ua)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := rng.Perm(spec.Cols)[:5]
+		attrs := make([]string, len(idx))
+		for j, k := range idx {
+			attrs[j] = spec.ColName(k)
+		}
+		if _, err := uadb.Eval(kdb.ProjectQ{Input: kdb.Table{Name: "t"}, Attrs: attrs}, uaDB); err != nil {
+			b.Fatal(err)
+		}
+		models.CertainSP(d.X, nil, idx)
+	}
+}
+
+func BenchmarkFig16DatasetGeneration(b *testing.B) {
+	spec := datagen.Specs()[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := datagen.Generate(spec)
+		d.UncertainRowFraction()
+	}
+}
+
+// --- Figure 17: real queries overhead ---
+
+func BenchmarkFig17RealQueries(b *testing.B) {
+	rt := datagen.GenerateRealTables(1500, 0.05, 9)
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range rt.Tables() {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	detCat := rewrite.DetCatalog(uaDB)
+	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
+	for _, q := range datagen.RealQueries() {
+		q := q
+		b.Run(q.Name+"/Det", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.NewPlanner(detCat).Run(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.Name+"/UADB", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := front.Run(q.SQL); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 18: utility ---
+
+func BenchmarkFig18Utility(b *testing.B) {
+	ud := datagen.GenerateUtility(1000, 8, 0.3, datagen.BGQP, 21)
+	groundCat := engine.NewCatalog()
+	groundCat.Put(ud.Ground)
+	nulledCat := engine.NewCatalog()
+	nulledCat.Put(ud.Nulled)
+	query := "SELECT a0, a1, a2 FROM t WHERE a3 = 'c3_v0'"
+	truth, err := engine.NewPlanner(groundCat).Run(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lib, err := libkin.Run(nulledCat, query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		datagen.PrecisionRecall(lib, truth)
+	}
+}
+
+// --- Figure 19: probabilistic databases ---
+
+func BenchmarkFig19Probabilistic(b *testing.B) {
+	cfg := experiments.DefaultFig19()
+	cfg.Rows = 200
+	cfg.Alternatives = []int{2, 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig19(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 20/21: beyond set semantics ---
+
+func BenchmarkFig20BagProjections(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig20(1, 3)
+	}
+}
+
+func BenchmarkFig21AccessControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig21(1, 3)
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+func BenchmarkRewriteOverheadMicro(b *testing.B) {
+	// The per-operator cost of the UA rewriting itself (not execution).
+	env := setupPDBench(b, 0.01, 0.02)
+	_ = env
+	w := pdbench.Generate(pdbench.Config{SF: 0.01, Uncertainty: 0.02, Seed: 7})
+	schemas := map[string]types.Schema{}
+	for n, x := range w.Tables {
+		schemas[n] = x.Schema
+	}
+	q := pdbench.Queries()[0].RA
+	plan, err := rewrite.FromKDB(q, schemas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.RewriteUA(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTableSolver(b *testing.B) {
+	ct := models.NewCTable(types.NewSchema("r", "a", "b"))
+	ct.AddGround(types.Tuple{types.NewInt(1), types.NewInt(2)})
+	sym := ctexact.FromCTable(ct)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctexact.CertainTuples(sym)
+	}
+}
+
+func bname(prefix string, v float64) string {
+	return prefix + "=" + types.NewFloat(v).String()
+}

@@ -1,0 +1,73 @@
+// Access control: UA-DBs over the clearance-level semiring A (Section 11.3,
+// "Beyond Set Semantics"). Tuple annotations are clearance levels
+// 0 < T < S < C < P; a UA pair [c, d] bounds a tuple's certain clearance:
+// it is definitely visible at level c and visible in the best guess at
+// level d. Queries combine levels with min (join) and max (union), and the
+// bounds are preserved.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+func main() {
+	k := semiring.Access
+	schema := types.NewSchema("docs", "doc", "topic")
+	s := func(v string) types.Value { return types.NewString(v) }
+
+	// The best-guess world assigns each document's row a clearance level as
+	// detected by a heuristic classifier; the labeling holds the level each
+	// row is *guaranteed* to have (a lower bound — the classifier may have
+	// under-redacted).
+	world := kdb.New[semiring.Level](k, schema)
+	label := kdb.New[semiring.Level](k, schema)
+	rows := []struct {
+		doc, topic string
+		guaranteed semiring.Level // conservative lower bound
+		detected   semiring.Level // best-guess level
+	}{
+		{"budget.xls", "finance", semiring.LevelPublic, semiring.LevelPublic},
+		{"merger.doc", "finance", semiring.LevelTopSecret, semiring.LevelSecret},
+		{"roster.pdf", "people", semiring.LevelConfidential, semiring.LevelConfidential},
+		{"launch.key", "product", semiring.LevelTopSecret, semiring.LevelConfidential},
+	}
+	for _, r := range rows {
+		t := types.Tuple{s(r.doc), s(r.topic)}
+		world.Set(t, r.detected)
+		label.Set(t, r.guaranteed)
+	}
+
+	ua := uadb.New[semiring.Level](k, label, world)
+	db := kdb.NewDatabase[semiring.Pair[semiring.Level]](semiring.UA[semiring.Level](k))
+	db.Put(ua)
+
+	// Join documents on shared topic: the joined row's clearance is the min
+	// of the inputs (you need access to both), and the UA bounds propagate.
+	q := kdb.ProjectQ{
+		Input: kdb.JoinQ{
+			Left:  kdb.Table{Name: "docs"},
+			Right: kdb.RenameQ{Input: kdb.Table{Name: "docs"}, Attrs: []string{"doc2", "topic2"}},
+			Pred: kdb.And{
+				kdb.AttrAttr{Left: "topic", Right: "topic2", PosLeft: -1, PosRight: -1, Op: kdb.OpEq},
+				kdb.AttrAttr{Left: "doc", Right: "doc2", PosLeft: -1, PosRight: -1, Op: kdb.OpLt},
+			},
+		},
+		Attrs: []string{"doc", "doc2"},
+	}
+	res, err := uadb.Eval(q, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Document pairs on a shared topic, with clearance bounds [guaranteed, detected]:")
+	for _, t := range res.Tuples() {
+		p := res.Get(t)
+		fmt.Printf("  %-22s [%s, %s]\n", t, p.Cert, p.Det)
+	}
+	fmt.Println("\nA user cleared at the 'guaranteed' level may definitely see the pair;")
+	fmt.Println("between the bounds, access depends on how the uncertainty resolves.")
+}

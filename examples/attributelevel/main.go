@@ -1,0 +1,81 @@
+// Attribute-level annotations: the paper's future-work extension
+// (Section 12), prototyped in internal/attrua. Tuple-level UA-DBs mark a
+// whole row uncertain as soon as any cell is imputed; attribute-level
+// labels track which cells are uncertain, so projections that discard the
+// noisy cells recover full certainty — removing the false negatives the
+// paper's Figure 15 measures.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attrua"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+func main() {
+	s := func(v string) types.Value { return types.NewString(v) }
+	i := func(v int64) types.Value { return types.NewInt(v) }
+
+	// A patients table where only the *age* column was imputed: each
+	// uncertain row has two candidate ages but identical id/diagnosis.
+	x := models.NewXRelation(types.NewSchema("patients", "id", "diagnosis", "age"))
+	x.AddCertain(types.Tuple{i(1), s("flu"), i(34)})
+	x.AddChoice(
+		types.Tuple{i(2), s("asthma"), i(51)},
+		types.Tuple{i(2), s("asthma"), i(15)},
+	)
+	x.AddChoice(
+		types.Tuple{i(3), s("flu"), i(42)},
+		types.Tuple{i(3), s("flu"), i(44)},
+	)
+
+	// Tuple-level UA-DB: the query "which diagnoses occur?" marks rows 2
+	// and 3 uncertain even though their diagnoses are beyond doubt.
+	db := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	db.Put(uadb.FromXDB(x))
+	res, err := uadb.Eval(kdb.ProjectQ{Input: kdb.Table{Name: "patients"}, Attrs: []string{"id", "diagnosis"}}, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Tuple-level labels on SELECT id, diagnosis:")
+	for _, t := range res.Tuples() {
+		mark := "uncertain (false negative!)"
+		if res.Get(t).Cert > 0 {
+			mark = "CERTAIN"
+		}
+		fmt.Printf("  %-18s %s\n", t, mark)
+	}
+
+	// Attribute-level labels know the uncertainty lives in the age column
+	// only: projecting it away restores certainty.
+	rel := attrua.FromXDB(x)
+	proj := attrua.Project(rel, []int{0, 1})
+	fmt.Println("\nAttribute-level labels on the same projection:")
+	for _, row := range proj.Rows {
+		mark := "uncertain"
+		if row.TupleCertain() {
+			mark = "CERTAIN"
+		}
+		fmt.Printf("  %-18s %s\n", row.Data, mark)
+	}
+
+	// Selections show the flip side: filtering on the uncertain age makes
+	// survival uncertain even for rows whose other cells are clean.
+	adults := attrua.Select(rel, attrua.Pred{
+		Eval:  func(t types.Tuple) bool { return t[2].Int() >= 18 },
+		Reads: []int{2},
+	})
+	fmt.Println("\nAfter WHERE age >= 18 (age was imputed):")
+	for _, row := range adults.Rows {
+		mark := "uncertain"
+		if row.ExistsCertain {
+			mark = "certainly present"
+		}
+		fmt.Printf("  %-22s %s\n", row.Data, mark)
+	}
+}

@@ -1,0 +1,61 @@
+// Crime analytics: the paper's "real queries" (Section 11.4) over simulated
+// Chicago open data with imputation-induced uncertainty. Demonstrates that
+// UA-DB answers cost nearly the same as deterministic best-guess answers
+// while flagging exactly which rows depend on imputed values.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/kdb"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/uadb"
+)
+
+func main() {
+	// 3000 incidents per table, 5% of rows with imputed (uncertain) cells.
+	rt := datagen.GenerateRealTables(3000, 0.05, 42)
+
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range rt.Tables() {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
+	det := engine.NewPlanner(rewrite.DetCatalog(uaDB))
+
+	for _, q := range datagen.RealQueries() {
+		start := time.Now()
+		detRes, err := det.Run(q.SQL)
+		if err != nil {
+			panic(err)
+		}
+		detTime := time.Since(start)
+
+		start = time.Now()
+		uaRes, err := front.Run(q.SQL)
+		if err != nil {
+			panic(err)
+		}
+		uaTime := time.Since(start)
+
+		certain := 0
+		c := uaRes.Schema.Arity() - 1
+		for _, row := range uaRes.Rows {
+			if row[c].Int() == 1 {
+				certain++
+			}
+		}
+		fmt.Printf("%s: %d rows (%d certain, %d flagged uncertain)\n",
+			q.Name, uaRes.NumRows(), certain, uaRes.NumRows()-certain)
+		fmt.Printf("    deterministic %v, UA-DB %v (det rows: %d)\n",
+			detTime, uaTime, detRes.NumRows())
+	}
+
+	fmt.Println("\nEvery flagged row is present in the analyst's best-guess answer —")
+	fmt.Println("nothing is hidden, unlike certain-answer semantics — but rows that")
+	fmt.Println("depend on imputed values are explicitly marked for review.")
+}

@@ -1,0 +1,120 @@
+package repro_test
+
+// Cross-system integration tests: all five implementations answer the same
+// PDBench workload, and their outputs must satisfy the containments the
+// theory demands:
+//
+//	Libkin ⊆ certain ⊆ {UA-labeled certain} ∪ misses       (c-soundness)
+//	UA-labeled certain ⊆ {tuples with lineage prob = 1}     (consistency)
+//	every UA result tuple is a possible answer              (BGW ⊆ possible)
+//	MCDB always-seen ⊇ certain                              (sampling)
+
+import (
+	"testing"
+
+	"repro/internal/baseline/maybms"
+	"repro/internal/baseline/mcdb"
+	"repro/internal/kdb"
+	"repro/internal/pdbench"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+func TestCrossSystemConsistency(t *testing.T) {
+	w := pdbench.Generate(pdbench.Config{SF: 0.01, Uncertainty: 0.10, Seed: 99})
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range w.Tables {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
+	linDB, blocks := maybms.BuildDB(w.Tables)
+
+	for _, q := range pdbench.Queries() {
+		uaRes, err := front.Run(q.SQL)
+		if err != nil {
+			t.Fatalf("%s UA: %v", q.Name, err)
+		}
+		linRes, err := maybms.Eval(q.RA, linDB)
+		if err != nil {
+			t.Fatalf("%s MayBMS: %v", q.Name, err)
+		}
+		mcRes, err := mcdb.Run(w.Tables, q.SQL, 15, 5)
+		if err != nil {
+			t.Fatalf("%s MCDB: %v", q.Name, err)
+		}
+
+		cIdx := uaRes.Schema.Arity() - 1
+		for _, row := range uaRes.Rows {
+			tp := types.Tuple(row[:cIdx])
+			lin := linRes.Get(tp)
+			// Every best-guess answer is a possible answer.
+			if len(lin) == 0 {
+				t.Errorf("%s: UA tuple %s has no lineage derivation", q.Name, tp)
+				continue
+			}
+			if row[cIdx].Int() == 1 {
+				// UA-labeled certain ⇒ probability 1 (c-soundness against
+				// the independent lineage implementation).
+				if p := blocks.Prob(lin); p < 1-1e-9 {
+					t.Errorf("%s: UA claims %s certain but P = %f", q.Name, tp, p)
+				}
+				// ... and MCDB must have seen it in every sampled world.
+				if mcRes.Count[tp.Key()] != mcRes.Samples {
+					t.Errorf("%s: UA-certain tuple %s missing from an MCDB sample", q.Name, tp)
+				}
+			}
+		}
+		// Dually: every lineage-certain tuple appears in the UA result
+		// (the BGW over-approximates certain answers).
+		uaTuples := map[string]bool{}
+		for _, row := range uaRes.Rows {
+			uaTuples[types.Tuple(row[:cIdx]).Key()] = true
+		}
+		for _, tp := range linRes.Tuples() {
+			if blocks.Prob(linRes.Get(tp)) >= 1-1e-9 && !uaTuples[tp.Key()] {
+				t.Errorf("%s: certain tuple %s (per lineage) missing from the UA result", q.Name, tp)
+			}
+		}
+	}
+}
+
+func TestUAFrontendAgreesWithKRelationSemantics(t *testing.T) {
+	// The SQL middleware path and the direct N^UA K-relation evaluation
+	// must produce identical annotation pairs on the PDBench queries
+	// (Theorem 7 at workload scale; the unit-level property test lives in
+	// internal/rewrite).
+	w := pdbench.Generate(pdbench.Config{SF: 0.01, Uncertainty: 0.05, Seed: 3})
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range w.Tables {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
+	for _, q := range pdbench.Queries() {
+		direct, err := uadb.Eval(q.RA, uaDB)
+		if err != nil {
+			t.Fatalf("%s direct: %v", q.Name, err)
+		}
+		res, err := front.Run(q.SQL)
+		if err != nil {
+			t.Fatalf("%s SQL: %v", q.Name, err)
+		}
+		viaSQL, err := rewrite.UAFromTable(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Len() != viaSQL.Len() {
+			t.Fatalf("%s: tuple counts differ: %d vs %d", q.Name, direct.Len(), viaSQL.Len())
+		}
+		mismatch := false
+		direct.ForEach(func(tp types.Tuple, p semiring.Pair[int64]) {
+			if viaSQL.Get(tp) != p {
+				mismatch = true
+			}
+		})
+		if mismatch {
+			t.Errorf("%s: annotation pairs differ between the two evaluation paths", q.Name)
+		}
+	}
+}

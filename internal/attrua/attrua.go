@@ -1,0 +1,221 @@
+// Package attrua prototypes the paper's future-work extension (Section 12):
+// attribute-level uncertainty annotations. Where a UA-DB labels whole tuples
+// certain or uncertain, an attribute-annotated relation tracks, per row of
+// the best-guess world,
+//
+//   - ExistsCertain — the row (with *some* values) appears in every possible
+//     world, and
+//   - per-attribute flags — the i-th value is the same in every alternative.
+//
+// A projected tuple is then certain iff the row certainly exists and every
+// projected attribute is certain — which is exactly the PTIME
+// characterization of certain answers for select-project queries over x-DBs
+// (models.CertainSP). Attribute-level labels therefore eliminate the false
+// negatives that tuple-level UA-DBs incur when a projection discards all
+// uncertain attributes (the paper's Figure 15 experiment); the comparison is
+// quantified in TestAttributeVsTupleLevelFNR and the Benchmark in the root
+// suite.
+//
+// Queries supported: selection, projection, join, union (RA⁺), with the
+// same extensional label propagation style as Section 7 — and the same
+// c-soundness guarantee, verified against world enumeration in the tests.
+package attrua
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// Row is one best-guess row with attribute-level certainty.
+type Row struct {
+	Data types.Tuple
+	// ExistsCertain reports that the source x-tuple is non-optional: every
+	// world contains a row derived from it (values possibly differing).
+	ExistsCertain bool
+	// AttrCertain[i] reports that every alternative agrees on attribute i.
+	AttrCertain []bool
+}
+
+// TupleCertain reports whether the row, as a whole tuple, is certain: it
+// exists in every world with exactly these values.
+func (r Row) TupleCertain() bool {
+	if !r.ExistsCertain {
+		return false
+	}
+	for _, c := range r.AttrCertain {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is an attribute-annotated best-guess relation.
+type Relation struct {
+	Schema types.Schema
+	Rows   []Row
+}
+
+// FromXDB derives the attribute-level annotation from an x-relation: the
+// designated (first) alternative of each x-tuple becomes a row; flags record
+// where the alternatives agree.
+func FromXDB(x *models.XRelation) *Relation {
+	out := &Relation{Schema: x.Schema}
+	for _, xt := range x.XTuples {
+		if len(xt.Alts) == 0 {
+			continue
+		}
+		best := xt.Alts[0].Data
+		flags := make([]bool, len(best))
+		for i := range flags {
+			flags[i] = true
+			for _, alt := range xt.Alts[1:] {
+				if !alt.Data[i].Equal(best[i]) {
+					flags[i] = false
+					break
+				}
+			}
+		}
+		out.Rows = append(out.Rows, Row{
+			Data:          best.Clone(),
+			ExistsCertain: !xt.Optional,
+			AttrCertain:   flags,
+		})
+	}
+	return out
+}
+
+// Pred is a predicate together with the attribute positions it reads; the
+// positions determine whether a passing row's survival is certain.
+type Pred struct {
+	Eval  func(types.Tuple) bool
+	Reads []int
+}
+
+// Select filters rows by the predicate on best-guess values. A passing row
+// keeps its existence certainty only when the predicate read exclusively
+// certain attributes — otherwise its survival depends on how the uncertain
+// values resolve.
+func Select(r *Relation, p Pred) *Relation {
+	out := &Relation{Schema: r.Schema}
+	for _, row := range r.Rows {
+		if !p.Eval(row.Data) {
+			continue
+		}
+		nr := Row{Data: row.Data, ExistsCertain: row.ExistsCertain,
+			AttrCertain: append([]bool{}, row.AttrCertain...)}
+		for _, i := range p.Reads {
+			if !row.AttrCertain[i] {
+				nr.ExistsCertain = false
+				break
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// Project keeps the given attribute positions with their flags.
+func Project(r *Relation, idx []int) *Relation {
+	out := &Relation{Schema: r.Schema.Project(idx)}
+	for _, row := range r.Rows {
+		flags := make([]bool, len(idx))
+		for i, j := range idx {
+			flags[i] = row.AttrCertain[j]
+		}
+		out.Rows = append(out.Rows, Row{
+			Data:          row.Data.Project(idx),
+			ExistsCertain: row.ExistsCertain,
+			AttrCertain:   flags,
+		})
+	}
+	return out
+}
+
+// Join combines rows passing the θ-predicate on the concatenated best-guess
+// values; existence certainty requires both inputs certain and a predicate
+// over certain attributes only.
+func Join(l, r *Relation, p Pred) *Relation {
+	out := &Relation{Schema: l.Schema.Concat(r.Schema)}
+	lw := l.Schema.Arity()
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			data := lr.Data.Concat(rr.Data)
+			if p.Eval != nil && !p.Eval(data) {
+				continue
+			}
+			flags := make([]bool, 0, len(lr.AttrCertain)+len(rr.AttrCertain))
+			flags = append(flags, lr.AttrCertain...)
+			flags = append(flags, rr.AttrCertain...)
+			nr := Row{Data: data, ExistsCertain: lr.ExistsCertain && rr.ExistsCertain, AttrCertain: flags}
+			for _, i := range p.Reads {
+				var certain bool
+				if i < lw {
+					certain = lr.AttrCertain[i]
+				} else {
+					certain = rr.AttrCertain[i-lw]
+				}
+				if !certain {
+					nr.ExistsCertain = false
+					break
+				}
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// Union appends the rows of both inputs (bag union).
+func Union(l, r *Relation) *Relation {
+	if l.Schema.Arity() != r.Schema.Arity() {
+		panic(fmt.Sprintf("attrua: union arity mismatch: %s vs %s", l.Schema, r.Schema))
+	}
+	out := &Relation{Schema: l.Schema}
+	out.Rows = append(append([]Row{}, l.Rows...), r.Rows...)
+	return out
+}
+
+// CertainTuples returns the distinct tuples the annotation proves certain
+// (at least one fully-certain row).
+func CertainTuples(r *Relation) map[string]types.Tuple {
+	out := make(map[string]types.Tuple)
+	for _, row := range r.Rows {
+		if row.TupleCertain() {
+			out[row.Data.Key()] = row.Data
+		}
+	}
+	return out
+}
+
+// Stats summarizes an annotated relation.
+type Stats struct {
+	Rows          int
+	ExistsCertain int
+	TupleCertain  int
+	CertainCells  int
+	TotalCells    int
+}
+
+// Summarize computes Stats.
+func Summarize(r *Relation) Stats {
+	var s Stats
+	for _, row := range r.Rows {
+		s.Rows++
+		if row.ExistsCertain {
+			s.ExistsCertain++
+		}
+		if row.TupleCertain() {
+			s.TupleCertain++
+		}
+		for _, c := range row.AttrCertain {
+			s.TotalCells++
+			if c {
+				s.CertainCells++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,265 @@
+package attrua
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func sampleX() *models.XRelation {
+	x := models.NewXRelation(types.NewSchema("R", "a", "b", "c"))
+	x.AddCertain(it(1, 10, 100))
+	// Alternatives differ only on b: a and c are attribute-certain.
+	x.AddChoice(it(2, 20, 200), it(2, 21, 200))
+	// Optional single alternative: values certain, existence not.
+	x.Add(models.XTuple{Alts: []models.Alternative{{Data: it(3, 30, 300), Prob: 0.5}}, Optional: true})
+	return x
+}
+
+func TestFromXDBFlags(t *testing.T) {
+	r := FromXDB(sampleX())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	r0, r1, r2 := r.Rows[0], r.Rows[1], r.Rows[2]
+	if !r0.TupleCertain() {
+		t.Error("fully certain row")
+	}
+	if !r1.ExistsCertain {
+		t.Error("multi-alternative non-optional x-tuple certainly exists")
+	}
+	if !r1.AttrCertain[0] || r1.AttrCertain[1] || !r1.AttrCertain[2] {
+		t.Errorf("flags = %v, want [true false true]", r1.AttrCertain)
+	}
+	if r1.TupleCertain() {
+		t.Error("row with uncertain attribute is not tuple-certain")
+	}
+	if r2.ExistsCertain {
+		t.Error("optional row existence is uncertain")
+	}
+	if !r2.AttrCertain[0] {
+		t.Error("single alternative: values certain")
+	}
+}
+
+func TestProjectionRecoversCertainty(t *testing.T) {
+	// The headline win: projecting away the uncertain attribute b makes
+	// row 2 a certain answer — tuple-level labels miss this.
+	r := FromXDB(sampleX())
+	proj := Project(r, []int{0, 2}) // a, c
+	cert := CertainTuples(proj)
+	if _, ok := cert[it(2, 200).Key()]; !ok {
+		t.Error("attribute-level labels should certify (2, 200)")
+	}
+	if _, ok := cert[it(3, 300).Key()]; ok {
+		t.Error("optional row stays uncertain")
+	}
+	// Tuple-level comparison.
+	ua := uadb.FromXDB(sampleX())
+	db := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	db.Put(ua)
+	res, err := uadb.Eval(kdb.ProjectQ{Input: kdb.Table{Name: "R"}, Attrs: []string{"a", "c"}}, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Get(it(2, 200)).Cert != 0 {
+		t.Fatal("tuple-level labeling should miss (2, 200) — setup broken")
+	}
+}
+
+func TestSelectOnUncertainAttr(t *testing.T) {
+	r := FromXDB(sampleX())
+	// Selection reading the uncertain attribute b: row survives via its
+	// best guess but its existence becomes uncertain.
+	sel := Select(r, Pred{
+		Eval:  func(tp types.Tuple) bool { return tp[1].Int() >= 20 },
+		Reads: []int{1},
+	})
+	if len(sel.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sel.Rows))
+	}
+	for _, row := range sel.Rows {
+		if row.ExistsCertain {
+			t.Errorf("row %v survived an uncertain-attribute selection with certain existence", row.Data)
+		}
+	}
+	// Selection on the certain attribute a keeps certainty.
+	sel = Select(r, Pred{
+		Eval:  func(tp types.Tuple) bool { return tp[0].Int() <= 2 },
+		Reads: []int{0},
+	})
+	if !sel.Rows[0].ExistsCertain || !sel.Rows[1].ExistsCertain {
+		t.Error("certain-attribute selection should preserve existence certainty")
+	}
+}
+
+// TestCSoundnessAgainstEnumeration: every tuple the attribute-level
+// annotation certifies is a true certain answer under world enumeration,
+// over random x-DBs and random SP queries.
+func TestCSoundnessAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 60; trial++ {
+		x := models.NewXRelation(types.NewSchema("R", "a", "b"))
+		for i := 0; i < rng.Intn(4)+2; i++ {
+			nAlts := rng.Intn(3) + 1
+			alts := make([]models.Alternative, nAlts)
+			for j := range alts {
+				alts[j] = models.Alternative{Data: it(rng.Int63n(3), rng.Int63n(3))}
+			}
+			x.Add(models.XTuple{Alts: alts, Optional: rng.Intn(4) == 0})
+		}
+		worlds, err := models.WorldsXDB(x)
+		if err != nil {
+			continue
+		}
+
+		// Random pipeline: optional selection then a projection.
+		selCol, selV := rng.Intn(2), rng.Int63n(3)
+		withSel := rng.Intn(2) == 0
+		projCol := rng.Intn(2)
+		selPred := func(tp types.Tuple) bool { return tp[selCol].Int() <= selV }
+
+		r := FromXDB(x)
+		if withSel {
+			r = Select(r, Pred{Eval: selPred, Reads: []int{selCol}})
+		}
+		r = Project(r, []int{projCol})
+
+		// Soundness: every certified tuple appears in the pipeline's result
+		// in every possible world.
+		for _, row := range r.Rows {
+			if !row.TupleCertain() {
+				continue
+			}
+			for wi, w := range worlds.Worlds {
+				found := false
+				w.Get("R").ForEach(func(tp types.Tuple, k int64) {
+					if k == 0 || (withSel && !selPred(tp)) {
+						return
+					}
+					if tp.Project([]int{projCol}).Equal(row.Data) {
+						found = true
+					}
+				})
+				if !found {
+					t.Fatalf("trial %d: certified tuple %s missing from world %d", trial, row.Data, wi)
+				}
+			}
+		}
+	}
+}
+
+// TestAttributeVsTupleLevelFNR quantifies the extension's value: on random
+// projections the attribute-level labeling never has more false negatives
+// than the tuple-level one, and strictly fewer when uncertain attributes are
+// projected away.
+func TestAttributeVsTupleLevelFNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	strictlyBetter := false
+	for trial := 0; trial < 40; trial++ {
+		x := models.NewXRelation(types.NewSchema("R", "a", "b", "c"))
+		for i := 0; i < 20; i++ {
+			base := it(rng.Int63n(5), rng.Int63n(5), rng.Int63n(5))
+			if rng.Intn(3) == 0 {
+				alt := base.Clone()
+				alt[1] = types.NewInt(rng.Int63n(5) + 10) // perturb b only
+				x.AddChoice(base, alt)
+			} else {
+				x.AddCertain(base)
+			}
+		}
+		idx := []int{0, 2} // project away the uncertain attribute
+		truth := models.CertainSP(x, nil, idx)
+
+		attrCert := CertainTuples(Project(FromXDB(x), idx))
+
+		ua := uadb.FromXDB(x)
+		db := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+		db.Put(ua)
+		res, err := uadb.Eval(kdb.ProjectQ{Input: kdb.Table{Name: "R"}, Attrs: []string{"a", "c"}}, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		attrMiss, tupMiss := 0, 0
+		truth.ForEach(func(tp types.Tuple, c int64) {
+			if c == 0 {
+				return
+			}
+			if _, ok := attrCert[tp.Key()]; !ok {
+				attrMiss++
+			}
+			if res.Get(tp).Cert == 0 {
+				tupMiss++
+			}
+		})
+		if attrMiss > tupMiss {
+			t.Fatalf("trial %d: attribute-level misses %d > tuple-level %d", trial, attrMiss, tupMiss)
+		}
+		if attrMiss < tupMiss {
+			strictlyBetter = true
+		}
+	}
+	if !strictlyBetter {
+		t.Error("expected attribute-level labels to strictly win on some trial")
+	}
+}
+
+func TestJoinCertainty(t *testing.T) {
+	l := FromXDB(sampleX())
+	sx := models.NewXRelation(types.NewSchema("S", "k", "v"))
+	sx.AddCertain(it(1, 7))
+	sx.AddCertain(it(2, 8))
+	r := FromXDB(sx)
+	join := Join(l, r, Pred{
+		Eval:  func(tp types.Tuple) bool { return tp[0].Equal(tp[3]) },
+		Reads: []int{0, 3},
+	})
+	if len(join.Rows) != 2 {
+		t.Fatalf("join rows = %d", len(join.Rows))
+	}
+	for _, row := range join.Rows {
+		if row.Data[0].Int() == 1 && !row.ExistsCertain {
+			t.Error("join of certain rows on certain attrs must be certain")
+		}
+		if row.Data[0].Int() == 2 && !row.ExistsCertain {
+			t.Error("x-tuple 2 certainly exists and joins on certain attr a")
+		}
+	}
+}
+
+func TestUnionAndStats(t *testing.T) {
+	r := FromXDB(sampleX())
+	u := Union(r, r)
+	if len(u.Rows) != 6 {
+		t.Error("bag union")
+	}
+	s := Summarize(r)
+	if s.Rows != 3 || s.ExistsCertain != 2 || s.TupleCertain != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TotalCells != 9 || s.CertainCells != 8 {
+		t.Errorf("cells = %+v", s)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("union arity mismatch should panic")
+			}
+		}()
+		Union(r, Project(r, []int{0}))
+	}()
+}

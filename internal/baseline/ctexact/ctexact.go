@@ -1,0 +1,339 @@
+// Package ctexact implements exact certain-answer computation over C-tables,
+// the baseline of the paper's Figure 10 experiment: queries are evaluated
+// symbolically — the result of RA⁺ over a C-table is again a C-table whose
+// local conditions accumulate selection predicates (∧), join conditions
+// (∧), and duplicate merges (∨) — and a result tuple is certain iff its
+// accumulated condition is a tautology. The paper discharged tautology
+// checks with Z3; this package uses the exact active-domain solver of
+// internal/cond (see DESIGN.md for the substitution argument). Cost grows
+// super-linearly with query complexity, which is precisely the behaviour
+// Figure 10 contrasts with constant-overhead UA-DBs.
+package ctexact
+
+import (
+	"fmt"
+
+	"repro/internal/cond"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// SymRelation is a symbolic (C-table) relation: rows of terms guarded by
+// local conditions, plus the domains of the variables (the closed-world
+// valuation space certainty is judged against).
+type SymRelation struct {
+	Schema  types.Schema
+	Rows    []models.CTuple
+	Domains map[string][]types.Value
+}
+
+// SymDB is a named collection of symbolic relations.
+type SymDB map[string]*SymRelation
+
+// FromCTable wraps a models.CTable as a symbolic relation.
+func FromCTable(c *models.CTable) *SymRelation {
+	doms := make(map[string][]types.Value, len(c.Domains))
+	for v, ws := range c.Domains {
+		vals := make([]types.Value, len(ws))
+		for i, w := range ws {
+			vals[i] = w.Value
+		}
+		doms[v] = vals
+	}
+	return &SymRelation{Schema: c.Schema, Rows: c.Tuples, Domains: doms}
+}
+
+func mergeDomains(a, b map[string][]types.Value) map[string][]types.Value {
+	out := make(map[string][]types.Value, len(a)+len(b))
+	for v, d := range a {
+		out[v] = d
+	}
+	for v, d := range b {
+		out[v] = d
+	}
+	return out
+}
+
+// Eval evaluates an RA⁺ query symbolically. Predicates of the query are
+// substituted with the rows' terms: comparisons over two constants fold
+// immediately, anything touching a variable is conjoined to the local
+// condition.
+func Eval(q kdb.Query, db SymDB) (*SymRelation, error) {
+	switch n := q.(type) {
+	case kdb.Table:
+		r, ok := db[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("ctexact: unknown table %q", n.Name)
+		}
+		return r, nil
+	case kdb.SelectQ:
+		in, err := Eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &SymRelation{Schema: in.Schema, Domains: in.Domains}
+		for _, row := range in.Rows {
+			pred, err := substPred(n.Pred, in.Schema, row.Data)
+			if err != nil {
+				return nil, err
+			}
+			combined := cond.Simplify(cond.And{row.Cond, pred})
+			if lit, ok := combined.(cond.Lit); ok && !bool(lit) {
+				continue // certainly filtered out
+			}
+			out.Rows = append(out.Rows, models.CTuple{Data: row.Data, Cond: combined})
+		}
+		return out, nil
+	case kdb.ProjectQ:
+		in, err := Eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(n.Attrs))
+		for i, a := range n.Attrs {
+			j := in.Schema.IndexOf(a)
+			if j < 0 {
+				return nil, fmt.Errorf("ctexact: unknown attribute %q", a)
+			}
+			idx[i] = j
+		}
+		out := &SymRelation{Schema: in.Schema.Project(idx), Domains: in.Domains}
+		for _, row := range in.Rows {
+			data := make([]cond.Term, len(idx))
+			for i, j := range idx {
+				data[i] = row.Data[j]
+			}
+			out.Rows = append(out.Rows, models.CTuple{Data: data, Cond: row.Cond})
+		}
+		return out, nil
+	case kdb.JoinQ:
+		l, err := Eval(n.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(n.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		schema := l.Schema.Concat(r.Schema)
+		out := &SymRelation{Schema: schema, Domains: mergeDomains(l.Domains, r.Domains)}
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				data := append(append([]cond.Term{}, lr.Data...), rr.Data...)
+				parts := cond.And{lr.Cond, rr.Cond}
+				if n.Pred != nil {
+					pred, err := substPred(n.Pred, schema, data)
+					if err != nil {
+						return nil, err
+					}
+					parts = append(parts, pred)
+				}
+				combined := cond.Simplify(parts)
+				if lit, ok := combined.(cond.Lit); ok && !bool(lit) {
+					continue
+				}
+				out.Rows = append(out.Rows, models.CTuple{Data: data, Cond: combined})
+			}
+		}
+		return out, nil
+	case kdb.UnionQ:
+		l, err := Eval(n.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(n.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		out := &SymRelation{Schema: l.Schema, Domains: mergeDomains(l.Domains, r.Domains)}
+		out.Rows = append(append([]models.CTuple{}, l.Rows...), r.Rows...)
+		return out, nil
+	case kdb.RenameQ:
+		in, err := Eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		return &SymRelation{
+			Schema:  types.Schema{Name: in.Schema.Name, Attrs: n.Attrs},
+			Rows:    in.Rows,
+			Domains: in.Domains,
+		}, nil
+	default:
+		return nil, fmt.Errorf("ctexact: unsupported query node %T", q)
+	}
+}
+
+// substPred translates a kdb predicate into a condition over the row's
+// terms.
+func substPred(p kdb.Predicate, schema types.Schema, data []cond.Term) (cond.Expr, error) {
+	switch n := p.(type) {
+	case kdb.TruePred:
+		return cond.Lit(true), nil
+	case kdb.AttrConst:
+		i := schema.IndexOf(n.Attr)
+		if i < 0 {
+			return nil, fmt.Errorf("ctexact: unknown attribute %q", n.Attr)
+		}
+		return cond.Cmp(data[i], mapOp(n.Op), cond.C(n.Const)), nil
+	case kdb.AttrAttr:
+		li, ri := n.PosLeft, n.PosRight
+		if li < 0 {
+			li = schema.IndexOf(n.Left)
+		}
+		if ri < 0 {
+			ri = schema.IndexOf(n.Right)
+		}
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("ctexact: unknown attribute in %s", n)
+		}
+		return cond.Cmp(data[li], mapOp(n.Op), data[ri]), nil
+	case kdb.And:
+		var parts cond.And
+		for _, c := range n {
+			e, err := substPred(c, schema, data)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		}
+		return parts, nil
+	case kdb.Or:
+		var parts cond.Or
+		for _, c := range n {
+			e, err := substPred(c, schema, data)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		}
+		return parts, nil
+	default:
+		return nil, fmt.Errorf("ctexact: unsupported predicate %T", p)
+	}
+}
+
+func mapOp(op kdb.CmpOp) cond.Op {
+	switch op {
+	case kdb.OpEq:
+		return cond.OpEq
+	case kdb.OpNe:
+		return cond.OpNe
+	case kdb.OpLt:
+		return cond.OpLt
+	case kdb.OpLe:
+		return cond.OpLe
+	case kdb.OpGt:
+		return cond.OpGt
+	default:
+		return cond.OpGe
+	}
+}
+
+// CertainAnswer holds one certain result tuple.
+type CertainAnswer struct {
+	Tuple types.Tuple
+}
+
+// CertainTuples computes the exact certain answers among the ground result
+// candidates: for each distinct ground tuple value t produced by some row,
+// the disjunction over all rows r of (r.Cond ∧ r.Data = t) must be a
+// tautology. Rows whose data contains variables contribute through the
+// equality constraints. Candidates are drawn from ground rows (a certain
+// tuple that only ever appears through variable bindings would require a
+// singleton domain, which the workloads here do not produce).
+func CertainTuples(rel *SymRelation) []CertainAnswer {
+	// Candidate ground tuples.
+	cands := make(map[string]types.Tuple)
+	for _, row := range rel.Rows {
+		if row.IsGround() {
+			t := row.Ground()
+			cands[t.Key()] = t
+		}
+	}
+	var out []CertainAnswer
+	for _, t := range sortedTuples(cands) {
+		var disj cond.Or
+		for _, row := range rel.Rows {
+			eq := cond.And{row.Cond}
+			feasible := true
+			for i, term := range row.Data {
+				if term.IsVar() {
+					eq = append(eq, cond.Cmp(term, cond.OpEq, cond.C(t[i])))
+				} else if !term.Const.Equal(t[i]) {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				disj = append(disj, cond.Simplify(eq))
+			}
+		}
+		if len(disj) > 0 && tautOverDomains(disj, rel.Domains) {
+			out = append(out, CertainAnswer{Tuple: t})
+		}
+	}
+	return out
+}
+
+// CertainRows counts result rows whose local condition is a tautology over
+// the variable domains — the paper's Figure 10 instrumentation, which runs
+// the solver once per result tuple. (A ground row with tautological
+// condition is a certain answer; rows carrying variables are additionally
+// checked, matching "running Z3 over the resulting boolean expression".)
+func CertainRows(rel *SymRelation) int {
+	n := 0
+	for _, row := range rel.Rows {
+		if tautOverDomains(row.Cond, rel.Domains) {
+			n++
+		}
+	}
+	return n
+}
+
+// tautOverDomains reports whether e holds under every valuation of its
+// variables drawn from their declared domains. Variables without a declared
+// domain range over the representative active domain of e (the open-world
+// fallback of cond.Tautology).
+func tautOverDomains(e cond.Expr, domains map[string][]types.Value) bool {
+	vars := cond.Vars(e)
+	if len(vars) == 0 {
+		return cond.Eval(e, nil)
+	}
+	fallback := cond.Domain(e, len(vars))
+	domOf := func(v string) []types.Value {
+		if d, ok := domains[v]; ok && len(d) > 0 {
+			return d
+		}
+		return fallback
+	}
+	val := make(cond.Valuation, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return cond.Eval(e, val)
+		}
+		for _, d := range domOf(vars[i]) {
+			val[vars[i]] = d
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+func sortedTuples(m map[string]types.Tuple) []types.Tuple {
+	out := make([]types.Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	// Deterministic order for reproducible experiments.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Compare(out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package ctexact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value { return types.NewInt(v) }
+
+// example9 builds the paper's Example 9 C-table.
+func example9() *models.CTable {
+	c := models.NewCTable(types.NewSchema("r", "a", "b"))
+	c.Add([]cond.Term{cond.CI(1), cond.V("X")}, cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(1)))
+	c.Add([]cond.Term{cond.CI(1), cond.CI(1)}, cond.Cmp(cond.V("X"), cond.OpNe, cond.CI(1)))
+	c.SetDomain("X", iv(1), iv(2))
+	return c
+}
+
+func TestExample9ExactCertainty(t *testing.T) {
+	// The exact baseline must recognize (1,1) as certain even though the
+	// PTIME labeling scheme cannot (Theorem 2's incompleteness).
+	rel := FromCTable(example9())
+	answers := CertainTuples(rel)
+	if len(answers) != 1 || !answers[0].Tuple.Equal(types.Tuple{iv(1), iv(1)}) {
+		t.Fatalf("certain answers = %v, want [(1,1)]", answers)
+	}
+}
+
+func TestSelectionAccumulatesConditions(t *testing.T) {
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.Add([]cond.Term{cond.V("X")}, cond.Lit(true))
+	c.SetDomain("X", iv(1), iv(5))
+	db := SymDB{"r": FromCTable(c)}
+	q := kdb.SelectQ{
+		Input: kdb.Table{Name: "r"},
+		Pred:  kdb.AttrConst{Attr: "a", Op: kdb.OpGt, Const: iv(3)},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The condition must now constrain X > 3.
+	if cond.Tautology(res.Rows[0].Cond) {
+		t.Error("selection condition must be contingent")
+	}
+	if !cond.Satisfiable(res.Rows[0].Cond) {
+		t.Error("selection condition must be satisfiable")
+	}
+}
+
+func TestGroundSelectionFoldsImmediately(t *testing.T) {
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.AddGround(types.Tuple{iv(1)})
+	c.AddGround(types.Tuple{iv(5)})
+	db := SymDB{"r": FromCTable(c)}
+	q := kdb.SelectQ{
+		Input: kdb.Table{Name: "r"},
+		Pred:  kdb.AttrConst{Attr: "a", Op: kdb.OpLt, Const: iv(3)},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("ground false rows must be dropped eagerly: %d rows", len(res.Rows))
+	}
+}
+
+func TestJoinConditionConjunction(t *testing.T) {
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.Add([]cond.Term{cond.V("X")}, cond.Lit(true))
+	d := models.NewCTable(types.NewSchema("s", "b"))
+	d.AddGround(types.Tuple{iv(2)})
+	db := SymDB{"r": FromCTable(c), "s": FromCTable(d)}
+	q := kdb.JoinQ{
+		Left: kdb.Table{Name: "r"}, Right: kdb.Table{Name: "s"},
+		Pred: kdb.AttrAttr{PosLeft: 0, PosRight: 1, Op: kdb.OpEq},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Condition is X = 2.
+	want := cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(2))
+	if !cond.Equivalent(res.Rows[0].Cond, want) {
+		t.Errorf("condition = %s, want X = 2", res.Rows[0].Cond)
+	}
+}
+
+// TestCertainMatchesWorldEnumeration cross-validates the symbolic baseline
+// against brute-force world enumeration on random C-tables and queries.
+func TestCertainMatchesWorldEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		c := models.NewCTable(types.NewSchema("r", "a", "b"))
+		nVars := rng.Intn(2) + 1
+		vars := []string{"X", "Y"}[:nVars]
+		for _, v := range vars {
+			c.SetDomain(v, iv(0), iv(1), iv(2))
+		}
+		for i := 0; i < rng.Intn(4)+2; i++ {
+			var data []cond.Term
+			for j := 0; j < 2; j++ {
+				if rng.Intn(3) == 0 {
+					data = append(data, cond.V(vars[rng.Intn(nVars)]))
+				} else {
+					data = append(data, cond.CI(rng.Int63n(3)))
+				}
+			}
+			var guard cond.Expr = cond.Lit(true)
+			if rng.Intn(2) == 0 {
+				ops := []cond.Op{cond.OpEq, cond.OpNe, cond.OpLe}
+				guard = cond.Cmp(cond.V(vars[rng.Intn(nVars)]), ops[rng.Intn(3)], cond.CI(rng.Int63n(3)))
+			}
+			c.Add(data, guard)
+		}
+
+		var q kdb.Query = kdb.Table{Name: "r"}
+		switch rng.Intn(3) {
+		case 0:
+			q = kdb.SelectQ{Input: q, Pred: kdb.AttrConst{Attr: "a", Op: kdb.OpLe, Const: iv(rng.Int63n(3))}}
+		case 1:
+			q = kdb.ProjectQ{Input: q, Attrs: []string{"b"}}
+		}
+
+		res, err := Eval(q, SymDB{"r": FromCTable(c)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, ans := range CertainTuples(res) {
+			got[ans.Tuple.Key()] = true
+		}
+
+		worlds, err := models.WorldsCTable(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resWorlds, err := incomplete.EvalWorlds(q, worlds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := incomplete.CertainRelation(resWorlds, "result")
+		want := map[string]bool{}
+		cert.ForEach(func(tp types.Tuple, k int64) {
+			if k > 0 {
+				want[tp.Key()] = true
+			}
+		})
+		// Exactness in both directions.
+		for k := range got {
+			if !want[k] {
+				t.Fatalf("trial %d: symbolic baseline claims non-certain tuple %q certain", trial, k)
+			}
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: symbolic baseline missed certain tuple %q", trial, k)
+			}
+		}
+	}
+}
+
+func TestUnionAndRename(t *testing.T) {
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.AddGround(types.Tuple{iv(1)})
+	d := models.NewCTable(types.NewSchema("s", "b"))
+	d.AddGround(types.Tuple{iv(1)})
+	db := SymDB{"r": FromCTable(c), "s": FromCTable(d)}
+	q := kdb.UnionQ{
+		Left:  kdb.RenameQ{Input: kdb.Table{Name: "r"}, Attrs: []string{"v"}},
+		Right: kdb.RenameQ{Input: kdb.Table{Name: "s"}, Attrs: []string{"v"}},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("union rows = %d", len(res.Rows))
+	}
+	answers := CertainTuples(res)
+	if len(answers) != 1 {
+		t.Errorf("certain = %v", answers)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := SymDB{}
+	if _, err := Eval(kdb.Table{Name: "zzz"}, db); err == nil {
+		t.Error("unknown table")
+	}
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.AddGround(types.Tuple{iv(1)})
+	db["r"] = FromCTable(c)
+	if _, err := Eval(kdb.ProjectQ{Input: kdb.Table{Name: "r"}, Attrs: []string{"zzz"}}, db); err == nil {
+		t.Error("unknown attribute")
+	}
+}

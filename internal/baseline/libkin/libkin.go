@@ -1,0 +1,91 @@
+// Package libkin implements the certain-answer under-approximation of
+// Guagliardo & Libkin (PODS 2016) / Libkin (TODS 2016) for Codd tables —
+// databases where missing information is represented by SQL NULLs — used as
+// the "Libkin" comparison system in the paper's experiments.
+//
+// For positive queries the under-approximation evaluates the query with
+// certainly-true predicate semantics (a comparison involving NULL is never
+// certainly true, so the row is rejected) and keeps only null-free result
+// rows: any answer produced this way appears in every completion of the
+// database, so the result is a subset of the certain answers (c-sound),
+// generalizing Reiter's 1986 algorithm. In contrast to UA-DBs the output
+// carries no marking of uncertain-but-likely rows — everything not certainly
+// derivable is dropped, which is exactly the utility gap Figure 18 measures.
+package libkin
+
+import (
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Run evaluates query over a catalog whose tables may contain NULLs and
+// returns the under-approximation of certain answers. The deterministic
+// engine already implements certainly-true WHERE/join semantics (SQL 3VL
+// rejects unknown); Run additionally drops result rows containing NULLs.
+func Run(cat *engine.Catalog, query string) (*engine.Table, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return RunStmt(cat, stmt)
+}
+
+// RunStmt is Run over a parsed statement.
+func RunStmt(cat *engine.Catalog, stmt *sql.SelectStmt) (*engine.Table, error) {
+	res, err := engine.NewPlanner(cat).RunStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return StripNullRows(res), nil
+}
+
+// CoddFromXDB converts an x-relation into a Codd table: each x-tuple
+// becomes one row whose attributes are NULL wherever the alternatives
+// disagree (the information-preserving projection of the x-DB onto the
+// null-based model Libkin's technique accepts). Optional x-tuples are kept
+// (their absence cannot be represented with attribute nulls; the resulting
+// under-approximation stays c-sound for monotone queries only when
+// optionality is rare, which matches the PDBench workload where tuples are
+// never optional).
+func CoddFromXDB(x *models.XRelation) *engine.Table {
+	out := engine.NewTable(types.Schema{Name: x.Schema.Name, Attrs: x.Schema.Attrs})
+	for _, xt := range x.XTuples {
+		if len(xt.Alts) == 0 {
+			continue
+		}
+		row := make([]types.Value, len(xt.Alts[0].Data))
+		copy(row, xt.Alts[0].Data)
+		for _, alt := range xt.Alts[1:] {
+			for i, v := range alt.Data {
+				if !row[i].IsNull() && !row[i].Equal(v) {
+					row[i] = types.Null()
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// CoddCatalog converts a set of x-relations into a catalog of Codd tables.
+func CoddCatalog(xdbs map[string]*models.XRelation) *engine.Catalog {
+	cat := engine.NewCatalog()
+	for _, x := range xdbs {
+		cat.Put(CoddFromXDB(x))
+	}
+	return cat
+}
+
+// StripNullRows removes rows containing NULL: a ground certain answer can
+// never contain an unknown value.
+func StripNullRows(t *engine.Table) *engine.Table {
+	out := engine.NewTable(t.Schema)
+	for _, row := range t.Rows {
+		if !types.Tuple(row).HasNull() {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package libkin
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value  { return types.NewInt(v) }
+func sv(v string) types.Value { return types.NewString(v) }
+
+func coddCatalog() *engine.Catalog {
+	cat := engine.NewCatalog()
+	r := engine.NewTable(types.NewSchema("r", "id", "city", "pop"))
+	r.AppendVals(iv(1), sv("NYC"), iv(8))
+	r.AppendVals(iv(2), types.Null(), iv(4)) // unknown city
+	r.AppendVals(iv(3), sv("LA"), types.Null())
+	cat.Put(r)
+	s := engine.NewTable(types.NewSchema("s", "city", "state"))
+	s.AppendVals(sv("NYC"), sv("NY"))
+	s.AppendVals(sv("LA"), sv("CA"))
+	s.AppendVals(types.Null(), sv("TX"))
+	cat.Put(s)
+	return cat
+}
+
+func TestSelectionUnderApproximation(t *testing.T) {
+	cat := coddCatalog()
+	res, err := Run(cat, "SELECT id FROM r WHERE pop > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 3's pop is NULL: not certainly > 3, excluded. Rows 1 and 2 match.
+	if res.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", res.NumRows())
+	}
+}
+
+func TestNullResultRowsDropped(t *testing.T) {
+	cat := coddCatalog()
+	res, err := Run(cat, "SELECT id, city FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 has NULL city: its projection is not a certain ground answer.
+	if res.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", res.NumRows())
+	}
+	for _, row := range res.Rows {
+		if types.Tuple(row).HasNull() {
+			t.Error("null row leaked")
+		}
+	}
+}
+
+func TestJoinCertainty(t *testing.T) {
+	cat := coddCatalog()
+	res, err := Run(cat, "SELECT r.id, s.state FROM r, s WHERE r.city = s.city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only NYC and LA join certainly; NULL cities never certainly match.
+	if res.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", res.NumRows())
+	}
+}
+
+// TestCSoundAgainstCompletions verifies the under-approximation property on
+// a small Codd table by enumerating completions of the nulls over an active
+// domain and intersecting the query results.
+func TestCSoundAgainstCompletions(t *testing.T) {
+	domain := []types.Value{sv("NYC"), sv("LA")}
+	query := "SELECT r.id, s.state FROM r, s WHERE r.city = s.city"
+
+	base := coddCatalog()
+	approx, err := Run(base, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enumerate completions: r row 2 city ∈ domain, r row 3 pop fixed by
+	// copying (pop nulls don't affect this query), s row 3 city ∈ domain.
+	certain := map[string]int{}
+	n := 0
+	for _, c1 := range domain {
+		for _, c2 := range domain {
+			cat := engine.NewCatalog()
+			r := engine.NewTable(types.NewSchema("r", "id", "city", "pop"))
+			r.AppendVals(iv(1), sv("NYC"), iv(8))
+			r.AppendVals(iv(2), c1, iv(4))
+			r.AppendVals(iv(3), sv("LA"), iv(0))
+			cat.Put(r)
+			s := engine.NewTable(types.NewSchema("s", "city", "state"))
+			s.AppendVals(sv("NYC"), sv("NY"))
+			s.AppendVals(sv("LA"), sv("CA"))
+			s.AppendVals(c2, sv("TX"))
+			cat.Put(s)
+			res, err := engine.NewPlanner(cat).Run(query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[string]bool{}
+			for _, row := range res.Rows {
+				seen[types.Tuple(row).Key()] = true
+			}
+			for k := range seen {
+				certain[k]++
+			}
+			n++
+		}
+	}
+	// Every approx answer must appear in all completions.
+	for _, row := range approx.Rows {
+		if certain[types.Tuple(row).Key()] != n {
+			t.Errorf("approx answer %v is not certain", row)
+		}
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	if _, err := Run(engine.NewCatalog(), "garbage"); err == nil {
+		t.Error("expected parse error")
+	}
+}

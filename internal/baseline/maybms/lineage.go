@@ -1,0 +1,187 @@
+// Package maybms implements a MayBMS-style probabilistic query processor
+// (Antova, Koch, Olteanu; ICDE 2007/2008) over block-independent databases —
+// the "MayBMS" comparison system of the paper's experiments. Query results
+// are computed with lineage annotations: each result tuple carries a DNF
+// formula over block-alternative picks. Possible answers are tuples with
+// satisfiable lineage; confidence computation (the conf() aggregate) is
+// exact via Shannon expansion over independent blocks, or approximate via
+// Monte-Carlo sampling with an error bound (the paper's "(0.3)" columns).
+//
+// The cost profile matches the original system: result sizes grow with the
+// number of alternatives (all possible answers are produced, Figure 12) and
+// probability computation dominates for join-heavy queries (Figure 19).
+package maybms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pick is one choice: block b takes alternative a.
+type Pick struct {
+	Block string
+	Alt   int
+}
+
+func (p Pick) key() string { return fmt.Sprintf("%s\x00%d", p.Block, p.Alt) }
+
+// Monomial is a conjunction of picks, canonically sorted by block, at most
+// one pick per block. The nil monomial is unsatisfiable and never stored.
+type Monomial []Pick
+
+// newMonomial merges picks, returning ok=false on a block conflict.
+func newMonomial(picks []Pick) (Monomial, bool) {
+	m := append(Monomial{}, picks...)
+	sort.Slice(m, func(i, j int) bool {
+		if m[i].Block != m[j].Block {
+			return m[i].Block < m[j].Block
+		}
+		return m[i].Alt < m[j].Alt
+	})
+	out := m[:0]
+	for i, p := range m {
+		if i > 0 && p.Block == m[i-1].Block {
+			if p.Alt != m[i-1].Alt {
+				return nil, false // two different alternatives of one block
+			}
+			continue // duplicate pick
+		}
+		out = append(out, p)
+	}
+	return out, true
+}
+
+func (m Monomial) key() string {
+	parts := make([]string, len(m))
+	for i, p := range m {
+		parts[i] = p.key()
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// subsumes reports whether m ⊆ o (m implies o... for DNF absorption: a
+// shorter monomial absorbs any superset).
+func (m Monomial) subsumes(o Monomial) bool {
+	if len(m) > len(o) {
+		return false
+	}
+	i := 0
+	for _, p := range o {
+		if i < len(m) && m[i] == p {
+			i++
+		}
+	}
+	return i == len(m)
+}
+
+// Lineage is a DNF over picks in canonical, absorption-reduced form. The
+// empty lineage is FALSE (the tuple is impossible); a lineage containing the
+// empty monomial is TRUE (the tuple exists in every world).
+type Lineage []Monomial
+
+func canonLineage(ms []Monomial) Lineage {
+	sort.Slice(ms, func(i, j int) bool {
+		if len(ms[i]) != len(ms[j]) {
+			return len(ms[i]) < len(ms[j])
+		}
+		return ms[i].key() < ms[j].key()
+	})
+	var out Lineage
+	for _, m := range ms {
+		absorbed := false
+		for _, kept := range out {
+			if kept.subsumes(m) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// True is the lineage of a deterministic tuple.
+func True() Lineage { return Lineage{{}} }
+
+// False is the lineage of an impossible tuple.
+func False() Lineage { return nil }
+
+// FromPick is the lineage of one block alternative.
+func FromPick(block string, alt int) Lineage {
+	return Lineage{{Pick{Block: block, Alt: alt}}}
+}
+
+// Key returns a canonical string form.
+func (l Lineage) Key() string {
+	parts := make([]string, len(l))
+	for i, m := range l {
+		parts[i] = m.key()
+	}
+	return strings.Join(parts, "\x02")
+}
+
+// Semiring implements semiring.Semiring[Lineage]: DNF union as ⊕ and
+// pairwise monomial merge as ⊗ (conflicting merges vanish). This is the
+// positive boolean-expression semiring over block picks, so all kdb RA⁺
+// operators evaluate MayBMS-style lineage directly.
+type Semiring struct{}
+
+// Lin is the canonical instance.
+var Lin = Semiring{}
+
+// Zero returns FALSE.
+func (Semiring) Zero() Lineage { return False() }
+
+// One returns TRUE.
+func (Semiring) One() Lineage { return True() }
+
+// Add returns the DNF union.
+func (Semiring) Add(a, b Lineage) Lineage {
+	ms := make([]Monomial, 0, len(a)+len(b))
+	ms = append(ms, a...)
+	ms = append(ms, b...)
+	return canonLineage(ms)
+}
+
+// Mul returns all conflict-free pairwise merges.
+func (Semiring) Mul(a, b Lineage) Lineage {
+	var ms []Monomial
+	for _, ma := range a {
+		for _, mb := range b {
+			merged, ok := newMonomial(append(append([]Pick{}, ma...), mb...))
+			if ok {
+				ms = append(ms, merged)
+			}
+		}
+	}
+	return canonLineage(ms)
+}
+
+// Eq compares canonical forms.
+func (Semiring) Eq(a, b Lineage) bool { return a.Key() == b.Key() }
+
+// IsZero reports FALSE.
+func (Semiring) IsZero(a Lineage) bool { return len(a) == 0 }
+
+// Format renders the DNF.
+func (Semiring) Format(a Lineage) string {
+	if len(a) == 0 {
+		return "⊥"
+	}
+	parts := make([]string, len(a))
+	for i, m := range a {
+		if len(m) == 0 {
+			parts[i] = "⊤"
+			continue
+		}
+		ps := make([]string, len(m))
+		for j, p := range m {
+			ps[j] = fmt.Sprintf("%s=%d", p.Block, p.Alt)
+		}
+		parts[i] = strings.Join(ps, "∧")
+	}
+	return strings.Join(parts, " ∨ ")
+}

@@ -1,0 +1,219 @@
+package maybms
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// Block describes one independent block: the probability of each alternative
+// (indexed by alternative position) and the leftover "absent" mass.
+type Block struct {
+	AltProbs []float64
+	Absent   float64
+}
+
+// Blocks maps block identifiers to their distributions.
+type Blocks map[string]*Block
+
+// BuildDB converts x-relations into a lineage-annotated K-database: each
+// alternative's tuple is annotated with the pick of its block. Block ids are
+// "<relation>#<x-tuple index>".
+func BuildDB(xdbs map[string]*models.XRelation) (*kdb.Database[Lineage], Blocks) {
+	db := kdb.NewDatabase[Lineage](Lin)
+	blocks := make(Blocks)
+	for name, x := range xdbs {
+		rel := kdb.New[Lineage](Lin, types.Schema{Name: name, Attrs: x.Schema.Attrs})
+		for i, xt := range x.XTuples {
+			blockID := fmt.Sprintf("%s#%d", name, i)
+			b := &Block{AltProbs: make([]float64, len(xt.Alts))}
+			total := 0.0
+			for j, alt := range xt.Alts {
+				p := alt.Prob
+				if !x.Probabilistic {
+					// Uniform over alternatives (+ absence when optional).
+					n := len(xt.Alts)
+					if xt.Optional {
+						n++
+					}
+					p = 1 / float64(n)
+				}
+				b.AltProbs[j] = p
+				total += p
+				rel.Add(alt.Data, FromPick(blockID, j))
+			}
+			b.Absent = 1 - total
+			if b.Absent < 0 {
+				b.Absent = 0
+			}
+			blocks[blockID] = b
+		}
+		db.Put(rel)
+	}
+	return db, blocks
+}
+
+// Eval evaluates an RA⁺ query over the lineage database, producing all
+// possible answers annotated with their lineage.
+func Eval(q kdb.Query, db *kdb.Database[Lineage]) (*kdb.Relation[Lineage], error) {
+	return kdb.Eval(q, db)
+}
+
+// Prob computes the exact probability of a lineage via Shannon expansion
+// over the blocks it mentions, memoized on canonical form. Blocks are
+// independent, so conditioning on one block's outcome splits the DNF into
+// independent subproblems.
+func (bs Blocks) Prob(l Lineage) float64 {
+	memo := make(map[string]float64)
+	return bs.prob(l, memo)
+}
+
+func (bs Blocks) prob(l Lineage, memo map[string]float64) float64 {
+	if len(l) == 0 {
+		return 0
+	}
+	if len(l[0]) == 0 {
+		return 1 // contains the empty monomial: TRUE
+	}
+	key := l.Key()
+	if p, ok := memo[key]; ok {
+		return p
+	}
+	// Condition on the first block mentioned.
+	block := l[0][0].Block
+	b := bs[block]
+	if b == nil {
+		panic(fmt.Sprintf("maybms: unknown block %q", block))
+	}
+	total := 0.0
+	// Case: block takes alternative j.
+	for j, pj := range b.AltProbs {
+		if pj == 0 {
+			continue
+		}
+		cond := conditionOn(l, block, j)
+		total += pj * bs.prob(cond, memo)
+	}
+	// Case: block absent — every monomial mentioning the block dies.
+	if b.Absent > 0 {
+		cond := conditionOn(l, block, -1)
+		total += b.Absent * bs.prob(cond, memo)
+	}
+	memo[key] = total
+	return total
+}
+
+// conditionOn restricts the DNF to worlds where block takes alternative alt
+// (-1 = absent): monomials requiring a different alternative are dropped,
+// picks of this block are removed from surviving monomials.
+func conditionOn(l Lineage, block string, alt int) Lineage {
+	var out []Monomial
+	for _, m := range l {
+		keep := true
+		var reduced Monomial
+		for _, p := range m {
+			if p.Block == block {
+				if p.Alt != alt {
+					keep = false
+					break
+				}
+				continue // satisfied pick removed
+			}
+			reduced = append(reduced, p)
+		}
+		if keep {
+			out = append(out, reduced)
+		}
+	}
+	return canonLineage(out)
+}
+
+// ApproxProb estimates the probability by Monte-Carlo sampling of block
+// outcomes; eps is the target absolute error bound at ~95% confidence
+// (n ≈ 1/eps²).
+func (bs Blocks) ApproxProb(l Lineage, eps float64, seed int64) float64 {
+	if len(l) == 0 {
+		return 0
+	}
+	if len(l[0]) == 0 {
+		return 1
+	}
+	n := int(1/(eps*eps)) + 1
+	rng := rand.New(rand.NewSource(seed))
+	// Collect the blocks the lineage mentions.
+	blockSet := map[string]bool{}
+	for _, m := range l {
+		for _, p := range m {
+			blockSet[p.Block] = true
+		}
+	}
+	blockIDs := make([]string, 0, len(blockSet))
+	for b := range blockSet {
+		blockIDs = append(blockIDs, b)
+	}
+	sort.Strings(blockIDs)
+	hits := 0
+	assign := make(map[string]int, len(blockIDs))
+	for i := 0; i < n; i++ {
+		for _, bid := range blockIDs {
+			b := bs[bid]
+			roll := rng.Float64()
+			acc := 0.0
+			assign[bid] = -1
+			for j, pj := range b.AltProbs {
+				acc += pj
+				if roll < acc {
+					assign[bid] = j
+					break
+				}
+			}
+		}
+		if satisfied(l, assign) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func satisfied(l Lineage, assign map[string]int) bool {
+	for _, m := range l {
+		ok := true
+		for _, p := range m {
+			if assign[p.Block] != p.Alt {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ResultTuple pairs a possible answer with its probability.
+type ResultTuple struct {
+	Tuple types.Tuple
+	Prob  float64
+}
+
+// Conf computes conf() for every possible answer of a query result, exactly
+// (eps ≤ 0) or approximately.
+func Conf(rel *kdb.Relation[Lineage], blocks Blocks, eps float64, seed int64) []ResultTuple {
+	var out []ResultTuple
+	for _, t := range rel.Tuples() {
+		l := rel.Get(t)
+		var p float64
+		if eps > 0 {
+			p = blocks.ApproxProb(l, eps, seed)
+		} else {
+			p = blocks.Prob(l)
+		}
+		out = append(out, ResultTuple{Tuple: t, Prob: p})
+	}
+	return out
+}

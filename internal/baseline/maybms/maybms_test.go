@@ -1,0 +1,236 @@
+package maybms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value { return types.NewInt(v) }
+
+func TestMonomialMerge(t *testing.T) {
+	m, ok := newMonomial([]Pick{{"b", 1}, {"a", 0}, {"b", 1}})
+	if !ok || len(m) != 2 || m[0].Block != "a" {
+		t.Errorf("merge = %v, %v", m, ok)
+	}
+	if _, ok := newMonomial([]Pick{{"a", 0}, {"a", 1}}); ok {
+		t.Error("conflicting picks must be unsatisfiable")
+	}
+}
+
+func TestLineageSemiringLaws(t *testing.T) {
+	elems := []Lineage{
+		False(), True(), FromPick("a", 0), FromPick("a", 1), FromPick("b", 0),
+		Lin.Mul(FromPick("a", 0), FromPick("b", 0)),
+		Lin.Add(FromPick("a", 0), FromPick("b", 0)),
+	}
+	for _, a := range elems {
+		if !Lin.Eq(Lin.Add(a, Lin.Zero()), a) {
+			t.Errorf("a ⊕ 0 ≠ a: %s", Lin.Format(a))
+		}
+		if !Lin.Eq(Lin.Mul(a, Lin.One()), a) {
+			t.Errorf("a ⊗ 1 ≠ a: %s", Lin.Format(a))
+		}
+		if !Lin.Eq(Lin.Mul(a, Lin.Zero()), Lin.Zero()) {
+			t.Errorf("a ⊗ 0 ≠ 0")
+		}
+		for _, b := range elems {
+			if !Lin.Eq(Lin.Add(a, b), Lin.Add(b, a)) || !Lin.Eq(Lin.Mul(a, b), Lin.Mul(b, a)) {
+				t.Error("commutativity")
+			}
+			for _, c := range elems {
+				l := Lin.Mul(a, Lin.Add(b, c))
+				r := Lin.Add(Lin.Mul(a, b), Lin.Mul(a, c))
+				if !Lin.Eq(l, r) {
+					t.Errorf("distributivity: %s vs %s", Lin.Format(l), Lin.Format(r))
+				}
+			}
+		}
+	}
+}
+
+func TestAbsorption(t *testing.T) {
+	a := FromPick("a", 0)
+	ab := Lin.Mul(a, FromPick("b", 0))
+	got := Lin.Add(a, ab)
+	if !Lin.Eq(got, a) {
+		t.Errorf("a ∨ (a∧b) should absorb to a, got %s", Lin.Format(got))
+	}
+	// Conflicting picks vanish in products.
+	if !Lin.IsZero(Lin.Mul(FromPick("a", 0), FromPick("a", 1))) {
+		t.Error("conflicting product should be ⊥")
+	}
+}
+
+func sampleXDB() map[string]*models.XRelation {
+	r := models.NewXRelation(types.NewSchema("r", "v"))
+	r.Probabilistic = true
+	r.Add(models.XTuple{Alts: []models.Alternative{
+		{Data: types.Tuple{iv(1)}, Prob: 0.5},
+		{Data: types.Tuple{iv(2)}, Prob: 0.5},
+	}})
+	r.Add(models.XTuple{Alts: []models.Alternative{
+		{Data: types.Tuple{iv(2)}, Prob: 0.6},
+	}}) // absent with 0.4
+	return map[string]*models.XRelation{"r": r}
+}
+
+func TestBuildDBAndPossibleAnswers(t *testing.T) {
+	db, blocks := BuildDB(sampleXDB())
+	rel := db.Get("r")
+	if rel.Len() != 2 {
+		t.Fatalf("possible tuples = %d, want 2", rel.Len())
+	}
+	// Tuple (2) has two derivations: block r#0 alt 1 OR block r#1 alt 0.
+	l := rel.Get(types.Tuple{iv(2)})
+	if len(l) != 2 {
+		t.Errorf("lineage of (2) = %s", Lin.Format(l))
+	}
+	if len(blocks) != 2 {
+		t.Error("blocks")
+	}
+}
+
+func TestExactProbability(t *testing.T) {
+	db, blocks := BuildDB(sampleXDB())
+	rel := db.Get("r")
+	// P(tuple 1) = 0.5.
+	p1 := blocks.Prob(rel.Get(types.Tuple{iv(1)}))
+	if math.Abs(p1-0.5) > 1e-12 {
+		t.Errorf("P(1) = %f", p1)
+	}
+	// P(tuple 2) = 1 - P(neither) = 1 - 0.5*0.4 = 0.8.
+	p2 := blocks.Prob(rel.Get(types.Tuple{iv(2)}))
+	if math.Abs(p2-0.8) > 1e-12 {
+		t.Errorf("P(2) = %f", p2)
+	}
+	if blocks.Prob(False()) != 0 || blocks.Prob(True()) != 1 {
+		t.Error("trivial lineages")
+	}
+}
+
+func TestProbMatchesWorldEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		// Random small probabilistic x-relation.
+		x := models.NewXRelation(types.NewSchema("r", "a"))
+		x.Probabilistic = true
+		nx := rng.Intn(3) + 1
+		for i := 0; i < nx; i++ {
+			nAlts := rng.Intn(2) + 1
+			total := 0.0
+			var alts []models.Alternative
+			for j := 0; j < nAlts; j++ {
+				p := rng.Float64() * (1 - total) * 0.9
+				total += p
+				alts = append(alts, models.Alternative{Data: types.Tuple{iv(rng.Int63n(3))}, Prob: p})
+			}
+			x.Add(models.XTuple{Alts: alts})
+		}
+		xdbs := map[string]*models.XRelation{"r": x}
+		db, blocks := BuildDB(xdbs)
+
+		q := kdb.ProjectQ{Input: kdb.Table{Name: "r"}, Attrs: []string{"a"}}
+		res, err := Eval(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worlds, err := models.WorldsXDB(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range res.Tuples() {
+			want := 0.0
+			for i, w := range worlds.Worlds {
+				if w.Get("r").Get(tp) > 0 {
+					want += worlds.Probs[i]
+				}
+			}
+			got := blocks.Prob(res.Get(tp))
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("P(%s) = %f, want %f (world enumeration)", tp, got, want)
+			}
+		}
+	}
+}
+
+func TestJoinLineage(t *testing.T) {
+	xdbs := sampleXDB()
+	s := models.NewXRelation(types.NewSchema("s", "w"))
+	s.Probabilistic = true
+	s.Add(models.XTuple{Alts: []models.Alternative{{Data: types.Tuple{iv(2)}, Prob: 0.5}}})
+	xdbs["s"] = s
+	db, blocks := BuildDB(xdbs)
+	q := kdb.JoinQ{
+		Left: kdb.Table{Name: "r"}, Right: kdb.Table{Name: "s"},
+		Pred: kdb.AttrAttr{PosLeft: 0, PosRight: 1, Op: kdb.OpEq},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only (2,2) joins; P = P(r has 2) * P(s has 2) = 0.8 * 0.5 = 0.4.
+	tp := types.Tuple{iv(2), iv(2)}
+	p := blocks.Prob(res.Get(tp))
+	if math.Abs(p-0.4) > 1e-12 {
+		t.Errorf("P(join) = %f, want 0.4", p)
+	}
+}
+
+func TestApproxProb(t *testing.T) {
+	db, blocks := BuildDB(sampleXDB())
+	rel := db.Get("r")
+	l := rel.Get(types.Tuple{iv(2)})
+	approx := blocks.ApproxProb(l, 0.05, 42)
+	if math.Abs(approx-0.8) > 0.1 {
+		t.Errorf("approx = %f, want ≈ 0.8", approx)
+	}
+	if blocks.ApproxProb(False(), 0.3, 1) != 0 || blocks.ApproxProb(True(), 0.3, 1) != 1 {
+		t.Error("trivial approximations")
+	}
+}
+
+func TestConf(t *testing.T) {
+	db, blocks := BuildDB(sampleXDB())
+	rel := db.Get("r")
+	exact := Conf(rel, blocks, 0, 0)
+	if len(exact) != 2 {
+		t.Fatal("conf count")
+	}
+	approx := Conf(rel, blocks, 0.1, 7)
+	for i := range exact {
+		if math.Abs(exact[i].Prob-approx[i].Prob) > 0.2 {
+			t.Errorf("approx conf far from exact: %f vs %f", approx[i].Prob, exact[i].Prob)
+		}
+	}
+}
+
+// TestPossibleAnswersMatchEnumeration: lineage-satisfiable answers equal the
+// union of per-world results.
+func TestPossibleAnswersMatchEnumeration(t *testing.T) {
+	x := sampleXDB()["r"]
+	db, _ := BuildDB(map[string]*models.XRelation{"r": x})
+	q := kdb.SelectQ{
+		Input: kdb.Table{Name: "r"},
+		Pred:  kdb.AttrConst{Attr: "v", Op: kdb.OpGe, Const: iv(1)},
+	}
+	res, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds, err := models.WorldsXDB(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat := incomplete.PossibleRelation(worlds, "r")
+	for _, tp := range res.Tuples() {
+		if nat.Get(tp) == 0 {
+			t.Errorf("tuple %s possible per lineage but absent from every world", tp)
+		}
+	}
+}

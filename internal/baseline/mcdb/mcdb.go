@@ -1,0 +1,124 @@
+// Package mcdb implements MCDB-style Monte-Carlo query processing (Jampani
+// et al., SIGMOD 2008), the sampling baseline of the paper's experiments:
+// sample N possible worlds of an uncertain database, run the query
+// deterministically in each, and aggregate per-tuple appearance counts. A
+// tuple appearing in all samples is (approximately) certain; the union of
+// sample results over-approximates nothing but estimates the possible
+// answers. Because every sample evaluates the full query, MCDB runs ~N times
+// slower than deterministic processing — the behaviour Figures 11 and 14
+// report.
+package mcdb
+
+import (
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Result aggregates per-tuple appearance statistics across samples.
+type Result struct {
+	Schema  types.Schema
+	Samples int
+	// Count maps a tuple key to the number of samples whose query result
+	// contained the tuple (at least once).
+	Count map[string]int
+	// Tuple maps the key back to the tuple.
+	Tuple map[string]types.Tuple
+}
+
+// CertainTuples returns tuples that appeared in every sample — the
+// Monte-Carlo estimate of the certain answers (may contain false positives:
+// a tuple missing only from unsampled worlds).
+func (r *Result) CertainTuples() []types.Tuple {
+	var out []types.Tuple
+	for k, c := range r.Count {
+		if c == r.Samples {
+			out = append(out, r.Tuple[k])
+		}
+	}
+	return out
+}
+
+// PossibleTuples returns every tuple seen in any sample.
+func (r *Result) PossibleTuples() []types.Tuple {
+	out := make([]types.Tuple, 0, len(r.Tuple))
+	for _, t := range r.Tuple {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SampleWorld instantiates one random world of every x-relation as a
+// catalog: for each x-tuple an alternative is drawn according to its
+// probability (or uniformly for incomplete x-DBs), with absence taking the
+// remaining mass.
+func SampleWorld(xdbs map[string]*models.XRelation, rng *rand.Rand) *engine.Catalog {
+	cat := engine.NewCatalog()
+	for name, x := range xdbs {
+		t := engine.NewTable(types.Schema{Name: name, Attrs: x.Schema.Attrs})
+		for _, xt := range x.XTuples {
+			if len(xt.Alts) == 0 {
+				continue
+			}
+			roll := rng.Float64()
+			if !x.Probabilistic {
+				// Uniform over alternatives; optional adds an "absent" slot.
+				n := len(xt.Alts)
+				if xt.Optional {
+					n++
+				}
+				pick := rng.Intn(n)
+				if pick < len(xt.Alts) {
+					t.Append(append([]types.Value{}, xt.Alts[pick].Data...))
+				}
+				continue
+			}
+			acc := 0.0
+			for _, alt := range xt.Alts {
+				acc += alt.Prob
+				if roll < acc {
+					t.Append(append([]types.Value{}, alt.Data...))
+					break
+				}
+			}
+			// roll ≥ P(τ): x-tuple absent in this world.
+		}
+		cat.Put(t)
+	}
+	return cat
+}
+
+// Run executes the query over n sampled worlds and aggregates appearance
+// counts. The per-sample result is reduced to a set of tuples (MCDB's tuple
+// bundles track presence per world).
+func Run(xdbs map[string]*models.XRelation, query string, n int, seed int64) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{Samples: n, Count: make(map[string]int), Tuple: make(map[string]types.Tuple)}
+	for i := 0; i < n; i++ {
+		cat := SampleWorld(xdbs, rng)
+		tbl, err := engine.NewPlanner(cat).RunStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		res.Schema = tbl.Schema
+		seen := make(map[string]bool, len(tbl.Rows))
+		for _, row := range tbl.Rows {
+			k := types.Tuple(row).Key()
+			if !seen[k] {
+				seen[k] = true
+				res.Count[k]++
+				if _, ok := res.Tuple[k]; !ok {
+					res.Tuple[k] = types.Tuple(row).Clone()
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package mcdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value { return types.NewInt(v) }
+
+func sampleXDB() map[string]*models.XRelation {
+	r := models.NewXRelation(types.NewSchema("r", "v"))
+	r.Probabilistic = true
+	r.Add(models.XTuple{Alts: []models.Alternative{
+		{Data: types.Tuple{iv(1)}, Prob: 1.0}, // certain
+	}})
+	r.Add(models.XTuple{Alts: []models.Alternative{
+		{Data: types.Tuple{iv(2)}, Prob: 0.5},
+		{Data: types.Tuple{iv(3)}, Prob: 0.5},
+	}})
+	return map[string]*models.XRelation{"r": r}
+}
+
+func TestCertainTupleAlwaysAppears(t *testing.T) {
+	res, err := Run(sampleXDB(), "SELECT v FROM r", 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := res.CertainTuples()
+	found := false
+	for _, tp := range cert {
+		if tp.Equal(types.Tuple{iv(1)}) {
+			found = true
+		}
+		// Tuples 2/3 with P=0.5 almost surely miss at least one of 10
+		// samples; allow but don't require their absence (sampling noise).
+	}
+	if !found {
+		t.Error("tuple with P=1 must appear in all samples")
+	}
+}
+
+func TestAppearanceFrequencyApproximatesProbability(t *testing.T) {
+	res, err := Run(sampleXDB(), "SELECT v FROM r", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := types.Tuple{iv(2)}.Key()
+	freq := float64(res.Count[k2]) / float64(res.Samples)
+	if math.Abs(freq-0.5) > 0.05 {
+		t.Errorf("frequency of tuple 2 = %f, want ≈ 0.5", freq)
+	}
+}
+
+func TestPossibleTuplesUnion(t *testing.T) {
+	res, err := Run(sampleXDB(), "SELECT v FROM r", 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PossibleTuples()) != 3 {
+		t.Errorf("possible = %d, want 3", len(res.PossibleTuples()))
+	}
+}
+
+func TestSampleWorldRespectsDisjointness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xdbs := sampleXDB()
+	for i := 0; i < 50; i++ {
+		cat := SampleWorld(xdbs, rng)
+		tbl := cat.Get("r")
+		// Block 2 contributes at most one of {2, 3}.
+		has2, has3 := false, false
+		for _, row := range tbl.Rows {
+			switch row[0].Int() {
+			case 2:
+				has2 = true
+			case 3:
+				has3 = true
+			}
+		}
+		if has2 && has3 {
+			t.Fatal("disjoint alternatives co-occur in a sampled world")
+		}
+	}
+}
+
+func TestNonProbabilisticSampling(t *testing.T) {
+	r := models.NewXRelation(types.NewSchema("r", "v"))
+	r.AddChoice(types.Tuple{iv(1)}, types.Tuple{iv(2)})
+	res, err := Run(map[string]*models.XRelation{"r": r}, "SELECT v FROM r", 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := float64(res.Count[types.Tuple{iv(1)}.Key()]) / 300
+	if math.Abs(f1-0.5) > 0.1 {
+		t.Errorf("uniform alternative frequency = %f", f1)
+	}
+}
+
+func TestRunQueryError(t *testing.T) {
+	if _, err := Run(sampleXDB(), "garbage", 1, 1); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Run(sampleXDB(), "SELECT missing FROM r", 1, 1); err == nil {
+		t.Error("expected planning error")
+	}
+}

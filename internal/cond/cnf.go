@@ -1,0 +1,264 @@
+package cond
+
+import "repro/internal/types"
+
+// This file implements the syntactic CNF machinery behind the paper's
+// c-sound C-table labeling scheme (Section 4): a tuple is labeled certain iff
+// its local condition is in conjunctive normal form AND that CNF is a
+// tautology, a check that is PTIME and sufficient (but not necessary) for
+// certainty.
+
+// literal is an atom or its negation in a clause.
+type literal struct {
+	neg  bool
+	atom Atom
+}
+
+// IsCNF reports whether e is syntactically in conjunctive normal form: a
+// literal, a clause (disjunction of literals), or a conjunction of clauses.
+// Boolean literals TRUE/FALSE count as trivial clauses.
+func IsCNF(e Expr) bool {
+	switch n := e.(type) {
+	case Atom, Lit:
+		return true
+	case Not:
+		return isLiteral(n)
+	case Or:
+		return isClause(n)
+	case And:
+		for _, c := range n {
+			switch cc := c.(type) {
+			case Atom, Lit:
+			case Not:
+				if !isLiteral(cc) {
+					return false
+				}
+			case Or:
+				if !isClause(cc) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func isLiteral(e Expr) bool {
+	switch n := e.(type) {
+	case Atom, Lit:
+		return true
+	case Not:
+		_, ok := n.E.(Atom)
+		if !ok {
+			_, ok = n.E.(Lit)
+		}
+		return ok
+	default:
+		return false
+	}
+}
+
+func isClause(e Or) bool {
+	for _, c := range e {
+		if !isLiteral(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// clauses decomposes a CNF expression into clauses of literals. It must only
+// be called when IsCNF(e) holds.
+func clauses(e Expr) [][]literal {
+	switch n := e.(type) {
+	case Atom:
+		return [][]literal{{{atom: n}}}
+	case Lit:
+		if n {
+			return nil // TRUE: no clauses
+		}
+		return [][]literal{{}} // FALSE: one empty clause
+	case Not:
+		return [][]literal{flatLiteral(n)}
+	case Or:
+		return [][]literal{clauseLits(n)}
+	case And:
+		var out [][]literal
+		for _, c := range n {
+			out = append(out, clauses(c)...)
+		}
+		return out
+	}
+	panic("cond: clauses on non-CNF expression")
+}
+
+func flatLiteral(e Expr) []literal {
+	switch n := e.(type) {
+	case Atom:
+		return []literal{{atom: n}}
+	case Lit:
+		if n {
+			return nil // TRUE literal: clause is a tautology, signal with nil
+		}
+		return []literal{} // FALSE literal contributes nothing
+	case Not:
+		inner := flatLiteral(n.E)
+		if inner == nil {
+			return []literal{} // NOT TRUE = FALSE
+		}
+		if len(inner) == 0 {
+			return nil // NOT FALSE = TRUE
+		}
+		l := inner[0]
+		l.neg = !l.neg
+		return []literal{l}
+	}
+	panic("cond: not a literal")
+}
+
+func clauseLits(e Or) []literal {
+	var out []literal
+	for _, c := range e {
+		ls := flatLiteral(c)
+		if ls == nil {
+			return nil // clause contains TRUE
+		}
+		out = append(out, ls...)
+	}
+	return out
+}
+
+// CNFTautology reports whether a CNF condition is a tautology, in PTIME.
+// A CNF is a tautology iff every clause is a tautology. A clause (a
+// disjunction of comparison literals) is recognized as a tautology when it
+// contains:
+//
+//   - a ground literal that evaluates to true (e.g. 1 = 1),
+//   - a complementary pair over identical operands (x < y and x >= y,
+//     or a literal and its negation),
+//   - two ≠-literals on the same variable with distinct constants
+//     (x ≠ 1 ∨ x ≠ 2 holds for every x), or
+//   - a pair of order literals on the same variable whose ranges cover the
+//     line (x < c1 ∨ x > c2 with c2 < c1, and ≤/≥ variants).
+//
+// The check is sound and complete for propositional structure, and sound
+// (complete enough for the paper's workloads) for the ordered-domain cases.
+// It returns false for non-CNF input, mirroring labelC-table.
+func CNFTautology(e Expr) bool {
+	if !IsCNF(e) {
+		return false
+	}
+	for _, cl := range clauses(e) {
+		if cl == nil {
+			continue // clause containing TRUE
+		}
+		if !clauseTautology(cl) {
+			return false
+		}
+	}
+	return true
+}
+
+func clauseTautology(cl []literal) bool {
+	norm := make([]literal, 0, len(cl))
+	for _, l := range cl {
+		// Fold negation into the operator and flip constant-first atoms so
+		// variables come first where possible.
+		a := l.atom
+		op := a.Op
+		if l.neg {
+			op = op.Negate()
+		}
+		if !a.L.IsVar() && a.R.IsVar() {
+			a.L, a.R = a.R, a.L
+			op = op.Flip()
+		}
+		a.Op = op
+		// Ground literal: evaluate directly.
+		if !a.L.IsVar() && !a.R.IsVar() {
+			if op.Apply(a.L.Const, a.R.Const) {
+				return true
+			}
+			continue // ground false literal contributes nothing
+		}
+		norm = append(norm, literal{atom: a})
+	}
+	for i := 0; i < len(norm); i++ {
+		for j := i + 1; j < len(norm); j++ {
+			if complementary(norm[i].atom, norm[j].atom) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameOperands(a, b Atom) bool {
+	return a.L.IsVar() == b.L.IsVar() && a.R.IsVar() == b.R.IsVar() &&
+		a.L.Var == b.L.Var && a.R.Var == b.R.Var &&
+		(a.L.IsVar() || a.L.Const.Equal(b.L.Const)) &&
+		(a.R.IsVar() || a.R.Const.Equal(b.R.Const))
+}
+
+func complementary(a, b Atom) bool {
+	// Same operands, complementary operators (possibly after flipping b).
+	if sameOperands(a, b) && (a.Op == b.Op.Negate() || coveringOps(a.Op, b.Op)) {
+		return true
+	}
+	bf := Atom{L: b.R, Op: b.Op.Flip(), R: b.L}
+	if sameOperands(a, bf) && (a.Op == bf.Op.Negate() || coveringOps(a.Op, bf.Op)) {
+		return true
+	}
+	// var-vs-constant special cases on the same variable.
+	if a.L.IsVar() && !a.R.IsVar() && b.L.IsVar() && !b.R.IsVar() && a.L.Var == b.L.Var {
+		c1, c2 := a.R.Const, b.R.Const
+		switch {
+		// x ≠ c1 ∨ x ≠ c2 with c1 ≠ c2.
+		case a.Op == OpNe && b.Op == OpNe && !c1.Equal(c2):
+			return true
+		// x < c1 ∨ x > c2 with c2 < c1 (and inclusive variants).
+		case isLess(a.Op) && isGreater(b.Op) && coversLine(a.Op, c1, b.Op, c2):
+			return true
+		case isGreater(a.Op) && isLess(b.Op) && coversLine(b.Op, c2, a.Op, c1):
+			return true
+		// x ≠ c1 ∨ x < c2 with c1 < c2; x ≠ c1 ∨ x > c2 with c1 > c2.
+		case a.Op == OpNe && isLess(b.Op) && c1.Compare(c2) < 0:
+			return true
+		case a.Op == OpNe && isGreater(b.Op) && c1.Compare(c2) > 0:
+			return true
+		case b.Op == OpNe && isLess(a.Op) && c2.Compare(c1) < 0:
+			return true
+		case b.Op == OpNe && isGreater(a.Op) && c2.Compare(c1) > 0:
+			return true
+		}
+	}
+	return false
+}
+
+// coveringOps reports pairs over identical operands whose union is total:
+// ≤ with ≥, and = with ≠ handled by Negate; ≤ paired with > etc. also by
+// Negate. The remaining identical-operand total pair is (≤, ≥).
+func coveringOps(a, b Op) bool {
+	return (a == OpLe && b == OpGe) || (a == OpGe && b == OpLe)
+}
+
+func isLess(o Op) bool    { return o == OpLt || o == OpLe }
+func isGreater(o Op) bool { return o == OpGt || o == OpGe }
+
+// coversLine reports whether (x lessOp cLess) ∨ (x greaterOp cGreater)
+// covers every x.
+func coversLine(lessOp Op, cLess types.Value, greaterOp Op, cGreater types.Value) bool {
+	c := cGreater.Compare(cLess)
+	if c < 0 {
+		return true // strict gap on the constant side is fine: ranges overlap
+	}
+	if c == 0 {
+		// x < c ∨ x > c misses x = c; any inclusive side closes the gap.
+		return lessOp == OpLe || greaterOp == OpGe
+	}
+	return false
+}

@@ -1,0 +1,371 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestOpApply(t *testing.T) {
+	one, two := types.NewInt(1), types.NewInt(2)
+	cases := []struct {
+		op   Op
+		a, b types.Value
+		want bool
+	}{
+		{OpEq, one, one, true}, {OpEq, one, two, false},
+		{OpNe, one, two, true}, {OpNe, one, one, false},
+		{OpLt, one, two, true}, {OpLt, two, one, false},
+		{OpLe, one, one, true}, {OpLe, two, one, false},
+		{OpGt, two, one, true}, {OpGt, one, one, false},
+		{OpGe, one, one, true}, {OpGe, one, two, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpNegateFlip(t *testing.T) {
+	vals := []types.Value{types.NewInt(1), types.NewInt(2), types.NewInt(3)}
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				if op.Negate().Apply(a, b) == op.Apply(a, b) {
+					t.Errorf("Negate(%s) not complementary", op)
+				}
+				if op.Flip().Apply(b, a) != op.Apply(a, b) {
+					t.Errorf("Flip(%s) not operand-swap", op)
+				}
+			}
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	// (X = 1 AND Y < 5) OR NOT (X <> Z)
+	e := Or{
+		And{Cmp(V("X"), OpEq, CI(1)), Cmp(V("Y"), OpLt, CI(5))},
+		Not{Cmp(V("X"), OpNe, V("Z"))},
+	}
+	cases := []struct {
+		x, y, z int64
+		want    bool
+	}{
+		{1, 3, 9, true},  // first disjunct
+		{2, 3, 2, true},  // second disjunct (X = Z)
+		{2, 3, 9, false}, // neither
+		{1, 7, 9, false}, // Y too big, X ≠ Z
+	}
+	for _, c := range cases {
+		v := Valuation{"X": types.NewInt(c.x), "Y": types.NewInt(c.y), "Z": types.NewInt(c.z)}
+		if got := Eval(e, v); got != c.want {
+			t.Errorf("Eval with X=%d Y=%d Z=%d: got %v", c.x, c.y, c.z, got)
+		}
+	}
+}
+
+func TestEvalUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unbound variable")
+		}
+	}()
+	Eval(Cmp(V("X"), OpEq, CI(1)), Valuation{})
+}
+
+func TestVarsAndConstants(t *testing.T) {
+	e := And{
+		Cmp(V("B"), OpEq, CI(3)),
+		Or{Cmp(V("A"), OpLt, V("B")), Not{Cmp(CI(1), OpEq, C(types.NewString("s")))}},
+		Lit(true),
+	}
+	vars := Vars(e)
+	if len(vars) != 2 || vars[0] != "A" || vars[1] != "B" {
+		t.Errorf("Vars = %v", vars)
+	}
+	consts := Constants(e)
+	if len(consts) != 3 {
+		t.Errorf("Constants = %v", consts)
+	}
+}
+
+func TestIsCNF(t *testing.T) {
+	x1 := Cmp(V("X"), OpEq, CI(1))
+	y2 := Cmp(V("Y"), OpLt, CI(2))
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{x1, true},
+		{Lit(true), true},
+		{Not{x1}, true},
+		{Or{x1, y2}, true},
+		{Or{x1, Not{y2}}, true},
+		{And{x1, y2}, true},
+		{And{Or{x1, y2}, Not{x1}}, true},
+		{Or{And{x1, y2}, x1}, false},      // AND inside OR
+		{And{Or{And{x1, y2}}, x1}, false}, // nested AND in clause
+		{Not{Or{x1, y2}}, false},          // negated clause
+		{Not{And{x1, y2}}, false},
+	}
+	for i, c := range cases {
+		if got := IsCNF(c.e); got != c.want {
+			t.Errorf("case %d (%s): IsCNF = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestCNFTautology(t *testing.T) {
+	x := V("X")
+	cases := []struct {
+		name string
+		e    Expr
+		want bool
+	}{
+		{"trivial true", Lit(true), true},
+		{"trivial false", Lit(false), false},
+		{"ground true atom", Cmp(CI(1), OpEq, CI(1)), true},
+		{"ground false atom", Cmp(CI(1), OpEq, CI(2)), false},
+		{"complementary pair", Or{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}, true},
+		{"literal and negation", Or{Cmp(x, OpLt, CI(5)), Not{Cmp(x, OpLt, CI(5))}}, true},
+		{"le ge covering", Or{Cmp(x, OpLe, CI(3)), Cmp(x, OpGe, CI(3))}, true},
+		{"lt gt gap at point", Or{Cmp(x, OpLt, CI(3)), Cmp(x, OpGt, CI(3))}, false},
+		{"lt gt overlap", Or{Cmp(x, OpLt, CI(5)), Cmp(x, OpGt, CI(3))}, true},
+		{"ne ne distinct", Or{Cmp(x, OpNe, CI(1)), Cmp(x, OpNe, CI(2))}, true},
+		{"ne ne same", Or{Cmp(x, OpNe, CI(1)), Cmp(x, OpNe, CI(1))}, false},
+		{"ne covers lt", Or{Cmp(x, OpNe, CI(1)), Cmp(x, OpLt, CI(5))}, true},
+		{"ne covers gt", Or{Cmp(x, OpNe, CI(5)), Cmp(x, OpGt, CI(1))}, true},
+		{"single satisfiable atom", Cmp(x, OpEq, CI(1)), false},
+		{"conjunction of tautologies", And{
+			Or{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))},
+			Cmp(CI(2), OpGt, CI(1)),
+		}, true},
+		{"conjunction with one non-tautology", And{
+			Or{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))},
+			Cmp(x, OpGt, CI(1)),
+		}, false},
+		{"non-CNF rejected even if tautology", Not{And{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}}, false},
+		{"var var complement", Or{Cmp(V("X"), OpLt, V("Y")), Cmp(V("X"), OpGe, V("Y"))}, true},
+		{"var var flipped complement", Or{Cmp(V("X"), OpLt, V("Y")), Cmp(V("Y"), OpLe, V("X"))}, true},
+		{"const first flip", Or{Cmp(CI(3), OpGt, x), Cmp(x, OpGe, CI(3))}, true},
+	}
+	for _, c := range cases {
+		if got := CNFTautology(c.e); got != c.want {
+			t.Errorf("%s: CNFTautology(%s) = %v, want %v", c.name, c.e, got, c.want)
+		}
+	}
+}
+
+func TestCNFTautologySoundness(t *testing.T) {
+	// Everything CNFTautology accepts must be accepted by the exact solver
+	// (c-soundness of the PTIME check) on random clauses.
+	rng := rand.New(rand.NewSource(5))
+	vars := []string{"X", "Y"}
+	randAtom := func() Expr {
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		l := V(vars[rng.Intn(len(vars))])
+		var r Term
+		if rng.Intn(2) == 0 {
+			r = CI(rng.Int63n(4))
+		} else {
+			r = V(vars[rng.Intn(len(vars))])
+		}
+		a := Cmp(l, ops[rng.Intn(len(ops))], r)
+		if rng.Intn(4) == 0 {
+			return Not{a}
+		}
+		return a
+	}
+	for trial := 0; trial < 300; trial++ {
+		var clause Or
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			clause = append(clause, randAtom())
+		}
+		var e Expr = clause
+		if CNFTautology(e) && !Tautology(e) {
+			t.Fatalf("CNFTautology accepted non-tautology %s", e)
+		}
+	}
+}
+
+func TestExactTautologyAndSat(t *testing.T) {
+	x, y := V("X"), V("Y")
+	cases := []struct {
+		e         Expr
+		taut, sat bool
+	}{
+		{Lit(true), true, true},
+		{Lit(false), false, false},
+		{Cmp(x, OpEq, CI(1)), false, true},
+		{Or{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}, true, true},
+		{And{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}, false, false},
+		{Or{Cmp(x, OpLt, y), Cmp(x, OpGe, y)}, true, true},
+		{And{Cmp(x, OpLt, y), Cmp(y, OpLt, x)}, false, false},
+		// The paper's Example 9 shape: (X=1 → row1 yields (1,1)) covered in
+		// models tests; here the raw disjunction over X.
+		{Or{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}, true, true},
+		// Non-CNF tautology that the PTIME check must reject but the exact
+		// solver must accept.
+		{Not{And{Cmp(x, OpEq, CI(1)), Cmp(x, OpNe, CI(1))}}, true, true},
+		// Order reasoning across constants.
+		{Or{Cmp(x, OpLt, CI(2)), Cmp(x, OpGt, CI(1))}, true, true},
+		{And{Cmp(x, OpGt, CI(1)), Cmp(x, OpLt, CI(2))}, false, true}, // between 1 and 2
+		{And{Cmp(x, OpGt, CI(1)), Cmp(x, OpLt, CI(2)), Cmp(x, OpEq, y)}, false, true},
+	}
+	for i, c := range cases {
+		if got := Tautology(c.e); got != c.taut {
+			t.Errorf("case %d: Tautology(%s) = %v, want %v", i, c.e, got, c.taut)
+		}
+		if got := Satisfiable(c.e); got != c.sat {
+			t.Errorf("case %d: Satisfiable(%s) = %v, want %v", i, c.e, got, c.sat)
+		}
+	}
+}
+
+func TestTautologySatDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		e := randomExpr(rng, 2)
+		if Tautology(e) != !Satisfiable(Not{e}) {
+			t.Fatalf("duality violated for %s", e)
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		vars := []string{"X", "Y"}
+		l := V(vars[rng.Intn(2)])
+		if rng.Intn(2) == 0 {
+			return Cmp(l, ops[rng.Intn(6)], CI(rng.Int63n(3)))
+		}
+		return Cmp(l, ops[rng.Intn(6)], V(vars[rng.Intn(2)]))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return And{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	case 1:
+		return Or{randomExpr(rng, depth-1), randomExpr(rng, depth-1)}
+	default:
+		return Not{randomExpr(rng, depth-1)}
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	x := V("X")
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{Cmp(CI(1), OpEq, CI(1)), Lit(true)},
+		{Cmp(CI(1), OpEq, CI(2)), Lit(false)},
+		{And{Lit(true), Cmp(x, OpEq, CI(1))}, Cmp(x, OpEq, CI(1))},
+		{And{Lit(false), Cmp(x, OpEq, CI(1))}, Lit(false)},
+		{Or{Lit(true), Cmp(x, OpEq, CI(1))}, Lit(true)},
+		{Or{Lit(false), Cmp(x, OpEq, CI(1))}, Cmp(x, OpEq, CI(1))},
+		{Not{Not{Cmp(x, OpEq, CI(1))}}, Cmp(x, OpEq, CI(1))},
+		{Not{Cmp(x, OpLt, CI(1))}, Cmp(x, OpGe, CI(1))},
+		{And{}, Lit(true)},
+		{Or{}, Lit(false)},
+	}
+	for i, c := range cases {
+		got := Simplify(c.in)
+		if got.String() != c.want.String() {
+			t.Errorf("case %d: Simplify(%s) = %s, want %s", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		e := randomExpr(rng, 3)
+		s := Simplify(e)
+		if !Equivalent(e, s) {
+			t.Fatalf("Simplify changed semantics: %s vs %s", e, s)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		taut bool
+	}{
+		{"X = 1 OR X <> 1", true},
+		{"X = 1 AND X <> 1", false},
+		{"TRUE", true},
+		{"FALSE OR TRUE", true},
+		{"NOT (X = 1 AND X <> 1)", true},
+		{"X <= 2 OR X >= 2", true},
+		{"X < 'abc' OR X >= 'abc'", true},
+		{"X = 1.5 OR X <> 1.5", true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := Tautology(e); got != c.taut {
+			t.Errorf("Parse(%q): tautology = %v, want %v", c.in, got, c.taut)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		e := randomExpr(rng, 2)
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !Equivalent(e, back) {
+			t.Fatalf("round trip changed semantics: %s vs %s", e, back)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"X =", "= 1", "X ~ 1", "(X = 1", "X = 1 X = 2", "AND", ""} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("X =")
+}
+
+func TestSize(t *testing.T) {
+	e := And{Cmp(V("X"), OpEq, CI(1)), Or{Cmp(V("Y"), OpLt, CI(2)), Not{Lit(false)}}}
+	if Size(e) != 6 {
+		t.Errorf("Size = %d, want 6", Size(e))
+	}
+}
+
+func TestDomainCoversRegions(t *testing.T) {
+	e := And{Cmp(V("X"), OpGt, CI(1)), Cmp(V("X"), OpLt, CI(2))}
+	dom := Domain(e, 1)
+	found := false
+	for _, v := range dom {
+		if v.IsNumeric() && v.Float() > 1 && v.Float() < 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Domain must include a point strictly between adjacent constants")
+	}
+}

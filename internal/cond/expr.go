@@ -1,0 +1,301 @@
+// Package cond implements the boolean condition language of C-tables
+// (Imielinski & Lipski): comparisons over variables and constants combined
+// with ∧, ∨, ¬. It provides evaluation under valuations, CNF detection and
+// the PTIME CNF-tautology test that powers the paper's c-sound C-table
+// labeling scheme (Section 4), plus an exact active-domain tautology /
+// satisfiability solver that substitutes for the Z3 baseline used in the
+// paper's Figure 10 experiment.
+package cond
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Op enumerates comparison operators of the condition language.
+type Op uint8
+
+// The comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Negate returns the complementary operator (¬(a < b) ⇔ a >= b, etc.).
+func (o Op) Negate() Op {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	panic("cond: bad op")
+}
+
+// Flip returns the operator with swapped operands (a < b ⇔ b > a).
+func (o Op) Flip() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return o
+	}
+}
+
+// Apply evaluates the comparison on concrete values using the total order of
+// types.Value.
+func (o Op) Apply(a, b types.Value) bool {
+	c := a.Compare(b)
+	switch o {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// Term is an operand of a comparison: a variable or a constant.
+type Term struct {
+	Var   string      // non-empty for variables
+	Const types.Value // used when Var == ""
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v types.Value) Term { return Term{Const: v} }
+
+// CI returns an integer constant term.
+func CI(v int64) Term { return C(types.NewInt(v)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	if t.Const.Kind() == types.KindString {
+		return fmt.Sprintf("'%s'", t.Const)
+	}
+	return t.Const.String()
+}
+
+// Expr is a boolean condition.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Atom is a comparison between two terms.
+type Atom struct {
+	L  Term
+	Op Op
+	R  Term
+}
+
+// Cmp builds an atom.
+func Cmp(l Term, op Op, r Term) Atom { return Atom{L: l, Op: op, R: r} }
+
+// And is a conjunction (empty = true).
+type And []Expr
+
+// Or is a disjunction (empty = false).
+type Or []Expr
+
+// Not negates a condition.
+type Not struct{ E Expr }
+
+// Lit is a boolean literal.
+type Lit bool
+
+func (Atom) exprNode() {}
+func (And) exprNode()  {}
+func (Or) exprNode()   {}
+func (Not) exprNode()  {}
+func (Lit) exprNode()  {}
+
+// String renders the atom.
+func (a Atom) String() string { return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R) }
+
+// String renders the conjunction.
+func (e And) String() string { return joinExprs([]Expr(e), " AND ", "TRUE") }
+
+// String renders the disjunction.
+func (e Or) String() string { return joinExprs([]Expr(e), " OR ", "FALSE") }
+
+// String renders the negation.
+func (e Not) String() string { return fmt.Sprintf("NOT (%s)", e.E) }
+
+// String renders the literal.
+func (e Lit) String() string {
+	if e {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func joinExprs(es []Expr, sep, empty string) string {
+	if len(es) == 0 {
+		return empty
+	}
+	parts := make([]string, len(es))
+	for i, e := range es {
+		if _, ok := e.(Atom); ok {
+			parts[i] = e.String()
+		} else if _, ok := e.(Lit); ok {
+			parts[i] = e.String()
+		} else {
+			parts[i] = "(" + e.String() + ")"
+		}
+	}
+	return strings.Join(parts, sep)
+}
+
+// Valuation assigns constants to variables.
+type Valuation map[string]types.Value
+
+// Eval evaluates e under the valuation v. Unbound variables panic: C-table
+// semantics always evaluates conditions under total valuations.
+func Eval(e Expr, v Valuation) bool {
+	switch n := e.(type) {
+	case Atom:
+		return n.Op.Apply(termValue(n.L, v), termValue(n.R, v))
+	case And:
+		for _, c := range n {
+			if !Eval(c, v) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, c := range n {
+			if Eval(c, v) {
+				return true
+			}
+		}
+		return false
+	case Not:
+		return !Eval(n.E, v)
+	case Lit:
+		return bool(n)
+	}
+	panic(fmt.Sprintf("cond: unknown expr %T", e))
+}
+
+func termValue(t Term, v Valuation) types.Value {
+	if !t.IsVar() {
+		return t.Const
+	}
+	val, ok := v[t.Var]
+	if !ok {
+		panic(fmt.Sprintf("cond: unbound variable %q", t.Var))
+	}
+	return val
+}
+
+// Vars returns the sorted set of variables occurring in e.
+func Vars(e Expr) []string {
+	set := make(map[string]bool)
+	collectVars(e, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectVars(e Expr, set map[string]bool) {
+	switch n := e.(type) {
+	case Atom:
+		if n.L.IsVar() {
+			set[n.L.Var] = true
+		}
+		if n.R.IsVar() {
+			set[n.R.Var] = true
+		}
+	case And:
+		for _, c := range n {
+			collectVars(c, set)
+		}
+	case Or:
+		for _, c := range n {
+			collectVars(c, set)
+		}
+	case Not:
+		collectVars(n.E, set)
+	case Lit:
+	}
+}
+
+// Constants returns the sorted set of constants occurring in e.
+func Constants(e Expr) []types.Value {
+	set := make(map[string]types.Value)
+	collectConsts(e, set)
+	out := make([]types.Value, 0, len(set))
+	for _, v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func collectConsts(e Expr, set map[string]types.Value) {
+	switch n := e.(type) {
+	case Atom:
+		for _, t := range []Term{n.L, n.R} {
+			if !t.IsVar() {
+				set[types.Tuple{t.Const}.Key()] = t.Const
+			}
+		}
+	case And:
+		for _, c := range n {
+			collectConsts(c, set)
+		}
+	case Or:
+		for _, c := range n {
+			collectConsts(c, set)
+		}
+	case Not:
+		collectConsts(n.E, set)
+	case Lit:
+	}
+}

@@ -1,0 +1,256 @@
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/types"
+)
+
+// Parse parses a condition string such as
+//
+//	X = 1 AND (Y < 2.5 OR X <> Z) AND NOT (W >= 'abc')
+//
+// Identifiers are variables, quoted strings and numbers are constants, TRUE
+// and FALSE are literals. Operator precedence is NOT > AND > OR. This is the
+// surface syntax for local conditions when loading C-tables from CSV or SQL.
+func Parse(s string) (Expr, error) {
+	p := &condParser{input: s}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkEOF {
+		return nil, fmt.Errorf("cond: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals in code.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type condTokenKind uint8
+
+const (
+	tkEOF condTokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp // = <> < <= > >= != (normalized to <>)
+	tkLParen
+	tkRParen
+)
+
+type condToken struct {
+	kind condTokenKind
+	text string
+	pos  int
+}
+
+type condParser struct {
+	input string
+	pos   int
+	tok   condToken
+}
+
+func (p *condParser) next() {
+	for p.pos < len(p.input) && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	if p.pos >= len(p.input) {
+		p.tok = condToken{kind: tkEOF, pos: start}
+		return
+	}
+	c := p.input[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = condToken{kind: tkLParen, text: "(", pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = condToken{kind: tkRParen, text: ")", pos: start}
+	case c == '\'':
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+			sb.WriteByte(p.input[p.pos])
+			p.pos++
+		}
+		p.pos++ // closing quote
+		p.tok = condToken{kind: tkString, text: sb.String(), pos: start}
+	case strings.ContainsRune("=<>!", rune(c)):
+		op := string(c)
+		p.pos++
+		if p.pos < len(p.input) && strings.ContainsRune("=>", rune(p.input[p.pos])) {
+			op += string(p.input[p.pos])
+			p.pos++
+		}
+		if op == "!=" {
+			op = "<>"
+		}
+		p.tok = condToken{kind: tkOp, text: op, pos: start}
+	case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+		for p.pos < len(p.input) && (p.input[p.pos] == '-' || p.input[p.pos] == '.' ||
+			p.input[p.pos] == 'e' || p.input[p.pos] == 'E' ||
+			(p.input[p.pos] >= '0' && p.input[p.pos] <= '9')) {
+			p.pos++
+		}
+		p.tok = condToken{kind: tkNumber, text: p.input[start:p.pos], pos: start}
+	default:
+		for p.pos < len(p.input) && (p.input[p.pos] == '_' ||
+			unicode.IsLetter(rune(p.input[p.pos])) || unicode.IsDigit(rune(p.input[p.pos]))) {
+			p.pos++
+		}
+		if p.pos == start {
+			p.tok = condToken{kind: tkEOF, text: string(c), pos: start}
+			return
+		}
+		p.tok = condToken{kind: tkIdent, text: p.input[start:p.pos], pos: start}
+	}
+}
+
+func (p *condParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := Or{left}
+	for p.tok.kind == tkIdent && strings.EqualFold(p.tok.text, "OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return terms, nil
+}
+
+func (p *condParser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := And{left}
+	for p.tok.kind == tkIdent && strings.EqualFold(p.tok.text, "AND") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return terms, nil
+}
+
+func (p *condParser) parseUnary() (Expr, error) {
+	if p.tok.kind == tkIdent && strings.EqualFold(p.tok.text, "NOT") {
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: inner}, nil
+	}
+	if p.tok.kind == tkLParen {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tkRParen {
+			return nil, fmt.Errorf("cond: expected ) at offset %d", p.tok.pos)
+		}
+		p.next()
+		return inner, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *condParser) parseAtom() (Expr, error) {
+	if p.tok.kind == tkIdent {
+		if strings.EqualFold(p.tok.text, "TRUE") {
+			p.next()
+			return Lit(true), nil
+		}
+		if strings.EqualFold(p.tok.text, "FALSE") {
+			p.next()
+			return Lit(false), nil
+		}
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkOp {
+		return nil, fmt.Errorf("cond: expected comparison operator at offset %d, got %q", p.tok.pos, p.tok.text)
+	}
+	var op Op
+	switch p.tok.text {
+	case "=":
+		op = OpEq
+	case "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, fmt.Errorf("cond: bad operator %q", p.tok.text)
+	}
+	p.next()
+	r, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return Atom{L: l, Op: op, R: r}, nil
+}
+
+func (p *condParser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tkIdent:
+		t := V(p.tok.text)
+		p.next()
+		return t, nil
+	case tkNumber:
+		text := p.tok.text
+		p.next()
+		if !strings.ContainsAny(text, ".eE") {
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return CI(n), nil
+			}
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("cond: bad number %q", text)
+		}
+		return C(types.NewFloat(f)), nil
+	case tkString:
+		t := C(types.NewString(p.tok.text))
+		p.next()
+		return t, nil
+	default:
+		return Term{}, fmt.Errorf("cond: expected term at offset %d, got %q", p.tok.pos, p.tok.text)
+	}
+}

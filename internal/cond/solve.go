@@ -1,0 +1,220 @@
+package cond
+
+import (
+	"repro/internal/types"
+)
+
+// This file implements the exact tautology / satisfiability solver that
+// substitutes for Z3 in the Figure 10 baseline (exact certain answers over
+// C-tables). The solver enumerates valuations over a representative finite
+// domain.
+//
+// Completeness argument: the truth of every atom in our condition language
+// depends only on (a) which "region" each variable occupies relative to the
+// constants mentioned in the formula (below the least constant, equal to a
+// constant, between two adjacent constants, above the greatest), and (b)
+// equality/order relationships between variables that share a region. A
+// domain that contains every mentioned constant plus n distinct fresh values
+// strictly inside every gap (n = number of variables) can realize every such
+// region/ordering combination, so a formula holds over all valuations into
+// the infinite domain iff it holds over all valuations into the
+// representative domain.
+
+// Domain builds the representative domain for e given at most maxVars
+// variables (pass len(Vars(e)) or more). Constants of non-numeric kinds are
+// included as-is with fresh string values standing in for "anything else".
+func Domain(e Expr, nVars int) []types.Value {
+	if nVars < 1 {
+		nVars = 1
+	}
+	consts := Constants(e)
+	var nums []float64
+	hasString := false
+	for _, c := range consts {
+		switch c.Kind() {
+		case types.KindInt, types.KindFloat:
+			nums = append(nums, c.Float())
+		case types.KindString:
+			hasString = true
+		}
+	}
+	out := append([]types.Value(nil), consts...)
+	// Fresh numeric points: below min, inside every gap, above max.
+	if len(nums) > 0 {
+		addRange := func(lo, hi float64) {
+			step := (hi - lo) / float64(nVars+1)
+			for i := 1; i <= nVars; i++ {
+				out = append(out, types.NewFloat(lo+step*float64(i)))
+			}
+		}
+		addRange(nums[0]-float64(nVars)-1, nums[0])
+		for i := 0; i+1 < len(nums); i++ {
+			if nums[i+1] > nums[i] {
+				addRange(nums[i], nums[i+1])
+			}
+		}
+		addRange(nums[len(nums)-1], nums[len(nums)-1]+float64(nVars)+1)
+	} else {
+		for i := 0; i < nVars; i++ {
+			out = append(out, types.NewFloat(float64(i)))
+		}
+	}
+	if hasString {
+		for i := 0; i < nVars; i++ {
+			out = append(out, types.NewString(string(rune(''+i)))) // private-use: fresh
+		}
+	}
+	return out
+}
+
+// forAllValuations reports whether pred holds for every valuation of vars
+// into domain.
+func forAllValuations(vars []string, domain []types.Value, pred func(Valuation) bool) bool {
+	v := make(Valuation, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return pred(v)
+		}
+		for _, d := range domain {
+			v[vars[i]] = d
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// Tautology reports whether e holds under every valuation (exact, via
+// active-domain enumeration — exponential in the number of variables).
+func Tautology(e Expr) bool {
+	vars := Vars(e)
+	if len(vars) == 0 {
+		return Eval(e, nil)
+	}
+	return forAllValuations(vars, Domain(e, len(vars)), func(v Valuation) bool {
+		return Eval(e, v)
+	})
+}
+
+// Satisfiable reports whether some valuation makes e true (exact, same
+// enumeration).
+func Satisfiable(e Expr) bool {
+	vars := Vars(e)
+	if len(vars) == 0 {
+		return Eval(e, nil)
+	}
+	return !forAllValuations(vars, Domain(e, len(vars)), func(v Valuation) bool {
+		return !Eval(e, v)
+	})
+}
+
+// Equivalent reports whether a and b agree under every valuation of their
+// combined variables.
+func Equivalent(a, b Expr) bool {
+	combined := And{Or{a, Not{b}}, Or{b, Not{a}}}
+	return Tautology(combined)
+}
+
+// Simplify performs shallow constant folding: ground atoms become literals,
+// TRUE/FALSE absorb in AND/OR, double negation cancels. It preserves
+// equivalence and keeps conditions small as queries stack operators.
+func Simplify(e Expr) Expr {
+	switch n := e.(type) {
+	case Atom:
+		if !n.L.IsVar() && !n.R.IsVar() {
+			return Lit(n.Op.Apply(n.L.Const, n.R.Const))
+		}
+		return n
+	case Lit:
+		return n
+	case Not:
+		inner := Simplify(n.E)
+		switch in := inner.(type) {
+		case Lit:
+			return Lit(!in)
+		case Not:
+			return in.E
+		case Atom:
+			// Push negation into the comparison.
+			return Atom{L: in.L, Op: in.Op.Negate(), R: in.R}
+		default:
+			return Not{E: inner}
+		}
+	case And:
+		var out And
+		for _, c := range n {
+			s := Simplify(c)
+			switch sc := s.(type) {
+			case Lit:
+				if !sc {
+					return Lit(false)
+				}
+				continue
+			case And:
+				out = append(out, sc...)
+			default:
+				out = append(out, s)
+			}
+		}
+		switch len(out) {
+		case 0:
+			return Lit(true)
+		case 1:
+			return out[0]
+		default:
+			return out
+		}
+	case Or:
+		var out Or
+		for _, c := range n {
+			s := Simplify(c)
+			switch sc := s.(type) {
+			case Lit:
+				if sc {
+					return Lit(true)
+				}
+				continue
+			case Or:
+				out = append(out, sc...)
+			default:
+				out = append(out, s)
+			}
+		}
+		switch len(out) {
+		case 0:
+			return Lit(false)
+		case 1:
+			return out[0]
+		default:
+			return out
+		}
+	}
+	return e
+}
+
+// Size counts atoms and connectives, a proxy for condition complexity used
+// by the Figure 10 experiment.
+func Size(e Expr) int {
+	switch n := e.(type) {
+	case Atom, Lit:
+		return 1
+	case Not:
+		return 1 + Size(n.E)
+	case And:
+		s := 1
+		for _, c := range n {
+			s += Size(c)
+		}
+		return s
+	case Or:
+		s := 1
+		for _, c := range n {
+			s += Size(c)
+		}
+		return s
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+// Package core is the top-level API of the UA-DB library: a database that
+// ingests uncertain inputs in any supported model (TI-DBs, x-DBs/BI-DBs,
+// C-tables, plain deterministic tables, or pre-encoded UA tables), derives
+// the labeling and best-guess world per the schemes of Section 4, and
+// answers UA-SQL queries through the rewriting middleware of Section 9.
+// Every result row carries a certainty marker; the result as a whole
+// sandwiches the certain answers between the c-sound labeling (marked rows)
+// and the best-guess world (all rows).
+//
+// Quick start:
+//
+//	db := core.New()
+//	db.AddXRelation(addresses)           // an x-DB with geocoding choices
+//	db.AddDeterministic(lookupTable)     // a clean reference table
+//	res, err := db.Query(`SELECT a.id, l.state FROM addr a, loc l WHERE ...`)
+//	for _, row := range res.Rows() {
+//	    if row.Certain { ... }
+//	}
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// DB is an uncertainty-annotated database.
+type DB struct {
+	front *rewrite.Frontend
+	ua    *uadb.Database[int64]
+}
+
+// New returns an empty UA-DB.
+func New() *DB {
+	return &DB{
+		front: rewrite.NewFrontend(engine.NewCatalog()),
+		ua:    kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat)),
+	}
+}
+
+func (db *DB) register(rel *uadb.Relation[int64]) {
+	db.ua.Put(rel)
+	db.front.Enc.Put(rewrite.TableFromUA(rel))
+}
+
+// AddXRelation ingests an x-relation (or BI-DB relation): the labeling marks
+// single-alternative non-optional x-tuples certain, and the best-guess world
+// takes each x-tuple's designated (first or most probable) alternative.
+func (db *DB) AddXRelation(x *models.XRelation) {
+	db.register(uadb.FromXDB(x))
+}
+
+// AddTIRelation ingests a tuple-independent relation: non-optional (P = 1)
+// rows are certain; rows with P ≥ 0.5 are in the best-guess world.
+func (db *DB) AddTIRelation(r *models.TIRelation) {
+	db.register(uadb.FromTIDB(r))
+}
+
+// AddCTable ingests a C-table: ground rows with CNF-tautology conditions are
+// certain; the best-guess world instantiates each variable with its most
+// probable (or first) domain value.
+func (db *DB) AddCTable(c *models.CTable) {
+	db.register(uadb.FromCTable(c))
+}
+
+// AddDeterministic ingests a plain table; every row is certain. The table's
+// schema name becomes the relation name.
+func (db *DB) AddDeterministic(t *engine.Table) {
+	db.front.Enc.Put(rewrite.EncodeDeterministic(t))
+	db.front.Raw.Put(t)
+	rel := rewrite.RelationFromTable(t)
+	db.ua.Put(uadb.New[int64](semiring.Nat, rel, rel))
+}
+
+// AddRaw registers a table for use with an IS TI / IS X / IS CTABLE
+// annotation in a query (Section 9.2); the metadata columns named in the
+// annotation drive the encoding at query time.
+func (db *DB) AddRaw(t *engine.Table) {
+	db.front.Raw.Put(t)
+}
+
+// Row is one result row with its certainty marker.
+type Row struct {
+	Values  types.Tuple
+	Certain bool
+}
+
+// Result is a labeled query answer.
+type Result struct {
+	// Attrs are the user attribute names (without the marker column).
+	Attrs []string
+	rows  []Row
+}
+
+// Rows returns the labeled rows.
+func (r *Result) Rows() []Row { return r.rows }
+
+// NumRows returns the row count (equal to best-guess query processing).
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// CertainCount returns how many rows are marked certain.
+func (r *Result) CertainCount() int {
+	n := 0
+	for _, row := range r.rows {
+		if row.Certain {
+			n++
+		}
+	}
+	return n
+}
+
+// Query rewrites and evaluates a UA-SQL SELECT (RA⁺: selection, projection,
+// join, UNION ALL, plus ORDER BY/LIMIT for presentation). The result is
+// c-sound: every row marked certain appears in every possible world.
+func (db *DB) Query(sql string) (*Result, error) {
+	tbl, err := db.front.Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.Schema.Arity()
+	if n < 1 {
+		return nil, fmt.Errorf("core: result has no certainty column")
+	}
+	res := &Result{Attrs: append([]string{}, tbl.Schema.Attrs[:n-1]...)}
+	for _, row := range tbl.Rows {
+		res.rows = append(res.rows, Row{
+			Values:  types.Tuple(row[:n-1]).Clone(),
+			Certain: row[n-1].Int() == 1,
+		})
+	}
+	return res, nil
+}
+
+// BestGuess runs the query as plain best-guess query processing (no
+// labels), for comparison and for callers that only need the classic
+// behaviour.
+func (db *DB) BestGuess(sql string) (*engine.Table, error) {
+	return engine.NewPlanner(rewrite.DetCatalog(db.ua)).Run(sql)
+}
+
+// Relation exposes the underlying UA-relation of a registered table (nil if
+// absent) for annotation-level processing with the kdb/uadb packages.
+func (db *DB) Relation(name string) *uadb.Relation[int64] {
+	return db.ua.Get(name)
+}

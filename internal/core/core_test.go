@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value  { return types.NewInt(v) }
+func sv(v string) types.Value { return types.NewString(v) }
+
+func TestEndToEndXRelation(t *testing.T) {
+	db := New()
+	x := models.NewXRelation(types.NewSchema("sensor", "id", "room"))
+	x.AddCertain(types.Tuple{iv(1), sv("lab")})
+	x.AddChoice(types.Tuple{iv(2), sv("lab")}, types.Tuple{iv(2), sv("hall")})
+	db.AddXRelation(x)
+
+	res, err := db.Query("SELECT id, room FROM sensor WHERE room = 'lab'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.CertainCount() != 1 {
+		t.Errorf("certain = %d, want 1", res.CertainCount())
+	}
+	for _, row := range res.Rows() {
+		switch row.Values[0].Int() {
+		case 1:
+			if !row.Certain {
+				t.Error("row 1 should be certain")
+			}
+		case 2:
+			if row.Certain {
+				t.Error("row 2 is ambiguous")
+			}
+		}
+	}
+	if len(res.Attrs) != 2 || res.Attrs[0] != "id" {
+		t.Errorf("attrs = %v", res.Attrs)
+	}
+}
+
+func TestBestGuessMatchesQueryRows(t *testing.T) {
+	db := New()
+	x := models.NewXRelation(types.NewSchema("r", "a"))
+	x.AddChoice(types.Tuple{iv(1)}, types.Tuple{iv(2)})
+	x.AddCertain(types.Tuple{iv(3)})
+	db.AddXRelation(x)
+
+	res, err := db.Query("SELECT a FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := db.BestGuess("SELECT a FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != bg.NumRows() {
+		t.Errorf("UA rows %d != BGQP rows %d (backward compatibility)", res.NumRows(), bg.NumRows())
+	}
+}
+
+func TestTIRelationAndJoin(t *testing.T) {
+	db := New()
+	ti := models.NewTIRelation(types.NewSchema("obs", "id", "kind"))
+	ti.AddCertain(types.Tuple{iv(1), sv("a")})
+	ti.AddOptional(types.Tuple{iv(2), sv("b")}, 0.9)
+	ti.AddOptional(types.Tuple{iv(3), sv("c")}, 0.1) // excluded from BGW
+	db.AddTIRelation(ti)
+
+	dict := engine.NewTable(types.NewSchema("dict", "kind2", "label"))
+	dict.AppendVals(sv("a"), sv("alpha"))
+	dict.AppendVals(sv("b"), sv("beta"))
+	db.AddDeterministic(dict)
+
+	res, err := db.Query("SELECT o.id, d.label FROM obs o, dict d WHERE o.kind = d.kind2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	for _, row := range res.Rows() {
+		want := row.Values[0].Int() == 1 // only the P=1 row is certain
+		if row.Certain != want {
+			t.Errorf("row %v certain=%v", row.Values, row.Certain)
+		}
+	}
+}
+
+func TestCTable(t *testing.T) {
+	db := New()
+	c := models.NewCTable(types.NewSchema("r", "a"))
+	c.AddGround(types.Tuple{iv(1)})
+	c.Add([]cond.Term{cond.CI(2)}, cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(1)))
+	c.SetDomain("X", iv(0), iv(1))
+	db.AddCTable(c)
+	res, err := db.Query("SELECT a FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BGW binds X to its first domain value 0: row 2 absent.
+	if res.NumRows() != 1 || !res.Rows()[0].Certain {
+		t.Errorf("result: %+v", res.Rows())
+	}
+}
+
+func TestRawAnnotationPath(t *testing.T) {
+	db := New()
+	raw := engine.NewTable(types.NewSchema("m", "v", "p"))
+	raw.AppendVals(iv(1), types.NewFloat(1.0))
+	raw.AppendVals(iv(2), types.NewFloat(0.6))
+	db.AddRaw(raw)
+	res, err := db.Query("SELECT v FROM m IS TI WITH PROBABILITY (p)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 || res.CertainCount() != 1 {
+		t.Errorf("rows=%d certain=%d", res.NumRows(), res.CertainCount())
+	}
+}
+
+func TestRelationAccessor(t *testing.T) {
+	db := New()
+	x := models.NewXRelation(types.NewSchema("r", "a"))
+	x.AddCertain(types.Tuple{iv(1)})
+	db.AddXRelation(x)
+	if db.Relation("r") == nil {
+		t.Error("Relation accessor")
+	}
+	if db.Relation("zzz") != nil {
+		t.Error("missing relation should be nil")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := New()
+	if _, err := db.Query("SELECT * FROM nope"); err == nil {
+		t.Error("unknown table")
+	}
+	if _, err := db.Query("not sql"); err == nil {
+		t.Error("parse error")
+	}
+}

@@ -1,0 +1,111 @@
+// Package csvio loads and stores engine tables as CSV files with header
+// rows, inferring column types (integer, float, string; empty cells are
+// NULL). It backs the uadb command-line tool and the runnable examples.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// Load reads a CSV file (first row = attribute names) into a table named
+// name.
+func Load(name, path string) (*engine.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(name, f)
+}
+
+// Read parses CSV content from r.
+func Read(name string, r io.Reader) (*engine.Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	attrs := make([]string, len(header))
+	for i, h := range header {
+		attrs[i] = strings.TrimSpace(h)
+	}
+	t := engine.NewTable(types.Schema{Name: name, Attrs: attrs})
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %w", err)
+		}
+		row := make([]types.Value, len(rec))
+		for i, cell := range rec {
+			row[i] = parseCell(cell)
+		}
+		t.Append(row)
+	}
+	return t, nil
+}
+
+func parseCell(cell string) types.Value {
+	s := strings.TrimSpace(cell)
+	if s == "" || strings.EqualFold(s, "null") {
+		return types.Null()
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return types.NewInt(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return types.NewFloat(f)
+	}
+	if strings.EqualFold(s, "true") {
+		return types.NewBool(true)
+	}
+	if strings.EqualFold(s, "false") {
+		return types.NewBool(false)
+	}
+	return types.NewString(s)
+}
+
+// Write stores the table as CSV (values rendered with Value.String; NULLs
+// become empty cells).
+func Write(t *engine.Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Attrs); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Save writes the table to a file.
+func Save(t *engine.Table, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(t, f)
+}

@@ -1,0 +1,94 @@
+package csvio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestReadTypesInference(t *testing.T) {
+	in := "id,score,name,flag,missing\n1,2.5,alice,true,\n-3,1e2,bob,false,null\n"
+	tb, err := Read("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Arity() != 5 || tb.NumRows() != 2 {
+		t.Fatalf("shape: %v", tb.Schema)
+	}
+	r0 := tb.Rows[0]
+	if r0[0].Kind() != types.KindInt || r0[0].Int() != 1 {
+		t.Error("int")
+	}
+	if r0[1].Kind() != types.KindFloat || r0[1].Float() != 2.5 {
+		t.Error("float")
+	}
+	if r0[2].Kind() != types.KindString {
+		t.Error("string")
+	}
+	if r0[3].Kind() != types.KindBool || !r0[3].Bool() {
+		t.Error("bool")
+	}
+	if !r0[4].IsNull() {
+		t.Error("empty -> NULL")
+	}
+	if !tb.Rows[1][4].IsNull() {
+		t.Error("'null' -> NULL")
+	}
+	if tb.Rows[1][1].Float() != 100 {
+		t.Error("scientific notation")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := "a,b\n1,x\n,y\n3.5,z\n"
+	tb, err := Read("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.EqualBag(back) {
+		t.Errorf("round trip changed table:\n%s\nvs\n%s", tb, back)
+	}
+}
+
+func TestLoadSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	in := "x\n1\n2\n"
+	tb, err := Read("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(tb, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load("t", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.EqualBag(back) {
+		t.Error("load/save round trip")
+	}
+	if _, err := Load("t", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read("t", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should fail")
+	}
+}

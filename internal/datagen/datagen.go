@@ -1,0 +1,168 @@
+// Package datagen simulates the paper's nine real-world evaluation datasets
+// (Figure 16): statistically matched synthetic tables with the same column
+// counts and uncertainty rates (scaled row counts), missing-value injection,
+// and imputation producing x-DBs with a designated best-guess alternative —
+// the role SparkML imputation plays in the paper's pipeline (see DESIGN.md
+// for the substitution argument). Errors are clustered per row, reproducing
+// the correlated-error structure the FNR experiments depend on.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// Spec describes one dataset: dimensions and uncertainty rates mirroring
+// Figure 16 (rows scaled down ~100× to keep experiments laptop-fast).
+type Spec struct {
+	Name  string
+	Rows  int
+	Cols  int
+	UAttr float64 // fraction of attribute values uncertain
+	URow  float64 // fraction of rows with ≥1 uncertain attribute
+	Seed  int64
+}
+
+// Specs returns the nine datasets of Figure 16 with the paper's U_attr and
+// U_row percentages.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "Building Violations", Rows: 3000, Cols: 35, UAttr: 0.0082, URow: 0.128, Seed: 101},
+		{Name: "Shootings in Buffalo", Rows: 2900, Cols: 21, UAttr: 0.0024, URow: 0.021, Seed: 102},
+		{Name: "Business Licenses", Rows: 3000, Cols: 25, UAttr: 0.0139, URow: 0.140, Seed: 103},
+		{Name: "Chicago Crime", Rows: 5000, Cols: 17, UAttr: 0.0021, URow: 0.009, Seed: 104},
+		{Name: "Contracts", Rows: 3000, Cols: 13, UAttr: 0.0150, URow: 0.192, Seed: 105},
+		{Name: "Food Inspections", Rows: 3000, Cols: 16, UAttr: 0.0034, URow: 0.046, Seed: 106},
+		{Name: "Graffiti Removal", Rows: 3000, Cols: 15, UAttr: 0.0009, URow: 0.008, Seed: 107},
+		{Name: "Building Permits", Rows: 3000, Cols: 19, UAttr: 0.0042, URow: 0.053, Seed: 108},
+		{Name: "Public Library Survey", Rows: 1000, Cols: 99, UAttr: 0.0119, URow: 0.142, Seed: 109},
+	}
+}
+
+// Dataset is a generated dataset: the ground-truth world, the x-DB produced
+// by imputation, and bookkeeping for ground-truth certain answers.
+type Dataset struct {
+	Spec   Spec
+	Schema types.Schema
+	Ground *engine.Table     // the true world (unknown to the system)
+	X      *models.XRelation // imputed x-DB: first alternative = best guess
+}
+
+// vocabSize is the per-column categorical vocabulary.
+const vocabSize = 20
+
+func colName(j int) string { return fmt.Sprintf("a%d", j) }
+
+// ColName returns the j-th generated attribute name.
+func (s Spec) ColName(j int) string { return colName(j) }
+
+// Generate builds a dataset deterministically from its spec.
+func Generate(spec Spec) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	attrs := make([]string, spec.Cols)
+	for j := range attrs {
+		attrs[j] = colName(j)
+	}
+	schema := types.Schema{Name: "t", Attrs: attrs}
+	ground := engine.NewTable(schema)
+	x := models.NewXRelation(schema)
+
+	// Per-column skewed vocabularies (zipf-ish via squared uniform).
+	drawVal := func(j int) types.Value {
+		v := int(float64(vocabSize) * rng.Float64() * rng.Float64())
+		return types.NewString(fmt.Sprintf("c%d_v%d", j, v))
+	}
+
+	// Cell error rate within an uncertain row, calibrated so the overall
+	// attribute rate matches UAttr: UAttr = URow * cellRate.
+	cellRate := 0.0
+	if spec.URow > 0 {
+		cellRate = spec.UAttr / spec.URow
+	}
+	if cellRate > 1 {
+		cellRate = 1
+	}
+
+	for i := 0; i < spec.Rows; i++ {
+		row := make(types.Tuple, spec.Cols)
+		// First column is a row id to keep ground truth identifiable.
+		row[0] = types.NewInt(int64(i))
+		for j := 1; j < spec.Cols; j++ {
+			row[j] = drawVal(j)
+		}
+		groundRow := make([]types.Value, len(row))
+		copy(groundRow, row)
+		ground.Append(groundRow)
+
+		if rng.Float64() >= spec.URow {
+			x.AddCertain(row)
+			continue
+		}
+		// Uncertain row: corrupt a cluster of cells.
+		var dirty []int
+		for j := 1; j < spec.Cols; j++ {
+			if rng.Float64() < cellRate {
+				dirty = append(dirty, j)
+			}
+		}
+		if len(dirty) == 0 {
+			dirty = []int{1 + rng.Intn(spec.Cols-1)}
+		}
+		nAlts := rng.Intn(3) + 2 // 2..4 imputations
+		alts := make([]models.Alternative, 0, nAlts)
+		for a := 0; a < nAlts; a++ {
+			alt := row.Clone()
+			for _, j := range dirty {
+				// The best guess (alternative 0) hits the truth ~60% of the
+				// time, simulating a decent imputation model.
+				if a == 0 && rng.Float64() < 0.6 {
+					continue
+				}
+				alt[j] = drawVal(j)
+			}
+			alts = append(alts, models.Alternative{Data: alt, Prob: 1 / float64(nAlts)})
+		}
+		x.Add(models.XTuple{Alts: alts})
+	}
+	return &Dataset{Spec: spec, Schema: schema, Ground: ground, X: x}
+}
+
+// UncertainRowFraction reports the realized U_row of the x-DB.
+func (d *Dataset) UncertainRowFraction() float64 {
+	n := 0
+	for _, xt := range d.X.XTuples {
+		if len(xt.Alts) > 1 || xt.Optional {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.X.XTuples))
+}
+
+// UncertainCellFraction reports the realized U_attr: the fraction of cells
+// on which some pair of alternatives disagrees.
+func (d *Dataset) UncertainCellFraction() float64 {
+	total, dirty := 0, 0
+	for _, xt := range d.X.XTuples {
+		total += d.Schema.Arity()
+		if len(xt.Alts) <= 1 {
+			continue
+		}
+		for j := 0; j < d.Schema.Arity(); j++ {
+			base := xt.Alts[0].Data[j]
+			for _, alt := range xt.Alts[1:] {
+				if !alt.Data[j].Equal(base) {
+					dirty++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(dirty) / float64(total)
+}

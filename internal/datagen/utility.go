@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// This file generates the utility experiment's inputs (Figure 18): a ground
+// truth world, a version with randomly injected nulls, and best-guess /
+// random-guess imputations of those nulls — reproducing the paper's
+// income-survey / Buffalo-news / business-license setups.
+
+// ImputationMethod selects how the best-guess world fills missing values.
+type ImputationMethod uint8
+
+// The imputation methods of Figure 18.
+const (
+	// BGQP imputes each null with the column's most frequent value — the
+	// "standard missing value imputation algorithm" of the paper.
+	BGQP ImputationMethod = iota
+	// RGQP picks a random value from the column's domain.
+	RGQP
+)
+
+// UtilityData holds the three coupled representations of one noisy dataset.
+type UtilityData struct {
+	Schema types.Schema
+	Ground *engine.Table     // D_ground: the truth
+	Nulled *engine.Table     // D: values replaced by NULL (Libkin's input)
+	X      *models.XRelation // imputed x-DB; alternative 0 = the imputation
+}
+
+// GenerateUtility builds a dataset with nRows rows and nCols categorical
+// columns, replacing uncertainty fraction of the attribute values with
+// nulls, then imputing per method. Alternatives of each nulled cell are the
+// imputed value plus other domain candidates.
+func GenerateUtility(nRows, nCols int, uncertainty float64, method ImputationMethod, seed int64) *UtilityData {
+	rng := rand.New(rand.NewSource(seed))
+	// Imputation draws come from a separate stream so Ground and Nulled are
+	// bit-identical across methods and the Figure 18 comparison isolates
+	// the imputation policy.
+	impRng := rand.New(rand.NewSource(seed + 1))
+	attrs := make([]string, nCols)
+	for j := range attrs {
+		attrs[j] = fmt.Sprintf("a%d", j)
+	}
+	schema := types.Schema{Name: "t", Attrs: attrs}
+	ud := &UtilityData{
+		Schema: schema,
+		Ground: engine.NewTable(schema),
+		Nulled: engine.NewTable(schema),
+		X:      models.NewXRelation(schema),
+	}
+
+	// Skewed categorical columns so the mode is a meaningful best guess.
+	const vocab = 8
+	draw := func() int { return int(float64(vocab) * rng.Float64() * rng.Float64()) }
+	val := func(j, v int) types.Value { return types.NewString(fmt.Sprintf("c%d_v%d", j, v)) }
+
+	// Generate ground truth and track column frequencies.
+	truth := make([][]int, nRows)
+	freq := make([][]int, nCols)
+	for j := range freq {
+		freq[j] = make([]int, vocab)
+	}
+	for i := 0; i < nRows; i++ {
+		truth[i] = make([]int, nCols)
+		for j := 0; j < nCols; j++ {
+			v := draw()
+			truth[i][j] = v
+			freq[j][v]++
+		}
+	}
+	mode := make([]int, nCols)
+	for j := range mode {
+		best := 0
+		for v := 1; v < vocab; v++ {
+			if freq[j][v] > freq[j][best] {
+				best = v
+			}
+		}
+		mode[j] = best
+	}
+
+	for i := 0; i < nRows; i++ {
+		groundRow := make([]types.Value, nCols)
+		nulledRow := make([]types.Value, nCols)
+		var dirty []int
+		for j := 0; j < nCols; j++ {
+			groundRow[j] = val(j, truth[i][j])
+			if rng.Float64() < uncertainty {
+				nulledRow[j] = types.Null()
+				dirty = append(dirty, j)
+			} else {
+				nulledRow[j] = groundRow[j]
+			}
+		}
+		ud.Ground.Append(groundRow)
+		ud.Nulled.Append(nulledRow)
+
+		if len(dirty) == 0 {
+			ud.X.AddCertain(types.Tuple(groundRow))
+			continue
+		}
+		// Imputed best guess.
+		imputed := make(types.Tuple, nCols)
+		copy(imputed, nulledRow)
+		for _, j := range dirty {
+			switch method {
+			case BGQP:
+				imputed[j] = val(j, mode[j])
+			case RGQP:
+				imputed[j] = val(j, impRng.Intn(vocab))
+			}
+		}
+		// Alternatives: the imputation plus two other candidates per row.
+		alts := []models.Alternative{{Data: imputed, Prob: 0.5}}
+		for a := 0; a < 2; a++ {
+			alt := imputed.Clone()
+			for _, j := range dirty {
+				alt[j] = val(j, impRng.Intn(vocab))
+			}
+			alts = append(alts, models.Alternative{Data: alt, Prob: 0.25})
+		}
+		ud.X.Add(models.XTuple{Alts: alts})
+	}
+	return ud
+}
+
+// PrecisionRecall compares a result against the ground-truth result at the
+// distinct-tuple level (the utility metric of Figure 18).
+func PrecisionRecall(result, groundTruth *engine.Table) (precision, recall float64) {
+	got := make(map[string]bool)
+	for _, row := range result.Rows {
+		got[types.Tuple(row).Key()] = true
+	}
+	want := make(map[string]bool)
+	for _, row := range groundTruth.Rows {
+		want[types.Tuple(row).Key()] = true
+	}
+	if len(got) == 0 {
+		if len(want) == 0 {
+			return 1, 1
+		}
+		return 1, 0
+	}
+	hit := 0
+	for k := range got {
+		if want[k] {
+			hit++
+		}
+	}
+	precision = float64(hit) / float64(len(got))
+	covered := 0
+	for k := range want {
+		if got[k] {
+			covered++
+		}
+	}
+	if len(want) == 0 {
+		recall = 1
+	} else {
+		recall = float64(covered) / float64(len(want))
+	}
+	return precision, recall
+}

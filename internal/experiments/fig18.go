@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"repro/internal/baseline/libkin"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/rewrite"
+)
+
+// Fig18Config controls the utility experiment.
+type Fig18Config struct {
+	Rows          int
+	Cols          int
+	Uncertainties []float64
+	Seed          int64
+}
+
+// DefaultFig18 sweeps uncertainty 0–50% as in the paper.
+func DefaultFig18() Fig18Config {
+	return Fig18Config{
+		Rows: 2000, Cols: 8,
+		Uncertainties: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		Seed:          21,
+	}
+}
+
+// Fig18Point is one measurement of the utility experiment.
+type Fig18Point struct {
+	Dataset     string
+	Uncertainty float64
+	BGPrec      float64 // UA-DB over best-guess imputation
+	BGRec       float64
+	RGPrec      float64 // UA-DB over random-guess imputation
+	RGRec       float64
+	LibPrec     float64 // Libkin under-approximation
+	LibRec      float64
+}
+
+// Fig18 reproduces the utility experiment (Section 11.5): precision and
+// recall of query answers against ground truth for UA-DBs over best-guess
+// and random-guess worlds and for Libkin's certain-answer
+// under-approximation, as uncertainty grows. Expected shape: Libkin keeps
+// 100% precision but recall collapses; UA-DB(BGQP) holds 80–90% on both;
+// UA-DB(RGQP) is in between.
+func Fig18(cfg Fig18Config) (*Report, []Fig18Point, error) {
+	rep := &Report{ID: "Fig18", Title: "Utility: precision/recall vs ground truth"}
+	rep.addf("%-16s %-5s %-9s %-9s %-9s %-9s %-9s %-9s",
+		"dataset", "u%", "BG-prec", "BG-rec", "RG-prec", "RG-rec", "Lib-prec", "Lib-rec")
+	datasets := []struct {
+		name string
+		seed int64
+	}{
+		{"Income Survey", cfg.Seed},
+		{"Buffalo News", cfg.Seed + 100},
+		{"Business License", cfg.Seed + 200},
+	}
+	// The analyst's query: a selection on one attribute projected onto
+	// three others (selection attribute values may themselves be imputed).
+	query := "SELECT a0, a1, a2 FROM t WHERE a3 = 'c3_v0'"
+
+	var points []Fig18Point
+	for _, ds := range datasets {
+		for _, u := range cfg.Uncertainties {
+			bg := datagen.GenerateUtility(cfg.Rows, cfg.Cols, u, datagen.BGQP, ds.seed)
+			rg := datagen.GenerateUtility(cfg.Rows, cfg.Cols, u, datagen.RGQP, ds.seed)
+
+			groundCat := engine.NewCatalog()
+			groundCat.Put(bg.Ground)
+			truth, err := engine.NewPlanner(groundCat).Run(query)
+			if err != nil {
+				return nil, nil, err
+			}
+
+			runBG, err := runOnBGW(bg.X, query)
+			if err != nil {
+				return nil, nil, err
+			}
+			runRG, err := runOnBGW(rg.X, query)
+			if err != nil {
+				return nil, nil, err
+			}
+			nulledCat := engine.NewCatalog()
+			nulledCat.Put(bg.Nulled)
+			lib, err := libkin.Run(nulledCat, query)
+			if err != nil {
+				return nil, nil, err
+			}
+
+			p := Fig18Point{Dataset: ds.name, Uncertainty: u}
+			p.BGPrec, p.BGRec = datagen.PrecisionRecall(runBG, truth)
+			p.RGPrec, p.RGRec = datagen.PrecisionRecall(runRG, truth)
+			p.LibPrec, p.LibRec = datagen.PrecisionRecall(lib, truth)
+			points = append(points, p)
+			rep.addf("%-16s %-5.0f %-9.3f %-9.3f %-9.3f %-9.3f %-9.3f %-9.3f",
+				ds.name, u*100, p.BGPrec, p.BGRec, p.RGPrec, p.RGRec, p.LibPrec, p.LibRec)
+		}
+	}
+	return rep, points, nil
+}
+
+// runOnBGW evaluates the query over the best-guess world of the x-relation
+// (the deterministic component of the UA-DB result — precision/recall are
+// computed over tuples, which the certainty column does not change).
+func runOnBGW(x *models.XRelation, query string) (*engine.Table, error) {
+	cat := engine.NewCatalog()
+	cat.Put(rewrite.TableFromRelation(models.BestGuessXDB(x)))
+	return engine.NewPlanner(cat).Run(query)
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// Fig20 reproduces the bag-semantics mislabeling experiment (Section 11.3
+// "Beyond Set Semantics"): mean error rate of random projections evaluated
+// under semiring N, over three of the real-world datasets. A result tuple is
+// mislabeled when it is certain (its true certain multiplicity is positive)
+// but the query over the labeling assigns it no certain copies at all.
+func Fig20(trials int, seed int64) *Report {
+	rep := &Report{ID: "Fig20", Title: "Bag semantics — mean mislabeling rate of random projections"}
+	rep.addf("%-24s %-4s %-10s", "dataset", "k", "mean err")
+	rng := rand.New(rand.NewSource(seed))
+	specs := datagen.Specs()
+	for _, si := range []int{1, 5, 7} { // buffalo, foodins, permits
+		spec := specs[si]
+		d := datagen.Generate(spec)
+		ua := uadb.FromXDB(d.X)
+		uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+		uaDB.Put(ua)
+		step := spec.Cols / 8
+		if step < 1 {
+			step = 1
+		}
+		for k := 1; k <= spec.Cols; k += step {
+			var errs []float64
+			for trial := 0; trial < trials; trial++ {
+				idx := rng.Perm(spec.Cols)[:k]
+				attrs := make([]string, k)
+				for i, j := range idx {
+					attrs[i] = spec.ColName(j)
+				}
+				res, err := uadb.Eval(kdb.ProjectQ{Input: kdb.Table{Name: d.Schema.Name}, Attrs: attrs}, uaDB)
+				if err != nil {
+					panic(err)
+				}
+				truth := models.CertainSP(d.X, nil, idx)
+				total, wrong := 0, 0
+				res.ForEach(func(t types.Tuple, p semiring.Pair[int64]) {
+					total++
+					if truth.Get(t) > 0 && p.Cert == 0 {
+						wrong++ // certain tuple labeled entirely uncertain
+					}
+				})
+				if total > 0 {
+					errs = append(errs, float64(wrong)/float64(total))
+				}
+			}
+			rep.addf("%-24s %-4d %-10.4f", spec.Name, k, mean(errs))
+		}
+	}
+	return rep
+}
+
+// Fig21 reproduces the access-control-semiring experiment: tuples carry
+// clearance levels from the semiring A, labelings with a controlled
+// fraction of mislabeled tuples are queried with random projections, and
+// the mean lattice distance between the labeling's answer and the true
+// certain annotation is reported per error rate.
+func Fig21(trials int, seed int64) *Report {
+	rep := &Report{ID: "Fig21", Title: "Access-control semiring — mean label error of random projections"}
+	rep.addf("%-24s %-6s %-4s %-12s", "dataset", "err%", "k", "mean dist")
+	rng := rand.New(rand.NewSource(seed))
+	specs := datagen.Specs()
+	levels := semiring.Levels
+	for _, si := range []int{0, 1, 2, 4, 5} { // five datasets
+		spec := specs[si]
+		spec.Rows /= 4 // the A experiment only needs modest tables
+		d := datagen.Generate(spec)
+
+		// Ground truth: each tuple of the BGW annotated with a random
+		// clearance level (the certain annotation).
+		truth := kdb.New[semiring.Level](semiring.Access, d.Schema)
+		bgw := models.BestGuessXDB(d.X)
+		bgw.ForEach(func(t types.Tuple, _ int64) {
+			truth.Set(t, levels[1+rng.Intn(len(levels)-1)])
+		})
+
+		for _, errRate := range []float64{0.01, 0.05, 0.10, 0.15} {
+			// Labeling: a c-sound approximation with errRate of the tuples
+			// assigned a strictly lower level.
+			label := kdb.New[semiring.Level](semiring.Access, d.Schema)
+			truth.ForEach(func(t types.Tuple, lv semiring.Level) {
+				if rng.Float64() < errRate && lv > semiring.LevelTopSecret {
+					lv = levels[1+rng.Intn(int(lv)-1)]
+				}
+				label.Set(t, lv)
+			})
+			truthDB := kdb.NewDatabase[semiring.Level](semiring.Access)
+			truthDB.Put(truth)
+			labelDB := kdb.NewDatabase[semiring.Level](semiring.Access)
+			labelDB.Put(label)
+
+			for _, k := range []int{1, 3, 5, 7, 9} {
+				if k > spec.Cols {
+					break
+				}
+				var dists []float64
+				for trial := 0; trial < trials; trial++ {
+					idx := rng.Perm(spec.Cols)[:k]
+					attrs := make([]string, k)
+					for i, j := range idx {
+						attrs[i] = spec.ColName(j)
+					}
+					q := kdb.ProjectQ{Input: kdb.Table{Name: d.Schema.Name}, Attrs: attrs}
+					resT, err := kdb.Eval(q, truthDB)
+					if err != nil {
+						panic(err)
+					}
+					resL, err := kdb.Eval(q, labelDB)
+					if err != nil {
+						panic(err)
+					}
+					var total float64
+					n := 0
+					resT.ForEach(func(t types.Tuple, lv semiring.Level) {
+						total += semiring.Distance(lv, resL.Get(t))
+						n++
+					})
+					if n > 0 {
+						dists = append(dists, total/float64(n))
+					}
+				}
+				rep.addf("%-24s %-6.0f %-4d %-12.5f", spec.Name, errRate*100, k, mean(dists))
+			}
+		}
+	}
+	return rep
+}

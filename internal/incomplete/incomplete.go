@@ -1,0 +1,126 @@
+// Package incomplete implements incomplete K-databases (Definition 1): sets
+// of possible worlds that are each a K-database, the pivoted K^W encoding of
+// Section 3.2, possible-worlds query semantics, and the certain/possible
+// annotations certK/possK defined through the GLB/LUB of the l-semiring K.
+package incomplete
+
+import (
+	"fmt"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// DB is an incomplete K-database: a non-empty set of possible worlds.
+// Probabilities, when present, form a distribution over the worlds.
+type DB[T any] struct {
+	K      semiring.Lattice[T]
+	Worlds []*kdb.Database[T]
+	// Probs[i] is the probability of world i; nil for purely incomplete
+	// (non-probabilistic) databases.
+	Probs []float64
+}
+
+// New returns an incomplete database over the given worlds.
+func New[T any](k semiring.Lattice[T], worlds ...*kdb.Database[T]) *DB[T] {
+	if len(worlds) == 0 {
+		panic("incomplete: need at least one possible world")
+	}
+	return &DB[T]{K: k, Worlds: worlds}
+}
+
+// NumWorlds returns |W|.
+func (d *DB[T]) NumWorlds() int { return len(d.Worlds) }
+
+// BestGuessWorld returns the index of the most probable world (ties broken
+// toward the lower index), or 0 for non-probabilistic databases, matching the
+// paper's convention that any world may serve as the BGW when no ranking is
+// available.
+func (d *DB[T]) BestGuessWorld() int {
+	if d.Probs == nil {
+		return 0
+	}
+	best, bp := 0, d.Probs[0]
+	for i, p := range d.Probs {
+		if p > bp {
+			best, bp = i, p
+		}
+	}
+	return best
+}
+
+// EvalWorlds evaluates Q under possible-worlds semantics (Equation 1):
+// the result is the incomplete database of per-world results.
+func EvalWorlds[T any](q kdb.Query, d *DB[T]) (*DB[T], error) {
+	out := &DB[T]{K: d.K, Probs: d.Probs}
+	for i, w := range d.Worlds {
+		res, err := kdb.Eval(q, w)
+		if err != nil {
+			return nil, fmt.Errorf("incomplete: world %d: %w", i, err)
+		}
+		wdb := kdb.NewDatabase[T](d.K)
+		r := kdb.Rename(res, types.Schema{Name: "result", Attrs: res.Schema().Attrs})
+		wdb.Put(r)
+		out.Worlds = append(out.Worlds, wdb)
+	}
+	return out, nil
+}
+
+// CertainRelation returns the K-relation of certain annotations of the named
+// relation: each tuple annotated certK(D, t) = ⊓_i D_i(t) (Section 3.1).
+// Tuples whose certain annotation is 0_K are absent.
+func CertainRelation[T any](d *DB[T], name string) *kdb.Relation[T] {
+	return foldRelation(d, name, d.K.Glb)
+}
+
+// PossibleRelation returns the K-relation of possible annotations:
+// possK(D, t) = ⊔_i D_i(t).
+func PossibleRelation[T any](d *DB[T], name string) *kdb.Relation[T] {
+	return foldRelation(d, name, d.K.Lub)
+}
+
+func foldRelation[T any](d *DB[T], name string, combine func(a, b T) T) *kdb.Relation[T] {
+	first := d.Worlds[0].Get(name)
+	if first == nil {
+		panic(fmt.Sprintf("incomplete: unknown relation %q", name))
+	}
+	// Gather the union of tuples across worlds, then fold annotations.
+	universe := make(map[string]types.Tuple)
+	for _, w := range d.Worlds {
+		r := w.Get(name)
+		if r == nil {
+			panic(fmt.Sprintf("incomplete: relation %q missing from a world", name))
+		}
+		r.ForEach(func(t types.Tuple, _ T) { universe[t.Key()] = t })
+	}
+	out := kdb.New(d.K, first.Schema())
+	for _, t := range universe {
+		acc := d.Worlds[0].Get(name).Get(t)
+		for _, w := range d.Worlds[1:] {
+			acc = combine(acc, w.Get(name).Get(t))
+		}
+		out.Set(t, acc)
+	}
+	return out
+}
+
+// CertainOfQuery evaluates Q in every world and returns the relation of
+// certain annotations of the result — the ground truth that labelings and
+// UA-DBs approximate. The result relation is named "result".
+func CertainOfQuery[T any](q kdb.Query, d *DB[T]) (*kdb.Relation[T], error) {
+	res, err := EvalWorlds(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return CertainRelation(res, "result"), nil
+}
+
+// PossibleOfQuery is CertainOfQuery's dual using possK.
+func PossibleOfQuery[T any](q kdb.Query, d *DB[T]) (*kdb.Relation[T], error) {
+	res, err := EvalWorlds(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return PossibleRelation(res, "result"), nil
+}

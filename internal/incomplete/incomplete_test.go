@@ -1,0 +1,261 @@
+package incomplete
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func st(vs ...string) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewString(v)
+	}
+	return t
+}
+
+// example7DB builds the paper's Example 7: a bag LOC relation with two
+// worlds.
+func example7DB() *DB[int64] {
+	schema := types.NewSchema("LOC", "locale", "state")
+	w1 := kdb.NewDatabase[int64](semiring.Nat)
+	r1 := kdb.New[int64](semiring.Nat, schema)
+	r1.Add(st("Lasalle", "NY"), 3)
+	r1.Add(st("Tucson", "AZ"), 2)
+	w1.Put(r1)
+	w2 := kdb.NewDatabase[int64](semiring.Nat)
+	r2 := kdb.New[int64](semiring.Nat, schema)
+	r2.Add(st("Lasalle", "NY"), 2)
+	r2.Add(st("Tucson", "AZ"), 1)
+	r2.Add(st("Greenville", "IN"), 5)
+	w2.Put(r2)
+	return New[int64](semiring.Nat, w1, w2)
+}
+
+func TestCertainAnnotationsExample7(t *testing.T) {
+	d := example7DB()
+	cert := CertainRelation(d, "LOC")
+	if got := cert.Get(st("Lasalle", "NY")); got != 2 {
+		t.Errorf("cert(Lasalle) = %d, want 2", got)
+	}
+	if got := cert.Get(st("Tucson", "AZ")); got != 1 {
+		t.Errorf("cert(Tucson) = %d, want 1", got)
+	}
+	if got := cert.Get(st("Greenville", "IN")); got != 0 {
+		t.Errorf("cert(Greenville) = %d, want 0", got)
+	}
+	poss := PossibleRelation(d, "LOC")
+	if got := poss.Get(st("Lasalle", "NY")); got != 3 {
+		t.Errorf("poss(Lasalle) = %d, want 3", got)
+	}
+	if got := poss.Get(st("Greenville", "IN")); got != 5 {
+		t.Errorf("poss(Greenville) = %d, want 5", got)
+	}
+}
+
+func TestSetSemanticsCertainty(t *testing.T) {
+	// Under B, certain = present in all worlds (classical definition).
+	schema := types.NewSchema("R", "a")
+	mk := func(vals ...int64) *kdb.Database[bool] {
+		db := kdb.NewDatabase[bool](semiring.Bool)
+		r := kdb.New[bool](semiring.Bool, schema)
+		for _, v := range vals {
+			r.Add(it(v), true)
+		}
+		db.Put(r)
+		return db
+	}
+	d := New[bool](semiring.Bool, mk(1, 2), mk(1, 3), mk(1, 2, 3))
+	cert := CertainRelation(d, "R")
+	if !cert.Get(it(1)) {
+		t.Error("1 should be certain")
+	}
+	if cert.Get(it(2)) || cert.Get(it(3)) {
+		t.Error("2, 3 are not certain")
+	}
+	poss := PossibleRelation(d, "R")
+	for _, v := range []int64{1, 2, 3} {
+		if !poss.Get(it(v)) {
+			t.Errorf("%d should be possible", v)
+		}
+	}
+}
+
+func TestBestGuessWorld(t *testing.T) {
+	d := example7DB()
+	if d.BestGuessWorld() != 0 {
+		t.Error("non-probabilistic BGW should be world 0")
+	}
+	d.Probs = []float64{0.3, 0.7}
+	if d.BestGuessWorld() != 1 {
+		t.Error("probabilistic BGW should be the most likely world")
+	}
+}
+
+func TestEvalWorldsPossibleWorldsSemantics(t *testing.T) {
+	// Equation 1: Q(D) = {Q(D) | D ∈ D}. Evaluate a selection over both
+	// worlds of Example 7 and compare per-world results.
+	d := example7DB()
+	q := kdb.SelectQ{
+		Input: kdb.Table{Name: "LOC"},
+		Pred:  kdb.AttrConst{Attr: "state", Op: kdb.OpEq, Const: types.NewString("NY")},
+	}
+	res, err := EvalWorlds(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumWorlds() != 2 {
+		t.Fatal("query must preserve the number of worlds")
+	}
+	if got := res.Worlds[0].Get("result").Get(st("Lasalle", "NY")); got != 3 {
+		t.Errorf("world 0: %d", got)
+	}
+	if got := res.Worlds[1].Get("result").Get(st("Lasalle", "NY")); got != 2 {
+		t.Errorf("world 1: %d", got)
+	}
+	if res.Worlds[0].Get("result").Get(st("Tucson", "AZ")) != 0 {
+		t.Error("selection should remove AZ")
+	}
+}
+
+func TestCertainOfQuery(t *testing.T) {
+	d := example7DB()
+	q := kdb.ProjectQ{Input: kdb.Table{Name: "LOC"}, Attrs: []string{"state"}}
+	cert, err := CertainOfQuery(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// World 1: NY->3, AZ->2. World 2: NY->2, AZ->1, IN->5.
+	if got := cert.Get(st("NY")); got != 2 {
+		t.Errorf("cert(NY) = %d, want 2", got)
+	}
+	if got := cert.Get(st("AZ")); got != 1 {
+		t.Errorf("cert(AZ) = %d, want 1", got)
+	}
+	if got := cert.Get(st("IN")); got != 0 {
+		t.Errorf("cert(IN) = %d, want 0", got)
+	}
+	poss, err := PossibleOfQuery(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := poss.Get(st("IN")); got != 5 {
+		t.Errorf("poss(IN) = %d, want 5", got)
+	}
+}
+
+func TestKWRoundTrip(t *testing.T) {
+	d := example7DB()
+	kw := ToKW(d)
+	back := FromKW[int64](semiring.Nat, kw)
+	if back.NumWorlds() != d.NumWorlds() {
+		t.Fatal("world count changed")
+	}
+	for i := range d.Worlds {
+		orig := d.Worlds[i].Get("LOC")
+		got := back.Worlds[i].Get("LOC")
+		if !orig.Equal(got) {
+			t.Errorf("world %d differs after round trip:\n%s\nvs\n%s", i, orig, got)
+		}
+	}
+}
+
+func TestKWEncoding(t *testing.T) {
+	// Example 8: the pivoted N²-relation.
+	d := example7DB()
+	kw := ToKW(d)
+	rel := kw.Get("LOC")
+	vec := rel.Get(st("Lasalle", "NY"))
+	if vec[0] != 3 || vec[1] != 2 {
+		t.Errorf("Lasalle vector = %v, want [3 2]", vec)
+	}
+	vec = rel.Get(st("Greenville", "IN"))
+	if vec[0] != 0 || vec[1] != 5 {
+		t.Errorf("Greenville vector = %v, want [0 5]", vec)
+	}
+	// certK/possK over the K^W encoding (Section 3.2).
+	cert := CertKW[int64](semiring.Nat, rel)
+	if cert.Get(st("Lasalle", "NY")) != 2 || cert.Get(st("Greenville", "IN")) != 0 {
+		t.Error("CertKW")
+	}
+	poss := PossKW[int64](semiring.Nat, rel)
+	if poss.Get(st("Greenville", "IN")) != 5 {
+		t.Error("PossKW")
+	}
+}
+
+func TestWorldExtraction(t *testing.T) {
+	// pw_i homomorphism extracts world i (Lemma 1 applied to databases).
+	d := example7DB()
+	kw := ToKW(d)
+	for i := range d.Worlds {
+		w := World[int64](semiring.Nat, kw, i)
+		if !w.Get("LOC").Equal(d.Worlds[i].Get("LOC")) {
+			t.Errorf("world %d extraction differs", i)
+		}
+	}
+}
+
+// TestProposition1 checks the isomorphism of Proposition 1: evaluating a
+// query over the K^W encoding and extracting world i equals evaluating the
+// query over world i directly.
+func TestProposition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	schema := types.NewSchema("R", "a", "b")
+	for trial := 0; trial < 30; trial++ {
+		nWorlds := rng.Intn(3) + 2
+		worlds := make([]*kdb.Database[int64], nWorlds)
+		for i := range worlds {
+			db := kdb.NewDatabase[int64](semiring.Nat)
+			r := kdb.New[int64](semiring.Nat, schema)
+			for j := 0; j < 5; j++ {
+				r.Add(it(rng.Int63n(3), rng.Int63n(3)), rng.Int63n(3))
+			}
+			db.Put(r)
+			worlds[i] = db
+		}
+		d := New[int64](semiring.Nat, worlds...)
+		kw := ToKW(d)
+		q := kdb.ProjectQ{
+			Input: kdb.SelectQ{
+				Input: kdb.Table{Name: "R"},
+				Pred:  kdb.AttrConst{Attr: "a", Op: kdb.OpLe, Const: types.NewInt(rng.Int63n(3))},
+			},
+			Attrs: []string{"b"},
+		}
+		kwRes, err := kdb.Eval(q, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < nWorlds; i++ {
+			perWorld, err := kdb.Eval(q, worlds[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			extracted := kdb.MapAnnotations(kwRes, semiring.Semiring[int64](semiring.Nat), semiring.PW[int64](i))
+			if !extracted.Equal(perWorld) {
+				t.Fatalf("pw_%d(Q(D)) != Q(pw_%d(D))", i, i)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New[int64](semiring.Nat)
+}

@@ -1,0 +1,83 @@
+package incomplete
+
+import (
+	"fmt"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// ToKW pivots an incomplete K-database into its K^W encoding (Section 3.2):
+// a single database over the possible-world semiring where each tuple is
+// annotated with the vector of its annotations across all worlds.
+// Proposition 1: the two encodings are isomorphic w.r.t. possible-worlds
+// semantics for RA⁺.
+func ToKW[T any](d *DB[T]) *kdb.Database[[]T] {
+	kw := semiring.Worlds(d.K, len(d.Worlds))
+	out := kdb.NewDatabase[[]T](kw)
+	// Collect relation names from world 0 (all worlds share a schema).
+	for name, r0 := range d.Worlds[0].Relations {
+		universe := make(map[string]types.Tuple)
+		for _, w := range d.Worlds {
+			r := w.Get(name)
+			if r == nil {
+				panic(fmt.Sprintf("incomplete: relation %q missing from a world", name))
+			}
+			r.ForEach(func(t types.Tuple, _ T) { universe[t.Key()] = t })
+		}
+		rel := kdb.New[[]T](kw, r0.Schema())
+		for _, t := range universe {
+			vec := make([]T, len(d.Worlds))
+			for i, w := range d.Worlds {
+				vec[i] = w.Get(name).Get(t)
+			}
+			rel.Set(t, vec)
+		}
+		out.Put(rel)
+	}
+	return out
+}
+
+// FromKW unpivots a K^W database back into an explicit set of possible
+// worlds, inverting ToKW.
+func FromKW[T any](k semiring.Lattice[T], d *kdb.Database[[]T]) *DB[T] {
+	kw, ok := d.K.(semiring.VectorSemiring[T])
+	if !ok {
+		panic("incomplete: FromKW requires a VectorSemiring database")
+	}
+	worlds := make([]*kdb.Database[T], kw.N)
+	for i := range worlds {
+		worlds[i] = kdb.NewDatabase(k)
+		for _, rel := range d.Relations {
+			wr := kdb.MapAnnotations(rel, k, semiring.PW[T](i))
+			worlds[i].Put(wr)
+		}
+	}
+	return &DB[T]{K: k, Worlds: worlds}
+}
+
+// CertKW returns the certain-annotation relation of a K^W relation:
+// certK(D, t) = ⊓ of the annotation vector (Section 3.2).
+func CertKW[T any](k semiring.Lattice[T], r *kdb.Relation[[]T]) *kdb.Relation[T] {
+	out := kdb.New(k, r.Schema())
+	r.ForEach(func(t types.Tuple, vec []T) {
+		out.Set(t, semiring.GlbAll(k, vec))
+	})
+	return out
+}
+
+// PossKW returns the possible-annotation relation: ⊔ of the vector.
+func PossKW[T any](k semiring.Lattice[T], r *kdb.Relation[[]T]) *kdb.Relation[T] {
+	out := kdb.New(k, r.Schema())
+	r.ForEach(func(t types.Tuple, vec []T) {
+		out.Set(t, semiring.LubAll(k, vec))
+	})
+	return out
+}
+
+// World extracts possible world i from a K^W database via the pw_i
+// homomorphism (Lemma 1).
+func World[T any](k semiring.Lattice[T], d *kdb.Database[[]T], i int) *kdb.Database[T] {
+	return kdb.MapDatabase(d, semiring.Semiring[T](k), semiring.PW[T](i))
+}

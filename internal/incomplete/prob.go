@@ -1,0 +1,126 @@
+package incomplete
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kdb"
+	"repro/internal/types"
+)
+
+// This file implements the probabilistic extension of K^W-relations the
+// paper sketches in Section 3.2: a distribution P : W → [0,1] over the
+// possible worlds, carried unchanged through queries (queries preserve the
+// same |W| worlds), plus the derived quantities practitioners ask for —
+// tuple marginals and expected annotations.
+
+// NormalizeProbs rescales the world probabilities to sum to 1. It returns
+// an error when no probabilities are attached or their mass is zero.
+func (d *DB[T]) NormalizeProbs() error {
+	if d.Probs == nil {
+		return fmt.Errorf("incomplete: database carries no world probabilities")
+	}
+	if len(d.Probs) != len(d.Worlds) {
+		return fmt.Errorf("incomplete: %d probabilities for %d worlds", len(d.Probs), len(d.Worlds))
+	}
+	total := 0.0
+	for _, p := range d.Probs {
+		if p < 0 {
+			return fmt.Errorf("incomplete: negative world probability %f", p)
+		}
+		total += p
+	}
+	if total == 0 {
+		return fmt.Errorf("incomplete: zero total probability mass")
+	}
+	for i := range d.Probs {
+		d.Probs[i] /= total
+	}
+	return nil
+}
+
+// TupleMarginal returns P(t ∈ R) — the total probability of the worlds in
+// which the named relation contains t (with non-zero annotation).
+func TupleMarginal[T any](d *DB[T], name string, t types.Tuple) (float64, error) {
+	if d.Probs == nil {
+		return 0, fmt.Errorf("incomplete: database carries no world probabilities")
+	}
+	p := 0.0
+	for i, w := range d.Worlds {
+		r := w.Get(name)
+		if r == nil {
+			return 0, fmt.Errorf("incomplete: unknown relation %q", name)
+		}
+		if !r.Semiring().IsZero(r.Get(t)) {
+			p += d.Probs[i]
+		}
+	}
+	return p, nil
+}
+
+// ExpectedMultiplicity returns E[R(t)] for a bag (N-annotated) incomplete
+// database: the probability-weighted average multiplicity of t.
+func ExpectedMultiplicity(d *DB[int64], name string, t types.Tuple) (float64, error) {
+	if d.Probs == nil {
+		return 0, fmt.Errorf("incomplete: database carries no world probabilities")
+	}
+	e := 0.0
+	for i, w := range d.Worlds {
+		r := w.Get(name)
+		if r == nil {
+			return 0, fmt.Errorf("incomplete: unknown relation %q", name)
+		}
+		e += d.Probs[i] * float64(r.Get(t))
+	}
+	return e, nil
+}
+
+// RankedTuple pairs a tuple with its marginal probability.
+type RankedTuple struct {
+	Tuple types.Tuple
+	Prob  float64
+}
+
+// RankedPossible lists the possible tuples of the named relation ordered by
+// decreasing marginal probability (ties broken by tuple order) — the
+// "top-k possible answers" view probabilistic systems expose.
+func RankedPossible[T any](d *DB[T], name string) ([]RankedTuple, error) {
+	if d.Probs == nil {
+		return nil, fmt.Errorf("incomplete: database carries no world probabilities")
+	}
+	seen := make(map[string]types.Tuple)
+	for _, w := range d.Worlds {
+		r := w.Get(name)
+		if r == nil {
+			return nil, fmt.Errorf("incomplete: unknown relation %q", name)
+		}
+		r.ForEach(func(t types.Tuple, _ T) { seen[t.Key()] = t })
+	}
+	out := make([]RankedTuple, 0, len(seen))
+	for _, t := range seen {
+		p, err := TupleMarginal(d, name, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RankedTuple{Tuple: t, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Tuple.Compare(out[j].Tuple) < 0
+	})
+	return out, nil
+}
+
+// EvalWorldsKeepProbs is EvalWorlds specialized to emphasize the
+// distribution-preservation property: the result carries the input's
+// distribution object unchanged (queries permute nothing).
+func EvalWorldsKeepProbs[T any](q kdb.Query, d *DB[T]) (*DB[T], error) {
+	res, err := EvalWorlds(q, d)
+	if err != nil {
+		return nil, err
+	}
+	res.Probs = d.Probs
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package incomplete
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// probDB enumerates the TI-DB {1 certain, 2 @0.75, 3 @0.25} by hand (the
+// models package cannot be imported here — it depends on incomplete).
+func probDB(t *testing.T) *DB[int64] {
+	t.Helper()
+	schema := types.NewSchema("R", "a")
+	mk := func(vals ...int64) *kdb.Database[int64] {
+		db := kdb.NewDatabase[int64](semiring.Nat)
+		r := kdb.New[int64](semiring.Nat, schema)
+		for _, v := range vals {
+			r.Add(it(v), 1)
+		}
+		db.Put(r)
+		return db
+	}
+	return &DB[int64]{
+		K: semiring.Nat,
+		Worlds: []*kdb.Database[int64]{
+			mk(1), mk(1, 2), mk(1, 3), mk(1, 2, 3),
+		},
+		Probs: []float64{0.25 * 0.75, 0.75 * 0.75, 0.25 * 0.25, 0.75 * 0.25},
+	}
+}
+
+func TestNormalizeProbs(t *testing.T) {
+	d := probDB(t)
+	// Already normalized by construction.
+	if err := d.NormalizeProbs(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range d.Probs {
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("total = %f", total)
+	}
+	// Unnormalized input.
+	d.Probs = []float64{2, 2, 2, 2}
+	if err := d.NormalizeProbs(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Probs[0] != 0.25 {
+		t.Error("rescaling")
+	}
+	// Errors.
+	d.Probs = nil
+	if err := d.NormalizeProbs(); err == nil {
+		t.Error("missing probs")
+	}
+	d.Probs = []float64{0, 0, 0, 0}
+	if err := d.NormalizeProbs(); err == nil {
+		t.Error("zero mass")
+	}
+	d.Probs = []float64{-1, 2, 0, 0}
+	if err := d.NormalizeProbs(); err == nil {
+		t.Error("negative prob")
+	}
+}
+
+func TestTupleMarginal(t *testing.T) {
+	d := probDB(t)
+	p1, err := TupleMarginal(d, "R", it(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-1) > 1e-12 {
+		t.Errorf("P(1) = %f, want 1", p1)
+	}
+	p2, _ := TupleMarginal(d, "R", it(2))
+	if math.Abs(p2-0.75) > 1e-12 {
+		t.Errorf("P(2) = %f, want 0.75", p2)
+	}
+	p9, _ := TupleMarginal(d, "R", it(9))
+	if p9 != 0 {
+		t.Errorf("P(absent) = %f", p9)
+	}
+	if _, err := TupleMarginal(d, "zzz", it(1)); err == nil {
+		t.Error("unknown relation")
+	}
+}
+
+func TestExpectedMultiplicity(t *testing.T) {
+	// Two worlds with multiplicities 3 and 1, probabilities 0.5/0.5.
+	schema := types.NewSchema("R", "a")
+	mk := func(k int64) *kdb.Database[int64] {
+		db := kdb.NewDatabase[int64](semiring.Nat)
+		r := kdb.New[int64](semiring.Nat, schema)
+		r.Add(it(1), k)
+		db.Put(r)
+		return db
+	}
+	d := &DB[int64]{K: semiring.Nat, Worlds: []*kdb.Database[int64]{mk(3), mk(1)}, Probs: []float64{0.5, 0.5}}
+	e, err := ExpectedMultiplicity(d, "R", it(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 2 {
+		t.Errorf("E = %f, want 2", e)
+	}
+}
+
+func TestRankedPossible(t *testing.T) {
+	d := probDB(t)
+	ranked, err := RankedPossible(d, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("possible tuples = %d", len(ranked))
+	}
+	// Descending probabilities: 1 (1.0), 2 (0.75), 3 (0.25).
+	if !ranked[0].Tuple.Equal(it(1)) || !ranked[1].Tuple.Equal(it(2)) || !ranked[2].Tuple.Equal(it(3)) {
+		t.Errorf("ranking = %v", ranked)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Prob > ranked[i-1].Prob {
+			t.Error("not sorted by probability")
+		}
+	}
+}
+
+func TestEvalWorldsKeepProbs(t *testing.T) {
+	d := probDB(t)
+	q := kdb.SelectQ{Input: kdb.Table{Name: "R"}, Pred: kdb.AttrConst{Attr: "a", Op: kdb.OpGe, Const: types.NewInt(2)}}
+	res, err := EvalWorldsKeepProbs(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probs) != len(d.Probs) {
+		t.Fatal("distribution dropped")
+	}
+	// Marginal of tuple 2 in the result equals its input marginal: the
+	// selection keeps it wherever it existed.
+	p, err := TupleMarginal(res, "result", it(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("marginal after query = %f", p)
+	}
+}

@@ -1,0 +1,378 @@
+package kdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+func nrel(name string, attrs ...string) *Relation[int64] {
+	return New[int64](semiring.Nat, types.NewSchema(name, attrs...))
+}
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := nrel("R", "a", "b")
+	r.Add(it(1, 2), 1)
+	r.Add(it(1, 2), 2) // ⊕ accumulates
+	r.Add(it(3, 4), 1)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Get(it(1, 2)) != 3 {
+		t.Errorf("Get = %d, want 3", r.Get(it(1, 2)))
+	}
+	if r.Get(it(9, 9)) != 0 {
+		t.Error("absent tuple should be 0")
+	}
+	r.Set(it(3, 4), 0) // setting zero removes
+	if r.Len() != 1 {
+		t.Error("Set(0) should remove")
+	}
+	r.Add(it(5, 6), 0) // adding zero is a no-op
+	if r.Len() != 1 {
+		t.Error("Add(0) should not insert")
+	}
+}
+
+func TestRelationCloneEqual(t *testing.T) {
+	r := nrel("R", "a")
+	r.Add(it(1), 2)
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Add(it(1), 1)
+	if r.Equal(c) {
+		t.Error("mutating clone affected original comparison")
+	}
+	if r.Get(it(1)) != 2 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestTuplesDeterministic(t *testing.T) {
+	r := nrel("R", "a")
+	for _, v := range []int64{5, 1, 3, 2, 4} {
+		r.Add(it(v), 1)
+	}
+	ts := r.Tuples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Compare(ts[i]) >= 0 {
+			t.Fatal("Tuples not sorted")
+		}
+	}
+}
+
+func TestSelectSemantics(t *testing.T) {
+	r := nrel("R", "a", "b")
+	r.Add(it(1, 10), 2)
+	r.Add(it(2, 20), 3)
+	got := Select(r, func(tp types.Tuple) bool { return tp[0].Int() == 1 })
+	if got.Len() != 1 || got.Get(it(1, 10)) != 2 {
+		t.Errorf("Select result: %v", got)
+	}
+}
+
+func TestProjectSumsAnnotations(t *testing.T) {
+	// The paper's Example 5: projection sums multiplicities.
+	r := nrel("R", "a", "b")
+	r.Add(it(1, 10), 2)
+	r.Add(it(1, 20), 3)
+	r.Add(it(2, 30), 1)
+	got := Project(r, []int{0})
+	if got.Get(it(1)) != 5 {
+		t.Errorf("π sums: got %d, want 5", got.Get(it(1)))
+	}
+	if got.Get(it(2)) != 1 {
+		t.Error("π preserves singleton")
+	}
+	if got.Schema().Arity() != 1 {
+		t.Error("π schema")
+	}
+}
+
+func TestJoinMultipliesAnnotations(t *testing.T) {
+	r1 := nrel("R", "a")
+	r1.Add(it(1), 2)
+	r2 := nrel("S", "b")
+	r2.Add(it(1), 3)
+	r2.Add(it(2), 5)
+	eq := func(tp types.Tuple) bool { return tp[0].Equal(tp[1]) }
+	got := Join(r1, r2, eq)
+	if got.Len() != 1 || got.Get(it(1, 1)) != 6 {
+		t.Errorf("⋈ multiplies: %v", got)
+	}
+	cross := Join(r1, r2, nil)
+	if cross.Len() != 2 || cross.Get(it(1, 2)) != 10 {
+		t.Errorf("cross: %v", cross)
+	}
+}
+
+func TestUnionAddsAnnotations(t *testing.T) {
+	r1 := nrel("R", "a")
+	r1.Add(it(1), 2)
+	r2 := nrel("R", "a")
+	r2.Add(it(1), 3)
+	r2.Add(it(2), 1)
+	got := Union(r1, r2)
+	if got.Get(it(1)) != 5 || got.Get(it(2)) != 1 {
+		t.Errorf("∪: %v", got)
+	}
+	// Different attribute names but equal arity is union-compatible (SQL
+	// semantics); the result takes the left schema.
+	renamed := nrel("S", "x")
+	renamed.Add(it(7), 1)
+	u := Union(r1, renamed)
+	if u.Schema().Attrs[0] != "a" || u.Get(it(7)) != 1 {
+		t.Error("union should take left schema")
+	}
+	bad := nrel("S", "a", "b")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("union of incompatible schemas should panic")
+			}
+		}()
+		Union(r1, bad)
+	}()
+}
+
+func TestPaperExample5(t *testing.T) {
+	// Figure 7: Qa = π_state(Address ⋈ Neighborhood) over N.
+	addr := nrel("Address", "id", "l")
+	addr.Add(types.Tuple{types.NewInt(1), types.NewString("L1")}, 1)
+	addr.Add(types.Tuple{types.NewInt(2), types.NewString("L2")}, 1)
+	addr.Add(types.Tuple{types.NewInt(3), types.NewString("L4")}, 1)
+	nb := nrel("Neighborhood", "l2", "locale", "state")
+	for _, row := range []struct {
+		l, loc, st string
+	}{
+		{"L1", "Lasalle", "NY"}, {"L2", "Tucson", "AZ"}, {"L3", "GrantFerry", "NY"},
+		{"L4", "Kingsley", "NY"}, {"L5", "Woodlawn", "IL"},
+	} {
+		nb.Add(types.Tuple{types.NewString(row.l), types.NewString(row.loc), types.NewString(row.st)}, 1)
+	}
+	join := Join(addr, nb, func(tp types.Tuple) bool { return tp[1].Equal(tp[2]) })
+	res := Project(join, []int{4})
+	if got := res.Get(types.Tuple{types.NewString("NY")}); got != 2 {
+		t.Errorf("NY count = %d, want 2", got)
+	}
+	if got := res.Get(types.Tuple{types.NewString("AZ")}); got != 1 {
+		t.Errorf("AZ count = %d, want 1", got)
+	}
+	if got := res.Get(types.Tuple{types.NewString("IL")}); got != 0 {
+		t.Errorf("IL count = %d, want 0", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := nrel("R", "a")
+	r.Add(it(1), 1)
+	s := Rename(r, types.NewSchema("S", "x"))
+	if s.Schema().Name != "S" || s.Schema().Attrs[0] != "x" || s.Get(it(1)) != 1 {
+		t.Error("rename")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rename arity mismatch should panic")
+			}
+		}()
+		Rename(r, types.NewSchema("S", "x", "y"))
+	}()
+}
+
+func TestMapAnnotationsHom(t *testing.T) {
+	r := nrel("R", "a")
+	r.Add(it(1), 3)
+	r.Add(it(2), 1)
+	b := MapAnnotations(r, semiring.Bool, func(k int64) bool { return k > 0 })
+	if !b.Get(it(1)) || !b.Get(it(2)) || b.Len() != 2 {
+		t.Error("support hom")
+	}
+}
+
+// randomDB builds a small random N-database with two relations R(a,b), S(b,c).
+func randomDB(rng *rand.Rand) *Database[int64] {
+	db := NewDatabase[int64](semiring.Nat)
+	r := nrel("R", "a", "b")
+	s := nrel("S", "c", "d")
+	for i := 0; i < 6; i++ {
+		r.Add(it(rng.Int63n(4), rng.Int63n(4)), rng.Int63n(3))
+		s.Add(it(rng.Int63n(4), rng.Int63n(4)), rng.Int63n(3))
+	}
+	db.Put(r)
+	db.Put(s)
+	return db
+}
+
+// randomQuery builds a random RA⁺ query over R(a,b), S(c,d).
+func randomQuery(rng *rand.Rand, depth int) Query {
+	if depth <= 0 {
+		if rng.Intn(2) == 0 {
+			return Table{Name: "R"}
+		}
+		return Table{Name: "S"}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		in := randomQuery(rng, depth-1)
+		attr := firstAttr(in)
+		return SelectQ{Input: in, Pred: AttrConst{Attr: attr, Op: OpLe, Const: types.NewInt(rng.Int63n(4))}}
+	case 1:
+		in := randomQuery(rng, depth-1)
+		return ProjectQ{Input: in, Attrs: []string{firstAttr(in)}}
+	case 2:
+		l := randomQuery(rng, depth-1)
+		r := randomQuery(rng, depth-1)
+		return JoinQ{Left: l, Right: r, Pred: AttrAttr{PosLeft: 0, PosRight: arity(l), Op: OpEq}}
+	default:
+		l := randomQuery(rng, depth-1)
+		// Union requires compatible schemas; project both to one column.
+		r := randomQuery(rng, depth-1)
+		return UnionQ{
+			Left:  ProjectQ{Input: l, Attrs: []string{firstAttr(l)}},
+			Right: ProjectQ{Input: r, Attrs: []string{firstAttr(r)}},
+		}
+	}
+}
+
+var testSchemas = map[string]types.Schema{
+	"r": types.NewSchema("R", "a", "b"),
+	"s": types.NewSchema("S", "c", "d"),
+}
+
+func firstAttr(q Query) string {
+	s, err := OutputSchema(q, testSchemas)
+	if err != nil {
+		panic(err)
+	}
+	return s.Attrs[0]
+}
+
+func arity(q Query) int {
+	s, err := OutputSchema(q, testSchemas)
+	if err != nil {
+		panic(err)
+	}
+	return s.Arity()
+}
+
+func TestUnionSchemaOfRandomQueriesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		q := randomQuery(rng, 3)
+		db := randomDB(rng)
+		if _, err := Eval(q, db); err != nil {
+			t.Fatalf("query %s failed: %v", q, err)
+		}
+	}
+}
+
+func TestHomomorphismsCommuteWithQueries(t *testing.T) {
+	// Green et al.: for a semiring homomorphism h, h(Q(D)) = Q(h(D)).
+	// Use the support homomorphism N → B over random databases and queries.
+	rng := rand.New(rand.NewSource(42))
+	h := func(k int64) bool { return k > 0 }
+	for trial := 0; trial < 60; trial++ {
+		db := randomDB(rng)
+		q := randomQuery(rng, rng.Intn(3)+1)
+		resN, err := Eval(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hThenQ := MapAnnotations(resN, semiring.Bool, h)
+
+		dbB := MapDatabase(db, semiring.Bool, h)
+		qThenH, err := Eval(q, dbB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hThenQ.Equal(qThenH) {
+			t.Fatalf("h(Q(D)) != Q(h(D)) for %s:\nh(Q(D)) = %s\nQ(h(D)) = %s", q, hThenQ, qThenH)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := NewDatabase[int64](semiring.Nat)
+	if _, err := Eval(Table{Name: "missing"}, db); err == nil {
+		t.Error("expected unknown-table error")
+	}
+	r := nrel("R", "a")
+	db.Put(r)
+	if _, err := Eval(ProjectQ{Input: Table{Name: "R"}, Attrs: []string{"zzz"}}, db); err == nil {
+		t.Error("expected unknown-attribute error")
+	}
+}
+
+func TestOutputSchema(t *testing.T) {
+	q := ProjectQ{
+		Input: JoinQ{Left: Table{Name: "R"}, Right: Table{Name: "S"}},
+		Attrs: []string{"a", "d"},
+	}
+	s, err := OutputSchema(q, testSchemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 || s.Attrs[0] != "a" || s.Attrs[1] != "d" {
+		t.Errorf("schema = %s", s)
+	}
+	if _, err := OutputSchema(Table{Name: "zzz"}, testSchemas); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	schema := types.NewSchema("R", "a", "b")
+	tp := it(3, 5)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{AttrConst{Attr: "a", Op: OpEq, Const: types.NewInt(3)}, true},
+		{AttrConst{Attr: "a", Op: OpNe, Const: types.NewInt(3)}, false},
+		{AttrConst{Attr: "b", Op: OpGt, Const: types.NewInt(4)}, true},
+		{AttrConst{Attr: "b", Op: OpGe, Const: types.NewInt(6)}, false},
+		{AttrConst{Attr: "b", Op: OpLt, Const: types.NewInt(6)}, true},
+		{AttrConst{Attr: "b", Op: OpLe, Const: types.NewInt(5)}, true},
+		{AttrAttr{Left: "a", Right: "b", PosLeft: -1, PosRight: -1, Op: OpLt}, true},
+		{AttrAttr{PosLeft: 0, PosRight: 1, Op: OpEq}, false},
+		{And{AttrConst{Attr: "a", Op: OpEq, Const: types.NewInt(3)}, TruePred{}}, true},
+		{And{AttrConst{Attr: "a", Op: OpEq, Const: types.NewInt(9)}, TruePred{}}, false},
+		{Or{AttrConst{Attr: "a", Op: OpEq, Const: types.NewInt(9)}, TruePred{}}, true},
+		{Or{}, false},
+		{And{}, true},
+		{TruePred{}, true},
+	}
+	for i, c := range cases {
+		if got := c.p.Eval(schema, tp); got != c.want {
+			t.Errorf("case %d (%s): got %v, want %v", i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := ProjectQ{
+		Input: SelectQ{
+			Input: JoinQ{Left: Table{Name: "R"}, Right: Table{Name: "S"},
+				Pred: AttrAttr{Left: "b", Right: "c", PosLeft: -1, PosRight: -1, Op: OpEq}},
+			Pred: AttrConst{Attr: "a", Op: OpGt, Const: types.NewInt(1)},
+		},
+		Attrs: []string{"a"},
+	}
+	want := "π[a](σ[a > 1]((R ⋈[b = c] S)))"
+	if q.String() != want {
+		t.Errorf("String = %q, want %q", q.String(), want)
+	}
+}

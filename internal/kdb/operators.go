@@ -1,0 +1,100 @@
+package kdb
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Select returns σ_pred(r): each tuple keeps its annotation multiplied by
+// θ(t) ∈ {0_K, 1_K} (Section 2.3), which for a boolean predicate simply
+// drops non-matching tuples.
+func Select[T any](r *Relation[T], pred func(types.Tuple) bool) *Relation[T] {
+	out := New(r.k, r.schema)
+	r.ForEach(func(t types.Tuple, ann T) {
+		if pred(t) {
+			out.Add(t, ann)
+		}
+	})
+	return out
+}
+
+// Project returns π_idx(r): annotations of tuples that collapse onto the
+// same projected tuple are summed with ⊕.
+func Project[T any](r *Relation[T], idx []int) *Relation[T] {
+	out := New(r.k, r.schema.Project(idx))
+	r.ForEach(func(t types.Tuple, ann T) {
+		out.Add(t.Project(idx), ann)
+	})
+	return out
+}
+
+// ProjectAttrs is Project with attribute names resolved against r's schema.
+func ProjectAttrs[T any](r *Relation[T], attrs []string) *Relation[T] {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		idx[i] = r.schema.MustIndexOf(a)
+	}
+	return Project(r, idx)
+}
+
+// Join returns r1 ⋈_θ r2: the cross product with annotations multiplied by
+// ⊗, keeping combined tuples that satisfy θ (θ evaluated on the concatenated
+// tuple). A nil θ yields the full cross product.
+func Join[T any](r1, r2 *Relation[T], theta func(types.Tuple) bool) *Relation[T] {
+	out := New(r1.k, r1.schema.Concat(r2.schema))
+	r1.ForEach(func(t1 types.Tuple, a1 T) {
+		r2.ForEach(func(t2 types.Tuple, a2 T) {
+			t := t1.Concat(t2)
+			if theta == nil || theta(t) {
+				out.Add(t, r1.k.Mul(a1, a2))
+			}
+		})
+	})
+	return out
+}
+
+// EquiJoin is a hash join: tuples pair up when their key columns (positions
+// into each input) are equal, and theta (over the concatenated tuple, nil =
+// accept) filters residually. It computes the same relation as Join with an
+// equality predicate but in O(|r1| + |r2| + output).
+func EquiJoin[T any](r1, r2 *Relation[T], leftKey, rightKey []int, theta func(types.Tuple) bool) *Relation[T] {
+	out := New(r1.k, r1.schema.Concat(r2.schema))
+	build := make(map[string][]entry[T], r2.Len())
+	r2.ForEach(func(t2 types.Tuple, a2 T) {
+		k := t2.Project(rightKey).Key()
+		build[k] = append(build[k], entry[T]{tup: t2, ann: a2})
+	})
+	r1.ForEach(func(t1 types.Tuple, a1 T) {
+		k := t1.Project(leftKey).Key()
+		for _, e := range build[k] {
+			t := t1.Concat(e.tup)
+			if theta == nil || theta(t) {
+				out.Add(t, r1.k.Mul(a1, e.ann))
+			}
+		}
+	})
+	return out
+}
+
+// Union returns r1 ∪ r2 with annotations combined by ⊕. The inputs must be
+// union-compatible (same arity, as in SQL); the result takes r1's schema.
+func Union[T any](r1, r2 *Relation[T]) *Relation[T] {
+	if r1.schema.Arity() != r2.schema.Arity() {
+		panic(fmt.Sprintf("kdb: union of incompatible schemas %s and %s", r1.schema, r2.schema))
+	}
+	out := New(r1.k, r1.schema)
+	r1.ForEach(func(t types.Tuple, a T) { out.Add(t, a) })
+	r2.ForEach(func(t types.Tuple, a T) { out.Add(t, a) })
+	return out
+}
+
+// Rename returns r with a new relation name and attribute names.
+func Rename[T any](r *Relation[T], schema types.Schema) *Relation[T] {
+	if schema.Arity() != r.schema.Arity() {
+		panic(fmt.Sprintf("kdb: rename arity mismatch: %s vs %s", schema, r.schema))
+	}
+	out := New(r.k, schema)
+	r.ForEach(func(t types.Tuple, a T) { out.Add(t, a) })
+	return out
+}

@@ -1,0 +1,166 @@
+package kdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Predicate is a boolean condition over a tuple, resolved against a schema
+// at evaluation time. Predicates are deliberately simple — comparisons and
+// boolean connectives — because RA⁺ only needs θ(t) ∈ {0_K, 1_K}; the SQL
+// engine in internal/engine has its own richer expression language.
+type Predicate interface {
+	Eval(schema types.Schema, t types.Tuple) bool
+	fmt.Stringer
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// The comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Apply evaluates the comparison on the total value order.
+func (op CmpOp) Apply(a, b types.Value) bool {
+	c := a.Compare(b)
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// AttrConst compares an attribute to a constant.
+type AttrConst struct {
+	Attr  string
+	Op    CmpOp
+	Const types.Value
+}
+
+// Eval implements Predicate.
+func (p AttrConst) Eval(schema types.Schema, t types.Tuple) bool {
+	return p.Op.Apply(t[schema.MustIndexOf(p.Attr)], p.Const)
+}
+
+// String renders the comparison.
+func (p AttrConst) String() string {
+	return fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Const)
+}
+
+// AttrAttr compares two attributes, optionally at explicit positions (Pos*
+// ≥ 0 take precedence over names, needed when a self-join duplicates names).
+type AttrAttr struct {
+	Left, Right       string
+	PosLeft, PosRight int // -1 to resolve by name
+	Op                CmpOp
+}
+
+// Eval implements Predicate.
+func (p AttrAttr) Eval(schema types.Schema, t types.Tuple) bool {
+	li, ri := p.PosLeft, p.PosRight
+	if li < 0 {
+		li = schema.MustIndexOf(p.Left)
+	}
+	if ri < 0 {
+		ri = schema.MustIndexOf(p.Right)
+	}
+	return p.Op.Apply(t[li], t[ri])
+}
+
+// String renders the comparison.
+func (p AttrAttr) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// And is a conjunction of predicates.
+type And []Predicate
+
+// Eval implements Predicate.
+func (p And) Eval(schema types.Schema, t types.Tuple) bool {
+	for _, c := range p {
+		if !c.Eval(schema, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the conjunction.
+func (p And) String() string {
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// Or is a disjunction of predicates.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (p Or) Eval(schema types.Schema, t types.Tuple) bool {
+	for _, c := range p {
+		if c.Eval(schema, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the disjunction.
+func (p Or) String() string {
+	parts := make([]string, len(p))
+	for i, c := range p {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// TruePred accepts every tuple.
+type TruePred struct{}
+
+// Eval implements Predicate.
+func (TruePred) Eval(types.Schema, types.Tuple) bool { return true }
+
+// String renders "true".
+func (TruePred) String() string { return "true" }

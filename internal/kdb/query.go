@@ -1,0 +1,274 @@
+package kdb
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Query is an RA⁺ query tree over K-relations. Because evaluation only uses
+// the semiring operations, the same query evaluates over any annotation
+// domain — in particular over K^W (possible-worlds semantics), over a
+// labeling in K, and over a UA-DB in K², which is how the paper's bound
+// preservation theorems are exercised in tests.
+type Query interface {
+	// Eval evaluates the query over db.
+	// The result schema depends on the inputs.
+	evalNode() // marker; evaluation is via Eval to keep generics at the call site
+	fmt.Stringer
+}
+
+// Table scans a named base relation.
+type Table struct{ Name string }
+
+// SelectQ filters by a predicate.
+type SelectQ struct {
+	Input Query
+	Pred  Predicate
+}
+
+// ProjectQ projects onto named attributes.
+type ProjectQ struct {
+	Input Query
+	Attrs []string
+}
+
+// JoinQ is a θ-join (cross product when Pred is nil).
+type JoinQ struct {
+	Left, Right Query
+	Pred        Predicate
+}
+
+// UnionQ is a union of two union-compatible inputs.
+type UnionQ struct{ Left, Right Query }
+
+// RenameQ renames the output attributes of its input (arity must match).
+type RenameQ struct {
+	Input Query
+	Attrs []string
+}
+
+func (Table) evalNode()    {}
+func (SelectQ) evalNode()  {}
+func (ProjectQ) evalNode() {}
+func (JoinQ) evalNode()    {}
+func (UnionQ) evalNode()   {}
+func (RenameQ) evalNode()  {}
+
+func (q Table) String() string { return q.Name }
+func (q SelectQ) String() string {
+	return fmt.Sprintf("σ[%s](%s)", q.Pred, q.Input)
+}
+func (q ProjectQ) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(q.Attrs, ","), q.Input)
+}
+func (q JoinQ) String() string {
+	if q.Pred == nil {
+		return fmt.Sprintf("(%s × %s)", q.Left, q.Right)
+	}
+	return fmt.Sprintf("(%s ⋈[%s] %s)", q.Left, q.Pred, q.Right)
+}
+func (q UnionQ) String() string { return fmt.Sprintf("(%s ∪ %s)", q.Left, q.Right) }
+func (q RenameQ) String() string {
+	return fmt.Sprintf("ρ[%s](%s)", strings.Join(q.Attrs, ","), q.Input)
+}
+
+// Eval evaluates an RA⁺ query over a K-database. It returns an error for
+// unknown tables or attributes so callers (e.g. random query generators) can
+// reject ill-formed queries instead of panicking.
+func Eval[T any](q Query, db *Database[T]) (rel *Relation[T], err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("kdb: eval %s: %v", q, p)
+		}
+	}()
+	return eval(q, db)
+}
+
+func eval[T any](q Query, db *Database[T]) (*Relation[T], error) {
+	switch n := q.(type) {
+	case Table:
+		r := db.Get(n.Name)
+		if r == nil {
+			return nil, fmt.Errorf("kdb: unknown table %q", n.Name)
+		}
+		return r, nil
+	case SelectQ:
+		in, err := eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		schema := in.Schema()
+		return Select(in, func(t types.Tuple) bool { return n.Pred.Eval(schema, t) }), nil
+	case ProjectQ:
+		in, err := eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		return ProjectAttrs(in, n.Attrs), nil
+	case JoinQ:
+		l, err := eval(n.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(n.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		if n.Pred == nil {
+			return Join(l, r, nil), nil
+		}
+		schema := l.Schema().Concat(r.Schema())
+		// Hash-join fast path: peel attribute-equality conjuncts that span
+		// the two sides off the predicate.
+		leftKey, rightKey, residual := extractEqui(n.Pred, l.Schema(), r.Schema())
+		if len(leftKey) > 0 {
+			var theta func(types.Tuple) bool
+			if residual != nil {
+				theta = func(t types.Tuple) bool { return residual.Eval(schema, t) }
+			}
+			return EquiJoin(l, r, leftKey, rightKey, theta), nil
+		}
+		return Join(l, r, func(t types.Tuple) bool { return n.Pred.Eval(schema, t) }), nil
+	case UnionQ:
+		l, err := eval(n.Left, db)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(n.Right, db)
+		if err != nil {
+			return nil, err
+		}
+		return Union(l, r), nil
+	case RenameQ:
+		in, err := eval(n.Input, db)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.Attrs) != in.Schema().Arity() {
+			return nil, fmt.Errorf("kdb: rename arity mismatch")
+		}
+		return Rename(in, types.Schema{Name: in.Schema().Name, Attrs: n.Attrs}), nil
+	default:
+		return nil, fmt.Errorf("kdb: unknown query node %T", q)
+	}
+}
+
+// extractEqui splits a join predicate into hash keys and a residual. It
+// recognizes AttrAttr equality conjuncts whose operands resolve on opposite
+// sides (by explicit position or unique name); everything else stays in the
+// residual predicate (nil when empty).
+func extractEqui(p Predicate, left, right types.Schema) (leftKey, rightKey []int, residual Predicate) {
+	var rest And
+	var peel func(Predicate) bool
+	lw := left.Arity()
+	// resolve mirrors AttrAttr.Eval: names resolve against the concatenated
+	// schema, left side first.
+	resolve := func(pos int, name string) int {
+		if pos >= 0 {
+			return pos
+		}
+		if i := left.IndexOf(name); i >= 0 {
+			return i
+		}
+		if i := right.IndexOf(name); i >= 0 {
+			return lw + i
+		}
+		return -1
+	}
+	tryPair := func(a AttrAttr) bool {
+		li := resolve(a.PosLeft, a.Left)
+		ri := resolve(a.PosRight, a.Right)
+		if li < 0 || ri < 0 {
+			return false
+		}
+		// Orient so one index is on each side.
+		if li >= lw && ri < lw {
+			li, ri = ri, li
+		}
+		if li < lw && ri >= lw {
+			leftKey = append(leftKey, li)
+			rightKey = append(rightKey, ri-lw)
+			return true
+		}
+		return false
+	}
+	peel = func(q Predicate) bool {
+		switch n := q.(type) {
+		case And:
+			for _, c := range n {
+				if !peel(c) {
+					rest = append(rest, c)
+				}
+			}
+			return true
+		case AttrAttr:
+			if n.Op == OpEq && tryPair(n) {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	if !peel(p) {
+		return nil, nil, p
+	}
+	if len(rest) > 0 {
+		residual = rest
+	}
+	return leftKey, rightKey, residual
+}
+
+// OutputSchema computes the schema a query produces against the schemas of
+// the base tables, without evaluating it.
+func OutputSchema(q Query, schemas map[string]types.Schema) (types.Schema, error) {
+	switch n := q.(type) {
+	case Table:
+		s, ok := schemas[strings.ToLower(n.Name)]
+		if !ok {
+			return types.Schema{}, fmt.Errorf("kdb: unknown table %q", n.Name)
+		}
+		return s, nil
+	case SelectQ:
+		return OutputSchema(n.Input, schemas)
+	case ProjectQ:
+		in, err := OutputSchema(n.Input, schemas)
+		if err != nil {
+			return types.Schema{}, err
+		}
+		idx := make([]int, len(n.Attrs))
+		for i, a := range n.Attrs {
+			j := in.IndexOf(a)
+			if j < 0 {
+				return types.Schema{}, fmt.Errorf("kdb: unknown attribute %q", a)
+			}
+			idx[i] = j
+		}
+		return in.Project(idx), nil
+	case JoinQ:
+		l, err := OutputSchema(n.Left, schemas)
+		if err != nil {
+			return types.Schema{}, err
+		}
+		r, err := OutputSchema(n.Right, schemas)
+		if err != nil {
+			return types.Schema{}, err
+		}
+		return l.Concat(r), nil
+	case UnionQ:
+		return OutputSchema(n.Left, schemas)
+	case RenameQ:
+		in, err := OutputSchema(n.Input, schemas)
+		if err != nil {
+			return types.Schema{}, err
+		}
+		if len(n.Attrs) != in.Arity() {
+			return types.Schema{}, fmt.Errorf("kdb: rename arity mismatch")
+		}
+		return types.Schema{Name: in.Name, Attrs: n.Attrs}, nil
+	default:
+		return types.Schema{}, fmt.Errorf("kdb: unknown query node %T", q)
+	}
+}

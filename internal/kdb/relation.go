@@ -1,0 +1,175 @@
+// Package kdb implements K-relations (Green et al., PODS 2007): relations
+// whose tuples are annotated with elements of a commutative semiring, plus
+// the positive relational algebra (RA⁺) over them and lifting of semiring
+// homomorphisms to relations and databases. Everything in this package is
+// generic over the annotation type, so the same operator code evaluates set
+// relations (B), bag relations (N), possible-world relations (K^W), and
+// UA-relations (K²).
+package kdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// Relation is a finite map from tuples to annotations. Tuples annotated with
+// 0_K are absent: mutators normalize them away, so Len and iteration only see
+// present tuples.
+type Relation[T any] struct {
+	schema types.Schema
+	k      semiring.Semiring[T]
+	rows   map[string]entry[T]
+}
+
+type entry[T any] struct {
+	tup types.Tuple
+	ann T
+}
+
+// New returns an empty K-relation with the given semiring and schema.
+func New[T any](k semiring.Semiring[T], schema types.Schema) *Relation[T] {
+	return &Relation[T]{schema: schema, k: k, rows: make(map[string]entry[T])}
+}
+
+// Schema returns the relation schema.
+func (r *Relation[T]) Schema() types.Schema { return r.schema }
+
+// Semiring returns the annotation semiring.
+func (r *Relation[T]) Semiring() semiring.Semiring[T] { return r.k }
+
+// Len returns the number of tuples with non-zero annotation.
+func (r *Relation[T]) Len() int { return len(r.rows) }
+
+// Get returns the annotation of t (0_K when absent).
+func (r *Relation[T]) Get(t types.Tuple) T {
+	if e, ok := r.rows[t.Key()]; ok {
+		return e.ann
+	}
+	return r.k.Zero()
+}
+
+// Set assigns annotation ann to tuple t, replacing any previous annotation.
+// Setting 0_K removes the tuple.
+func (r *Relation[T]) Set(t types.Tuple, ann T) {
+	key := t.Key()
+	if r.k.IsZero(ann) {
+		delete(r.rows, key)
+		return
+	}
+	r.rows[key] = entry[T]{tup: t.Clone(), ann: ann}
+}
+
+// Add combines ann into t's current annotation with ⊕ (bag-insert semantics).
+func (r *Relation[T]) Add(t types.Tuple, ann T) {
+	key := t.Key()
+	if e, ok := r.rows[key]; ok {
+		sum := r.k.Add(e.ann, ann)
+		if r.k.IsZero(sum) {
+			delete(r.rows, key)
+			return
+		}
+		e.ann = sum
+		r.rows[key] = e
+		return
+	}
+	if r.k.IsZero(ann) {
+		return
+	}
+	r.rows[key] = entry[T]{tup: t.Clone(), ann: ann}
+}
+
+// ForEach visits every present tuple in an unspecified order.
+func (r *Relation[T]) ForEach(f func(t types.Tuple, ann T)) {
+	for _, e := range r.rows {
+		f(e.tup, e.ann)
+	}
+}
+
+// Tuples returns the present tuples in a deterministic (sorted) order.
+func (r *Relation[T]) Tuples() []types.Tuple {
+	out := make([]types.Tuple, 0, len(r.rows))
+	for _, e := range r.rows {
+		out = append(out, e.tup)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation[T]) Clone() *Relation[T] {
+	c := New(r.k, r.schema)
+	for k, e := range r.rows {
+		c.rows[k] = entry[T]{tup: e.tup.Clone(), ann: e.ann}
+	}
+	return c
+}
+
+// Equal reports whether r and o contain the same tuples with equal
+// annotations (schemas must be union-compatible).
+func (r *Relation[T]) Equal(o *Relation[T]) bool {
+	if !r.schema.Equal(o.schema) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for k, e := range r.rows {
+		oe, ok := o.rows[k]
+		if !ok || !r.k.Eq(e.ann, oe.ann) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small table, tuples sorted.
+func (r *Relation[T]) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%d tuples]\n", r.schema, len(r.rows))
+	for _, t := range r.Tuples() {
+		fmt.Fprintf(&sb, "  %s -> %s\n", t, r.k.Format(r.Get(t)))
+	}
+	return sb.String()
+}
+
+// Database is a named collection of K-relations over one semiring.
+type Database[T any] struct {
+	K         semiring.Semiring[T]
+	Relations map[string]*Relation[T]
+}
+
+// NewDatabase returns an empty database over k.
+func NewDatabase[T any](k semiring.Semiring[T]) *Database[T] {
+	return &Database[T]{K: k, Relations: make(map[string]*Relation[T])}
+}
+
+// Put registers rel under its schema name.
+func (d *Database[T]) Put(rel *Relation[T]) {
+	d.Relations[strings.ToLower(rel.Schema().Name)] = rel
+}
+
+// Get returns the named relation or nil.
+func (d *Database[T]) Get(name string) *Relation[T] {
+	return d.Relations[strings.ToLower(name)]
+}
+
+// MapAnnotations lifts a mapping h : K → K' to relations by applying it to
+// every tuple's annotation (Section 2.3). When h is a semiring homomorphism
+// the lifted map commutes with RA⁺ queries.
+func MapAnnotations[A, B any](r *Relation[A], kb semiring.Semiring[B], h semiring.Hom[A, B]) *Relation[B] {
+	out := New(kb, r.schema)
+	r.ForEach(func(t types.Tuple, ann A) {
+		out.Add(t, h(ann))
+	})
+	return out
+}
+
+// MapDatabase lifts a mapping over every relation of a database.
+func MapDatabase[A, B any](d *Database[A], kb semiring.Semiring[B], h semiring.Hom[A, B]) *Database[B] {
+	out := NewDatabase(kb)
+	for _, r := range d.Relations {
+		out.Put(MapAnnotations(r, kb, h))
+	}
+	return out
+}

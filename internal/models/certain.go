@@ -1,0 +1,110 @@
+package models
+
+import (
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// This file computes exact certain answers of select-project(-join) queries
+// over x-DBs in PTIME, without enumerating worlds. They provide the ground
+// truth against which the experiments measure the labeling scheme's false
+// negative rate (Figures 15, 17, 20).
+//
+// Correctness: x-tuples are independent and their alternatives disjoint, so
+// an adversary building a world picks one alternative per x-tuple
+// independently. A result tuple t of π_A(σ_θ(R)) is therefore guaranteed in
+// every world exactly when some non-optional x-tuple τ has *all* its
+// alternatives satisfying θ and projecting onto t — otherwise the adversary
+// avoids t's derivation from every x-tuple individually. The certain
+// multiplicity is the number of such x-tuples (each world gets exactly one
+// row from each of them, all equal to t).
+
+// CertainSP returns the exact certain answers (with certain multiplicities)
+// of π_proj(σ_pred(x)). A nil pred accepts everything.
+func CertainSP(x *XRelation, pred func(types.Tuple) bool, proj []int) *kdb.Relation[int64] {
+	return CertainSPMap(x, pred,
+		func(t types.Tuple) types.Tuple { return t.Project(proj) },
+		x.Schema.Project(proj))
+}
+
+// CertainSPMap generalizes CertainSP to an arbitrary per-tuple mapping
+// (generalized projection, e.g. a CASE expression over an attribute): an
+// x-tuple guarantees mapFn(t) when every alternative passes the predicate
+// and maps to the same output tuple.
+func CertainSPMap(x *XRelation, pred func(types.Tuple) bool, mapFn func(types.Tuple) types.Tuple, outSchema types.Schema) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, outSchema)
+	for _, xt := range x.XTuples {
+		if xt.Optional || len(xt.Alts) == 0 {
+			continue
+		}
+		first := xt.Alts[0].Data
+		if pred != nil && !pred(first) {
+			continue
+		}
+		t := mapFn(first)
+		all := true
+		for _, alt := range xt.Alts[1:] {
+			if pred != nil && !pred(alt.Data) {
+				all = false
+				break
+			}
+			if !mapFn(alt.Data).Equal(t) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out.Add(t, 1)
+		}
+	}
+	return out
+}
+
+// CertainSPJ returns certain answers of π_proj(σ_pred(x1 × x2)) by the
+// pairwise covering condition: a pair of non-optional x-tuples (τ1, τ2)
+// guarantees t when every combination of their alternatives satisfies the
+// predicate and projects onto t. Sound always; exact unless a result tuple
+// is guaranteed only by a *mixture* of different pairs across worlds, which
+// requires correlated overlaps that the generated workloads do not produce
+// (see the package comment).
+func CertainSPJ(x1, x2 *XRelation, pred func(types.Tuple) bool, proj []int) *kdb.Relation[int64] {
+	schema := x1.Schema.Concat(x2.Schema).Project(proj)
+	out := kdb.New[int64](semiring.Nat, schema)
+	for _, t1 := range x1.XTuples {
+		if t1.Optional || len(t1.Alts) == 0 {
+			continue
+		}
+		for _, t2 := range x2.XTuples {
+			if t2.Optional || len(t2.Alts) == 0 {
+				continue
+			}
+			joined := t1.Alts[0].Data.Concat(t2.Alts[0].Data)
+			if pred != nil && !pred(joined) {
+				continue
+			}
+			t := joined.Project(proj)
+			all := true
+			for _, a1 := range t1.Alts {
+				for _, a2 := range t2.Alts {
+					row := a1.Data.Concat(a2.Data)
+					if pred != nil && !pred(row) {
+						all = false
+						break
+					}
+					if !row.Project(proj).Equal(t) {
+						all = false
+						break
+					}
+				}
+				if !all {
+					break
+				}
+			}
+			if all {
+				out.Add(t, 1)
+			}
+		}
+	}
+	return out
+}

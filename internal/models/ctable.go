@@ -1,0 +1,237 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cond"
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// CTuple is one row of a C-table: per-attribute terms (constants or labeled
+// nulls / variables) guarded by a local condition φ_D(t).
+type CTuple struct {
+	Data []cond.Term
+	Cond cond.Expr
+}
+
+// IsGround reports whether every attribute of the row is a constant.
+func (t CTuple) IsGround() bool {
+	for _, term := range t.Data {
+		if term.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ground returns the row's tuple of constants; it panics when the row still
+// contains variables.
+func (t CTuple) Ground() types.Tuple {
+	out := make(types.Tuple, len(t.Data))
+	for i, term := range t.Data {
+		if term.IsVar() {
+			panic(fmt.Sprintf("models: Ground() on row with variable %s", term.Var))
+		}
+		out[i] = term.Const
+	}
+	return out
+}
+
+// WeightedValue is one domain element of a C-table variable, with its
+// probability in the PC-table variant.
+type WeightedValue struct {
+	Value types.Value
+	Prob  float64
+}
+
+// CTable is a C-table under the closed-world assumption: every valuation of
+// the variables over their domains defines a possible world containing the
+// rows whose local conditions it satisfies. When Probabilistic, variable
+// assignments are independent events with the given weights (PC-tables,
+// Green & Tannen).
+type CTable struct {
+	Schema        types.Schema
+	Tuples        []CTuple
+	Domains       map[string][]WeightedValue
+	Probabilistic bool
+}
+
+// NewCTable builds an empty C-table.
+func NewCTable(schema types.Schema) *CTable {
+	return &CTable{Schema: schema, Domains: make(map[string][]WeightedValue)}
+}
+
+// AddGround appends a variable-free row guarded by TRUE.
+func (c *CTable) AddGround(t types.Tuple) {
+	terms := make([]cond.Term, len(t))
+	for i, v := range t {
+		terms[i] = cond.C(v)
+	}
+	c.Tuples = append(c.Tuples, CTuple{Data: terms, Cond: cond.Lit(true)})
+}
+
+// Add appends a row with an explicit condition.
+func (c *CTable) Add(data []cond.Term, e cond.Expr) {
+	c.Tuples = append(c.Tuples, CTuple{Data: data, Cond: e})
+}
+
+// SetDomain declares the domain of a variable with uniform probabilities.
+func (c *CTable) SetDomain(v string, vals ...types.Value) {
+	ws := make([]WeightedValue, len(vals))
+	for i, val := range vals {
+		ws[i] = WeightedValue{Value: val, Prob: 1 / float64(len(vals))}
+	}
+	c.Domains[v] = ws
+}
+
+// Vars returns the sorted variables of the C-table (from rows and
+// conditions).
+func (c *CTable) Vars() []string {
+	set := make(map[string]bool)
+	for _, t := range c.Tuples {
+		for _, term := range t.Data {
+			if term.IsVar() {
+				set[term.Var] = true
+			}
+		}
+		for _, v := range cond.Vars(t.Cond) {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LabelCTable is the paper's labeling scheme for C-tables (Theorem 2,
+// c-sound): a row counts toward a tuple's certain multiplicity only when it
+// is ground and its local condition is a CNF tautology — a sufficient but
+// not necessary condition for certainty, checkable in PTIME.
+func LabelCTable(c *CTable) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, c.Schema)
+	for _, t := range c.Tuples {
+		if t.IsGround() && cond.IsCNF(t.Cond) && cond.CNFTautology(t.Cond) {
+			out.Add(t.Ground(), 1)
+		}
+	}
+	return out
+}
+
+// Instantiate evaluates the C-table under a total valuation, producing the
+// corresponding possible world as an N-relation.
+func (c *CTable) Instantiate(v cond.Valuation) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, c.Schema)
+	for _, t := range c.Tuples {
+		if !cond.Eval(t.Cond, v) {
+			continue
+		}
+		row := make(types.Tuple, len(t.Data))
+		for i, term := range t.Data {
+			if term.IsVar() {
+				val, ok := v[term.Var]
+				if !ok {
+					panic(fmt.Sprintf("models: valuation misses variable %s", term.Var))
+				}
+				row[i] = val
+			} else {
+				row[i] = term.Const
+			}
+		}
+		out.Add(row, 1)
+	}
+	return out
+}
+
+// BestGuessCTable extracts the best-guess world: each variable is bound to
+// its most probable domain value (first value for incomplete C-tables) and
+// the table is instantiated under that valuation. For PC-tables this is the
+// most likely world because variables are independent.
+func BestGuessCTable(c *CTable) *kdb.Relation[int64] {
+	v := make(cond.Valuation)
+	for name, dom := range c.Domains {
+		if len(dom) == 0 {
+			panic(fmt.Sprintf("models: variable %s has empty domain", name))
+		}
+		best := 0
+		if c.Probabilistic {
+			for i, wv := range dom {
+				if wv.Prob > dom[best].Prob {
+					best = i
+				}
+			}
+		}
+		v[name] = dom[best].Value
+	}
+	return c.Instantiate(v)
+}
+
+// NumWorlds returns the number of valuations, capped at MaxWorlds+1.
+func (c *CTable) NumWorlds() int {
+	n := 1
+	for _, name := range c.Vars() {
+		dom := c.Domains[name]
+		if len(dom) == 0 {
+			return 0
+		}
+		n *= len(dom)
+		if n > MaxWorlds {
+			return MaxWorlds + 1
+		}
+	}
+	return n
+}
+
+// WorldsCTable enumerates every valuation's world as an incomplete
+// N-database. Probabilities are attached for PC-tables.
+func WorldsCTable(c *CTable) (*incomplete.DB[int64], error) {
+	vars := c.Vars()
+	for _, v := range vars {
+		if len(c.Domains[v]) == 0 {
+			return nil, fmt.Errorf("models: variable %s has no domain", v)
+		}
+	}
+	if c.NumWorlds() > MaxWorlds {
+		return nil, fmt.Errorf("models: C-table has more than %d worlds", MaxWorlds)
+	}
+	db := &incomplete.DB[int64]{K: semiring.Nat}
+	choice := make([]int, len(vars))
+	var probs []float64
+	for {
+		v := make(cond.Valuation, len(vars))
+		p := 1.0
+		for i, name := range vars {
+			wv := c.Domains[name][choice[i]]
+			v[name] = wv.Value
+			p *= wv.Prob
+		}
+		w := kdb.NewDatabase[int64](semiring.Nat)
+		w.Put(c.Instantiate(v))
+		db.Worlds = append(db.Worlds, w)
+		probs = append(probs, p)
+		i := 0
+		for ; i < len(vars); i++ {
+			choice[i]++
+			if choice[i] < len(c.Domains[vars[i]]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(vars) {
+			break
+		}
+		if len(vars) == 0 {
+			break
+		}
+	}
+	if c.Probabilistic {
+		db.Probs = probs
+	}
+	return db, nil
+}

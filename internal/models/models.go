@@ -1,0 +1,35 @@
+// Package models implements the three compact incomplete/probabilistic data
+// models the paper defines labeling schemes for (Section 4): tuple-
+// independent databases (TI-DBs), block-independent x-DBs/BI-DBs, and
+// C-tables/PC-tables. For each model it provides
+//
+//   - the labeling scheme (LabelTIDB c-correct, LabelXDB c-correct,
+//     LabelCTable c-sound) producing an N-labeling whose annotation is a
+//     lower bound on the certain multiplicity,
+//   - best-guess-world extraction (Section 4.2), and
+//   - possible-world enumeration (exponential; used as ground truth by tests
+//     and experiments, never by the UA-DB fast path).
+//
+// Labelings and worlds are produced under bag semantics (semiring N); set
+// semantics versions are derived through the support homomorphism N → B.
+package models
+
+import (
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+)
+
+// ToSet converts an N-relation to its B support: h(k) = (k > 0), the
+// semiring homomorphism of Example 6.
+func ToSet(r *kdb.Relation[int64]) *kdb.Relation[bool] {
+	return kdb.MapAnnotations(r, semiring.Bool, func(k int64) bool { return k > 0 })
+}
+
+// ToSetDB converts an N-database to its B support.
+func ToSetDB(d *kdb.Database[int64]) *kdb.Database[bool] {
+	return kdb.MapDatabase(d, semiring.Bool, func(k int64) bool { return k > 0 })
+}
+
+// MaxWorlds caps possible-world enumeration; models with more worlds refuse
+// to enumerate rather than exhaust memory (the UA-DB path never enumerates).
+const MaxWorlds = 1 << 20

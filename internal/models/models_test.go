@@ -1,0 +1,369 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/cond"
+	"repro/internal/incomplete"
+	"repro/internal/types"
+)
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+// --- TI-DBs ---
+
+func sampleTI() *TIRelation {
+	r := NewTIRelation(types.NewSchema("R", "a", "b"))
+	r.AddCertain(it(1, 10))
+	r.AddCertain(it(1, 10)) // duplicate: certain multiplicity 2
+	r.AddOptional(it(2, 20), 0.9)
+	r.AddOptional(it(3, 30), 0.2)
+	r.AddOptional(it(4, 40), 1.0) // optional but P=1: certain
+	return r
+}
+
+func TestLabelTIDB(t *testing.T) {
+	l := LabelTIDB(sampleTI())
+	if l.Get(it(1, 10)) != 2 {
+		t.Errorf("cert multiplicity of duplicated row = %d, want 2", l.Get(it(1, 10)))
+	}
+	if l.Get(it(2, 20)) != 0 || l.Get(it(3, 30)) != 0 {
+		t.Error("optional rows with P<1 must be labeled uncertain")
+	}
+	if l.Get(it(4, 40)) != 1 {
+		t.Error("optional row with P=1 is certain")
+	}
+}
+
+func TestBestGuessTIDB(t *testing.T) {
+	w := BestGuessTIDB(sampleTI())
+	if w.Get(it(1, 10)) != 2 {
+		t.Error("BGW keeps non-optional rows")
+	}
+	if w.Get(it(2, 20)) != 1 {
+		t.Error("BGW includes rows with P >= 0.5")
+	}
+	if w.Get(it(3, 30)) != 0 {
+		t.Error("BGW excludes rows with P < 0.5")
+	}
+}
+
+// TestLabelTIDBCCorrect is Theorem 1: the TI-DB labeling equals the certain
+// annotation computed by world enumeration.
+func TestLabelTIDBCCorrect(t *testing.T) {
+	r := sampleTI()
+	worlds, err := WorldsTIDB(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 branching rows (the P=1 "optional" row never branches) -> 4 worlds.
+	if worlds.NumWorlds() != 4 {
+		t.Fatalf("worlds = %d, want 4", worlds.NumWorlds())
+	}
+	cert := incomplete.CertainRelation(worlds, "R")
+	label := LabelTIDB(r)
+	for _, tp := range []types.Tuple{it(1, 10), it(2, 20), it(3, 30), it(4, 40)} {
+		if label.Get(tp) != cert.Get(tp) {
+			t.Errorf("tuple %s: label %d != cert %d (c-correctness)", tp, label.Get(tp), cert.Get(tp))
+		}
+	}
+}
+
+func TestWorldsTIDBProbabilities(t *testing.T) {
+	r := NewTIRelation(types.NewSchema("R", "a"))
+	r.AddOptional(it(1), 0.75)
+	worlds, err := WorldsTIDB(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds.Probs) != 2 {
+		t.Fatal("expected 2 worlds")
+	}
+	sum := worlds.Probs[0] + worlds.Probs[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("world probabilities sum to %f", sum)
+	}
+	if worlds.BestGuessWorld() != 1 {
+		// world 1 includes the tuple (mask bit set) with P = 0.75
+		t.Error("BGW should be the world containing the likely tuple")
+	}
+}
+
+func TestWorldsTIDBLimit(t *testing.T) {
+	r := NewTIRelation(types.NewSchema("R", "a"))
+	for i := int64(0); i < 25; i++ {
+		r.AddOptional(it(i), 0.5)
+	}
+	if _, err := WorldsTIDB(r); err == nil {
+		t.Error("expected enumeration limit error")
+	}
+}
+
+// --- x-DBs ---
+
+func sampleXDB() *XRelation {
+	r := NewXRelation(types.NewSchema("R", "a", "b"))
+	r.AddCertain(it(1, 10))
+	r.AddChoice(it(2, 20), it(2, 21)) // ambiguous
+	x := XTuple{Alts: []Alternative{{Data: it(3, 30), Prob: 1}}, Optional: true}
+	r.Add(x) // optional single alternative: not certain
+	return r
+}
+
+func TestLabelXDB(t *testing.T) {
+	l := LabelXDB(sampleXDB())
+	if l.Get(it(1, 10)) != 1 {
+		t.Error("single non-optional alternative is certain")
+	}
+	if l.Get(it(2, 20)) != 0 || l.Get(it(2, 21)) != 0 {
+		t.Error("multi-alternative x-tuples are uncertain")
+	}
+	if l.Get(it(3, 30)) != 0 {
+		t.Error("optional x-tuple is uncertain")
+	}
+}
+
+func TestLabelXDBProbabilistic(t *testing.T) {
+	r := NewXRelation(types.NewSchema("R", "a"))
+	r.Probabilistic = true
+	r.Add(XTuple{Alts: []Alternative{{Data: it(1), Prob: 1}}})
+	r.Add(XTuple{Alts: []Alternative{{Data: it(2), Prob: 0.6}}})
+	l := LabelXDB(r)
+	if l.Get(it(1)) != 1 {
+		t.Error("P(τ)=1 single alternative is certain")
+	}
+	if l.Get(it(2)) != 0 {
+		t.Error("P(τ)<1 is uncertain")
+	}
+}
+
+func TestBestGuessXDB(t *testing.T) {
+	// Non-probabilistic: first alternative designated (paper's Example 2).
+	w := BestGuessXDB(sampleXDB())
+	if w.Get(it(2, 20)) != 1 || w.Get(it(2, 21)) != 0 {
+		t.Error("non-probabilistic BGW picks the first alternative")
+	}
+	if w.Get(it(3, 30)) != 1 {
+		t.Error("non-probabilistic BGW includes optional x-tuples' first alternative")
+	}
+
+	// Probabilistic: argmax alternative, skipped when absence is likelier.
+	r := NewXRelation(types.NewSchema("R", "a"))
+	r.Probabilistic = true
+	r.Add(XTuple{Alts: []Alternative{{Data: it(1), Prob: 0.2}, {Data: it(2), Prob: 0.5}}})
+	r.Add(XTuple{Alts: []Alternative{{Data: it(3), Prob: 0.1}}}) // absence P=0.9 wins
+	w = BestGuessXDB(r)
+	if w.Get(it(2)) != 1 || w.Get(it(1)) != 0 {
+		t.Error("probabilistic BGW picks argmax alternative")
+	}
+	if w.Get(it(3)) != 0 {
+		t.Error("probabilistic BGW skips x-tuple when absence is likelier")
+	}
+}
+
+// TestLabelXDBCCorrect is Theorem 3: labelXDB equals the certain annotation
+// from world enumeration.
+func TestLabelXDBCCorrect(t *testing.T) {
+	r := sampleXDB()
+	worlds, err := WorldsXDB(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x-tuples: certain (1 choice) × choice-of-2 (2) × optional-single (2) = 4.
+	if worlds.NumWorlds() != 4 {
+		t.Fatalf("worlds = %d, want 4", worlds.NumWorlds())
+	}
+	cert := incomplete.CertainRelation(worlds, "R")
+	label := LabelXDB(r)
+	for _, tp := range []types.Tuple{it(1, 10), it(2, 20), it(2, 21), it(3, 30)} {
+		if label.Get(tp) != cert.Get(tp) {
+			t.Errorf("tuple %s: label %d != cert %d", tp, label.Get(tp), cert.Get(tp))
+		}
+	}
+}
+
+func TestWorldsXDBProbabilities(t *testing.T) {
+	r := NewXRelation(types.NewSchema("R", "a"))
+	r.Probabilistic = true
+	r.Add(XTuple{Alts: []Alternative{{Data: it(1), Prob: 0.7}, {Data: it(2), Prob: 0.3}}})
+	worlds, err := WorldsXDB(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds.Worlds) != 2 {
+		t.Fatalf("worlds = %d", len(worlds.Worlds))
+	}
+	sum := 0.0
+	for _, p := range worlds.Probs {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %f", sum)
+	}
+}
+
+func TestXKey(t *testing.T) {
+	r := NewXRelation(types.NewSchema("R", "a", "b"))
+	r.AddChoice(it(1, 10), it(1, 20)) // alternatives agree on a, differ on b
+	r.AddCertain(it(2, 30))
+	if XKey(r, []string{"a"}) {
+		t.Error("a is not an x-key: alternatives identical on a")
+	}
+	if !XKey(r, []string{"b"}) {
+		t.Error("b is an x-key")
+	}
+	if !XKey(r, []string{"a", "b"}) {
+		t.Error("supersets of x-keys are x-keys (Lemma 7)")
+	}
+	if XKey(r, []string{"missing"}) {
+		t.Error("unknown attribute is not an x-key")
+	}
+	// Optional x-tuples are exempt from the x-key condition.
+	r2 := NewXRelation(types.NewSchema("R", "a", "b"))
+	r2.Add(XTuple{Alts: []Alternative{{Data: it(1, 10)}, {Data: it(1, 10)}}, Optional: true})
+	if !XKey(r2, []string{"a"}) {
+		t.Error("optional x-tuples do not break x-keys")
+	}
+}
+
+// --- C-tables ---
+
+func TestLabelCTable(t *testing.T) {
+	c := NewCTable(types.NewSchema("R", "a", "b"))
+	c.AddGround(it(1, 10)) // TRUE condition: certain
+	// Ground but guarded by a non-tautology.
+	c.Add([]cond.Term{cond.CI(2), cond.CI(20)}, cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(1)))
+	// Ground with CNF tautology.
+	c.Add([]cond.Term{cond.CI(3), cond.CI(30)},
+		cond.Or{cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(1)), cond.Cmp(cond.V("X"), cond.OpNe, cond.CI(1))})
+	// Variable in the row: never labeled certain.
+	c.Add([]cond.Term{cond.CI(4), cond.V("Y")}, cond.Lit(true))
+	c.SetDomain("X", types.NewInt(0), types.NewInt(1))
+	c.SetDomain("Y", types.NewInt(40), types.NewInt(41))
+
+	l := LabelCTable(c)
+	if l.Get(it(1, 10)) != 1 {
+		t.Error("ground TRUE row is certain")
+	}
+	if l.Get(it(2, 20)) != 0 {
+		t.Error("conditionally guarded row is uncertain")
+	}
+	if l.Get(it(3, 30)) != 1 {
+		t.Error("CNF-tautology row is certain")
+	}
+	if l.Get(it(4, 40)) != 0 || l.Get(it(4, 41)) != 0 {
+		t.Error("rows with variables are uncertain")
+	}
+}
+
+// TestLabelCTableCSound is Theorem 2: every tuple the labeling marks certain
+// is certain under world enumeration (but not vice versa — see Example 9).
+func TestLabelCTableCSound(t *testing.T) {
+	// The paper's Example 9: t1 = (1, X) with X = 1; t2 = (1, 1) with X ≠ 1.
+	c := NewCTable(types.NewSchema("R", "a", "b"))
+	c.Add([]cond.Term{cond.CI(1), cond.V("X")}, cond.Cmp(cond.V("X"), cond.OpEq, cond.CI(1)))
+	c.Add([]cond.Term{cond.CI(1), cond.CI(1)}, cond.Cmp(cond.V("X"), cond.OpNe, cond.CI(1)))
+	c.SetDomain("X", types.NewInt(1), types.NewInt(2))
+
+	label := LabelCTable(c)
+	if label.Get(it(1, 1)) != 0 {
+		t.Fatal("Example 9: labeling must be conservative and mark (1,1) uncertain")
+	}
+	worlds, err := WorldsCTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := incomplete.CertainRelation(worlds, "R")
+	if cert.Get(it(1, 1)) != 1 {
+		t.Fatal("Example 9: (1,1) is in fact certain")
+	}
+	// c-soundness: label ⪯ cert everywhere.
+	label.ForEach(func(tp types.Tuple, l int64) {
+		if l > cert.Get(tp) {
+			t.Errorf("label of %s exceeds certain annotation", tp)
+		}
+	})
+}
+
+func TestCTableInstantiateAndWorlds(t *testing.T) {
+	c := NewCTable(types.NewSchema("R", "a"))
+	c.Add([]cond.Term{cond.V("X")}, cond.Cmp(cond.V("X"), cond.OpGt, cond.CI(0)))
+	c.SetDomain("X", types.NewInt(0), types.NewInt(1), types.NewInt(2))
+	worlds, err := WorldsCTable(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds.Worlds) != 3 {
+		t.Fatalf("worlds = %d, want 3", len(worlds.Worlds))
+	}
+	// X=0 yields empty; X=1 yields (1); X=2 yields (2).
+	sizes := 0
+	for _, w := range worlds.Worlds {
+		sizes += w.Get("R").Len()
+	}
+	if sizes != 2 {
+		t.Errorf("total tuples across worlds = %d, want 2", sizes)
+	}
+}
+
+func TestBestGuessCTable(t *testing.T) {
+	c := NewCTable(types.NewSchema("R", "a"))
+	c.Probabilistic = true
+	c.Add([]cond.Term{cond.V("X")}, cond.Lit(true))
+	c.Domains["X"] = []WeightedValue{
+		{Value: types.NewInt(1), Prob: 0.2},
+		{Value: types.NewInt(2), Prob: 0.8},
+	}
+	w := BestGuessCTable(c)
+	if w.Get(it(2)) != 1 || w.Get(it(1)) != 0 {
+		t.Error("BGW should bind X to its most probable value")
+	}
+}
+
+func TestCTableVars(t *testing.T) {
+	c := NewCTable(types.NewSchema("R", "a"))
+	c.Add([]cond.Term{cond.V("B")}, cond.Cmp(cond.V("A"), cond.OpEq, cond.CI(1)))
+	vars := c.Vars()
+	if len(vars) != 2 || vars[0] != "A" || vars[1] != "B" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestCTupleGround(t *testing.T) {
+	g := CTuple{Data: []cond.Term{cond.CI(1), cond.CI(2)}}
+	if !g.IsGround() {
+		t.Error("IsGround")
+	}
+	if !g.Ground().Equal(it(1, 2)) {
+		t.Error("Ground")
+	}
+	v := CTuple{Data: []cond.Term{cond.V("X")}}
+	if v.IsGround() {
+		t.Error("IsGround with variable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Ground with variable should panic")
+			}
+		}()
+		v.Ground()
+	}()
+}
+
+func TestToSet(t *testing.T) {
+	r := LabelTIDB(sampleTI())
+	b := ToSet(r)
+	if !b.Get(it(1, 10)) {
+		t.Error("support conversion")
+	}
+	if b.Get(it(2, 20)) {
+		t.Error("zero stays absent")
+	}
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// TITuple is one row of a TI-DB. In the incomplete variant Optional marks
+// rows that may be absent; in the probabilistic variant Prob is the marginal
+// probability (Optional is then derived: P(t) < 1).
+type TITuple struct {
+	Data     types.Tuple
+	Optional bool
+	Prob     float64 // in [0,1]; 1 for non-optional incomplete rows
+}
+
+// TIRelation is a tuple-independent relation: every row is an independent
+// existence event.
+type TIRelation struct {
+	Schema types.Schema
+	Rows   []TITuple
+}
+
+// NewTIRelation builds an empty TI-relation.
+func NewTIRelation(schema types.Schema) *TIRelation {
+	return &TIRelation{Schema: schema}
+}
+
+// AddCertain appends a non-optional row (P = 1).
+func (r *TIRelation) AddCertain(t types.Tuple) {
+	r.Rows = append(r.Rows, TITuple{Data: t, Optional: false, Prob: 1})
+}
+
+// AddOptional appends an optional row with the given marginal probability.
+func (r *TIRelation) AddOptional(t types.Tuple, prob float64) {
+	r.Rows = append(r.Rows, TITuple{Data: t, Optional: true, Prob: prob})
+}
+
+// LabelTIDB is the paper's labeling scheme for TI-DBs (Theorem 1,
+// c-correct): a tuple's label is its certain multiplicity — the number of
+// copies that are non-optional (probabilistic: have P(t) = 1).
+func LabelTIDB(r *TIRelation) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, r.Schema)
+	for _, row := range r.Rows {
+		if !row.Optional || row.Prob >= 1 {
+			out.Add(row.Data, 1)
+		}
+	}
+	return out
+}
+
+// BestGuessTIDB extracts the best-guess world (Section 4.2): all rows with
+// P(t) ≥ 0.5. Non-optional rows always have P = 1 and are always included.
+func BestGuessTIDB(r *TIRelation) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, r.Schema)
+	for _, row := range r.Rows {
+		if !row.Optional || row.Prob >= 0.5 {
+			out.Add(row.Data, 1)
+		}
+	}
+	return out
+}
+
+// OptionalCount returns the number of optional rows (those that create
+// branching in the world set).
+func (r *TIRelation) OptionalCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.Optional && row.Prob < 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// WorldsTIDB enumerates all possible worlds of the TI-relation as an
+// incomplete N-database with the relation registered under its schema name.
+// World probabilities are filled in when every optional row carries a
+// probability. It returns an error if there would be more than MaxWorlds
+// worlds.
+func WorldsTIDB(r *TIRelation) (*incomplete.DB[int64], error) {
+	nOpt := r.OptionalCount()
+	if nOpt > 20 || 1<<nOpt > MaxWorlds {
+		return nil, fmt.Errorf("models: TI-DB has 2^%d worlds, beyond enumeration limit", nOpt)
+	}
+	optIdx := make([]int, 0, nOpt)
+	for i, row := range r.Rows {
+		if row.Optional && row.Prob < 1 {
+			optIdx = append(optIdx, i)
+		}
+	}
+	n := 1 << nOpt
+	db := &incomplete.DB[int64]{K: semiring.Nat}
+	probs := make([]float64, 0, n)
+	hasProbs := true
+	for mask := 0; mask < n; mask++ {
+		rel := kdb.New[int64](semiring.Nat, r.Schema)
+		p := 1.0
+		for i, row := range r.Rows {
+			include := !row.Optional || row.Prob >= 1
+			if !include {
+				bit := indexOfInt(optIdx, i)
+				include = mask&(1<<bit) != 0
+				if row.Prob > 0 || row.Prob == 0 {
+					if include {
+						p *= row.Prob
+					} else {
+						p *= 1 - row.Prob
+					}
+				}
+			}
+			if include {
+				rel.Add(row.Data, 1)
+			}
+		}
+		w := kdb.NewDatabase[int64](semiring.Nat)
+		w.Put(rel)
+		db.Worlds = append(db.Worlds, w)
+		probs = append(probs, p)
+	}
+	if hasProbs {
+		db.Probs = probs
+	}
+	return db, nil
+}
+
+func indexOfInt(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

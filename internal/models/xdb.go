@@ -1,0 +1,216 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// Alternative is one possible value of an x-tuple, with its probability in
+// the BI-DB (probabilistic) variant.
+type Alternative struct {
+	Data types.Tuple
+	Prob float64
+}
+
+// XTuple is a disjoint-independent choice among alternatives. In the
+// incomplete variant Optional marks x-tuples that may contribute no row; in
+// the BI-DB variant optionality is derived: P(τ) = Σ P(alt) < 1.
+type XTuple struct {
+	Alts     []Alternative
+	Optional bool
+}
+
+// TotalProb returns P(τ) = Σ_t∈τ P(t).
+func (x XTuple) TotalProb() float64 {
+	p := 0.0
+	for _, a := range x.Alts {
+		p += a.Prob
+	}
+	return p
+}
+
+// XRelation is an x-relation: a set of independent x-tuples with mutually
+// disjoint alternatives (Agrawal et al.'s Trio model; BI-DBs when
+// Probabilistic).
+type XRelation struct {
+	Schema        types.Schema
+	XTuples       []XTuple
+	Probabilistic bool
+}
+
+// NewXRelation builds an empty x-relation.
+func NewXRelation(schema types.Schema) *XRelation {
+	return &XRelation{Schema: schema}
+}
+
+// AddCertain appends a single-alternative, non-optional x-tuple.
+func (r *XRelation) AddCertain(t types.Tuple) {
+	r.XTuples = append(r.XTuples, XTuple{Alts: []Alternative{{Data: t, Prob: 1}}})
+}
+
+// AddChoice appends a non-optional x-tuple choosing among the given tuples
+// with uniform probability.
+func (r *XRelation) AddChoice(ts ...types.Tuple) {
+	alts := make([]Alternative, len(ts))
+	for i, t := range ts {
+		alts[i] = Alternative{Data: t, Prob: 1 / float64(len(ts))}
+	}
+	r.XTuples = append(r.XTuples, XTuple{Alts: alts})
+}
+
+// Add appends an arbitrary x-tuple.
+func (r *XRelation) Add(x XTuple) { r.XTuples = append(r.XTuples, x) }
+
+// LabelXDB is the paper's labeling scheme for x-DBs (Theorem 3, c-correct):
+// a tuple's certain multiplicity is the number of x-tuples of which it is the
+// single, non-optional alternative (BI-DB: single alternative with
+// P(τ) = 1).
+func LabelXDB(r *XRelation) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, r.Schema)
+	for _, x := range r.XTuples {
+		if len(x.Alts) != 1 {
+			continue
+		}
+		if r.Probabilistic {
+			if x.TotalProb() >= 1 {
+				out.Add(x.Alts[0].Data, 1)
+			}
+		} else if !x.Optional {
+			out.Add(x.Alts[0].Data, 1)
+		}
+	}
+	return out
+}
+
+// BestGuessXDB extracts the best-guess world (Section 4.2): for every
+// x-tuple the highest-probability alternative, unless skipping the x-tuple
+// is more likely (max P(t) < 1 − P(τ)). For incomplete (non-probabilistic)
+// x-relations the first alternative of every x-tuple is designated, matching
+// the paper's Example 2.
+func BestGuessXDB(r *XRelation) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, r.Schema)
+	for _, x := range r.XTuples {
+		if len(x.Alts) == 0 {
+			continue
+		}
+		if !r.Probabilistic {
+			out.Add(x.Alts[0].Data, 1)
+			continue
+		}
+		best := 0
+		for i, a := range x.Alts {
+			if a.Prob > x.Alts[best].Prob {
+				best = i
+			}
+		}
+		if x.Alts[best].Prob >= 1-x.TotalProb() {
+			out.Add(x.Alts[best].Data, 1)
+		}
+	}
+	return out
+}
+
+// numChoices returns the branching factor of x-tuple x: one per alternative
+// plus one for "absent" when the x-tuple is optional.
+func numChoices(r *XRelation, x XTuple) int {
+	n := len(x.Alts)
+	if x.Optional || (r.Probabilistic && x.TotalProb() < 1) {
+		n++
+	}
+	return n
+}
+
+// NumWorlds returns the total number of possible worlds, capped at
+// MaxWorlds+1 to avoid overflow.
+func (r *XRelation) NumWorlds() int {
+	n := 1
+	for _, x := range r.XTuples {
+		n *= numChoices(r, x)
+		if n > MaxWorlds {
+			return MaxWorlds + 1
+		}
+	}
+	return n
+}
+
+// WorldsXDB enumerates all possible worlds of the x-relation as an
+// incomplete N-database. World probabilities are filled in for BI-DBs.
+func WorldsXDB(r *XRelation) (*incomplete.DB[int64], error) {
+	total := r.NumWorlds()
+	if total > MaxWorlds {
+		return nil, fmt.Errorf("models: x-DB has more than %d worlds", MaxWorlds)
+	}
+	db := &incomplete.DB[int64]{K: semiring.Nat}
+	choice := make([]int, len(r.XTuples))
+	var probs []float64
+	for {
+		rel := kdb.New[int64](semiring.Nat, r.Schema)
+		p := 1.0
+		for i, x := range r.XTuples {
+			c := choice[i]
+			if c < len(x.Alts) {
+				rel.Add(x.Alts[c].Data, 1)
+				p *= x.Alts[c].Prob
+			} else {
+				p *= 1 - x.TotalProb()
+			}
+		}
+		w := kdb.NewDatabase[int64](semiring.Nat)
+		w.Put(rel)
+		db.Worlds = append(db.Worlds, w)
+		probs = append(probs, p)
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(r.XTuples); i++ {
+			choice[i]++
+			if choice[i] < numChoices(r, r.XTuples[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(r.XTuples) {
+			break
+		}
+	}
+	if r.Probabilistic {
+		db.Probs = probs
+	}
+	return db, nil
+}
+
+// XKey reports whether attribute set attrs is an x-key of r (Definition 7):
+// for every non-optional x-tuple with more than one alternative, at least two
+// alternatives differ on attrs. Queries whose projection list contains an
+// x-key of every input relation preserve c-completeness (Theorem 6).
+func XKey(r *XRelation, attrs []string) bool {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := r.Schema.IndexOf(a)
+		if j < 0 {
+			return false
+		}
+		idx[i] = j
+	}
+	for _, x := range r.XTuples {
+		optional := x.Optional || (r.Probabilistic && x.TotalProb() < 1)
+		if optional || len(x.Alts) <= 1 {
+			continue
+		}
+		differ := false
+		first := x.Alts[0].Data.Project(idx)
+		for _, a := range x.Alts[1:] {
+			if !a.Data.Project(idx).Equal(first) {
+				differ = true
+				break
+			}
+		}
+		if !differ {
+			return false
+		}
+	}
+	return true
+}

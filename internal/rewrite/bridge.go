@@ -1,0 +1,71 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// TableFromRelation expands an N-relation into an engine table, emitting
+// each tuple as many times as its multiplicity — the physical bag
+// representation a DBMS uses.
+func TableFromRelation(r *kdb.Relation[int64]) *engine.Table {
+	out := engine.NewTable(r.Schema())
+	for _, t := range r.Tuples() {
+		k := r.Get(t)
+		for i := int64(0); i < k; i++ {
+			out.Rows = append(out.Rows, append([]types.Value{}, t...))
+		}
+	}
+	return out
+}
+
+// RelationFromTable counts duplicate rows of a table into an N-relation.
+func RelationFromTable(t *engine.Table) *kdb.Relation[int64] {
+	out := kdb.New[int64](semiring.Nat, t.Schema)
+	for _, row := range t.Rows {
+		out.Add(types.Tuple(row), 1)
+	}
+	return out
+}
+
+// TableFromUA encodes a UA-relation as the physical table with the trailing
+// certainty column (composing Definition 8's Enc with the bag expansion).
+func TableFromUA(r *uadb.Relation[int64]) *engine.Table {
+	return TableFromRelation(uadb.Enc(r))
+}
+
+// UAFromTable decodes a physical result table (user columns + trailing C)
+// back into a UA-relation.
+func UAFromTable(t *engine.Table) (*uadb.Relation[int64], error) {
+	n := t.Schema.Arity()
+	if n < 1 {
+		return nil, fmt.Errorf("rewrite: result table has no certainty column")
+	}
+	return uadb.Dec(RelationFromTable(t))
+}
+
+// EncodeUADatabase loads every relation of a UA-database into an encoded
+// engine catalog.
+func EncodeUADatabase(db *uadb.Database[int64]) *engine.Catalog {
+	cat := engine.NewCatalog()
+	for _, r := range db.Relations {
+		cat.Put(TableFromUA(r))
+	}
+	return cat
+}
+
+// DetCatalog extracts the best-guess world of a UA-database as a plain
+// catalog — the tables deterministic (BGQP) queries run against.
+func DetCatalog(db *uadb.Database[int64]) *engine.Catalog {
+	cat := engine.NewCatalog()
+	for _, r := range db.Relations {
+		det := uadb.DetPart[int64](semiring.Nat, r)
+		cat.Put(TableFromRelation(det))
+	}
+	return cat
+}

@@ -1,0 +1,335 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cond"
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// Frontend is the SQL middleware: it accepts queries over UA-encoded tables
+// (and over raw tables annotated with IS TI / IS X / IS CTABLE), compiles
+// them against the logical schemas, rewrites the plan with RewriteUA, and
+// executes against the encoded catalog.
+type Frontend struct {
+	// Enc holds UA-encoded tables: user columns plus a trailing uadb.UAttr.
+	Enc *engine.Catalog
+	// Raw holds un-encoded inputs referenced with model annotations.
+	Raw *engine.Catalog
+}
+
+// NewFrontend returns a frontend over the given encoded catalog.
+func NewFrontend(enc *engine.Catalog) *Frontend {
+	return &Frontend{Enc: enc, Raw: engine.NewCatalog()}
+}
+
+// Run parses, rewrites, and executes a UA-SQL query. The result carries the
+// user columns plus the trailing certainty column.
+func (f *Frontend) Run(query string) (*engine.Table, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.RunStmt(stmt)
+}
+
+// RunStmt is Run over a pre-parsed statement.
+func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
+	if err := f.resolveAnnotations(stmt); err != nil {
+		return nil, err
+	}
+	plan, err := f.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(plan, f.Enc)
+}
+
+// Explain parses, resolves annotations, compiles and rewrites the query,
+// returning the rewritten logical plan's textual form without executing it.
+func (f *Frontend) Explain(query string) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	if err := f.resolveAnnotations(stmt); err != nil {
+		return "", err
+	}
+	plan, err := f.Plan(stmt)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}
+
+// Plan compiles and rewrites without executing.
+func (f *Frontend) Plan(stmt *sql.SelectStmt) (algebraNode, error) {
+	logical := f.logicalCatalog()
+	det, err := engine.NewPlanner(logical).Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return RewriteUA(det)
+}
+
+type algebraNode = interface {
+	Schema() types.Schema
+	String() string
+}
+
+// logicalCatalog exposes the encoded tables with their certainty column
+// stripped, so deterministic planning sees the logical schemas.
+func (f *Frontend) logicalCatalog() *engine.Catalog {
+	out := engine.NewCatalog()
+	for _, name := range f.Enc.Names() {
+		t := f.Enc.Get(name)
+		attrs := t.Schema.Attrs
+		if n := len(attrs); n > 0 && strings.EqualFold(attrs[n-1], uadb.UAttr) {
+			attrs = attrs[:n-1]
+		}
+		stub := engine.NewTable(types.Schema{Name: t.Schema.Name, Attrs: attrs})
+		out.Put(stub)
+	}
+	return out
+}
+
+// resolveAnnotations replaces model-annotated primaries with scans of
+// freshly encoded tables derived from the raw catalog (Section 9.2).
+func (f *Frontend) resolveAnnotations(stmt *sql.SelectStmt) error {
+	for s := stmt; s != nil; s = s.Union {
+		for i := range s.From {
+			if err := f.resolvePrimary(&s.From[i].Primary); err != nil {
+				return err
+			}
+			for j := range s.From[i].Joins {
+				if err := f.resolvePrimary(&s.From[i].Joins[j].Right); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Frontend) resolvePrimary(prim *sql.Primary) error {
+	if prim.Subquery != nil {
+		return f.resolveAnnotations(prim.Subquery)
+	}
+	if prim.Model == nil {
+		return nil
+	}
+	raw := f.Raw.Get(prim.Table)
+	if raw == nil {
+		return fmt.Errorf("rewrite: annotated table %q not found in the raw catalog", prim.Table)
+	}
+	var enc *engine.Table
+	var err error
+	switch prim.Model.Kind {
+	case sql.ModelTI:
+		enc, err = EncodeTITable(raw, prim.Model.ProbAttr)
+	case sql.ModelX:
+		enc, err = EncodeXTable(raw, prim.Model.XidAttr, prim.Model.AltAttr, prim.Model.ProbAttr)
+	case sql.ModelCTable:
+		enc, err = EncodeCTableTable(raw, prim.Model.VarAttrs, prim.Model.CondAttr)
+	default:
+		err = fmt.Errorf("rewrite: unknown model kind")
+	}
+	if err != nil {
+		return err
+	}
+	encName := "__ua_" + prim.Table
+	f.Enc.PutAs(encName, enc)
+	if prim.Alias == "" || strings.EqualFold(prim.Alias, prim.Table) {
+		prim.Alias = prim.Table
+	}
+	prim.Table = encName
+	prim.Model = nil
+	return nil
+}
+
+// EncodeTITable implements the TI-DB labeling scheme of Section 9.2:
+//
+//	SELECT A..., CASE WHEN P = 1 THEN 1 ELSE 0 END AS C FROM R WHERE P >= 0.5
+//
+// The probability column is dropped from the output.
+func EncodeTITable(t *engine.Table, probAttr string) (*engine.Table, error) {
+	pIdx := t.Schema.IndexOf(probAttr)
+	if pIdx < 0 {
+		return nil, fmt.Errorf("rewrite: TI table %s has no probability attribute %q", t.Schema.Name, probAttr)
+	}
+	var attrs []string
+	var keep []int
+	for i, a := range t.Schema.Attrs {
+		if i != pIdx {
+			attrs = append(attrs, a)
+			keep = append(keep, i)
+		}
+	}
+	out := engine.NewTable(types.Schema{Name: t.Schema.Name, Attrs: append(attrs, uadb.UAttr)})
+	for _, row := range t.Rows {
+		p := row[pIdx]
+		if p.IsNull() || !p.IsNumeric() || p.Float() < 0.5 {
+			continue
+		}
+		c := int64(0)
+		if p.Float() >= 1 {
+			c = 1
+		}
+		nr := make([]types.Value, 0, len(keep)+1)
+		for _, i := range keep {
+			nr = append(nr, row[i])
+		}
+		nr = append(nr, types.NewInt(c))
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// EncodeXTable implements the x-DB labeling scheme of Section 9.2: for each
+// x-tuple (group by the Xid attribute) the highest-probability alternative
+// is designated when keeping the x-tuple is at least as likely as skipping
+// it (max P(t) ≥ 1 − P(τ)); the designated row is certain iff its
+// probability is 1. The xid/altid/probability columns are dropped.
+func EncodeXTable(t *engine.Table, xidAttr, altAttr, probAttr string) (*engine.Table, error) {
+	xIdx, aIdx, pIdx := t.Schema.IndexOf(xidAttr), t.Schema.IndexOf(altAttr), t.Schema.IndexOf(probAttr)
+	if xIdx < 0 || aIdx < 0 || pIdx < 0 {
+		return nil, fmt.Errorf("rewrite: x-table %s missing xid/altid/probability attribute", t.Schema.Name)
+	}
+	var attrs []string
+	var keep []int
+	for i, a := range t.Schema.Attrs {
+		if i != xIdx && i != aIdx && i != pIdx {
+			attrs = append(attrs, a)
+			keep = append(keep, i)
+		}
+	}
+	type group struct {
+		bestRow   []types.Value
+		bestProb  float64
+		total     float64
+		firstSeen int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for rowIdx, row := range t.Rows {
+		key := types.Tuple{row[xIdx]}.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{firstSeen: rowIdx}
+			groups[key] = g
+			order = append(order, key)
+		}
+		p := 0.0
+		if row[pIdx].IsNumeric() {
+			p = row[pIdx].Float()
+		}
+		g.total += p
+		if g.bestRow == nil || p > g.bestProb {
+			g.bestRow, g.bestProb = row, p
+		}
+	}
+	sort.Strings(order)
+	out := engine.NewTable(types.Schema{Name: t.Schema.Name, Attrs: append(attrs, uadb.UAttr)})
+	for _, key := range order {
+		g := groups[key]
+		if g.bestProb < 1-g.total {
+			continue // absence is more likely than any alternative
+		}
+		c := int64(0)
+		if g.bestProb >= 1 {
+			c = 1
+		}
+		nr := make([]types.Value, 0, len(keep)+1)
+		for _, i := range keep {
+			nr = append(nr, g.bestRow[i])
+		}
+		nr = append(nr, types.NewInt(c))
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// EncodeCTableTable implements the C-table labeling scheme of Section 9.2:
+// rows whose variable shadow attributes are all NULL (i.e. ground rows) are
+// kept, labeled certain iff their local condition is a CNF tautology (the
+// isTautology UDF of the paper, implemented by internal/cond). The shadow
+// and condition columns are dropped. An empty or NULL condition counts as
+// TRUE.
+func EncodeCTableTable(t *engine.Table, varAttrs []string, condAttr string) (*engine.Table, error) {
+	cIdx := t.Schema.IndexOf(condAttr)
+	if cIdx < 0 {
+		return nil, fmt.Errorf("rewrite: C-table %s has no condition attribute %q", t.Schema.Name, condAttr)
+	}
+	varIdx := make([]int, len(varAttrs))
+	drop := map[int]bool{cIdx: true}
+	for i, a := range varAttrs {
+		j := t.Schema.IndexOf(a)
+		if j < 0 {
+			return nil, fmt.Errorf("rewrite: C-table %s has no variable attribute %q", t.Schema.Name, a)
+		}
+		varIdx[i] = j
+		drop[j] = true
+	}
+	var attrs []string
+	var keep []int
+	for i, a := range t.Schema.Attrs {
+		if !drop[i] {
+			attrs = append(attrs, a)
+			keep = append(keep, i)
+		}
+	}
+	out := engine.NewTable(types.Schema{Name: t.Schema.Name, Attrs: append(attrs, uadb.UAttr)})
+	for _, row := range t.Rows {
+		ground := true
+		for _, j := range varIdx {
+			if !row[j].IsNull() {
+				ground = false
+				break
+			}
+		}
+		if !ground {
+			continue
+		}
+		c := int64(0)
+		lc := row[cIdx]
+		if lc.IsNull() || (lc.Kind() == types.KindString && strings.TrimSpace(lc.Str()) == "") {
+			c = 1 // no condition: always present
+		} else if lc.Kind() == types.KindString {
+			e, err := cond.Parse(lc.Str())
+			if err != nil {
+				return nil, fmt.Errorf("rewrite: bad local condition %q: %w", lc.Str(), err)
+			}
+			if cond.IsCNF(e) && cond.CNFTautology(e) {
+				c = 1
+			}
+		}
+		nr := make([]types.Value, 0, len(keep)+1)
+		for _, i := range keep {
+			nr = append(nr, row[i])
+		}
+		nr = append(nr, types.NewInt(c))
+		out.Rows = append(out.Rows, nr)
+	}
+	return out, nil
+}
+
+// EncodeDeterministic marks every row of a plain table certain — the
+// encoding of a deterministic input joined with uncertain ones.
+func EncodeDeterministic(t *engine.Table) *engine.Table {
+	out := engine.NewTable(types.Schema{
+		Name:  t.Schema.Name,
+		Attrs: append(append([]string{}, t.Schema.Attrs...), uadb.UAttr),
+	})
+	for _, row := range t.Rows {
+		nr := make([]types.Value, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, types.NewInt(1))
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package rewrite implements the UA-DB query-rewriting frontend of Section 9:
+// bag UA-relations are stored as ordinary tables with a trailing certainty
+// column C ∈ {0, 1} (uadb.UAttr), deterministic logical plans are rewritten
+// by the rules of Figure 9 to propagate C, and the labeling schemes of
+// Section 9.2 convert TI / x-DB / C-table inputs into the encoding.
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+	"repro/internal/uadb"
+)
+
+// RewriteUA transforms a deterministic logical plan into its UA-DB
+// equivalent per Figure 9. The input plan must be compiled against the
+// *logical* schemas (without the certainty column); the output plan runs
+// against the encoded catalog, where every base table carries a trailing
+// uadb.UAttr column. The transformed plan preserves the position of every
+// user column and appends C as the last output column.
+//
+//	⟦R⟧          = scan of the encoded table
+//	⟦σ_θ(Q)⟧     = σ_θ(⟦Q⟧)                            (θ ignores C)
+//	⟦π_A(Q)⟧     = π_{A,C}(⟦Q⟧)
+//	⟦Q1 ⋈_θ Q2⟧  = π_{Sch, least(Q1.C, Q2.C) → C}(⟦Q1⟧ ⋈_θ ⟦Q2⟧)
+//	⟦Q1 ∪ Q2⟧    = ⟦Q1⟧ UNION ALL ⟦Q2⟧
+//
+// Sort and Limit pass through (they are display conveniences outside RA⁺);
+// Distinct and Aggregate are rejected because UA-DB query semantics is
+// defined for RA⁺ (the paper lists aggregation as future work).
+func RewriteUA(n algebra.Node) (algebra.Node, error) {
+	out, _, err := rewriteNode(n)
+	return out, err
+}
+
+// rewriteNode returns the transformed node and the position of the C column
+// in its output (always the last column).
+func rewriteNode(n algebra.Node) (algebra.Node, int, error) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		encSchema := types.Schema{
+			Name:  node.TblSchema.Name,
+			Attrs: append(append([]string{}, node.TblSchema.Attrs...), uadb.UAttr),
+		}
+		return &algebra.Scan{Table: node.Table, TblSchema: encSchema}, len(node.TblSchema.Attrs), nil
+
+	case *algebra.Filter:
+		in, cPos, err := rewriteNode(node.Input)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The predicate references user columns only; their positions are
+		// unchanged because C is appended at the end.
+		return &algebra.Filter{Input: in, Pred: node.Pred}, cPos, nil
+
+	case *algebra.Project:
+		in, cPos, err := rewriteNode(node.Input)
+		if err != nil {
+			return nil, 0, err
+		}
+		exprs := append(append([]algebra.Expr{}, node.Exprs...), algebra.Col{Idx: cPos, Name: uadb.UAttr})
+		names := append(append([]string{}, node.Names...), uadb.UAttr)
+		return &algebra.Project{Input: in, Exprs: exprs, Names: names}, len(node.Exprs), nil
+
+	case *algebra.Join:
+		l, lcPos, err := rewriteNode(node.Left)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, rcPos, err := rewriteNode(node.Right)
+		if err != nil {
+			return nil, 0, err
+		}
+		lArity := node.Left.Schema().Arity() // user columns on the left
+		rArity := node.Right.Schema().Arity()
+		// The joined row layout is l-user..., lC, r-user..., rC. Residual
+		// expressions were compiled against l-user..., r-user...: right-side
+		// positions shift by one (the interposed lC column).
+		var residual algebra.Expr
+		if node.Residual != nil {
+			residual = shiftCols(node.Residual, lArity, 1)
+		}
+		join := &algebra.Join{
+			Left: l, Right: r,
+			EquiL: node.EquiL, EquiR: node.EquiR, // right-relative: unaffected
+			Residual: residual,
+		}
+		// Reproject to user columns in original positions + least(lC, rC).
+		exprs := make([]algebra.Expr, 0, lArity+rArity+1)
+		names := make([]string, 0, lArity+rArity+1)
+		for i := 0; i < lArity; i++ {
+			exprs = append(exprs, algebra.Col{Idx: i, Name: node.Left.Schema().Attrs[i]})
+			names = append(names, node.Left.Schema().Attrs[i])
+		}
+		for i := 0; i < rArity; i++ {
+			exprs = append(exprs, algebra.Col{Idx: lArity + 1 + i, Name: node.Right.Schema().Attrs[i]})
+			names = append(names, node.Right.Schema().Attrs[i])
+		}
+		_ = rcPos
+		exprs = append(exprs, algebra.ScalarFunc{Name: "least", Args: []algebra.Expr{
+			algebra.Col{Idx: lcPos, Name: uadb.UAttr},
+			algebra.Col{Idx: lArity + 1 + rArity, Name: uadb.UAttr},
+		}})
+		names = append(names, uadb.UAttr)
+		return &algebra.Project{Input: join, Exprs: exprs, Names: names}, lArity + rArity, nil
+
+	case *algebra.UnionAll:
+		l, lcPos, err := rewriteNode(node.Left)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, _, err := rewriteNode(node.Right)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &algebra.UnionAll{Left: l, Right: r}, lcPos, nil
+
+	case *algebra.Sort:
+		in, cPos, err := rewriteNode(node.Input)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &algebra.Sort{Input: in, Keys: node.Keys}, cPos, nil
+
+	case *algebra.Limit:
+		in, cPos, err := rewriteNode(node.Input)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &algebra.Limit{Input: in, N: node.N}, cPos, nil
+
+	case *algebra.Distinct:
+		return nil, 0, fmt.Errorf("rewrite: DISTINCT is outside RA⁺ UA-DB semantics (use bag queries)")
+	case *algebra.Aggregate:
+		return nil, 0, fmt.Errorf("rewrite: aggregation over UA-DBs is future work in the paper and unsupported")
+	default:
+		return nil, 0, fmt.Errorf("rewrite: unsupported plan node %T", n)
+	}
+}
+
+// shiftCols returns a copy of e with every column index ≥ threshold shifted
+// by delta.
+func shiftCols(e algebra.Expr, threshold, delta int) algebra.Expr {
+	switch n := e.(type) {
+	case algebra.Col:
+		if n.Idx >= threshold {
+			return algebra.Col{Idx: n.Idx + delta, Name: n.Name}
+		}
+		return n
+	case algebra.Const:
+		return n
+	case algebra.Bin:
+		return algebra.Bin{Op: n.Op, L: shiftCols(n.L, threshold, delta), R: shiftCols(n.R, threshold, delta)}
+	case algebra.Not:
+		return algebra.Not{E: shiftCols(n.E, threshold, delta)}
+	case algebra.Neg:
+		return algebra.Neg{E: shiftCols(n.E, threshold, delta)}
+	case algebra.IsNullE:
+		return algebra.IsNullE{E: shiftCols(n.E, threshold, delta), Negated: n.Negated}
+	case algebra.CaseExpr:
+		out := algebra.CaseExpr{}
+		if n.Operand != nil {
+			out.Operand = shiftCols(n.Operand, threshold, delta)
+		}
+		for _, w := range n.Whens {
+			out.Whens = append(out.Whens, algebra.CaseWhen{
+				Cond:   shiftCols(w.Cond, threshold, delta),
+				Result: shiftCols(w.Result, threshold, delta),
+			})
+		}
+		if n.Else != nil {
+			out.Else = shiftCols(n.Else, threshold, delta)
+		}
+		return out
+	case algebra.LikeE:
+		return algebra.LikeE{E: shiftCols(n.E, threshold, delta), Pattern: shiftCols(n.Pattern, threshold, delta), Negated: n.Negated}
+	case algebra.InE:
+		out := algebra.InE{E: shiftCols(n.E, threshold, delta), Negated: n.Negated}
+		for _, x := range n.List {
+			out.List = append(out.List, shiftCols(x, threshold, delta))
+		}
+		return out
+	case algebra.BetweenE:
+		return algebra.BetweenE{
+			E:  shiftCols(n.E, threshold, delta),
+			Lo: shiftCols(n.Lo, threshold, delta),
+			Hi: shiftCols(n.Hi, threshold, delta), Negated: n.Negated,
+		}
+	case algebra.ScalarFunc:
+		out := algebra.ScalarFunc{Name: n.Name}
+		for _, a := range n.Args {
+			out.Args = append(out.Args, shiftCols(a, threshold, delta))
+		}
+		return out
+	default:
+		return e
+	}
+}

@@ -1,0 +1,198 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/kdb"
+	"repro/internal/types"
+)
+
+// FromKDB translates an RA⁺ kdb query into a deterministic logical plan
+// against the catalog's logical schemas, so experiments can run the same
+// query through the K-relation evaluators (lineage, symbolic, K^W) and
+// through the engine / UA rewriting without maintaining two query texts.
+func FromKDB(q kdb.Query, schemas map[string]types.Schema) (algebra.Node, error) {
+	switch n := q.(type) {
+	case kdb.Table:
+		s, ok := schemas[lower(n.Name)]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: unknown table %q", n.Name)
+		}
+		return &algebra.Scan{Table: n.Name, TblSchema: s}, nil
+	case kdb.SelectQ:
+		in, err := FromKDB(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := predToExpr(n.Pred, in.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Filter{Input: in, Pred: pred}, nil
+	case kdb.ProjectQ:
+		in, err := FromKDB(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		schema := in.Schema()
+		exprs := make([]algebra.Expr, len(n.Attrs))
+		names := make([]string, len(n.Attrs))
+		for i, a := range n.Attrs {
+			j := schema.IndexOf(a)
+			if j < 0 {
+				return nil, fmt.Errorf("rewrite: unknown attribute %q", a)
+			}
+			exprs[i] = algebra.Col{Idx: j, Name: a}
+			names[i] = a
+		}
+		return &algebra.Project{Input: in, Exprs: exprs, Names: names}, nil
+	case kdb.JoinQ:
+		l, err := FromKDB(n.Left, schemas)
+		if err != nil {
+			return nil, err
+		}
+		r, err := FromKDB(n.Right, schemas)
+		if err != nil {
+			return nil, err
+		}
+		join := &algebra.Join{Left: l, Right: r}
+		if n.Pred != nil {
+			// Peel a single top-level attribute equality into hash keys so
+			// the engine mirrors what its SQL planner would produce.
+			if aa, ok := n.Pred.(kdb.AttrAttr); ok && aa.Op == kdb.OpEq {
+				lA := l.Schema().Arity()
+				li, ri := aa.PosLeft, aa.PosRight
+				if li < 0 {
+					li = l.Schema().IndexOf(aa.Left)
+				}
+				if ri < 0 {
+					ri = l.Schema().Concat(r.Schema()).IndexOf(aa.Right)
+				}
+				if li >= 0 && li < lA && ri >= lA {
+					join.EquiL = []int{li}
+					join.EquiR = []int{ri - lA}
+					return join, nil
+				}
+			}
+			pred, err := predToExpr(n.Pred, l.Schema().Concat(r.Schema()))
+			if err != nil {
+				return nil, err
+			}
+			join.Residual = pred
+		}
+		return join, nil
+	case kdb.UnionQ:
+		l, err := FromKDB(n.Left, schemas)
+		if err != nil {
+			return nil, err
+		}
+		r, err := FromKDB(n.Right, schemas)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.UnionAll{Left: l, Right: r}, nil
+	case kdb.RenameQ:
+		in, err := FromKDB(n.Input, schemas)
+		if err != nil {
+			return nil, err
+		}
+		schema := in.Schema()
+		exprs := make([]algebra.Expr, schema.Arity())
+		for i := range exprs {
+			exprs[i] = algebra.Col{Idx: i, Name: n.Attrs[i]}
+		}
+		return &algebra.Project{Input: in, Exprs: exprs, Names: n.Attrs}, nil
+	default:
+		return nil, fmt.Errorf("rewrite: unsupported kdb node %T", q)
+	}
+}
+
+func predToExpr(p kdb.Predicate, schema types.Schema) (algebra.Expr, error) {
+	switch n := p.(type) {
+	case kdb.TruePred:
+		return algebra.Const{V: types.NewBool(true)}, nil
+	case kdb.AttrConst:
+		i := schema.IndexOf(n.Attr)
+		if i < 0 {
+			return nil, fmt.Errorf("rewrite: unknown attribute %q", n.Attr)
+		}
+		return algebra.Bin{Op: cmpToBin(n.Op), L: algebra.Col{Idx: i, Name: n.Attr}, R: algebra.Const{V: n.Const}}, nil
+	case kdb.AttrAttr:
+		li, ri := n.PosLeft, n.PosRight
+		if li < 0 {
+			li = schema.IndexOf(n.Left)
+		}
+		if ri < 0 {
+			ri = schema.IndexOf(n.Right)
+		}
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("rewrite: unknown attribute in %s", n)
+		}
+		return algebra.Bin{Op: cmpToBin(n.Op),
+			L: algebra.Col{Idx: li, Name: n.Left}, R: algebra.Col{Idx: ri, Name: n.Right}}, nil
+	case kdb.And:
+		var out algebra.Expr
+		for _, c := range n {
+			e, err := predToExpr(c, schema)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = e
+			} else {
+				out = algebra.Bin{Op: algebra.OpAnd, L: out, R: e}
+			}
+		}
+		if out == nil {
+			out = algebra.Const{V: types.NewBool(true)}
+		}
+		return out, nil
+	case kdb.Or:
+		var out algebra.Expr
+		for _, c := range n {
+			e, err := predToExpr(c, schema)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = e
+			} else {
+				out = algebra.Bin{Op: algebra.OpOr, L: out, R: e}
+			}
+		}
+		if out == nil {
+			out = algebra.Const{V: types.NewBool(false)}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("rewrite: unsupported predicate %T", p)
+	}
+}
+
+func cmpToBin(op kdb.CmpOp) algebra.BinOp {
+	switch op {
+	case kdb.OpEq:
+		return algebra.OpEq
+	case kdb.OpNe:
+		return algebra.OpNe
+	case kdb.OpLt:
+		return algebra.OpLt
+	case kdb.OpLe:
+		return algebra.OpLe
+	case kdb.OpGt:
+		return algebra.OpGt
+	default:
+		return algebra.OpGe
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

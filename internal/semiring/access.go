@@ -1,0 +1,101 @@
+package semiring
+
+// Level is an element of the access-control semiring A of Green et al.,
+// used in the paper's Section 11.3 "Beyond Set Semantics" experiment. The
+// five clearance levels are ordered
+//
+//	0 (nobody) < T (top secret) < S (secret) < C (confidential) < P (public)
+//
+// Addition is max (combining alternate derivations relaxes the requirement)
+// and multiplication is min (joining data restricts access to the strictest
+// input). A is an l-semiring: GLB = min, LUB = max under the order above.
+type Level uint8
+
+// The access-control clearance levels.
+const (
+	LevelNobody Level = iota // 0: nobody can access
+	LevelTopSecret
+	LevelSecret
+	LevelConfidential
+	LevelPublic
+)
+
+// Levels lists all elements of A in ascending order.
+var Levels = []Level{LevelNobody, LevelTopSecret, LevelSecret, LevelConfidential, LevelPublic}
+
+// String returns the conventional one-letter name of the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNobody:
+		return "0"
+	case LevelTopSecret:
+		return "T"
+	case LevelSecret:
+		return "S"
+	case LevelConfidential:
+		return "C"
+	case LevelPublic:
+		return "P"
+	default:
+		return "?"
+	}
+}
+
+// Distance returns the normalized lattice distance |a-b| / (|A|-1) used by
+// the paper to weight mislabelings in the access-control experiment
+// (e.g. distance(C, T) = 2/5 per the paper's convention of dividing by 5).
+func Distance(a, b Level) float64 {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(len(Levels))
+}
+
+// AccessSemiring is the access-control semiring A.
+type AccessSemiring struct{}
+
+// Access is the canonical instance of A.
+var Access = AccessSemiring{}
+
+// Zero returns the least element 0 (nobody).
+func (AccessSemiring) Zero() Level { return LevelNobody }
+
+// One returns the greatest element P (public), neutral for min.
+func (AccessSemiring) One() Level { return LevelPublic }
+
+// Add returns max(a, b).
+func (AccessSemiring) Add(a, b Level) Level {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mul returns min(a, b).
+func (AccessSemiring) Mul(a, b Level) Level {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Eq reports a = b.
+func (AccessSemiring) Eq(a, b Level) bool { return a == b }
+
+// IsZero reports a = 0 (nobody).
+func (AccessSemiring) IsZero(a Level) bool { return a == LevelNobody }
+
+// Leq reports a ≤ b in the clearance order.
+func (AccessSemiring) Leq(a, b Level) bool { return a <= b }
+
+// Glb returns min(a, b).
+func (AccessSemiring) Glb(a, b Level) Level { return Access.Mul(a, b) }
+
+// Lub returns max(a, b).
+func (AccessSemiring) Lub(a, b Level) Level { return Access.Add(a, b) }
+
+// Format renders the level name.
+func (AccessSemiring) Format(a Level) string { return a.String() }
+
+var _ Lattice[Level] = Access

@@ -1,0 +1,54 @@
+package semiring
+
+// BoolSemiring is the set semiring B = ({F, T}, ∨, ∧, F, T). A B-relation is
+// an ordinary set: a tuple is in the relation iff it is annotated T. The
+// natural order is F ⪯ T, GLB is ∧, LUB is ∨ — so the certain annotation of
+// a tuple across worlds is "present in every world", matching the classical
+// definition of certain answers.
+type BoolSemiring struct{}
+
+// Bool is the canonical instance of the set semiring.
+var Bool = BoolSemiring{}
+
+// Zero returns F.
+func (BoolSemiring) Zero() bool { return false }
+
+// One returns T.
+func (BoolSemiring) One() bool { return true }
+
+// Add returns a ∨ b.
+func (BoolSemiring) Add(a, b bool) bool { return a || b }
+
+// Mul returns a ∧ b.
+func (BoolSemiring) Mul(a, b bool) bool { return a && b }
+
+// Eq reports a = b.
+func (BoolSemiring) Eq(a, b bool) bool { return a == b }
+
+// IsZero reports a = F.
+func (BoolSemiring) IsZero(a bool) bool { return !a }
+
+// Leq reports a ⪯ b in the order F ⪯ T.
+func (BoolSemiring) Leq(a, b bool) bool { return !a || b }
+
+// Glb returns a ∧ b.
+func (BoolSemiring) Glb(a, b bool) bool { return a && b }
+
+// Lub returns a ∨ b.
+func (BoolSemiring) Lub(a, b bool) bool { return a || b }
+
+// Sub returns the boolean monus a ⊖ b = a ∧ ¬b.
+func (BoolSemiring) Sub(a, b bool) bool { return a && !b }
+
+// Format renders the annotation as "T" or "F".
+func (BoolSemiring) Format(a bool) string {
+	if a {
+		return "T"
+	}
+	return "F"
+}
+
+var (
+	_ Lattice[bool] = Bool
+	_ Monus[bool]   = Bool
+)

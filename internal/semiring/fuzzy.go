@@ -1,0 +1,56 @@
+package semiring
+
+import "strconv"
+
+// FuzzySemiring is the Viterbi/fuzzy confidence semiring
+// F = ([0,1], max, min, 0, 1). Annotations are confidence scores; joining
+// evidence takes the weakest link, alternative derivations the strongest.
+// F is an l-semiring with the usual numeric order.
+type FuzzySemiring struct{}
+
+// Fuzzy is the canonical instance of F.
+var Fuzzy = FuzzySemiring{}
+
+// Zero returns 0.
+func (FuzzySemiring) Zero() float64 { return 0 }
+
+// One returns 1.
+func (FuzzySemiring) One() float64 { return 1 }
+
+// Add returns max(a, b).
+func (FuzzySemiring) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mul returns min(a, b).
+func (FuzzySemiring) Mul(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Eq reports a = b.
+func (FuzzySemiring) Eq(a, b float64) bool { return a == b }
+
+// IsZero reports a = 0.
+func (FuzzySemiring) IsZero(a float64) bool { return a == 0 }
+
+// Leq reports a ≤ b.
+func (FuzzySemiring) Leq(a, b float64) bool { return a <= b }
+
+// Glb returns min(a, b).
+func (FuzzySemiring) Glb(a, b float64) float64 { return Fuzzy.Mul(a, b) }
+
+// Lub returns max(a, b).
+func (FuzzySemiring) Lub(a, b float64) float64 { return Fuzzy.Add(a, b) }
+
+// Format renders the confidence with full precision.
+func (FuzzySemiring) Format(a float64) string {
+	return strconv.FormatFloat(a, 'g', -1, 64)
+}
+
+var _ Lattice[float64] = Fuzzy

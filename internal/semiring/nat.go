@@ -1,0 +1,68 @@
+package semiring
+
+import "strconv"
+
+// NatSemiring is the bag semiring N = (ℕ, +, ×, 0, 1). An N-relation
+// annotates each tuple with its multiplicity. The natural order is the usual
+// ≤ on ℕ, GLB is min and LUB is max — so the certain multiplicity of a tuple
+// across worlds is its minimum multiplicity, matching Guagliardo & Libkin's
+// definition of certain answers under bag semantics.
+type NatSemiring struct{}
+
+// Nat is the canonical instance of the bag semiring. Annotations are int64
+// and must be non-negative; operations do not check for overflow (real
+// multiplicities are tiny).
+var Nat = NatSemiring{}
+
+// Zero returns 0.
+func (NatSemiring) Zero() int64 { return 0 }
+
+// One returns 1.
+func (NatSemiring) One() int64 { return 1 }
+
+// Add returns a + b.
+func (NatSemiring) Add(a, b int64) int64 { return a + b }
+
+// Mul returns a × b.
+func (NatSemiring) Mul(a, b int64) int64 { return a * b }
+
+// Eq reports a = b.
+func (NatSemiring) Eq(a, b int64) bool { return a == b }
+
+// IsZero reports a = 0.
+func (NatSemiring) IsZero(a int64) bool { return a == 0 }
+
+// Leq reports a ≤ b.
+func (NatSemiring) Leq(a, b int64) bool { return a <= b }
+
+// Glb returns min(a, b).
+func (NatSemiring) Glb(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Lub returns max(a, b).
+func (NatSemiring) Lub(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sub returns the truncated difference a ∸ b = max(0, a-b).
+func (NatSemiring) Sub(a, b int64) int64 {
+	if a <= b {
+		return 0
+	}
+	return a - b
+}
+
+// Format renders the multiplicity in decimal.
+func (NatSemiring) Format(a int64) string { return strconv.FormatInt(a, 10) }
+
+var (
+	_ Lattice[int64] = Nat
+	_ Monus[int64]   = Nat
+)

@@ -1,0 +1,83 @@
+package semiring
+
+import "fmt"
+
+// Pair is an element of the UA-semiring K² = K × K (Definition 3). Cert is
+// the under-approximation c of the tuple's certain annotation; Det is the
+// tuple's annotation d in the designated best-guess world. A UA-DB maintains
+// the invariant Cert ⪯ certK(D, t) ⪯ Det, which RA⁺ queries preserve
+// (Theorems 4 and 5).
+type Pair[T any] struct {
+	Cert T // c: lower bound on the certain annotation
+	Det  T // d: annotation in the best-guess world
+}
+
+// PairSemiring is the product semiring K² with pointwise operations. It is
+// an l-semiring whenever K is (the product of lattices is a lattice).
+type PairSemiring[T any] struct {
+	K Lattice[T]
+}
+
+// UA returns the UA-semiring K² over base semiring k.
+func UA[T any](k Lattice[T]) PairSemiring[T] { return PairSemiring[T]{K: k} }
+
+// Zero returns [0, 0].
+func (p PairSemiring[T]) Zero() Pair[T] { return Pair[T]{p.K.Zero(), p.K.Zero()} }
+
+// One returns [1, 1].
+func (p PairSemiring[T]) One() Pair[T] { return Pair[T]{p.K.One(), p.K.One()} }
+
+// Add adds pointwise.
+func (p PairSemiring[T]) Add(a, b Pair[T]) Pair[T] {
+	return Pair[T]{p.K.Add(a.Cert, b.Cert), p.K.Add(a.Det, b.Det)}
+}
+
+// Mul multiplies pointwise.
+func (p PairSemiring[T]) Mul(a, b Pair[T]) Pair[T] {
+	return Pair[T]{p.K.Mul(a.Cert, b.Cert), p.K.Mul(a.Det, b.Det)}
+}
+
+// Eq compares pointwise.
+func (p PairSemiring[T]) Eq(a, b Pair[T]) bool {
+	return p.K.Eq(a.Cert, b.Cert) && p.K.Eq(a.Det, b.Det)
+}
+
+// IsZero reports whether both components are 0_K. A tuple is absent from a
+// UA-DB only when it is absent from the best-guess world and carries no
+// certainty evidence.
+func (p PairSemiring[T]) IsZero(a Pair[T]) bool {
+	return p.K.IsZero(a.Cert) && p.K.IsZero(a.Det)
+}
+
+// Leq orders pointwise.
+func (p PairSemiring[T]) Leq(a, b Pair[T]) bool {
+	return p.K.Leq(a.Cert, b.Cert) && p.K.Leq(a.Det, b.Det)
+}
+
+// Glb takes the pointwise GLB.
+func (p PairSemiring[T]) Glb(a, b Pair[T]) Pair[T] {
+	return Pair[T]{p.K.Glb(a.Cert, b.Cert), p.K.Glb(a.Det, b.Det)}
+}
+
+// Lub takes the pointwise LUB.
+func (p PairSemiring[T]) Lub(a, b Pair[T]) Pair[T] {
+	return Pair[T]{p.K.Lub(a.Cert, b.Cert), p.K.Lub(a.Det, b.Det)}
+}
+
+// Format renders the pair as [c, d].
+func (p PairSemiring[T]) Format(a Pair[T]) string {
+	return fmt.Sprintf("[%s, %s]", p.K.Format(a.Cert), p.K.Format(a.Det))
+}
+
+// CertHom extracts the under-approximation component; it is the semiring
+// homomorphism h_cert of Section 5.2.
+func CertHom[T any](a Pair[T]) T { return a.Cert }
+
+// DetHom extracts the best-guess-world component; it is the semiring
+// homomorphism h_det of Section 5.2.
+func DetHom[T any](a Pair[T]) T { return a.Det }
+
+// Valid reports whether the pair satisfies the UA invariant c ⪯ d that holds
+// for every tuple of a well-formed UA-DB (the certain annotation can never
+// exceed the annotation in any single world).
+func (p PairSemiring[T]) Valid(a Pair[T]) bool { return p.K.Leq(a.Cert, a.Det) }

@@ -1,0 +1,121 @@
+package semiring
+
+// Property-based tests (testing/quick) over randomly drawn annotation
+// values, complementing the exhaustive small-domain law checks in
+// semiring_test.go.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// natGen keeps multiplicities small enough that products cannot overflow.
+type natGen int64
+
+func (natGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(natGen(r.Int63n(1000)))
+}
+
+func TestQuickNatLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	distrib := func(a, b, c natGen) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		return Nat.Mul(x, Nat.Add(y, z)) == Nat.Add(Nat.Mul(x, y), Nat.Mul(x, z))
+	}
+	if err := quick.Check(distrib, cfg); err != nil {
+		t.Error(err)
+	}
+	monus := func(a, b natGen) bool {
+		x, y := int64(a), int64(b)
+		// Monus law: y ⊕ (x ⊖ y) ⪰ x, and x ⊖ y ⪯ x.
+		return Nat.Leq(x, Nat.Add(y, Nat.Sub(x, y))) && Nat.Leq(Nat.Sub(x, y), x)
+	}
+	if err := quick.Check(monus, cfg); err != nil {
+		t.Error(err)
+	}
+	lattice := func(a, b natGen) bool {
+		x, y := int64(a), int64(b)
+		return Nat.Eq(Nat.Lub(x, Nat.Glb(x, y)), x) && Nat.Eq(Nat.Glb(x, Nat.Lub(x, y)), x)
+	}
+	if err := quick.Check(lattice, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPairHomomorphisms(t *testing.T) {
+	ua := UA[int64](Nat)
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(c1, d1, c2, d2 natGen) bool {
+		a := Pair[int64]{Cert: int64(c1), Det: int64(d1)}
+		b := Pair[int64]{Cert: int64(c2), Det: int64(d2)}
+		sum, prod := ua.Add(a, b), ua.Mul(a, b)
+		return CertHom(sum) == Nat.Add(CertHom(a), CertHom(b)) &&
+			CertHom(prod) == Nat.Mul(CertHom(a), CertHom(b)) &&
+			DetHom(sum) == Nat.Add(DetHom(a), DetHom(b)) &&
+			DetHom(prod) == Nat.Mul(DetHom(a), DetHom(b))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVectorCertBounds(t *testing.T) {
+	kw := Worlds[int64](Nat, 4)
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(a0, a1, a2, a3 natGen) bool {
+		vec := []int64{int64(a0), int64(a1), int64(a2), int64(a3)}
+		cert, poss := kw.Cert(vec), kw.Poss(vec)
+		for _, v := range vec {
+			// certK ⪯ every world ⪯ possK.
+			if !Nat.Leq(cert, v) || !Nat.Leq(v, poss) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCertSuperadditiveFuzzy(t *testing.T) {
+	// Lemma 3 on a different l-semiring (max/min over [0,1]) to confirm the
+	// property is semiring-generic, not an artifact of N.
+	kw := Worlds[float64](Fuzzy, 3)
+	cfg := &quick.Config{MaxCount: 500}
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			x = -x
+		}
+		return x - float64(int(x)) // fractional part in [0,1)
+	}
+	f := func(a0, a1, a2, b0, b1, b2 float64) bool {
+		a := []float64{clamp(a0), clamp(a1), clamp(a2)}
+		b := []float64{clamp(b0), clamp(b1), clamp(b2)}
+		return Fuzzy.Leq(Fuzzy.Add(kw.Cert(a), kw.Cert(b)), kw.Cert(kw.Add(a, b))) &&
+			Fuzzy.Leq(Fuzzy.Mul(kw.Cert(a), kw.Cert(b)), kw.Cert(kw.Mul(a, b)))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWhyCanonicalization(t *testing.T) {
+	// Canonical form is insensitive to argument order and duplication.
+	cfg := &quick.Config{MaxCount: 300}
+	ids := []string{"a", "b", "c", "d"}
+	f := func(picks []uint8) bool {
+		var l1, l2 WhyProv
+		for _, p := range picks {
+			w := WhySource(ids[int(p)%len(ids)])
+			l1 = Why.Add(l1, w)
+			l2 = Why.Add(w, l2) // reversed accumulation
+		}
+		return Why.Eq(l1, l2) && Why.Eq(Why.Add(l1, l1), l1)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

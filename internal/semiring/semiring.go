@@ -1,0 +1,104 @@
+// Package semiring implements the commutative semiring framework of Green et
+// al. (PODS 2007) that UA-DBs build on: concrete semirings (set B, bag N,
+// access control A, fuzzy confidence F, tropical cost T, Why-provenance),
+// the natural order and the lattice structure of l-semirings (GLB/LUB), and
+// the two combinators the paper relies on — the possible-world semiring K^W
+// (Definition 2) and the UA-semiring K² (Definition 3) — together with the
+// semiring homomorphisms pw_i, h_cert, and h_det.
+package semiring
+
+// Semiring describes a commutative semiring K = (K, ⊕, ⊗, 0, 1). All
+// implementations in this package are commutative; ⊕ and ⊗ are associative
+// and commutative, ⊗ distributes over ⊕, 0 is neutral for ⊕ and absorbing
+// for ⊗, and 1 is neutral for ⊗.
+type Semiring[T any] interface {
+	// Zero returns the additive identity 0_K.
+	Zero() T
+	// One returns the multiplicative identity 1_K.
+	One() T
+	// Add returns a ⊕ b.
+	Add(a, b T) T
+	// Mul returns a ⊗ b.
+	Mul(a, b T) T
+	// Eq reports whether two annotations are the same element of K.
+	Eq(a, b T) bool
+	// IsZero reports whether a = 0_K (tuples annotated 0 are absent).
+	IsZero(a T) bool
+	// Format renders an annotation for display.
+	Format(a T) string
+}
+
+// Lattice is an l-semiring: a naturally ordered semiring whose natural order
+//
+//	a ⪯ b  ⇔  ∃c: a ⊕ c = b
+//
+// forms a lattice, so every finite set of annotations has a greatest lower
+// bound (the certain annotation) and a least upper bound (the possible
+// annotation). B, N, A, F, T below are all l-semirings.
+type Lattice[T any] interface {
+	Semiring[T]
+	// Leq reports a ⪯ b in the natural order.
+	Leq(a, b T) bool
+	// Glb returns the greatest lower bound a ⊓ b.
+	Glb(a, b T) T
+	// Lub returns the least upper bound a ⊔ b.
+	Lub(a, b T) T
+}
+
+// Monus is a semiring with a truncated-subtraction operation ⊖ satisfying
+// a ⊖ b = the least c with b ⊕ c ⪰ a. The bag encoding Enc of Definition 8
+// needs it to split a UA pair [c, d] into c certain and d ⊖ c uncertain rows.
+type Monus[T any] interface {
+	Semiring[T]
+	// Sub returns a ⊖ b.
+	Sub(a, b T) T
+}
+
+// GlbAll folds ⊓ over ks. It panics on an empty slice: the GLB of zero
+// worlds is undefined (the paper always has |W| ≥ 1).
+func GlbAll[T any](k Lattice[T], ks []T) T {
+	if len(ks) == 0 {
+		panic("semiring: GlbAll of empty slice")
+	}
+	acc := ks[0]
+	for _, x := range ks[1:] {
+		acc = k.Glb(acc, x)
+	}
+	return acc
+}
+
+// LubAll folds ⊔ over ks. It panics on an empty slice.
+func LubAll[T any](k Lattice[T], ks []T) T {
+	if len(ks) == 0 {
+		panic("semiring: LubAll of empty slice")
+	}
+	acc := ks[0]
+	for _, x := range ks[1:] {
+		acc = k.Lub(acc, x)
+	}
+	return acc
+}
+
+// Hom is a mapping between annotation domains. A Hom h is a semiring
+// homomorphism when h(0)=0, h(1)=1, h(a⊕b)=h(a)⊕h(b), h(a⊗b)=h(a)⊗h(b);
+// homomorphisms commute with RA⁺ queries (Green et al.), which is what makes
+// h_cert, h_det, and pw_i safe to push through query results.
+type Hom[A, B any] func(A) B
+
+// SumAll folds ⊕ over ks, returning 0_K for an empty slice.
+func SumAll[T any](k Semiring[T], ks []T) T {
+	acc := k.Zero()
+	for _, x := range ks {
+		acc = k.Add(acc, x)
+	}
+	return acc
+}
+
+// MulAll folds ⊗ over ks, returning 1_K for an empty slice.
+func MulAll[T any](k Semiring[T], ks []T) T {
+	acc := k.One()
+	for _, x := range ks {
+		acc = k.Mul(acc, x)
+	}
+	return acc
+}

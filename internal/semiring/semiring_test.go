@@ -1,0 +1,392 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkLaws verifies the commutative-semiring axioms and, for lattices, the
+// natural-order/lattice axioms on a sample of elements.
+func checkLaws[T any](t *testing.T, name string, k Semiring[T], elems []T) {
+	t.Helper()
+	eq := k.Eq
+	for _, a := range elems {
+		if !eq(k.Add(a, k.Zero()), a) {
+			t.Errorf("%s: a ⊕ 0 ≠ a for %s", name, k.Format(a))
+		}
+		if !eq(k.Mul(a, k.One()), a) {
+			t.Errorf("%s: a ⊗ 1 ≠ a for %s", name, k.Format(a))
+		}
+		if !eq(k.Mul(a, k.Zero()), k.Zero()) {
+			t.Errorf("%s: a ⊗ 0 ≠ 0 for %s", name, k.Format(a))
+		}
+		if k.IsZero(a) != eq(a, k.Zero()) {
+			t.Errorf("%s: IsZero inconsistent for %s", name, k.Format(a))
+		}
+		for _, b := range elems {
+			if !eq(k.Add(a, b), k.Add(b, a)) {
+				t.Errorf("%s: ⊕ not commutative on %s, %s", name, k.Format(a), k.Format(b))
+			}
+			if !eq(k.Mul(a, b), k.Mul(b, a)) {
+				t.Errorf("%s: ⊗ not commutative on %s, %s", name, k.Format(a), k.Format(b))
+			}
+			for _, c := range elems {
+				if !eq(k.Add(k.Add(a, b), c), k.Add(a, k.Add(b, c))) {
+					t.Errorf("%s: ⊕ not associative", name)
+				}
+				if !eq(k.Mul(k.Mul(a, b), c), k.Mul(a, k.Mul(b, c))) {
+					t.Errorf("%s: ⊗ not associative", name)
+				}
+				if !eq(k.Mul(a, k.Add(b, c)), k.Add(k.Mul(a, b), k.Mul(a, c))) {
+					t.Errorf("%s: ⊗ does not distribute over ⊕ on %s,%s,%s",
+						name, k.Format(a), k.Format(b), k.Format(c))
+				}
+			}
+		}
+	}
+}
+
+func checkLattice[T any](t *testing.T, name string, k Lattice[T], elems []T) {
+	t.Helper()
+	for _, a := range elems {
+		if !k.Leq(a, a) {
+			t.Errorf("%s: ⪯ not reflexive", name)
+		}
+		if !k.Leq(k.Zero(), a) {
+			t.Errorf("%s: 0 is not the least element vs %s", name, k.Format(a))
+		}
+		for _, b := range elems {
+			g, l := k.Glb(a, b), k.Lub(a, b)
+			if !k.Leq(g, a) || !k.Leq(g, b) {
+				t.Errorf("%s: GLB(%s,%s)=%s not a lower bound", name, k.Format(a), k.Format(b), k.Format(g))
+			}
+			if !k.Leq(a, l) || !k.Leq(b, l) {
+				t.Errorf("%s: LUB(%s,%s)=%s not an upper bound", name, k.Format(a), k.Format(b), k.Format(l))
+			}
+			// Absorption laws of a lattice.
+			if !k.Eq(k.Lub(a, k.Glb(a, b)), a) {
+				t.Errorf("%s: absorption a ⊔ (a ⊓ b) ≠ a", name)
+			}
+			if !k.Eq(k.Glb(a, k.Lub(a, b)), a) {
+				t.Errorf("%s: absorption a ⊓ (a ⊔ b) ≠ a", name)
+			}
+			// Antisymmetry.
+			if k.Leq(a, b) && k.Leq(b, a) && !k.Eq(a, b) {
+				t.Errorf("%s: ⪯ not antisymmetric", name)
+			}
+			// Natural order coherence: a ⪯ a ⊕ b (the defining witness).
+			if !k.Leq(a, k.Add(a, b)) {
+				t.Errorf("%s: a ⪯̸ a ⊕ b for %s, %s", name, k.Format(a), k.Format(b))
+			}
+			// Lemma 2: monotonicity of ⊕ and ⊗.
+			for _, c := range elems {
+				if k.Leq(a, b) {
+					if !k.Leq(k.Add(a, c), k.Add(b, c)) {
+						t.Errorf("%s: ⊕ not monotone", name)
+					}
+					if !k.Leq(k.Mul(a, c), k.Mul(b, c)) {
+						t.Errorf("%s: ⊗ not monotone", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoolLaws(t *testing.T) {
+	elems := []bool{false, true}
+	checkLaws[bool](t, "B", Bool, elems)
+	checkLattice[bool](t, "B", Bool, elems)
+}
+
+func TestNatLaws(t *testing.T) {
+	elems := []int64{0, 1, 2, 3, 5, 17}
+	checkLaws[int64](t, "N", Nat, elems)
+	checkLattice[int64](t, "N", Nat, elems)
+}
+
+func TestAccessLaws(t *testing.T) {
+	checkLaws[Level](t, "A", Access, Levels)
+	checkLattice[Level](t, "A", Access, Levels)
+}
+
+func TestFuzzyLaws(t *testing.T) {
+	elems := []float64{0, 0.2, 0.5, 0.9, 1}
+	checkLaws[float64](t, "F", Fuzzy, elems)
+	checkLattice[float64](t, "F", Fuzzy, elems)
+}
+
+func TestTropicalLaws(t *testing.T) {
+	elems := []float64{0, 1, 2.5, 10, Inf}
+	checkLaws[float64](t, "T", Tropical, elems)
+	checkLattice[float64](t, "T", Tropical, elems)
+}
+
+func TestWhyLaws(t *testing.T) {
+	elems := []WhyProv{
+		WhyZero(), WhyOne(), WhySource("a"), WhySource("b"),
+		Why.Mul(WhySource("a"), WhySource("b")),
+		Why.Add(WhySource("a"), WhySource("b")),
+	}
+	checkLaws[WhyProv](t, "Why", Why, elems)
+	checkLattice[WhyProv](t, "Why", Why, elems)
+}
+
+func TestPairLaws(t *testing.T) {
+	ua := UA[int64](Nat)
+	var elems []Pair[int64]
+	for _, c := range []int64{0, 1, 2} {
+		for _, d := range []int64{0, 1, 3} {
+			elems = append(elems, Pair[int64]{Cert: c, Det: d})
+		}
+	}
+	checkLaws[Pair[int64]](t, "N²", ua, elems)
+	checkLattice[Pair[int64]](t, "N²", ua, elems)
+}
+
+func TestVectorLaws(t *testing.T) {
+	kw := Worlds[int64](Nat, 3)
+	rng := rand.New(rand.NewSource(7))
+	var elems [][]int64
+	for i := 0; i < 6; i++ {
+		elems = append(elems, []int64{rng.Int63n(4), rng.Int63n(4), rng.Int63n(4)})
+	}
+	checkLaws[[]int64](t, "N^3", kw, elems)
+	checkLattice[[]int64](t, "N^3", kw, elems)
+}
+
+func TestNaturalOrderDefinition(t *testing.T) {
+	// For N, B, A: a ⪯ b ⇔ ∃c: a ⊕ c = b. Verify Leq agrees with an
+	// explicit witness search on small domains.
+	for a := int64(0); a < 6; a++ {
+		for b := int64(0); b < 6; b++ {
+			witness := false
+			for c := int64(0); c <= b; c++ {
+				if a+c == b {
+					witness = true
+				}
+			}
+			if Nat.Leq(a, b) != witness {
+				t.Errorf("N: Leq(%d,%d) disagrees with witness definition", a, b)
+			}
+		}
+	}
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			witness := false
+			for _, c := range []bool{false, true} {
+				if (a || c) == b {
+					witness = true
+				}
+			}
+			if Bool.Leq(a, b) != witness {
+				t.Errorf("B: Leq(%v,%v) disagrees with witness definition", a, b)
+			}
+		}
+	}
+}
+
+func TestGlbAllLubAll(t *testing.T) {
+	if GlbAll[int64](Nat, []int64{3, 1, 2}) != 1 {
+		t.Error("GlbAll")
+	}
+	if LubAll[int64](Nat, []int64{3, 1, 2}) != 3 {
+		t.Error("LubAll")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("GlbAll on empty should panic")
+			}
+		}()
+		GlbAll[int64](Nat, nil)
+	}()
+	// GLB of a set is order-insensitive (lattice associativity/commutativity).
+	rng := rand.New(rand.NewSource(1))
+	vals := []int64{5, 2, 9, 2, 7}
+	want := GlbAll[int64](Nat, vals)
+	for i := 0; i < 10; i++ {
+		shuf := append([]int64(nil), vals...)
+		rng.Shuffle(len(shuf), func(a, b int) { shuf[a], shuf[b] = shuf[b], shuf[a] })
+		if GlbAll[int64](Nat, shuf) != want {
+			t.Error("GlbAll order-sensitive")
+		}
+	}
+}
+
+func TestMonus(t *testing.T) {
+	if Nat.Sub(5, 3) != 2 || Nat.Sub(3, 5) != 0 || Nat.Sub(3, 3) != 0 {
+		t.Error("N monus")
+	}
+	if Bool.Sub(true, false) != true || Bool.Sub(true, true) != false || Bool.Sub(false, true) != false {
+		t.Error("B monus")
+	}
+	// Monus law: b ⊕ (a ⊖ b) ⪰ a.
+	for a := int64(0); a < 5; a++ {
+		for b := int64(0); b < 5; b++ {
+			if !Nat.Leq(a, Nat.Add(b, Nat.Sub(a, b))) {
+				t.Errorf("N monus law fails at %d, %d", a, b)
+			}
+		}
+	}
+}
+
+func TestCertHomDetHom(t *testing.T) {
+	// h_cert and h_det are semiring homomorphisms K² → K.
+	ua := UA[int64](Nat)
+	pairs := []Pair[int64]{{0, 0}, {1, 1}, {1, 2}, {0, 3}, {2, 2}}
+	homs := map[string]Hom[Pair[int64], int64]{"h_cert": CertHom[int64], "h_det": DetHom[int64]}
+	for name, h := range homs {
+		if h(ua.Zero()) != 0 {
+			t.Errorf("%s(0) != 0", name)
+		}
+		if h(ua.One()) != 1 {
+			t.Errorf("%s(1) != 1", name)
+		}
+		for _, a := range pairs {
+			for _, b := range pairs {
+				if h(ua.Add(a, b)) != Nat.Add(h(a), h(b)) {
+					t.Errorf("%s does not distribute over ⊕", name)
+				}
+				if h(ua.Mul(a, b)) != Nat.Mul(h(a), h(b)) {
+					t.Errorf("%s does not distribute over ⊗", name)
+				}
+			}
+		}
+	}
+}
+
+func TestPWHomomorphism(t *testing.T) {
+	// Lemma 1: pw_i is a semiring homomorphism K^W → K.
+	kw := Worlds[int64](Nat, 3)
+	rng := rand.New(rand.NewSource(9))
+	vecs := make([][]int64, 8)
+	for i := range vecs {
+		vecs[i] = []int64{rng.Int63n(5), rng.Int63n(5), rng.Int63n(5)}
+	}
+	for i := 0; i < 3; i++ {
+		pw := PW[int64](i)
+		if pw(kw.Zero()) != 0 || pw(kw.One()) != 1 {
+			t.Fatalf("pw_%d on identities", i)
+		}
+		for _, a := range vecs {
+			for _, b := range vecs {
+				if pw(kw.Add(a, b)) != Nat.Add(pw(a), pw(b)) {
+					t.Errorf("pw_%d vs ⊕", i)
+				}
+				if pw(kw.Mul(a, b)) != Nat.Mul(pw(a), pw(b)) {
+					t.Errorf("pw_%d vs ⊗", i)
+				}
+			}
+		}
+	}
+}
+
+func TestCertSuperadditive(t *testing.T) {
+	// Lemma 3: certK is superadditive and supermultiplicative over K^W.
+	kw := Worlds[int64](Nat, 4)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		a := []int64{rng.Int63n(6), rng.Int63n(6), rng.Int63n(6), rng.Int63n(6)}
+		b := []int64{rng.Int63n(6), rng.Int63n(6), rng.Int63n(6), rng.Int63n(6)}
+		if !Nat.Leq(Nat.Add(kw.Cert(a), kw.Cert(b)), kw.Cert(kw.Add(a, b))) {
+			t.Fatalf("cert not superadditive: %v %v", a, b)
+		}
+		if !Nat.Leq(Nat.Mul(kw.Cert(a), kw.Cert(b)), kw.Cert(kw.Mul(a, b))) {
+			t.Fatalf("cert not supermultiplicative: %v %v", a, b)
+		}
+		// Dually, poss is subadditive/submultiplicative from above:
+		if !Nat.Leq(kw.Poss(kw.Add(a, b)), Nat.Add(kw.Poss(a), kw.Poss(b))) {
+			t.Fatalf("poss not subadditive: %v %v", a, b)
+		}
+	}
+}
+
+func TestVectorCertPoss(t *testing.T) {
+	kw := Worlds[int64](Nat, 2)
+	// The paper's Example 7/8: [3,2] -> cert 2; [0,5] -> cert 0, poss 5.
+	if kw.Cert([]int64{3, 2}) != 2 {
+		t.Error("cert([3,2])")
+	}
+	if kw.Cert([]int64{0, 5}) != 0 {
+		t.Error("cert([0,5])")
+	}
+	if kw.Poss([]int64{0, 5}) != 5 {
+		t.Error("poss([0,5])")
+	}
+	bw := Worlds[bool](Bool, 2)
+	if bw.Cert([]bool{true, true}) != true || bw.Cert([]bool{false, true}) != false {
+		t.Error("B cert")
+	}
+}
+
+func TestPairValid(t *testing.T) {
+	ua := UA[int64](Nat)
+	if !ua.Valid(Pair[int64]{1, 2}) || !ua.Valid(Pair[int64]{2, 2}) {
+		t.Error("valid pairs rejected")
+	}
+	if ua.Valid(Pair[int64]{3, 2}) {
+		t.Error("invalid pair accepted")
+	}
+}
+
+func TestAccessDistance(t *testing.T) {
+	if Distance(LevelConfidential, LevelTopSecret) != 0.4 {
+		t.Errorf("Distance(C,T) = %v, want 0.4", Distance(LevelConfidential, LevelTopSecret))
+	}
+	if Distance(LevelPublic, LevelPublic) != 0 {
+		t.Error("Distance identical levels")
+	}
+	if Distance(LevelNobody, LevelPublic) != 0.8 {
+		t.Error("Distance extremes")
+	}
+}
+
+func TestWhySemantics(t *testing.T) {
+	a, b := WhySource("t1"), WhySource("t2")
+	joint := Why.Mul(a, b)
+	if Why.Format(joint) != "{{t1,t2}}" {
+		t.Errorf("Mul = %s", Why.Format(joint))
+	}
+	alt := Why.Add(a, b)
+	if Why.Format(alt) != "{{t1}, {t2}}" {
+		t.Errorf("Add = %s", Why.Format(alt))
+	}
+	// Idempotence of addition.
+	if !Why.Eq(Why.Add(a, a), a) {
+		t.Error("Why ⊕ not idempotent")
+	}
+	// Canonicalization: duplicate ids within a witness collapse.
+	if Why.Format(Why.Mul(a, a)) != "{{t1}}" {
+		t.Error("witness dedup")
+	}
+	if !Why.Leq(a, alt) || Why.Leq(alt, a) {
+		t.Error("Why subset order")
+	}
+	if Why.Format(Why.Glb(alt, a)) != "{{t1}}" {
+		t.Error("Why GLB = intersection")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if Bool.Format(true) != "T" || Bool.Format(false) != "F" {
+		t.Error("B format")
+	}
+	if Nat.Format(42) != "42" {
+		t.Error("N format")
+	}
+	if Tropical.Format(Inf) != "inf" {
+		t.Error("T format")
+	}
+	ua := UA[int64](Nat)
+	if ua.Format(Pair[int64]{1, 2}) != "[1, 2]" {
+		t.Error("pair format")
+	}
+	kw := Worlds[bool](Bool, 2)
+	if kw.Format([]bool{true, false}) != "[T, F]" {
+		t.Error("vector format")
+	}
+	if LevelSecret.String() != "S" {
+		t.Error("level format")
+	}
+}

@@ -1,0 +1,73 @@
+package semiring
+
+import (
+	"math"
+	"strconv"
+)
+
+// TropicalSemiring is the min-plus cost semiring
+// T = (ℝ≥0 ∪ {∞}, min, +, ∞, 0): annotations are costs, alternative
+// derivations take the cheaper one, joint derivations add up. The natural
+// order is *reversed* numeric order (a ⪯ b ⇔ b ≤ a, since min(a, c) = b is
+// solvable exactly when b ≤ a), so the certain (GLB) cost across worlds is
+// the numeric maximum: a guaranteed lower bound on how cheap the tuple can be
+// in every world is "at least as expensive as the dearest world".
+type TropicalSemiring struct{}
+
+// Tropical is the canonical instance of T.
+var Tropical = TropicalSemiring{}
+
+// Inf is the additive identity ∞.
+var Inf = math.Inf(1)
+
+// Zero returns ∞.
+func (TropicalSemiring) Zero() float64 { return Inf }
+
+// One returns 0.
+func (TropicalSemiring) One() float64 { return 0 }
+
+// Add returns min(a, b).
+func (TropicalSemiring) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul returns a + b.
+func (TropicalSemiring) Mul(a, b float64) float64 { return a + b }
+
+// Eq reports a = b.
+func (TropicalSemiring) Eq(a, b float64) bool { return a == b }
+
+// IsZero reports a = ∞.
+func (TropicalSemiring) IsZero(a float64) bool { return math.IsInf(a, 1) }
+
+// Leq reports a ⪯ b in the natural order, which is reversed numeric order.
+func (TropicalSemiring) Leq(a, b float64) bool { return b <= a }
+
+// Glb returns the GLB under ⪯, the numeric maximum.
+func (TropicalSemiring) Glb(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Lub returns the LUB under ⪯, the numeric minimum.
+func (TropicalSemiring) Lub(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Format renders the cost, with "inf" for the zero element.
+func (TropicalSemiring) Format(a float64) string {
+	if math.IsInf(a, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(a, 'g', -1, 64)
+}
+
+var _ Lattice[float64] = Tropical

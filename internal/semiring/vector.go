@@ -1,0 +1,132 @@
+package semiring
+
+import "strings"
+
+// VectorSemiring is the possible-world semiring K^W of Definition 2: a
+// fixed-width product of K with itself, one component per possible world.
+// All operations apply pointwise. When K is an l-semiring so is K^W, and the
+// certain annotation of a tuple is the GLB folded across its vector
+// (Section 3.2) while the possible annotation is the LUB.
+type VectorSemiring[T any] struct {
+	K Lattice[T]
+	N int // |W|: number of possible worlds
+}
+
+// Worlds returns the possible-world semiring K^W with n worlds.
+func Worlds[T any](k Lattice[T], n int) VectorSemiring[T] {
+	if n < 1 {
+		panic("semiring: K^W needs at least one world")
+	}
+	return VectorSemiring[T]{K: k, N: n}
+}
+
+// Zero returns the all-0_K vector.
+func (v VectorSemiring[T]) Zero() []T {
+	z := make([]T, v.N)
+	for i := range z {
+		z[i] = v.K.Zero()
+	}
+	return z
+}
+
+// One returns the all-1_K vector.
+func (v VectorSemiring[T]) One() []T {
+	o := make([]T, v.N)
+	for i := range o {
+		o[i] = v.K.One()
+	}
+	return o
+}
+
+// Add adds pointwise.
+func (v VectorSemiring[T]) Add(a, b []T) []T {
+	c := make([]T, v.N)
+	for i := range c {
+		c[i] = v.K.Add(a[i], b[i])
+	}
+	return c
+}
+
+// Mul multiplies pointwise.
+func (v VectorSemiring[T]) Mul(a, b []T) []T {
+	c := make([]T, v.N)
+	for i := range c {
+		c[i] = v.K.Mul(a[i], b[i])
+	}
+	return c
+}
+
+// Eq compares pointwise.
+func (v VectorSemiring[T]) Eq(a, b []T) bool {
+	for i := 0; i < v.N; i++ {
+		if !v.K.Eq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component is 0_K: a tuple is absent from the
+// incomplete database iff it is absent from every possible world.
+func (v VectorSemiring[T]) IsZero(a []T) bool {
+	for i := 0; i < v.N; i++ {
+		if !v.K.IsZero(a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Leq orders pointwise.
+func (v VectorSemiring[T]) Leq(a, b []T) bool {
+	for i := 0; i < v.N; i++ {
+		if !v.K.Leq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Glb takes the pointwise GLB.
+func (v VectorSemiring[T]) Glb(a, b []T) []T {
+	c := make([]T, v.N)
+	for i := range c {
+		c[i] = v.K.Glb(a[i], b[i])
+	}
+	return c
+}
+
+// Lub takes the pointwise LUB.
+func (v VectorSemiring[T]) Lub(a, b []T) []T {
+	c := make([]T, v.N)
+	for i := range c {
+		c[i] = v.K.Lub(a[i], b[i])
+	}
+	return c
+}
+
+// Format renders the vector as [k1, k2, ...].
+func (v VectorSemiring[T]) Format(a []T) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, x := range a {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.K.Format(x))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Cert folds the GLB across the vector: certK(k⃗) of Section 3.2.
+func (v VectorSemiring[T]) Cert(a []T) T { return GlbAll[T](v.K, a) }
+
+// Poss folds the LUB across the vector: possK(k⃗) of Section 3.2.
+func (v VectorSemiring[T]) Poss(a []T) T { return LubAll[T](v.K, a) }
+
+// PW returns the world-extraction homomorphism pw_i of Section 3.2
+// (Lemma 1: pw_i is a semiring homomorphism K^W → K).
+func PW[T any](i int) Hom[[]T, T] {
+	return func(a []T) T { return a[i] }
+}

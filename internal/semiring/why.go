@@ -1,0 +1,160 @@
+package semiring
+
+import (
+	"sort"
+	"strings"
+)
+
+// WhyProv is an element of the Why-provenance semiring Why(X): a set of
+// witness sets, each witness a set of source-tuple identifiers sufficient to
+// derive the annotated tuple. The canonical representation is a sorted slice
+// of witnesses, each witness a sorted, deduplicated slice of identifiers; all
+// constructors and operations below maintain canonical form, so Eq is a deep
+// comparison.
+//
+// Why(X) = (P(P(X)), ∪, pairwise-∪, ∅, {∅}) is an idempotent l-semiring with
+// the subset order: GLB is intersection, LUB is union. It is included both to
+// exercise the framework on a non-numeric semiring and to let examples show
+// provenance of (un)certain answers.
+type WhyProv [][]string
+
+// WhyZero is the empty set of witnesses (the tuple has no derivation).
+func WhyZero() WhyProv { return nil }
+
+// WhyOne is {∅}: derivable from nothing.
+func WhyOne() WhyProv { return WhyProv{{}} }
+
+// WhySource returns the provenance of a source tuple with identifier id.
+func WhySource(id string) WhyProv { return WhyProv{{id}} }
+
+func canonWitness(w []string) []string {
+	c := append([]string(nil), w...)
+	sort.Strings(c)
+	out := c[:0]
+	for i, s := range c {
+		if i == 0 || s != c[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func witnessKey(w []string) string { return strings.Join(w, "\x1f") }
+
+func canon(ws WhyProv) WhyProv {
+	seen := make(map[string]bool, len(ws))
+	var out WhyProv
+	for _, w := range ws {
+		cw := canonWitness(w)
+		k := witnessKey(cw)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, cw)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return witnessKey(out[i]) < witnessKey(out[j])
+	})
+	return out
+}
+
+// WhySemiring implements Why(X).
+type WhySemiring struct{}
+
+// Why is the canonical instance of the Why-provenance semiring.
+var Why = WhySemiring{}
+
+// Zero returns ∅.
+func (WhySemiring) Zero() WhyProv { return WhyZero() }
+
+// One returns {∅}.
+func (WhySemiring) One() WhyProv { return WhyOne() }
+
+// Add returns the union of the witness sets.
+func (WhySemiring) Add(a, b WhyProv) WhyProv {
+	m := make(WhyProv, 0, len(a)+len(b))
+	m = append(m, a...)
+	m = append(m, b...)
+	return canon(m)
+}
+
+// Mul returns all pairwise unions of witnesses from a and b.
+func (WhySemiring) Mul(a, b WhyProv) WhyProv {
+	var m WhyProv
+	for _, wa := range a {
+		for _, wb := range b {
+			w := make([]string, 0, len(wa)+len(wb))
+			w = append(w, wa...)
+			w = append(w, wb...)
+			m = append(m, w)
+		}
+	}
+	return canon(m)
+}
+
+// Eq compares canonical forms.
+func (WhySemiring) Eq(a, b WhyProv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if witnessKey(a[i]) != witnessKey(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the provenance is empty.
+func (WhySemiring) IsZero(a WhyProv) bool { return len(a) == 0 }
+
+// Leq reports the subset order a ⊆ b, which coincides with the natural order
+// because addition is union.
+func (WhySemiring) Leq(a, b WhyProv) bool {
+	have := make(map[string]bool, len(b))
+	for _, w := range b {
+		have[witnessKey(w)] = true
+	}
+	for _, w := range a {
+		if !have[witnessKey(w)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Glb returns the intersection of witness sets.
+func (WhySemiring) Glb(a, b WhyProv) WhyProv {
+	have := make(map[string]bool, len(b))
+	for _, w := range b {
+		have[witnessKey(w)] = true
+	}
+	var out WhyProv
+	for _, w := range a {
+		if have[witnessKey(w)] {
+			out = append(out, w)
+		}
+	}
+	return canon(out)
+}
+
+// Lub returns the union of witness sets (same as Add; Why is idempotent).
+func (WhySemiring) Lub(a, b WhyProv) WhyProv { return Why.Add(a, b) }
+
+// Format renders the provenance as {{a,b},{c}}.
+func (WhySemiring) Format(a WhyProv) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, w := range a {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('{')
+		sb.WriteString(strings.Join(w, ","))
+		sb.WriteByte('}')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var _ Lattice[WhyProv] = Why

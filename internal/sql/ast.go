@@ -1,0 +1,351 @@
+// Package sql implements the SQL frontend of the UA-DB middleware: a lexer
+// and recursive-descent parser for the SELECT dialect the paper's rewriting
+// engine accepts, including the input-model annotations of Section 9.2
+// (IS TI WITH PROBABILITY, IS X WITH XID/ALTID/PROBABILITY, IS CTABLE WITH
+// VARIABLES/LOCAL CONDITION).
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// SelectStmt is a SELECT query, possibly the head of a UNION ALL chain.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	// Union is the next SELECT in a UNION ALL chain, nil at the tail.
+	Union *SelectStmt
+}
+
+// SelectItem is one projection of the select list.
+type SelectItem struct {
+	Star      bool   // SELECT * or qualifier.*
+	Qualifier string // for qualifier.*
+	Expr      Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// FromItem is one comma-separated element of the FROM clause: a chain of
+// joins over primaries.
+type FromItem struct {
+	Primary Primary
+	Joins   []JoinClause
+}
+
+// JoinClause is an explicit JOIN ... ON ... applied to the preceding
+// primary.
+type JoinClause struct {
+	Right Primary
+	On    Expr
+}
+
+// Primary is a base table (optionally annotated with an uncertainty model)
+// or a parenthesized subquery with an alias.
+type Primary struct {
+	Table    string
+	Alias    string
+	Model    *ModelAnnotation
+	Subquery *SelectStmt
+}
+
+// ModelKind enumerates the paper's input uncertainty models.
+type ModelKind uint8
+
+// The input model kinds of Section 9.2.
+const (
+	ModelTI ModelKind = iota
+	ModelX
+	ModelCTable
+)
+
+// String renders the model kind.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelTI:
+		return "TI"
+	case ModelX:
+		return "X"
+	case ModelCTable:
+		return "CTABLE"
+	default:
+		return "?"
+	}
+}
+
+// ModelAnnotation carries the metadata of an IS <model> WITH ... clause.
+type ModelAnnotation struct {
+	Kind     ModelKind
+	ProbAttr string   // TI, X
+	XidAttr  string   // X
+	AltAttr  string   // X
+	VarAttrs []string // CTABLE: shadow attributes holding variable names
+	CondAttr string   // CTABLE: attribute holding the local condition string
+}
+
+// Expr is a SQL scalar/boolean expression.
+type Expr interface {
+	fmt.Stringer
+	sqlExpr()
+}
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Qualifier string
+	Name      string
+}
+
+// Literal is a constant.
+type Literal struct{ Value types.Value }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators in precedence groups.
+const (
+	BinOr BinOp = iota
+	BinAnd
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	BinAdd
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinConcat
+)
+
+var binOpNames = map[BinOp]string{
+	BinOr: "OR", BinAnd: "AND", BinEq: "=", BinNe: "<>", BinLt: "<",
+	BinLe: "<=", BinGt: ">", BinGe: ">=", BinAdd: "+", BinSub: "-",
+	BinMul: "*", BinDiv: "/", BinMod: "%", BinConcat: "||",
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Not bool // true: NOT; false: unary minus
+	E   Expr
+}
+
+// Between is e BETWEEN lo AND hi (inclusive).
+type Between struct {
+	E, Lo, Hi Expr
+	Negated   bool
+}
+
+// InList is e IN (v1, v2, ...).
+type InList struct {
+	E       Expr
+	List    []Expr
+	Negated bool
+}
+
+// Like is e LIKE pattern with % and _ wildcards.
+type Like struct {
+	E, Pattern Expr
+	Negated    bool
+}
+
+// IsNull is e IS [NOT] NULL.
+type IsNull struct {
+	E       Expr
+	Negated bool
+}
+
+// Case is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// When is one WHEN/THEN branch.
+type When struct{ Cond, Result Expr }
+
+// FuncCall is a function application; Star marks COUNT(*).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+func (ColumnRef) sqlExpr() {}
+func (Literal) sqlExpr()   {}
+func (Binary) sqlExpr()    {}
+func (Unary) sqlExpr()     {}
+func (Between) sqlExpr()   {}
+func (InList) sqlExpr()    {}
+func (Like) sqlExpr()      {}
+func (IsNull) sqlExpr()    {}
+func (Case) sqlExpr()      {}
+func (FuncCall) sqlExpr()  {}
+
+func (e ColumnRef) String() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+func (e Literal) String() string {
+	if e.Value.Kind() == types.KindString {
+		return "'" + e.Value.String() + "'"
+	}
+	return e.Value.String()
+}
+
+func (e Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, binOpNames[e.Op], e.R)
+}
+
+func (e Unary) String() string {
+	if e.Not {
+		return fmt.Sprintf("NOT (%s)", e.E)
+	}
+	return fmt.Sprintf("-(%s)", e.E)
+}
+
+func (e Between) String() string {
+	n := ""
+	if e.Negated {
+		n = " NOT"
+	}
+	return fmt.Sprintf("(%s%s BETWEEN %s AND %s)", e.E, n, e.Lo, e.Hi)
+}
+
+func (e InList) String() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	n := ""
+	if e.Negated {
+		n = " NOT"
+	}
+	return fmt.Sprintf("(%s%s IN (%s))", e.E, n, strings.Join(parts, ", "))
+}
+
+func (e Like) String() string {
+	n := ""
+	if e.Negated {
+		n = " NOT"
+	}
+	return fmt.Sprintf("(%s%s LIKE %s)", e.E, n, e.Pattern)
+}
+
+func (e IsNull) String() string {
+	if e.Negated {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.E)
+}
+
+func (e Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if e.Operand != nil {
+		sb.WriteString(" " + e.Operand.String())
+	}
+	for _, w := range e.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", e.Else)
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (e FuncCall) String() string {
+	if e.Star {
+		return strings.ToUpper(e.Name) + "(*)"
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return strings.ToUpper(e.Name) + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders the statement (diagnostics only; not guaranteed to
+// round-trip).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Qualifier != "":
+			sb.WriteString(it.Qualifier + ".*")
+		case it.Star:
+			sb.WriteString("*")
+		default:
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.Primary.describe())
+			for _, j := range f.Joins {
+				fmt.Fprintf(&sb, " JOIN %s ON %s", j.Right.describe(), j.On)
+			}
+		}
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", s.Where)
+	}
+	if s.Union != nil {
+		fmt.Fprintf(&sb, " UNION ALL %s", s.Union)
+	}
+	return sb.String()
+}
+
+func (p Primary) describe() string {
+	if p.Subquery != nil {
+		return "(" + p.Subquery.String() + ") " + p.Alias
+	}
+	out := p.Table
+	if p.Model != nil {
+		out += " IS " + p.Model.Kind.String()
+	}
+	if p.Alias != "" && !strings.EqualFold(p.Alias, p.Table) {
+		out += " " + p.Alias
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package sql
+
+// Robustness tests: the parser must return errors, never panic, on
+// arbitrary input — including truncations and mutations of valid queries.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var seedQueries = []string{
+	"SELECT a, b AS x FROM t WHERE a > 1 AND b IN (1, 2) ORDER BY x DESC LIMIT 3",
+	"SELECT * FROM r IS TI WITH PROBABILITY (p) WHERE q BETWEEN 1 AND 2",
+	"SELECT CASE w WHEN 1 THEN 'a' ELSE 'b' END FROM t GROUP BY w HAVING count(*) > 1",
+	"SELECT t.a FROM (SELECT a FROM u) t JOIN v ON t.a = v.b UNION ALL SELECT c FROM w",
+	"SELECT x FROM r IS CTABLE WITH VARIABLES (v1, v2) LOCAL CONDITION (lc)",
+	"SELECT -a * 2 + b % 3, a || b, x IS NOT NULL FROM t WHERE NOT a LIKE 'x%'",
+}
+
+func TestParserNeverPanicsOnTruncations(t *testing.T) {
+	for _, q := range seedQueries {
+		for i := 0; i <= len(q); i++ {
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						t.Fatalf("panic on %q: %v", q[:i], p)
+					}
+				}()
+				_, _ = Parse(q[:i])
+			}()
+		}
+	}
+}
+
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	alphabet := []byte("abcSELECT FROMWHERE()*,.'\"=<>!0123456789+-%|_;")
+	for trial := 0; trial < 2000; trial++ {
+		q := []byte(seedQueries[rng.Intn(len(seedQueries))])
+		// Random point mutations.
+		for m := 0; m < rng.Intn(6)+1; m++ {
+			q[rng.Intn(len(q))] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated %q: %v", q, p)
+				}
+			}()
+			_, _ = Parse(string(q))
+		}()
+	}
+}
+
+func TestParserNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(60))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", buf, p)
+				}
+			}()
+			_, _ = Parse(string(buf))
+		}()
+	}
+}

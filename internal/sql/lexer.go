@@ -1,0 +1,188 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token categories.
+type TokenKind uint8
+
+// The token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp // = <> < <= > >= + - * / % ||
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokSemi
+)
+
+// Token is one lexical token with its source offset for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Lexer tokenizes SQL input.
+type Lexer struct {
+	input string
+	pos   int
+}
+
+// NewLexer returns a lexer over input.
+func NewLexer(input string) *Lexer { return &Lexer{input: input} }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.input) {
+		c := rune(l.input[l.pos])
+		if unicode.IsSpace(c) {
+			l.pos++
+			continue
+		}
+		// Line comments.
+		if c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-' {
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.input[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '.':
+		// Distinguish ".5" from the qualifier dot.
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9' {
+			return l.lexNumber()
+		}
+		l.pos++
+		return Token{Kind: TokDot, Text: ".", Pos: start}, nil
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == ';':
+		l.pos++
+		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) {
+			if l.input[l.pos] == '\'' {
+				// Doubled quote escapes a quote.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+	case c == '"':
+		// Quoted identifier.
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.input) && l.input[l.pos] != '"' {
+			sb.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.input) {
+			return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+		}
+		l.pos++
+		return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+	case strings.ContainsRune("=<>!+-*/%|", rune(c)):
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.input) {
+			two := op + string(l.input[l.pos])
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				op = two
+				l.pos++
+			}
+		}
+		if op == "!=" {
+			op = "<>"
+		}
+		if op == "!" {
+			return Token{}, fmt.Errorf("sql: stray '!' at offset %d", start)
+		}
+		return Token{Kind: TokOp, Text: op, Pos: start}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for l.pos < len(l.input) {
+			r := rune(l.input[l.pos])
+			if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+				l.pos++
+			} else {
+				break
+			}
+		}
+		return Token{Kind: TokIdent, Text: l.input[start:l.pos], Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Kind: TokNumber, Text: l.input[start:l.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.input[start:l.pos], Pos: start}, nil
+}
+
+// Tokenize lexes the entire input (diagnostics and tests).
+func Tokenize(input string) ([]Token, error) {
+	l := NewLexer(input)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

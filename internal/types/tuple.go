@@ -1,0 +1,168 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered sequence of values, one per schema attribute.
+type Tuple []Value
+
+// NewTuple builds a tuple from the given values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Key returns a canonical string key for t, injective over tuples, suitable
+// as a map key for grouping, deduplication, and annotation lookup.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		b = v.appendKey(b)
+		b = append(b, '|')
+	}
+	return string(b)
+}
+
+// Compare orders tuples lexicographically; shorter tuples sort first when
+// they are a prefix of longer ones.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether t and o hold the same values.
+func (t Tuple) Equal(o Tuple) bool { return t.Compare(o) == 0 }
+
+// Clone returns a copy of t that shares no backing storage.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns the concatenation of t and o as a fresh tuple.
+func (t Tuple) Concat(o Tuple) Tuple {
+	c := make(Tuple, 0, len(t)+len(o))
+	c = append(c, t...)
+	c = append(c, o...)
+	return c
+}
+
+// Project returns the tuple restricted to the given positions.
+func (t Tuple) Project(idx []int) Tuple {
+	c := make(Tuple, len(idx))
+	for i, j := range idx {
+		c[i] = t[j]
+	}
+	return c
+}
+
+// HasNull reports whether any component of t is NULL.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Schema names the attributes of a relation.
+type Schema struct {
+	Name  string   // relation name, may be empty for derived results
+	Attrs []string // attribute names in column order
+}
+
+// NewSchema builds a schema.
+func NewSchema(name string, attrs ...string) Schema {
+	return Schema{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// IndexOf returns the position of the named attribute, or -1. Lookup is
+// case-insensitive, matching SQL identifier semantics.
+func (s Schema) IndexOf(attr string) int {
+	for i, a := range s.Attrs {
+		if strings.EqualFold(a, attr) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustIndexOf is IndexOf but panics on a missing attribute; for tests and
+// internal call sites where absence is a bug.
+func (s Schema) MustIndexOf(attr string) int {
+	i := s.IndexOf(attr)
+	if i < 0 {
+		panic(fmt.Sprintf("types: schema %s has no attribute %q", s.Name, attr))
+	}
+	return i
+}
+
+// Concat returns the schema of a cross product of s and o.
+func (s Schema) Concat(o Schema) Schema {
+	attrs := make([]string, 0, len(s.Attrs)+len(o.Attrs))
+	attrs = append(attrs, s.Attrs...)
+	attrs = append(attrs, o.Attrs...)
+	return Schema{Name: "", Attrs: attrs}
+}
+
+// Project returns the schema restricted to the given positions.
+func (s Schema) Project(idx []int) Schema {
+	attrs := make([]string, len(idx))
+	for i, j := range idx {
+		attrs[i] = s.Attrs[j]
+	}
+	return Schema{Name: "", Attrs: attrs}
+}
+
+// Equal reports whether two schemas have the same attribute names in order
+// (relation names are ignored: derived relations are union-compatible with
+// their sources).
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if !strings.EqualFold(s.Attrs[i], o.Attrs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as Name(a1, a2, ...).
+func (s Schema) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(s.Attrs, ", "))
+}

@@ -1,0 +1,212 @@
+// Package types provides the value, tuple, and schema layer shared by every
+// other subsystem: typed scalar values with a total order, tuples with
+// canonical hash keys, and named relation schemas.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull sorts before every other kind; the
+// remaining kinds sort in declaration order when values of different kinds
+// are compared (a total order is required for deterministic output and for
+// sort-based operators).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if v is not an integer.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the float payload, widening integers. It panics on other kinds.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+}
+
+// Str returns the string payload. It panics if v is not a string.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if v is not a boolean.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an integer or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare returns -1, 0, or +1 ordering v relative to o. NULL sorts first;
+// numeric kinds compare by numeric value; values of incomparable kinds order
+// by kind. The result is a total order over all values.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	}
+	return 0
+}
+
+// Equal reports whether v and o are the same value (NULL equals NULL here;
+// SQL three-valued logic lives in the expression evaluator, not in Value).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// appendKey appends a canonical, injective encoding of v to b. Integers that
+// are exactly representable as floats encode identically to the equal float,
+// matching Compare's cross-kind numeric equality.
+func (v Value) appendKey(b []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(b, 'N')
+	case KindBool:
+		if v.b {
+			return append(b, 'T')
+		}
+		return append(b, 'F')
+	case KindInt:
+		b = append(b, 'f')
+		return strconv.AppendUint(b, math.Float64bits(float64(v.i)), 16)
+	case KindFloat:
+		b = append(b, 'f')
+		return strconv.AppendUint(b, math.Float64bits(v.f), 16)
+	case KindString:
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		return append(b, v.s...)
+	default:
+		return append(b, '?')
+	}
+}

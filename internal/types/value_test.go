@@ -1,0 +1,228 @@
+package types
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewInt(42), KindInt, "42"},
+		{NewInt(-7), KindInt, "-7"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("abc"), KindString, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if NewInt(5).Int() != 5 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(1.5).Float() != 1.5 {
+		t.Error("Float accessor")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Float should widen ints")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str accessor")
+	}
+	if !NewBool(true).Bool() {
+		t.Error("Bool accessor")
+	}
+	if !Null().IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull")
+	}
+	if !NewInt(1).IsNumeric() || !NewFloat(1).IsNumeric() || NewString("1").IsNumeric() {
+		t.Error("IsNumeric")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Int on string":   func() { NewString("x").Int() },
+		"Float on string": func() { NewString("x").Float() },
+		"Str on int":      func() { NewInt(1).Str() },
+		"Bool on null":    func() { Null().Bool() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.0), 0},  // cross-kind numeric equality
+		{NewFloat(1.5), NewInt(2), -1}, // cross-kind numeric order
+		{Null(), NewInt(0), -1},        // NULL sorts first
+		{Null(), Null(), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewString("a"), -1}, // kind order: bool < string
+		{NewInt(5), NewString("5"), -1},     // kind order: numeric < string
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueEqualMatchesCompare(t *testing.T) {
+	vals := []Value{Null(), NewBool(true), NewInt(1), NewInt(2), NewFloat(1), NewString("1")}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Equal(b) != (a.Compare(b) == 0) {
+				t.Errorf("Equal(%v, %v) inconsistent with Compare", a, b)
+			}
+		}
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	tuples := []Tuple{
+		{NewInt(1), NewInt(2)},
+		{NewInt(12)},
+		{NewString("1"), NewInt(2)},
+		{NewString("1|2")},
+		{NewString("1"), NewString("2")},
+		{NewInt(1), NewInt(2), Null()},
+		{NewFloat(1), NewInt(2)}, // equals {1,2} numerically -> same key by design
+	}
+	keys := make(map[string]Tuple)
+	for _, tp := range tuples {
+		k := tp.Key()
+		if prev, ok := keys[k]; ok {
+			if prev.Compare(tp) != 0 {
+				t.Errorf("key collision between unequal tuples %v and %v", prev, tp)
+			}
+		}
+		keys[k] = tp
+	}
+}
+
+func TestTupleKeyAgreesWithCompare(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		t1 := Tuple{NewInt(a), NewString(s)}
+		t2 := Tuple{NewInt(b), NewString(s)}
+		return (t1.Key() == t2.Key()) == (t1.Compare(t2) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	tp := Tuple{NewInt(1), NewString("x"), NewFloat(2.5)}
+	if got := tp.Project([]int{2, 0}); !got.Equal(Tuple{NewFloat(2.5), NewInt(1)}) {
+		t.Errorf("Project = %v", got)
+	}
+	other := Tuple{NewBool(true)}
+	cat := tp.Concat(other)
+	if len(cat) != 4 || !cat[3].Equal(NewBool(true)) {
+		t.Errorf("Concat = %v", cat)
+	}
+	cl := tp.Clone()
+	cl[0] = NewInt(99)
+	if tp[0].Int() != 1 {
+		t.Error("Clone shares storage")
+	}
+	if tp.HasNull() {
+		t.Error("HasNull false positive")
+	}
+	if !(Tuple{NewInt(1), Null()}).HasNull() {
+		t.Error("HasNull false negative")
+	}
+	if tp.String() != "(1, x, 2.5)" {
+		t.Errorf("String = %q", tp.String())
+	}
+}
+
+func TestTupleCompareLexicographic(t *testing.T) {
+	ts := []Tuple{
+		{NewInt(2)},
+		{NewInt(1), NewInt(5)},
+		{NewInt(1)},
+		{NewInt(1), NewInt(3)},
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	want := []Tuple{{NewInt(1)}, {NewInt(1), NewInt(3)}, {NewInt(1), NewInt(5)}, {NewInt(2)}}
+	for i := range want {
+		if !ts[i].Equal(want[i]) {
+			t.Fatalf("sorted[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema("R", "id", "Name", "score")
+	if s.Arity() != 3 {
+		t.Error("Arity")
+	}
+	if s.IndexOf("name") != 1 {
+		t.Error("IndexOf should be case-insensitive")
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Error("IndexOf missing")
+	}
+	if s.MustIndexOf("ID") != 0 {
+		t.Error("MustIndexOf")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustIndexOf should panic on missing attribute")
+			}
+		}()
+		s.MustIndexOf("nope")
+	}()
+	c := s.Concat(NewSchema("S", "x"))
+	if c.Arity() != 4 || c.Attrs[3] != "x" {
+		t.Error("Concat")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Attrs[0] != "score" || p.Attrs[1] != "id" {
+		t.Error("Project")
+	}
+	if !s.Equal(NewSchema("other", "ID", "NAME", "SCORE")) {
+		t.Error("Equal should ignore relation name and case")
+	}
+	if s.Equal(NewSchema("R", "id", "name")) {
+		t.Error("Equal arity mismatch")
+	}
+	if s.String() != "R(id, Name, score)" {
+		t.Errorf("String = %q", s.String())
+	}
+}

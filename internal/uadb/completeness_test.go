@@ -1,0 +1,211 @@
+package uadb
+
+// Tests for Section 8 of the paper: preservation of c-completeness.
+// Corollary 1: RA⁺ over labelings derived from TI-DBs preserves
+// c-completeness (and with Theorem 5's soundness, results are c-correct).
+// Theorem 6: over x-DBs, conjunctive self-join-free queries preserve
+// c-completeness when the projection retains an x-key of every input.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// randomTI builds a random TI relation R(a,b) with a few optional rows.
+func randomTI(rng *rand.Rand) *models.TIRelation {
+	r := models.NewTIRelation(types.NewSchema("R", "a", "b"))
+	for i := 0; i < rng.Intn(5)+2; i++ {
+		tp := it(rng.Int63n(3), rng.Int63n(3))
+		if rng.Intn(2) == 0 {
+			r.AddCertain(tp)
+		} else {
+			r.AddOptional(tp, 0.5)
+		}
+	}
+	return r
+}
+
+// TestCorollary1TIDBCCorrectResults: queries over TI-DB labelings return
+// exactly the certain annotations — c-sound by Theorem 5 and c-complete by
+// Corollary 1.
+func TestCorollary1TIDBCCorrectResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 60; trial++ {
+		ti := randomTI(rng)
+		worlds, err := models.WorldsTIDB(ti)
+		if err != nil {
+			continue
+		}
+		labelDB := kdb.NewDatabase[int64](semiring.Nat)
+		labelDB.Put(models.LabelTIDB(ti))
+
+		q := randomQuery(rng, rng.Intn(3)+1)
+		labelRes, err := kdb.Eval(q, labelDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes, err := incomplete.CertainOfQuery(q, worlds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// c-correctness: the two relations agree exactly.
+		ok := true
+		labelRes.ForEach(func(tp types.Tuple, l int64) {
+			if l != certRes.Get(tp) {
+				ok = false
+			}
+		})
+		certRes.ForEach(func(tp types.Tuple, c int64) {
+			if c != labelRes.Get(tp) {
+				ok = false
+			}
+		})
+		if !ok {
+			t.Fatalf("trial %d: query %s over TI labeling is not c-correct:\nlabel: %s\ncert: %s",
+				trial, q, labelRes, certRes)
+		}
+	}
+}
+
+// TestTheorem6XKeyPreservesCompleteness: projecting onto a set of attributes
+// containing an x-key keeps the labeling c-complete (no false negatives),
+// while projecting an x-key away can produce certain tuples the labeling
+// misses — exactly the paper's FNR mechanism.
+func TestTheorem6XKeyPreservesCompleteness(t *testing.T) {
+	// R(a, b): x-tuples whose alternatives always differ on b (b is an
+	// x-key) but agree on a.
+	x := models.NewXRelation(types.NewSchema("R", "a", "b"))
+	x.AddChoice(it(1, 10), it(1, 11))
+	x.AddChoice(it(2, 20), it(2, 21))
+	x.AddCertain(it(3, 30))
+	if !models.XKey(x, []string{"b"}) {
+		t.Fatal("b should be an x-key")
+	}
+	if models.XKey(x, []string{"a"}) {
+		t.Fatal("a must not be an x-key (alternatives agree on it)")
+	}
+	worlds, err := models.WorldsXDB(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelDB := kdb.NewDatabase[int64](semiring.Nat)
+	labelDB.Put(models.LabelXDB(x))
+
+	check := func(attrs []string) (missed int) {
+		q := kdb.ProjectQ{Input: kdb.Table{Name: "R"}, Attrs: attrs}
+		labelRes, err := kdb.Eval(q, labelDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes, err := incomplete.CertainOfQuery(q, worlds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes.ForEach(func(tp types.Tuple, c int64) {
+			if c > 0 && labelRes.Get(tp) == 0 {
+				missed++
+			}
+		})
+		return missed
+	}
+	// π_{a,b} contains the x-key b: c-completeness preserved.
+	if m := check([]string{"a", "b"}); m != 0 {
+		t.Errorf("projection retaining the x-key missed %d certain tuples", m)
+	}
+	// π_a drops the x-key: tuples (1) and (2) are certain (their x-tuples'
+	// alternatives all project to the same a) but unlabeled.
+	if m := check([]string{"a"}); m != 2 {
+		t.Errorf("projection dropping the x-key should miss 2 certain tuples, missed %d", m)
+	}
+}
+
+// TestTheorem6JoinWithXKeys: a self-join-free conjunctive query whose
+// projection keeps an x-key of each relation preserves c-completeness.
+func TestTheorem6JoinWithXKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		// R(a,b) with x-key b: alternatives vary b only.
+		r := models.NewXRelation(types.NewSchema("R", "a", "b"))
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			a := rng.Int63n(2)
+			if rng.Intn(2) == 0 {
+				r.AddCertain(it(a, rng.Int63n(10)))
+			} else {
+				b := rng.Int63n(10)
+				r.AddChoice(it(a, b), it(a, b+100)) // always differ on b
+			}
+		}
+		// S(c,d) deterministic.
+		s := models.NewXRelation(types.NewSchema("S", "c", "d"))
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			s.AddCertain(it(rng.Int63n(2), rng.Int63n(3)))
+		}
+		rw, err := models.WorldsXDB(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := models.WorldsXDB(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Combine the two independent world sets.
+		var combined incomplete.DB[int64]
+		combined.K = semiring.Nat
+		for _, wr := range rw.Worlds {
+			for _, ws := range sw.Worlds {
+				db := kdb.NewDatabase[int64](semiring.Nat)
+				db.Put(wr.Get("R"))
+				db.Put(ws.Get("S"))
+				combined.Worlds = append(combined.Worlds, db)
+			}
+		}
+
+		labelDB := kdb.NewDatabase[int64](semiring.Nat)
+		labelDB.Put(models.LabelXDB(r))
+		labelDB.Put(models.LabelXDB(s))
+
+		// π_{b, c, d}(R ⋈_{a=c} S): contains x-key b of R and trivially the
+		// (deterministic) whole of S.
+		q := kdb.ProjectQ{
+			Input: kdb.JoinQ{
+				Left: kdb.Table{Name: "R"}, Right: kdb.Table{Name: "S"},
+				Pred: kdb.AttrAttr{Left: "a", Right: "c", PosLeft: -1, PosRight: -1, Op: kdb.OpEq},
+			},
+			Attrs: []string{"b", "c", "d"},
+		}
+		labelRes, err := kdb.Eval(q, labelDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes, err := incomplete.CertainOfQuery(q, &combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes.ForEach(func(tp types.Tuple, c int64) {
+			// Set-level c-completeness: every certain tuple is labeled.
+			if c > 0 && labelRes.Get(tp) == 0 {
+				t.Fatalf("trial %d: certain tuple %s unlabeled despite x-key projection", trial, tp)
+			}
+		})
+	}
+}
+
+// TestXKeySuperset is Lemma 7: supersets of x-keys are x-keys.
+func TestXKeySuperset(t *testing.T) {
+	x := models.NewXRelation(types.NewSchema("R", "a", "b", "c"))
+	x.AddChoice(it(1, 10, 5), it(1, 11, 5))
+	if !models.XKey(x, []string{"b"}) {
+		t.Fatal("b is an x-key")
+	}
+	for _, super := range [][]string{{"a", "b"}, {"b", "c"}, {"a", "b", "c"}} {
+		if !models.XKey(x, super) {
+			t.Errorf("superset %v of x-key should be an x-key", super)
+		}
+	}
+}

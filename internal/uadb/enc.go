@@ -1,0 +1,95 @@
+package uadb
+
+import (
+	"fmt"
+
+	"repro/internal/kdb"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// UAttr is the name of the certainty-marker attribute added by the bag
+// encoding of Definition 8 (the paper's column C; named U here to avoid
+// clashing with user attributes named "c" in examples).
+const UAttr = "__cert"
+
+// Enc encodes a bag UA-relation as an ordinary N-relation with an extra
+// trailing attribute U ∈ {0, 1} (Definition 8): a tuple annotated [c, d]
+// becomes (t, 1) with multiplicity c and (t, 0) with multiplicity d − c.
+// This is the physical representation the query-rewriting frontend operates
+// on.
+func Enc(r *Relation[int64]) *kdb.Relation[int64] {
+	schema := r.Schema()
+	encSchema := types.Schema{Name: schema.Name, Attrs: append(append([]string{}, schema.Attrs...), UAttr)}
+	out := kdb.New[int64](semiring.Nat, encSchema)
+	r.ForEach(func(t types.Tuple, p semiring.Pair[int64]) {
+		if p.Cert > 0 {
+			out.Add(t.Concat(types.Tuple{types.NewInt(1)}), p.Cert)
+		}
+		if d := p.Det - p.Cert; d > 0 {
+			out.Add(t.Concat(types.Tuple{types.NewInt(0)}), d)
+		}
+	})
+	return out
+}
+
+// Dec decodes the relational encoding back into a UA-relation
+// (Enc⁻¹ of Definition 8): R(t) = [R'(t,1), R'(t,0) + R'(t,1)]. The encoded
+// relation's last attribute must be the certainty marker.
+func Dec(r *kdb.Relation[int64]) (*Relation[int64], error) {
+	schema := r.Schema()
+	n := schema.Arity()
+	if n < 1 {
+		return nil, fmt.Errorf("uadb: Dec on relation without certainty attribute")
+	}
+	base := types.Schema{Name: schema.Name, Attrs: schema.Attrs[:n-1]}
+	ua := semiring.UA[int64](semiring.Nat)
+	out := kdb.New[semiring.Pair[int64]](ua, base)
+	var err error
+	r.ForEach(func(t types.Tuple, k int64) {
+		if err != nil {
+			return
+		}
+		marker := t[n-1]
+		data := t[:n-1].Clone()
+		p := out.Get(data)
+		switch {
+		case marker.Equal(types.NewInt(1)):
+			p.Cert += k
+			p.Det += k
+		case marker.Equal(types.NewInt(0)):
+			p.Det += k
+		default:
+			err = fmt.Errorf("uadb: bad certainty marker %s in tuple %s", marker, t)
+			return
+		}
+		out.Set(data, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncDatabase encodes every relation of a UA-database.
+func EncDatabase(d *Database[int64]) *kdb.Database[int64] {
+	out := kdb.NewDatabase[int64](semiring.Nat)
+	for _, r := range d.Relations {
+		out.Put(Enc(r))
+	}
+	return out
+}
+
+// DecDatabase decodes every relation of an encoded database.
+func DecDatabase(d *kdb.Database[int64]) (*Database[int64], error) {
+	ua := semiring.UA[int64](semiring.Nat)
+	out := kdb.NewDatabase[semiring.Pair[int64]](ua)
+	for _, r := range d.Relations {
+		dec, err := Dec(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Put(dec)
+	}
+	return out, nil
+}

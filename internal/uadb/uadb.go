@@ -1,0 +1,169 @@
+// Package uadb implements the paper's primary contribution: Uncertainty
+// Annotated Databases. A UA-relation annotates each tuple of a designated
+// best-guess world with a pair [c, d] from the UA-semiring K² (Definition 3)
+// where d is the tuple's annotation in the best-guess world and c is a
+// c-sound under-approximation of its certain annotation. RA⁺ queries
+// evaluated with ordinary K-relation semantics over the pairs preserve both
+// bounds (Theorems 4 and 5), so a UA-DB is closed under queries — unlike
+// certain answers themselves.
+//
+// The package also implements the relational encoding of bag UA-DBs used by
+// the query-rewriting frontend (Definition 8): an N^UA-relation becomes an
+// ordinary bag relation with an extra attribute U ∈ {0, 1}, where each tuple
+// t appears as c copies of (t, 1) and d − c copies of (t, 0).
+package uadb
+
+import (
+	"fmt"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+// Relation is a UA-relation: a K²-annotated relation.
+type Relation[T any] = kdb.Relation[semiring.Pair[T]]
+
+// Database is a UA-database.
+type Database[T any] = kdb.Database[semiring.Pair[T]]
+
+// New constructs a UA-relation from an uncertainty labeling and a designated
+// best-guess world (Section 5.2): D_UA(t) = [L(t), D(t)]. The labeling must
+// be c-sound for the incomplete database the world was drawn from; New
+// additionally clamps c to d with the GLB so the stored pair always
+// satisfies c ⪯ d even if the caller passes an inconsistent labeling.
+func New[T any](k semiring.Lattice[T], label, world *kdb.Relation[T]) *Relation[T] {
+	ua := semiring.UA(k)
+	out := kdb.New[semiring.Pair[T]](ua, world.Schema())
+	world.ForEach(func(t types.Tuple, d T) {
+		c := k.Glb(label.Get(t), d)
+		out.Set(t, semiring.Pair[T]{Cert: c, Det: d})
+	})
+	return out
+}
+
+// NewDatabase assembles a UA-database from per-relation labelings and
+// best-guess worlds.
+func NewDatabase[T any](k semiring.Lattice[T], labels, worlds *kdb.Database[T]) *Database[T] {
+	ua := semiring.UA(k)
+	out := kdb.NewDatabase[semiring.Pair[T]](ua)
+	for name, w := range worlds.Relations {
+		l := labels.Get(name)
+		if l == nil {
+			l = kdb.New(k, w.Schema()) // no certainty information: all uncertain
+		}
+		out.Put(New(k, l, w))
+	}
+	return out
+}
+
+// CertPart extracts the labeling component via the homomorphism h_cert.
+func CertPart[T any](k semiring.Lattice[T], r *Relation[T]) *kdb.Relation[T] {
+	return kdb.MapAnnotations(r, semiring.Semiring[T](k), semiring.CertHom[T])
+}
+
+// DetPart extracts the best-guess world component via h_det.
+func DetPart[T any](k semiring.Lattice[T], r *Relation[T]) *kdb.Relation[T] {
+	return kdb.MapAnnotations(r, semiring.Semiring[T](k), semiring.DetHom[T])
+}
+
+// Eval evaluates an RA⁺ query over a UA-database. Because h_cert and h_det
+// are homomorphisms, this is equivalent to evaluating the query separately
+// over the labeling and the best-guess world.
+func Eval[T any](q kdb.Query, db *Database[T]) (*Relation[T], error) {
+	return kdb.Eval(q, db)
+}
+
+// CheckBounds verifies the UA-DB sandwich property against ground truth: for
+// every tuple, c ⪯ certK(D, t) ⪯ d where d is the tuple's annotation in
+// world bgw of the incomplete database and certK is computed by enumerating
+// worlds of relation name. It returns a descriptive error on the first
+// violated bound; tests use it as the oracle for Theorems 4/5.
+func CheckBounds[T any](k semiring.Lattice[T], ua *Relation[T], d *incomplete.DB[T], name string, bgw int) error {
+	certRel := incomplete.CertainRelation(d, name)
+	world := d.Worlds[bgw].Get(name)
+	if world == nil {
+		return fmt.Errorf("uadb: world %d misses relation %q", bgw, name)
+	}
+	// Every tuple of the UA-DB must satisfy c ⪯ cert(t) ⪯ d = world(t).
+	var err error
+	ua.ForEach(func(t types.Tuple, p semiring.Pair[T]) {
+		if err != nil {
+			return
+		}
+		cert := certRel.Get(t)
+		if !k.Leq(p.Cert, cert) {
+			err = fmt.Errorf("uadb: tuple %s: label %s exceeds certain annotation %s",
+				t, k.Format(p.Cert), k.Format(cert))
+			return
+		}
+		if !k.Eq(p.Det, world.Get(t)) {
+			err = fmt.Errorf("uadb: tuple %s: det %s differs from world annotation %s",
+				t, k.Format(p.Det), k.Format(world.Get(t)))
+			return
+		}
+		if !k.Leq(cert, p.Det) {
+			err = fmt.Errorf("uadb: tuple %s: certain annotation %s exceeds world annotation %s",
+				t, k.Format(cert), k.Format(p.Det))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Conversely, every certain tuple must appear in the UA-DB (the BGW
+	// over-approximates the certain answers).
+	certRel.ForEach(func(t types.Tuple, c T) {
+		if err != nil {
+			return
+		}
+		if k.IsZero(c) {
+			return
+		}
+		p := ua.Get(t)
+		if k.IsZero(p.Det) {
+			err = fmt.Errorf("uadb: certain tuple %s missing from UA-DB", t)
+		}
+	})
+	return err
+}
+
+// FromTIDB builds a bag UA-relation from a TI-relation using the paper's
+// labeling scheme and best-guess world.
+func FromTIDB(r *models.TIRelation) *Relation[int64] {
+	return New[int64](semiring.Nat, models.LabelTIDB(r), models.BestGuessTIDB(r))
+}
+
+// FromXDB builds a bag UA-relation from an x-relation.
+func FromXDB(r *models.XRelation) *Relation[int64] {
+	return New[int64](semiring.Nat, models.LabelXDB(r), models.BestGuessXDB(r))
+}
+
+// FromCTable builds a bag UA-relation from a C-table.
+func FromCTable(c *models.CTable) *Relation[int64] {
+	return New[int64](semiring.Nat, models.LabelCTable(c), models.BestGuessCTable(c))
+}
+
+// Stats summarizes a UA-relation for reporting: total distinct tuples, how
+// many are fully certain (c = d), and bag cardinalities.
+type Stats struct {
+	Tuples       int   // distinct tuples present in the BGW
+	CertainRows  int64 // Σ c
+	TotalRows    int64 // Σ d
+	FullyCertain int   // tuples with c = d
+}
+
+// StatsN computes Stats for a bag UA-relation.
+func StatsN(r *Relation[int64]) Stats {
+	var s Stats
+	r.ForEach(func(t types.Tuple, p semiring.Pair[int64]) {
+		s.Tuples++
+		s.CertainRows += p.Cert
+		s.TotalRows += p.Det
+		if p.Cert == p.Det {
+			s.FullyCertain++
+		}
+	})
+	return s
+}

@@ -1,0 +1,345 @@
+package uadb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/incomplete"
+	"repro/internal/kdb"
+	"repro/internal/models"
+	"repro/internal/semiring"
+	"repro/internal/types"
+)
+
+func it(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.NewInt(v)
+	}
+	return t
+}
+
+func TestNewClampsLabelToWorld(t *testing.T) {
+	k := semiring.Nat
+	schema := types.NewSchema("R", "a")
+	label := kdb.New[int64](k, schema)
+	label.Add(it(1), 5) // inconsistent: claims more certainty than the world has
+	world := kdb.New[int64](k, schema)
+	world.Add(it(1), 2)
+	ua := New[int64](k, label, world)
+	p := ua.Get(it(1))
+	if p.Cert != 2 || p.Det != 2 {
+		t.Errorf("pair = [%d,%d], want clamped [2,2]", p.Cert, p.Det)
+	}
+}
+
+func TestCertDetParts(t *testing.T) {
+	k := semiring.Nat
+	schema := types.NewSchema("R", "a")
+	label := kdb.New[int64](k, schema)
+	label.Add(it(1), 1)
+	world := kdb.New[int64](k, schema)
+	world.Add(it(1), 3)
+	world.Add(it(2), 2)
+	ua := New[int64](k, label, world)
+	c := CertPart[int64](k, ua)
+	d := DetPart[int64](k, ua)
+	if c.Get(it(1)) != 1 || c.Get(it(2)) != 0 {
+		t.Error("CertPart")
+	}
+	if d.Get(it(1)) != 3 || d.Get(it(2)) != 2 {
+		t.Error("DetPart")
+	}
+}
+
+// randomXDB builds a random x-relation over schema R(a,b) with nTuples
+// x-tuples, each with 1-3 alternatives and random optionality.
+func randomXDB(rng *rand.Rand, nTuples int) *models.XRelation {
+	r := models.NewXRelation(types.NewSchema("R", "a", "b"))
+	for i := 0; i < nTuples; i++ {
+		nAlts := rng.Intn(3) + 1
+		alts := make([]models.Alternative, nAlts)
+		for j := range alts {
+			alts[j] = models.Alternative{Data: it(rng.Int63n(3), rng.Int63n(3)), Prob: 1 / float64(nAlts)}
+		}
+		r.Add(models.XTuple{Alts: alts, Optional: rng.Intn(4) == 0})
+	}
+	return r
+}
+
+func randomQuery(rng *rand.Rand, depth int) kdb.Query {
+	if depth <= 0 {
+		return kdb.Table{Name: "R"}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return kdb.SelectQ{
+			Input: randomQuery(rng, depth-1),
+			Pred:  kdb.AttrConst{Attr: "a", Op: kdb.OpLe, Const: types.NewInt(rng.Int63n(3))},
+		}
+	case 1:
+		in := randomQuery(rng, depth-1)
+		return kdb.ProjectQ{Input: in, Attrs: []string{"a"}}
+	case 2:
+		// Self-join on a: rename-free because predicates use positions.
+		l := randomQuery(rng, depth-1)
+		return kdb.ProjectQ{
+			Input: kdb.JoinQ{Left: l, Right: kdb.Table{Name: "R"},
+				Pred: kdb.AttrAttr{PosLeft: 0, PosRight: queryArity(l), Op: kdb.OpEq}},
+			Attrs: []string{"a", "b"},
+		}
+	default:
+		l := randomQuery(rng, depth-1)
+		r := randomQuery(rng, depth-1)
+		return kdb.UnionQ{
+			Left:  kdb.ProjectQ{Input: l, Attrs: []string{"a"}},
+			Right: kdb.ProjectQ{Input: r, Attrs: []string{"a"}},
+		}
+	}
+}
+
+var rSchemas = map[string]types.Schema{"r": types.NewSchema("R", "a", "b")}
+
+func queryArity(q kdb.Query) int {
+	s, err := kdb.OutputSchema(q, rSchemas)
+	if err != nil {
+		panic(err)
+	}
+	return s.Arity()
+}
+
+// TestQueriesPreserveBounds is the paper's central result (Theorems 4 and 5):
+// for a UA-DB built from a c-sound labeling and a best-guess world, the
+// result of any RA⁺ query still sandwiches the certain annotations —
+// Q(L)(t) ⪯ certN(Q(D), t) and the det component equals Q evaluated on the
+// BGW, which is ⪰ the certain annotation.
+func TestQueriesPreserveBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 80; trial++ {
+		x := randomXDB(rng, rng.Intn(4)+2)
+		worlds, err := models.WorldsXDB(x)
+		if err != nil {
+			continue // too many worlds; skip
+		}
+		// Build the UA-DB from labeling + designated world 0 equivalent
+		// (BestGuessXDB picks first alternatives = world with choice vector 0,
+		// but optional x-tuples are included, matching a specific world).
+		uaRel := FromXDB(x)
+		uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+		uaDB.Put(uaRel)
+
+		q := randomQuery(rng, rng.Intn(3)+1)
+		uaRes, err := Eval(q, uaDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		certRes, err := incomplete.CertainOfQuery(q, worlds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// c-soundness of the result labeling (Theorem 5).
+		uaRes.ForEach(func(tp types.Tuple, p semiring.Pair[int64]) {
+			if p.Cert > certRes.Get(tp) {
+				t.Fatalf("trial %d query %s: tuple %s labeled %d but certain only %d",
+					trial, q, tp, p.Cert, certRes.Get(tp))
+			}
+		})
+		// Over-approximation: every certain tuple appears in the UA result
+		// with det ⪰ cert (Theorem 4: the BGW component is preserved and any
+		// world over-approximates the certain annotations).
+		certRes.ForEach(func(tp types.Tuple, c int64) {
+			p := uaRes.Get(tp)
+			if p.Det < c {
+				t.Fatalf("trial %d query %s: tuple %s certain %d but BGW has only %d",
+					trial, q, tp, c, p.Det)
+			}
+		})
+	}
+}
+
+// TestDetComponentIsBGQP verifies backward compatibility with best-guess
+// query processing: h_det(Q(D_UA)) = Q(h_det(D_UA)).
+func TestDetComponentIsBGQP(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 50; trial++ {
+		x := randomXDB(rng, rng.Intn(4)+2)
+		uaRel := FromXDB(x)
+		uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+		uaDB.Put(uaRel)
+		bgwDB := kdb.NewDatabase[int64](semiring.Nat)
+		bgwDB.Put(models.BestGuessXDB(x))
+
+		q := randomQuery(rng, rng.Intn(3)+1)
+		uaRes, err := Eval(q, uaDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bgwRes, err := kdb.Eval(q, bgwDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !DetPart[int64](semiring.Nat, uaRes).Equal(bgwRes) {
+			t.Fatalf("h_det does not commute with query %s", q)
+		}
+	}
+}
+
+// TestCertComponentIsLabelQuery verifies h_cert(Q(D_UA)) = Q(h_cert(D_UA)):
+// the under-approximation component evolves exactly like a query over the
+// labeling.
+func TestCertComponentIsLabelQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 50; trial++ {
+		x := randomXDB(rng, rng.Intn(4)+2)
+		uaRel := FromXDB(x)
+		uaDB := kdb.NewDatabase[semiring.Pair[int64]](semiring.UA[int64](semiring.Nat))
+		uaDB.Put(uaRel)
+		labelDB := kdb.NewDatabase[int64](semiring.Nat)
+		labelDB.Put(CertPart[int64](semiring.Nat, uaRel))
+
+		q := randomQuery(rng, rng.Intn(3)+1)
+		uaRes, err := Eval(q, uaDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelRes, err := kdb.Eval(q, labelDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CertPart[int64](semiring.Nat, uaRes).Equal(labelRes) {
+			t.Fatalf("h_cert does not commute with query %s", q)
+		}
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	x := models.NewXRelation(types.NewSchema("R", "a", "b"))
+	x.AddCertain(it(1, 10))
+	x.AddChoice(it(2, 20), it(2, 21))
+	worlds, err := models.WorldsXDB(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := FromXDB(x)
+	if err := CheckBounds[int64](semiring.Nat, ua, worlds, "R", 0); err != nil {
+		t.Errorf("CheckBounds on valid UA-DB: %v", err)
+	}
+	// Corrupt the labeling: claim (2,20) certain.
+	bad := ua.Clone()
+	bad.Set(it(2, 20), semiring.Pair[int64]{Cert: 1, Det: 1})
+	if err := CheckBounds[int64](semiring.Nat, bad, worlds, "R", 0); err == nil {
+		t.Error("CheckBounds should reject over-claimed certainty")
+	}
+}
+
+// --- Enc/Dec (Definition 8) ---
+
+func TestEncDec(t *testing.T) {
+	k := semiring.Nat
+	schema := types.NewSchema("R", "a")
+	label := kdb.New[int64](k, schema)
+	label.Add(it(1), 2)
+	world := kdb.New[int64](k, schema)
+	world.Add(it(1), 5)
+	world.Add(it(2), 1)
+	ua := New[int64](k, label, world)
+
+	enc := Enc(ua)
+	if enc.Schema().Attrs[1] != UAttr {
+		t.Error("encoding must append the certainty attribute")
+	}
+	// (1): c=2, d=5 -> (1,1)×2, (1,0)×3.
+	if enc.Get(types.Tuple{types.NewInt(1), types.NewInt(1)}) != 2 {
+		t.Error("certain copies")
+	}
+	if enc.Get(types.Tuple{types.NewInt(1), types.NewInt(0)}) != 3 {
+		t.Error("uncertain copies")
+	}
+	if enc.Get(types.Tuple{types.NewInt(2), types.NewInt(0)}) != 1 {
+		t.Error("fully uncertain tuple")
+	}
+
+	back, err := Dec(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(ua) {
+		t.Errorf("Enc/Dec round trip failed:\n%s\nvs\n%s", back, ua)
+	}
+}
+
+func TestEncDecRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 50; trial++ {
+		x := randomXDB(rng, rng.Intn(5)+1)
+		ua := FromXDB(x)
+		back, err := Dec(Enc(ua))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(ua) {
+			t.Fatalf("round trip failed")
+		}
+	}
+}
+
+func TestDecErrors(t *testing.T) {
+	bad := kdb.New[int64](semiring.Nat, types.NewSchema("R", "a", UAttr))
+	bad.Add(types.Tuple{types.NewInt(1), types.NewInt(7)}, 1) // marker must be 0/1
+	if _, err := Dec(bad); err == nil {
+		t.Error("expected bad-marker error")
+	}
+	empty := kdb.New[int64](semiring.Nat, types.Schema{Name: "R"})
+	if _, err := Dec(empty); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestStatsN(t *testing.T) {
+	k := semiring.Nat
+	schema := types.NewSchema("R", "a")
+	label := kdb.New[int64](k, schema)
+	label.Add(it(1), 1)
+	world := kdb.New[int64](k, schema)
+	world.Add(it(1), 1)
+	world.Add(it(2), 2)
+	ua := New[int64](k, label, world)
+	s := StatsN(ua)
+	if s.Tuples != 2 || s.CertainRows != 1 || s.TotalRows != 3 || s.FullyCertain != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFromModels(t *testing.T) {
+	ti := models.NewTIRelation(types.NewSchema("R", "a"))
+	ti.AddCertain(it(1))
+	ti.AddOptional(it(2), 0.9)
+	uaTI := FromTIDB(ti)
+	if p := uaTI.Get(it(1)); p.Cert != 1 || p.Det != 1 {
+		t.Error("FromTIDB certain row")
+	}
+	if p := uaTI.Get(it(2)); p.Cert != 0 || p.Det != 1 {
+		t.Error("FromTIDB optional row in BGW")
+	}
+
+	ct := models.NewCTable(types.NewSchema("R", "a"))
+	ct.AddGround(it(7))
+	uaCT := FromCTable(ct)
+	if p := uaCT.Get(it(7)); p.Cert != 1 || p.Det != 1 {
+		t.Error("FromCTable")
+	}
+}
+
+func TestNewDatabaseMissingLabel(t *testing.T) {
+	k := semiring.Nat
+	worlds := kdb.NewDatabase[int64](k)
+	w := kdb.New[int64](k, types.NewSchema("R", "a"))
+	w.Add(it(1), 1)
+	worlds.Put(w)
+	labels := kdb.NewDatabase[int64](k) // no labeling for R
+	ua := NewDatabase[int64](k, labels, worlds)
+	p := ua.Get("R").Get(it(1))
+	if p.Cert != 0 || p.Det != 1 {
+		t.Error("missing labeling should degrade to all-uncertain (BGQP)")
+	}
+}
