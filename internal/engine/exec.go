@@ -1,324 +1,77 @@
 package engine
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/algebra"
+	"repro/internal/physical"
 	"repro/internal/types"
 )
 
 // Execute evaluates a logical plan against the catalog and materializes the
-// result. Scans resolve table names at execution time, so the same plan can
-// run against different catalogs (e.g. the deterministic and the UA-encoded
-// database).
+// result. The plan is normalized by the physical optimizer (predicate
+// pushdown, equi-join extraction, projection pruning), lowered onto the
+// Volcano operator tree of internal/physical, and drained row by row. Scans
+// resolve table names at lowering time, so the same plan can run against
+// different catalogs (e.g. the deterministic and the UA-encoded database) —
+// the symmetry the UA-DB overhead experiments rely on.
+// Result rows may alias catalog storage when the plan preserves rows end to
+// end (a bare scan or filter); callers must not mutate them in place, the
+// same contract the catalog's own tables carry. LIMIT results are copies.
 func Execute(n algebra.Node, cat *Catalog) (*Table, error) {
-	switch node := n.(type) {
-	case *algebra.Scan:
-		t := cat.Get(node.Table)
-		if t == nil {
-			return nil, fmt.Errorf("engine: unknown table %q", node.Table)
-		}
-		return t, nil
-
-	case *algebra.Filter:
-		in, err := Execute(node.Input, cat)
-		if err != nil {
-			return nil, err
-		}
-		out := NewTable(types.Schema{Attrs: in.Schema.Attrs})
-		for _, row := range in.Rows {
-			if algebra.Truthy(node.Pred.Eval(row)) {
-				out.Rows = append(out.Rows, row)
-			}
-		}
-		return out, nil
-
-	case *algebra.Project:
-		in, err := Execute(node.Input, cat)
-		if err != nil {
-			return nil, err
-		}
-		out := NewTable(types.Schema{Attrs: node.Names})
-		out.Rows = make([][]types.Value, len(in.Rows))
-		for i, row := range in.Rows {
-			proj := make([]types.Value, len(node.Exprs))
-			for j, e := range node.Exprs {
-				proj[j] = e.Eval(row)
-			}
-			out.Rows[i] = proj
-		}
-		return out, nil
-
-	case *algebra.Join:
-		return execJoin(node, cat)
-
-	case *algebra.UnionAll:
-		l, err := Execute(node.Left, cat)
-		if err != nil {
-			return nil, err
-		}
-		r, err := Execute(node.Right, cat)
-		if err != nil {
-			return nil, err
-		}
-		if l.Schema.Arity() != r.Schema.Arity() {
-			return nil, fmt.Errorf("engine: UNION ALL arity mismatch: %d vs %d",
-				l.Schema.Arity(), r.Schema.Arity())
-		}
-		out := NewTable(types.Schema{Attrs: l.Schema.Attrs})
-		out.Rows = make([][]types.Value, 0, len(l.Rows)+len(r.Rows))
-		out.Rows = append(out.Rows, l.Rows...)
-		out.Rows = append(out.Rows, r.Rows...)
-		return out, nil
-
-	case *algebra.Aggregate:
-		return execAggregate(node, cat)
-
-	case *algebra.Sort:
-		in, err := Execute(node.Input, cat)
-		if err != nil {
-			return nil, err
-		}
-		out := in.Clone()
-		sort.SliceStable(out.Rows, func(i, j int) bool {
-			for _, k := range node.Keys {
-				a, b := k.Expr.Eval(out.Rows[i]), k.Expr.Eval(out.Rows[j])
-				c := a.Compare(b)
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		return out, nil
-
-	case *algebra.Limit:
-		in, err := Execute(node.Input, cat)
-		if err != nil {
-			return nil, err
-		}
-		out := NewTable(types.Schema{Attrs: in.Schema.Attrs})
-		n := node.N
-		if n > int64(len(in.Rows)) {
-			n = int64(len(in.Rows))
-		}
-		out.Rows = in.Rows[:n]
-		return out, nil
-
-	case *algebra.Distinct:
-		in, err := Execute(node.Input, cat)
-		if err != nil {
-			return nil, err
-		}
-		out := NewTable(types.Schema{Attrs: in.Schema.Attrs})
-		seen := make(map[string]bool, len(in.Rows))
-		for _, row := range in.Rows {
-			k := types.Tuple(row).Key()
-			if !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, row)
-			}
-		}
-		return out, nil
-
-	default:
-		return nil, fmt.Errorf("engine: unsupported plan node %T", n)
-	}
-}
-
-func execJoin(node *algebra.Join, cat *Catalog) (*Table, error) {
-	l, err := Execute(node.Left, cat)
+	op, err := compile(n, cat)
 	if err != nil {
 		return nil, err
 	}
-	r, err := Execute(node.Right, cat)
+	rows, err := physical.Drain(op)
 	if err != nil {
 		return nil, err
 	}
-	out := NewTable(types.Schema{Attrs: node.Schema().Attrs})
-	lw := l.Schema.Arity()
-	emit := func(lr, rr []types.Value) {
-		row := make([]types.Value, 0, lw+len(rr))
-		row = append(row, lr...)
-		row = append(row, rr...)
-		if node.Residual == nil || algebra.Truthy(node.Residual.Eval(row)) {
-			out.Rows = append(out.Rows, row)
-		}
-	}
-	if len(node.EquiL) > 0 {
-		// Hash join: build on the smaller side (right by convention here).
-		build := make(map[string][][]types.Value, len(r.Rows))
-		for _, rr := range r.Rows {
-			key, ok := joinKey(rr, node.EquiR)
-			if !ok {
-				continue // NULL keys never match
-			}
-			build[key] = append(build[key], rr)
-		}
-		for _, lr := range l.Rows {
-			key, ok := joinKey(lr, node.EquiL)
-			if !ok {
-				continue
-			}
-			for _, rr := range build[key] {
-				emit(lr, rr)
-			}
-		}
-		return out, nil
-	}
-	for _, lr := range l.Rows {
-		for _, rr := range r.Rows {
-			emit(lr, rr)
-		}
-	}
+	out := NewTable(op.Schema())
+	out.Rows = rows
 	return out, nil
 }
 
-func joinKey(row []types.Value, idx []int) (string, bool) {
-	key := make(types.Tuple, len(idx))
-	for i, j := range idx {
-		if row[j].IsNull() {
-			return "", false
-		}
-		key[i] = row[j]
-	}
-	return key.Key(), true
-}
-
-type aggState struct {
-	groupRow []types.Value
-	count    []int64
-	sumI     []int64
-	sumF     []float64
-	isFloat  []bool
-	min      []types.Value
-	max      []types.Value
-	seen     []bool
-}
-
-func execAggregate(node *algebra.Aggregate, cat *Catalog) (*Table, error) {
-	in, err := Execute(node.Input, cat)
+// compile validates, optimizes, and lowers a logical plan. Plans whose scan
+// schemas were not compiled in (arity 0 — some programmatic plans rely on
+// pure runtime resolution) skip the optimizer, whose rewrites need static
+// column positions; lowering still validates them against the runtime
+// catalog.
+func compile(n algebra.Node, cat *Catalog) (physical.Operator, error) {
+	optimizable, err := physical.Validate(n)
 	if err != nil {
 		return nil, err
 	}
-	nAggs := len(node.Aggs)
-	groups := make(map[string]*aggState)
-	var order []string
-	for _, row := range in.Rows {
-		key := make(types.Tuple, len(node.GroupBy))
-		for i, e := range node.GroupBy {
-			key[i] = e.Eval(row)
-		}
-		ks := key.Key()
-		st, ok := groups[ks]
-		if !ok {
-			st = &aggState{
-				groupRow: key,
-				count:    make([]int64, nAggs),
-				sumI:     make([]int64, nAggs),
-				sumF:     make([]float64, nAggs),
-				isFloat:  make([]bool, nAggs),
-				min:      make([]types.Value, nAggs),
-				max:      make([]types.Value, nAggs),
-				seen:     make([]bool, nAggs),
-			}
-			groups[ks] = st
-			order = append(order, ks)
-		}
-		for i, a := range node.Aggs {
-			var v types.Value
-			if a.Star {
-				st.count[i]++
-				continue
-			}
-			v = a.Arg.Eval(row)
-			if v.IsNull() {
-				continue // SQL aggregates skip NULLs
-			}
-			st.count[i]++
-			if v.IsNumeric() {
-				if v.Kind() == types.KindFloat {
-					st.isFloat[i] = true
-				}
-				st.sumI[i] += func() int64 {
-					if v.Kind() == types.KindInt {
-						return v.Int()
-					}
-					return 0
-				}()
-				st.sumF[i] += v.Float()
-			}
-			if !st.seen[i] {
-				st.min[i], st.max[i] = v, v
-				st.seen[i] = true
-			} else {
-				if v.Compare(st.min[i]) < 0 {
-					st.min[i] = v
-				}
-				if v.Compare(st.max[i]) > 0 {
-					st.max[i] = v
-				}
-			}
-		}
+	plan := n
+	if optimizable {
+		plan = physical.Optimize(n)
 	}
-	// A global aggregate over an empty input still emits one row.
-	if len(node.GroupBy) == 0 && len(groups) == 0 {
-		st := &aggState{
-			groupRow: nil,
-			count:    make([]int64, nAggs),
-			sumI:     make([]int64, nAggs),
-			sumF:     make([]float64, nAggs),
-			isFloat:  make([]bool, nAggs),
-			min:      make([]types.Value, nAggs),
-			max:      make([]types.Value, nAggs),
-			seen:     make([]bool, nAggs),
-		}
-		groups[""] = st
-		order = append(order, "")
+	return physical.Lower(plan, cat)
+}
+
+// ExplainPhysical returns the physical operator tree Execute would run for
+// the plan, after optimization, as an indented string — the plan-shape
+// tests and EXPLAIN output both use it.
+func ExplainPhysical(n algebra.Node, cat *Catalog) (string, error) {
+	op, err := compile(n, cat)
+	if err != nil {
+		return "", err
 	}
-	out := NewTable(node.Schema())
-	for _, ks := range order {
-		st := groups[ks]
-		row := make([]types.Value, 0, len(node.GroupBy)+nAggs)
-		row = append(row, st.groupRow...)
-		for i, a := range node.Aggs {
-			switch a.Func {
-			case algebra.AggCount:
-				row = append(row, types.NewInt(st.count[i]))
-			case algebra.AggSum:
-				switch {
-				case st.count[i] == 0:
-					row = append(row, types.Null())
-				case st.isFloat[i]:
-					row = append(row, types.NewFloat(st.sumF[i]))
-				default:
-					row = append(row, types.NewInt(st.sumI[i]))
-				}
-			case algebra.AggAvg:
-				if st.count[i] == 0 {
-					row = append(row, types.Null())
-				} else {
-					row = append(row, types.NewFloat(st.sumF[i]/float64(st.count[i])))
-				}
-			case algebra.AggMin:
-				if !st.seen[i] {
-					row = append(row, types.Null())
-				} else {
-					row = append(row, st.min[i])
-				}
-			case algebra.AggMax:
-				if !st.seen[i] {
-					row = append(row, types.Null())
-				} else {
-					row = append(row, st.max[i])
-				}
-			}
-		}
-		out.Rows = append(out.Rows, row)
+	return physical.Explain(op), nil
+}
+
+// Resolve implements physical.Source: it hands the physical layer a table's
+// schema and backing rows at plan-lowering time.
+func (c *Catalog) Resolve(name string) (types.Schema, [][]types.Value, error) {
+	t := c.Get(name)
+	if t == nil {
+		return types.Schema{}, nil, &UnknownTableError{Name: name}
 	}
-	return out, nil
+	return t.Schema, t.Rows, nil
+}
+
+// UnknownTableError reports a scan of a table the catalog does not hold.
+type UnknownTableError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownTableError) Error() string {
+	return "engine: unknown table \"" + e.Name + "\""
 }

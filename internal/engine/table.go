@@ -1,7 +1,9 @@
 // Package engine is the classical bag-semantics DBMS substrate the UA-DB
-// middleware rewrites into: an in-memory catalog of tables, a planner that
-// compiles the SQL AST into the logical algebra of internal/algebra, and a
-// row-at-a-time executor with hash joins for equi-join conditions. The paper
+// middleware rewrites into: an in-memory catalog of tables and a planner
+// that compiles the SQL AST into the logical algebra of internal/algebra.
+// Execution is delegated to internal/physical — the optimizer normalizes the
+// logical plan and lowers it onto Volcano-style streaming operators (hash
+// joins for equi-conditions, nested loops as the theta fallback). The paper
 // ran against a commercial DBMS; all performance experiments here compare
 // rewritten queries against deterministic queries on this same engine, so
 // relative overheads remain meaningful (see DESIGN.md).

@@ -1,0 +1,195 @@
+package physical
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// HashAggregate groups the input by the key expressions and computes the
+// aggregate functions. Open consumes the input and builds the group table;
+// Next streams one row per group in first-seen order (a global aggregate
+// over an empty input still emits one row). Output rows are freshly
+// allocated: group-by columns first, aggregate columns after.
+type HashAggregate struct {
+	Input      Operator
+	GroupBy    []algebra.Expr
+	GroupNames []string
+	Aggs       []algebra.AggSpec
+	schema     types.Schema
+
+	out [][]types.Value
+	pos int
+}
+
+// NewHashAggregate builds a hash aggregate with the output schema of the
+// logical Aggregate node it implements.
+func NewHashAggregate(in Operator, groupBy []algebra.Expr, groupNames []string, aggs []algebra.AggSpec) *HashAggregate {
+	attrs := append([]string{}, groupNames...)
+	for _, a := range aggs {
+		attrs = append(attrs, a.Name)
+	}
+	return &HashAggregate{Input: in, GroupBy: groupBy, GroupNames: groupNames,
+		Aggs: aggs, schema: types.Schema{Attrs: attrs}}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() types.Schema { return h.schema }
+
+// aggState accumulates one group's running aggregates.
+type aggState struct {
+	groupRow []types.Value
+	count    []int64
+	sumI     []int64
+	sumF     []float64
+	isFloat  []bool
+	min      []types.Value
+	max      []types.Value
+	seen     []bool
+}
+
+func newAggState(groupRow []types.Value, nAggs int) *aggState {
+	return &aggState{
+		groupRow: groupRow,
+		count:    make([]int64, nAggs),
+		sumI:     make([]int64, nAggs),
+		sumF:     make([]float64, nAggs),
+		isFloat:  make([]bool, nAggs),
+		min:      make([]types.Value, nAggs),
+		max:      make([]types.Value, nAggs),
+		seen:     make([]bool, nAggs),
+	}
+}
+
+// absorb folds one input row into the group's state. SQL aggregates skip
+// NULL arguments; COUNT(*) counts rows unconditionally.
+func (st *aggState) absorb(aggs []algebra.AggSpec, row []types.Value) {
+	for i, a := range aggs {
+		if a.Star {
+			st.count[i]++
+			continue
+		}
+		v := a.Arg.Eval(row)
+		if v.IsNull() {
+			continue
+		}
+		st.count[i]++
+		if v.IsNumeric() {
+			if v.Kind() == types.KindFloat {
+				st.isFloat[i] = true
+			}
+			if v.Kind() == types.KindInt {
+				st.sumI[i] += v.Int()
+			}
+			st.sumF[i] += v.Float()
+		}
+		if !st.seen[i] {
+			st.min[i], st.max[i] = v, v
+			st.seen[i] = true
+		} else {
+			if v.Compare(st.min[i]) < 0 {
+				st.min[i] = v
+			}
+			if v.Compare(st.max[i]) > 0 {
+				st.max[i] = v
+			}
+		}
+	}
+}
+
+// result renders the group's final output columns for the aggregate specs.
+func (st *aggState) result(aggs []algebra.AggSpec, nGroupCols int) []types.Value {
+	row := make([]types.Value, 0, nGroupCols+len(aggs))
+	row = append(row, st.groupRow...)
+	for i, a := range aggs {
+		switch a.Func {
+		case algebra.AggCount:
+			row = append(row, types.NewInt(st.count[i]))
+		case algebra.AggSum:
+			switch {
+			case st.count[i] == 0:
+				row = append(row, types.Null())
+			case st.isFloat[i]:
+				row = append(row, types.NewFloat(st.sumF[i]))
+			default:
+				row = append(row, types.NewInt(st.sumI[i]))
+			}
+		case algebra.AggAvg:
+			if st.count[i] == 0 {
+				row = append(row, types.Null())
+			} else {
+				row = append(row, types.NewFloat(st.sumF[i]/float64(st.count[i])))
+			}
+		case algebra.AggMin:
+			if !st.seen[i] {
+				row = append(row, types.Null())
+			} else {
+				row = append(row, st.min[i])
+			}
+		case algebra.AggMax:
+			if !st.seen[i] {
+				row = append(row, types.Null())
+			} else {
+				row = append(row, st.max[i])
+			}
+		}
+	}
+	return row
+}
+
+// Open implements Operator: it consumes the input and builds all groups.
+func (h *HashAggregate) Open() error {
+	h.out, h.pos = nil, 0
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	nAggs := len(h.Aggs)
+	groups := make(map[string]*aggState)
+	var order []string
+	for {
+		row, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key := make(types.Tuple, len(h.GroupBy))
+		for i, e := range h.GroupBy {
+			key[i] = e.Eval(row)
+		}
+		ks := key.Key()
+		st, ok := groups[ks]
+		if !ok {
+			st = newAggState(key, nAggs)
+			groups[ks] = st
+			order = append(order, ks)
+		}
+		st.absorb(h.Aggs, row)
+	}
+	// A global aggregate over an empty input still emits one row.
+	if len(h.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newAggState(nil, nAggs)
+		order = append(order, "")
+	}
+	h.out = make([][]types.Value, 0, len(order))
+	for _, ks := range order {
+		h.out = append(h.out, groups[ks].result(h.Aggs, len(h.GroupBy)))
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() ([]types.Value, error) {
+	if h.pos >= len(h.out) {
+		return nil, nil
+	}
+	row := h.out[h.pos]
+	h.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.out = nil
+	return h.Input.Close()
+}

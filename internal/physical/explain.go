@@ -1,0 +1,83 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a physical operator tree as an indented plan, one operator
+// per line — the shape tests and EXPLAIN output both read this.
+func Explain(op Operator) string {
+	var sb strings.Builder
+	explain(&sb, op, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, op Operator, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	switch o := op.(type) {
+	case *Scan:
+		fmt.Fprintf(sb, "Scan(%s)\n", o.Table)
+	case *Filter:
+		fmt.Fprintf(sb, "Filter[%s]\n", o.Pred)
+		explain(sb, o.Input, depth+1)
+	case *Project:
+		parts := make([]string, len(o.Exprs))
+		for i, e := range o.Exprs {
+			parts[i] = fmt.Sprintf("%s AS %s", e, o.Names[i])
+		}
+		fmt.Fprintf(sb, "Project[%s]\n", strings.Join(parts, ", "))
+		explain(sb, o.Input, depth+1)
+	case *HashJoin:
+		res := ""
+		if o.Residual != nil {
+			res = fmt.Sprintf(", residual %s", o.Residual)
+		}
+		fmt.Fprintf(sb, "HashJoin[L%v = R%v%s]\n", o.EquiL, o.EquiR, res)
+		explain(sb, o.Left, depth+1)
+		explain(sb, o.Right, depth+1)
+	case *NestedLoopJoin:
+		pred := "true"
+		if o.Pred != nil {
+			pred = o.Pred.String()
+		}
+		fmt.Fprintf(sb, "NestedLoopJoin[%s]\n", pred)
+		explain(sb, o.Left, depth+1)
+		explain(sb, o.Right, depth+1)
+	case *HashAggregate:
+		keys := make([]string, len(o.GroupBy))
+		for i, e := range o.GroupBy {
+			keys[i] = e.String()
+		}
+		aggs := make([]string, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = a.String()
+		}
+		fmt.Fprintf(sb, "HashAggregate[by %s; %s]\n",
+			strings.Join(keys, ","), strings.Join(aggs, ","))
+		explain(sb, o.Input, depth+1)
+	case *Sort:
+		keys := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys[i] = fmt.Sprintf("%s %s", k.Expr, dir)
+		}
+		fmt.Fprintf(sb, "Sort[%s]\n", strings.Join(keys, ", "))
+		explain(sb, o.Input, depth+1)
+	case *Limit:
+		fmt.Fprintf(sb, "Limit[%d]\n", o.N)
+		explain(sb, o.Input, depth+1)
+	case *UnionAll:
+		sb.WriteString("UnionAll\n")
+		explain(sb, o.Left, depth+1)
+		explain(sb, o.Right, depth+1)
+	case *Distinct:
+		sb.WriteString("Distinct\n")
+		explain(sb, o.Input, depth+1)
+	default:
+		fmt.Fprintf(sb, "%T\n", op)
+	}
+}

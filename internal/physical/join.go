@@ -1,0 +1,185 @@
+package physical
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// joinKey builds the canonical hash key for the given column positions, or
+// reports false when any key column is NULL (NULL keys never match).
+func joinKey(row []types.Value, idx []int) (string, bool) {
+	key := make(types.Tuple, len(idx))
+	for i, j := range idx {
+		if row[j].IsNull() {
+			return "", false
+		}
+		key[i] = row[j]
+	}
+	return key.Key(), true
+}
+
+// concatRow builds the joined output row.
+func concatRow(l, r []types.Value) []types.Value {
+	row := make([]types.Value, 0, len(l)+len(r))
+	row = append(row, l...)
+	row = append(row, r...)
+	return row
+}
+
+// HashJoin executes an equi-join in O(|build| + |probe| + |output|): Open
+// drains the right (build) input into a hash table keyed on EquiR, then Next
+// streams the left (probe) input, emitting one concatenated row per match
+// that also satisfies the residual predicate (evaluated over the
+// concatenated row). NULL join keys never match, per SQL semantics.
+type HashJoin struct {
+	Left, Right  Operator // Right is the build side
+	EquiL, EquiR []int
+	Residual     algebra.Expr
+	schema       types.Schema
+
+	build    map[string][][]types.Value
+	probeRow []types.Value
+	matches  [][]types.Value
+	mi       int
+}
+
+// NewHashJoin builds a hash join; key positions are left- and right-relative.
+func NewHashJoin(l, r Operator, equiL, equiR []int, residual algebra.Expr) *HashJoin {
+	return &HashJoin{Left: l, Right: r, EquiL: equiL, EquiR: equiR,
+		Residual: residual, schema: l.Schema().Concat(r.Schema())}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() types.Schema { return j.schema }
+
+// Open implements Operator: it materializes the build side's hash table.
+func (j *HashJoin) Open() error {
+	j.probeRow, j.matches, j.mi = nil, nil, 0
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.build = make(map[string][][]types.Value)
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if key, ok := joinKey(row, j.EquiR); ok {
+			j.build[key] = append(j.build[key], row)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() ([]types.Value, error) {
+	for {
+		for j.mi < len(j.matches) {
+			row := concatRow(j.probeRow, j.matches[j.mi])
+			j.mi++
+			if j.Residual == nil || algebra.Truthy(j.Residual.Eval(row)) {
+				return row, nil
+			}
+		}
+		probe, err := j.Left.Next()
+		if probe == nil || err != nil {
+			return nil, err
+		}
+		if key, ok := joinKey(probe, j.EquiL); ok {
+			j.probeRow, j.matches, j.mi = probe, j.build[key], 0
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.build, j.matches, j.probeRow = nil, nil, nil
+	lerr := j.Left.Close()
+	rerr := j.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// NestedLoopJoin is the theta-join fallback: the right input is materialized
+// once on Open, and every (left, right) pair satisfying the predicate is
+// emitted. O(n·m); the optimizer extracts equi-join keys precisely so this
+// operator only runs for genuinely non-equi predicates.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        algebra.Expr // nil accepts all pairs
+	schema      types.Schema
+
+	inner    [][]types.Value
+	probeRow []types.Value
+	ii       int
+}
+
+// NewNestedLoopJoin builds a nested-loop join.
+func NewNestedLoopJoin(l, r Operator, pred algebra.Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{Left: l, Right: r, Pred: pred,
+		schema: l.Schema().Concat(r.Schema())}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() types.Schema { return j.schema }
+
+// Open implements Operator: it materializes the inner (right) input.
+func (j *NestedLoopJoin) Open() error {
+	j.inner, j.probeRow, j.ii = nil, nil, 0
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		j.inner = append(j.inner, row)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() ([]types.Value, error) {
+	for {
+		if j.probeRow != nil {
+			for j.ii < len(j.inner) {
+				row := concatRow(j.probeRow, j.inner[j.ii])
+				j.ii++
+				if j.Pred == nil || algebra.Truthy(j.Pred.Eval(row)) {
+					return row, nil
+				}
+			}
+		}
+		probe, err := j.Left.Next()
+		if probe == nil || err != nil {
+			return nil, err
+		}
+		j.probeRow, j.ii = probe, 0
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.inner, j.probeRow = nil, nil
+	lerr := j.Left.Close()
+	rerr := j.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}

@@ -1,0 +1,163 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Lower compiles a logical plan into a physical operator tree, resolving
+// scans against src and validating the plan's internal schema consistency
+// (column references in range, join keys paired, union arities equal) so
+// that execution cannot index out of bounds on a malformed or mismatched
+// plan.
+func Lower(n algebra.Node, src Source) (Operator, error) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		schema, rows, err := src.Resolve(node.Table)
+		if err != nil {
+			return nil, err
+		}
+		if want := node.TblSchema.Arity(); want > 0 && want != schema.Arity() {
+			return nil, fmt.Errorf("physical: scan of %q: plan expects %d columns, table has %d",
+				node.Table, want, schema.Arity())
+		}
+		return NewScan(node.Table, schema, rows), nil
+
+	case *algebra.Filter:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCols(node.Pred, in.Schema().Arity(), "filter predicate"); err != nil {
+			return nil, err
+		}
+		return &Filter{Input: in, Pred: node.Pred}, nil
+
+	case *algebra.Project:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		if len(node.Exprs) != len(node.Names) {
+			return nil, fmt.Errorf("physical: projection has %d expressions but %d names",
+				len(node.Exprs), len(node.Names))
+		}
+		for _, e := range node.Exprs {
+			if err := checkCols(e, in.Schema().Arity(), "projection"); err != nil {
+				return nil, err
+			}
+		}
+		return NewProject(in, node.Exprs, node.Names), nil
+
+	case *algebra.Join:
+		l, err := Lower(node.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Lower(node.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		la, ra := l.Schema().Arity(), r.Schema().Arity()
+		if len(node.EquiL) != len(node.EquiR) {
+			return nil, fmt.Errorf("physical: join has %d left keys but %d right keys",
+				len(node.EquiL), len(node.EquiR))
+		}
+		for _, i := range node.EquiL {
+			if i < 0 || i >= la {
+				return nil, fmt.Errorf("physical: join key %d out of range for left arity %d", i, la)
+			}
+		}
+		for _, i := range node.EquiR {
+			if i < 0 || i >= ra {
+				return nil, fmt.Errorf("physical: join key %d out of range for right arity %d", i, ra)
+			}
+		}
+		if node.Residual != nil {
+			if err := checkCols(node.Residual, la+ra, "join residual"); err != nil {
+				return nil, err
+			}
+		}
+		if len(node.EquiL) > 0 {
+			return NewHashJoin(l, r, node.EquiL, node.EquiR, node.Residual), nil
+		}
+		return NewNestedLoopJoin(l, r, node.Residual), nil
+
+	case *algebra.UnionAll:
+		l, err := Lower(node.Left, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Lower(node.Right, src)
+		if err != nil {
+			return nil, err
+		}
+		if l.Schema().Arity() != r.Schema().Arity() {
+			return nil, fmt.Errorf("physical: UNION ALL arity mismatch: %d vs %d",
+				l.Schema().Arity(), r.Schema().Arity())
+		}
+		return &UnionAll{Left: l, Right: r}, nil
+
+	case *algebra.Aggregate:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		arity := in.Schema().Arity()
+		for _, e := range node.GroupBy {
+			if err := checkCols(e, arity, "group-by key"); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range node.Aggs {
+			if a.Arg != nil {
+				if err := checkCols(a.Arg, arity, "aggregate argument"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return NewHashAggregate(in, node.GroupBy, node.GroupNames, node.Aggs), nil
+
+	case *algebra.Sort:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range node.Keys {
+			if err := checkCols(k.Expr, in.Schema().Arity(), "sort key"); err != nil {
+				return nil, err
+			}
+		}
+		return &Sort{Input: in, Keys: node.Keys}, nil
+
+	case *algebra.Limit:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Limit{Input: in, N: node.N}, nil
+
+	case *algebra.Distinct:
+		in, err := Lower(node.Input, src)
+		if err != nil {
+			return nil, err
+		}
+		return &Distinct{Input: in}, nil
+
+	default:
+		return nil, fmt.Errorf("physical: unsupported plan node %T", n)
+	}
+}
+
+// checkCols verifies every column reference of e lies within the input
+// arity.
+func checkCols(e algebra.Expr, arity int, ctx string) error {
+	var bad error
+	algebra.WalkCols(e, func(c algebra.Col) {
+		if bad == nil && (c.Idx < 0 || c.Idx >= arity) {
+			bad = fmt.Errorf("physical: %s references column %d of a %d-column input", ctx, c.Idx, arity)
+		}
+	})
+	return bad
+}

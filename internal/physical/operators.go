@@ -1,0 +1,218 @@
+package physical
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// Scan streams the rows of a resolved base table. The emitted rows alias
+// the table's storage; operators above that construct rows (Project, joins,
+// HashAggregate) emit fresh slices and never mutate inputs, while
+// row-preserving operators (Filter, Sort, Distinct, UnionAll) pass the
+// aliased slices through. Callers therefore must not mutate result rows of
+// row-preserving plans in place; Limit is the exception and copies, so that
+// LIMIT results are always safe to mutate.
+type Scan struct {
+	Table  string
+	schema types.Schema
+	rows   [][]types.Value
+	pos    int
+}
+
+// NewScan builds a scan over pre-resolved rows.
+func NewScan(table string, schema types.Schema, rows [][]types.Value) *Scan {
+	return &Scan{Table: table, schema: schema, rows: rows}
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() types.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *Scan) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *Scan) Next() ([]types.Value, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Filter streams the input rows whose predicate evaluates to TRUE (SQL
+// three-valued logic: UNKNOWN rows are dropped).
+type Filter struct {
+	Input Operator
+	Pred  algebra.Expr
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() types.Schema { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() ([]types.Value, error) {
+	for {
+		row, err := f.Input.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		if algebra.Truthy(f.Pred.Eval(row)) {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project computes one output column per expression, allocating a fresh row.
+type Project struct {
+	Input  Operator
+	Exprs  []algebra.Expr
+	Names  []string
+	schema types.Schema
+}
+
+// NewProject builds a projection operator.
+func NewProject(in Operator, exprs []algebra.Expr, names []string) *Project {
+	return &Project{Input: in, Exprs: exprs, Names: names,
+		schema: types.Schema{Attrs: names}}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() types.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() ([]types.Value, error) {
+	row, err := p.Input.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	out := make([]types.Value, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = e.Eval(row)
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit emits the first N input rows and then stops pulling from its input —
+// early termination that streaming producers below benefit from. Emitted
+// rows are copied so callers can mutate them (or append past them) without
+// corrupting the source table the rows may alias.
+type Limit struct {
+	Input   Operator
+	N       int64
+	emitted int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() types.Schema { return l.Input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.emitted = 0; return l.Input.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() ([]types.Value, error) {
+	if l.emitted >= l.N {
+		return nil, nil
+	}
+	row, err := l.Input.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	l.emitted++
+	return append([]types.Value(nil), row...), nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// UnionAll streams the left input, then the right (bag union).
+type UnionAll struct {
+	Left, Right Operator
+	onRight     bool
+}
+
+// Schema implements Operator.
+func (u *UnionAll) Schema() types.Schema { return u.Left.Schema() }
+
+// Open implements Operator.
+func (u *UnionAll) Open() error {
+	u.onRight = false
+	if err := u.Left.Open(); err != nil {
+		return err
+	}
+	return u.Right.Open()
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() ([]types.Value, error) {
+	if !u.onRight {
+		row, err := u.Left.Next()
+		if row != nil || err != nil {
+			return row, err
+		}
+		u.onRight = true
+	}
+	return u.Right.Next()
+}
+
+// Close implements Operator.
+func (u *UnionAll) Close() error {
+	lerr := u.Left.Close()
+	rerr := u.Right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// Distinct streams the first occurrence of each row, keyed by the canonical
+// tuple encoding.
+type Distinct struct {
+	Input Operator
+	seen  map[string]bool
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() types.Schema { return d.Input.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]bool)
+	return d.Input.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() ([]types.Value, error) {
+	for {
+		row, err := d.Input.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		k := types.Tuple(row).Key()
+		if !d.seen[k] {
+			d.seen[k] = true
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}

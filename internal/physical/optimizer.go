@@ -1,0 +1,457 @@
+package physical
+
+import (
+	"repro/internal/algebra"
+)
+
+// Optimize normalizes a logical plan for execution. Three rewrites run, all
+// semantics-preserving under SQL three-valued logic:
+//
+//  1. Predicate pushdown: filters split into AND-conjuncts that slide below
+//     projections (when the referenced columns are pure renamings), sorts,
+//     distincts, and union-alls, and into the matching side of joins.
+//  2. Equi-join extraction: residual conjuncts of the form l.col = r.col
+//     across a join become hash-join key pairs, so equality joins execute in
+//     O(n+m) instead of O(n·m) — including joins assembled programmatically
+//     by the UA rewriter rather than the SQL planner.
+//  3. Projection pruning: subtrees feeding joins and aggregates are narrowed
+//     to the columns actually consumed above, shrinking hash tables and
+//     intermediate rows.
+//
+// Optimize never mutates its input; shared subtrees may be referenced by the
+// output.
+func Optimize(n algebra.Node) algebra.Node {
+	return pruneTop(pushDown(n))
+}
+
+// splitAnd flattens an AND tree into its conjuncts. A row satisfies the
+// conjunction iff every conjunct evaluates to TRUE, so conjuncts may be
+// applied independently at different plan levels.
+func splitAnd(e algebra.Expr) []algebra.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(algebra.Bin); ok && b.Op == algebra.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []algebra.Expr{e}
+}
+
+// andAll rebuilds a conjunction; nil for an empty list.
+func andAll(conjs []algebra.Expr) algebra.Expr {
+	var out algebra.Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = algebra.Bin{Op: algebra.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// pushDown recursively rebuilds the plan with every filter as low as it can
+// soundly go.
+func pushDown(n algebra.Node) algebra.Node {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		return node
+	case *algebra.Filter:
+		return pushConjuncts(splitAnd(node.Pred), pushDown(node.Input))
+	case *algebra.Project:
+		return &algebra.Project{Input: pushDown(node.Input), Exprs: node.Exprs, Names: node.Names}
+	case *algebra.Join:
+		j := &algebra.Join{
+			Left: pushDown(node.Left), Right: pushDown(node.Right),
+			EquiL:    append([]int{}, node.EquiL...),
+			EquiR:    append([]int{}, node.EquiR...),
+			Residual: node.Residual,
+		}
+		return distributeJoin(j)
+	case *algebra.UnionAll:
+		return &algebra.UnionAll{Left: pushDown(node.Left), Right: pushDown(node.Right)}
+	case *algebra.Aggregate:
+		return &algebra.Aggregate{Input: pushDown(node.Input),
+			GroupBy: node.GroupBy, GroupNames: node.GroupNames, Aggs: node.Aggs}
+	case *algebra.Sort:
+		return &algebra.Sort{Input: pushDown(node.Input), Keys: node.Keys}
+	case *algebra.Limit:
+		return &algebra.Limit{Input: pushDown(node.Input), N: node.N}
+	case *algebra.Distinct:
+		return &algebra.Distinct{Input: pushDown(node.Input)}
+	default:
+		return n
+	}
+}
+
+// distributeJoin sinks the join's residual conjuncts: single-side conjuncts
+// become filters on that side, cross-side equalities become hash-join key
+// pairs, and only genuinely mixed predicates stay residual. j must be a
+// fresh node (its fields are rewritten in place).
+func distributeJoin(j *algebra.Join) *algebra.Join {
+	la := j.Left.Schema().Arity()
+	var residual, lpush, rpush []algebra.Expr
+	for _, c := range splitAnd(j.Residual) {
+		cols := algebra.ColsUsed(c)
+		switch {
+		case len(cols) == 0 || cols[len(cols)-1] < la:
+			lpush = append(lpush, c)
+		case cols[0] >= la:
+			rpush = append(rpush, algebra.ShiftCols(c, la, -la))
+		default:
+			if li, ri, ok := equiCols(c, la); ok {
+				j.EquiL = append(j.EquiL, li)
+				j.EquiR = append(j.EquiR, ri)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	}
+	if len(lpush) > 0 {
+		j.Left = pushConjuncts(lpush, j.Left)
+	}
+	if len(rpush) > 0 {
+		j.Right = pushConjuncts(rpush, j.Right)
+	}
+	j.Residual = andAll(residual)
+	return j
+}
+
+// equiCols recognizes a cross-side column equality over the concatenated
+// join schema and returns left- and right-relative key positions. Moving the
+// equality from the residual to the hash keys preserves semantics: a NULL
+// operand makes the predicate UNKNOWN (row dropped), and NULL hash keys
+// never match.
+func equiCols(e algebra.Expr, la int) (int, int, bool) {
+	b, ok := e.(algebra.Bin)
+	if !ok || b.Op != algebra.OpEq {
+		return 0, 0, false
+	}
+	l, lok := b.L.(algebra.Col)
+	r, rok := b.R.(algebra.Col)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	switch {
+	case l.Idx < la && r.Idx >= la:
+		return l.Idx, r.Idx - la, true
+	case r.Idx < la && l.Idx >= la:
+		return r.Idx, l.Idx - la, true
+	}
+	return 0, 0, false
+}
+
+// pushConjuncts pushes filter conjuncts into n, wrapping whatever cannot
+// sink in a Filter above it.
+func pushConjuncts(conjs []algebra.Expr, n algebra.Node) algebra.Node {
+	if len(conjs) == 0 {
+		return n
+	}
+	switch node := n.(type) {
+	case *algebra.Filter:
+		merged := append(append([]algebra.Expr{}, conjs...), splitAnd(node.Pred)...)
+		return pushConjuncts(merged, node.Input)
+	case *algebra.Join:
+		j := &algebra.Join{
+			Left: node.Left, Right: node.Right,
+			EquiL:    append([]int{}, node.EquiL...),
+			EquiR:    append([]int{}, node.EquiR...),
+			Residual: andAll(append(splitAnd(node.Residual), conjs...)),
+		}
+		return distributeJoin(j)
+	case *algebra.Project:
+		// A conjunct slides below the projection when every column it reads
+		// is a pure renaming (Col) or a constant — substitution then cannot
+		// duplicate computed work.
+		var pushable, kept []algebra.Expr
+		for _, c := range conjs {
+			if renamingOnly(c, node.Exprs) {
+				pushable = append(pushable, algebra.MapCols(c, func(col algebra.Col) algebra.Expr {
+					return node.Exprs[col.Idx]
+				}))
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		out := node
+		if len(pushable) > 0 {
+			out = &algebra.Project{Input: pushConjuncts(pushable, node.Input),
+				Exprs: node.Exprs, Names: node.Names}
+		}
+		if len(kept) > 0 {
+			return &algebra.Filter{Input: out, Pred: andAll(kept)}
+		}
+		return out
+	case *algebra.UnionAll:
+		// Both branches share the output schema, so the conjuncts apply
+		// verbatim on each side: σ(A ∪ B) = σ(A) ∪ σ(B) under bag semantics.
+		return &algebra.UnionAll{
+			Left:  pushConjuncts(conjs, node.Left),
+			Right: pushConjuncts(conjs, node.Right),
+		}
+	case *algebra.Sort:
+		return &algebra.Sort{Input: pushConjuncts(conjs, node.Input), Keys: node.Keys}
+	case *algebra.Distinct:
+		// σ(δ(R)) = δ(σ(R)): the predicate reads only the row itself.
+		return &algebra.Distinct{Input: pushConjuncts(conjs, node.Input)}
+	default:
+		// Scan, Limit (a filter must not slide below a limit), Aggregate
+		// (HAVING must see the aggregated groups), and anything unknown.
+		return &algebra.Filter{Input: n, Pred: andAll(conjs)}
+	}
+}
+
+// renamingOnly reports whether every column c reads maps to a Col or Const
+// projection expression.
+func renamingOnly(c algebra.Expr, exprs []algebra.Expr) bool {
+	ok := true
+	algebra.WalkCols(c, func(col algebra.Col) {
+		if col.Idx >= len(exprs) {
+			ok = false
+			return
+		}
+		switch exprs[col.Idx].(type) {
+		case algebra.Col, algebra.Const:
+		default:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// --- projection pruning ---
+
+// pruneTop narrows every subtree to the columns consumed above it. At the
+// root all columns are needed, so the plan's output schema is unchanged
+// (prune with a full needed-set always returns an identity mapping).
+func pruneTop(n algebra.Node) algebra.Node {
+	out, _ := pruneNode(n, allNeeded(n.Schema().Arity()))
+	return out
+}
+
+func allNeeded(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+func identityMap(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func countNeeded(needed []bool) int {
+	n := 0
+	for _, b := range needed {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// remapExpr rebases an expression's column references through an old→new
+// position mapping. Every referenced column must be retained (mapping ≥ 0);
+// pruneNode guarantees that by adding the columns a node reads to the needed
+// set before recursing.
+func remapExpr(e algebra.Expr, m []int) algebra.Expr {
+	return algebra.MapCols(e, func(c algebra.Col) algebra.Expr {
+		return algebra.Col{Idx: m[c.Idx], Name: c.Name}
+	})
+}
+
+// pruneNode rewrites n to produce at least the needed columns, keeping their
+// relative order, and returns the old→new position mapping (-1 = dropped).
+func pruneNode(n algebra.Node, needed []bool) (algebra.Node, []int) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		arity := node.Schema().Arity()
+		if countNeeded(needed) == arity {
+			return node, identityMap(arity)
+		}
+		// Narrow the scan with a renaming projection. Keep at least one
+		// column so the row count survives (a join side may be consumed for
+		// cardinality only).
+		m := make([]int, arity)
+		var exprs []algebra.Expr
+		var names []string
+		for i := 0; i < arity; i++ {
+			if needed[i] || (len(exprs) == 0 && i == arity-1) {
+				m[i] = len(exprs)
+				exprs = append(exprs, algebra.Col{Idx: i, Name: node.Schema().Attrs[i]})
+				names = append(names, node.Schema().Attrs[i])
+			} else {
+				m[i] = -1
+			}
+		}
+		return &algebra.Project{Input: node, Exprs: exprs, Names: names}, m
+
+	case *algebra.Filter:
+		need := append([]bool{}, needed...)
+		for _, i := range algebra.ColsUsed(node.Pred) {
+			need[i] = true
+		}
+		in, m := pruneNode(node.Input, need)
+		return &algebra.Filter{Input: in, Pred: remapExpr(node.Pred, m)}, m
+
+	case *algebra.Project:
+		var kept []int
+		for i := range node.Exprs {
+			if needed[i] {
+				kept = append(kept, i)
+			}
+		}
+		if len(kept) == 0 {
+			kept = []int{0}
+		}
+		childNeed := make([]bool, node.Input.Schema().Arity())
+		for _, i := range kept {
+			for _, c := range algebra.ColsUsed(node.Exprs[i]) {
+				childNeed[c] = true
+			}
+		}
+		in, cm := pruneNode(node.Input, childNeed)
+		exprs := make([]algebra.Expr, len(kept))
+		names := make([]string, len(kept))
+		m := make([]int, len(node.Exprs))
+		for i := range m {
+			m[i] = -1
+		}
+		for k, i := range kept {
+			exprs[k] = remapExpr(node.Exprs[i], cm)
+			names[k] = node.Names[i]
+			m[i] = k
+		}
+		return &algebra.Project{Input: in, Exprs: exprs, Names: names}, m
+
+	case *algebra.Join:
+		la := node.Left.Schema().Arity()
+		ra := node.Right.Schema().Arity()
+		lneed := make([]bool, la)
+		rneed := make([]bool, ra)
+		mark := func(i int) {
+			if i < la {
+				lneed[i] = true
+			} else {
+				rneed[i-la] = true
+			}
+		}
+		for i, b := range needed {
+			if b {
+				mark(i)
+			}
+		}
+		for _, i := range node.EquiL {
+			lneed[i] = true
+		}
+		for _, i := range node.EquiR {
+			rneed[i] = true
+		}
+		if node.Residual != nil {
+			for _, i := range algebra.ColsUsed(node.Residual) {
+				mark(i)
+			}
+		}
+		l, lm := pruneNode(node.Left, lneed)
+		r, rm := pruneNode(node.Right, rneed)
+		nla := l.Schema().Arity()
+		equiL := make([]int, len(node.EquiL))
+		for i, j := range node.EquiL {
+			equiL[i] = lm[j]
+		}
+		equiR := make([]int, len(node.EquiR))
+		for i, j := range node.EquiR {
+			equiR[i] = rm[j]
+		}
+		var residual algebra.Expr
+		if node.Residual != nil {
+			residual = algebra.MapCols(node.Residual, func(c algebra.Col) algebra.Expr {
+				if c.Idx < la {
+					return algebra.Col{Idx: lm[c.Idx], Name: c.Name}
+				}
+				return algebra.Col{Idx: nla + rm[c.Idx-la], Name: c.Name}
+			})
+		}
+		m := make([]int, la+ra)
+		for i := 0; i < la; i++ {
+			m[i] = lm[i]
+		}
+		for i := 0; i < ra; i++ {
+			if rm[i] < 0 {
+				m[la+i] = -1
+			} else {
+				m[la+i] = nla + rm[i]
+			}
+		}
+		return &algebra.Join{Left: l, Right: r, EquiL: equiL, EquiR: equiR, Residual: residual}, m
+
+	case *algebra.Aggregate:
+		childNeed := make([]bool, node.Input.Schema().Arity())
+		for _, e := range node.GroupBy {
+			for _, c := range algebra.ColsUsed(e) {
+				childNeed[c] = true
+			}
+		}
+		for _, a := range node.Aggs {
+			if a.Arg != nil {
+				for _, c := range algebra.ColsUsed(a.Arg) {
+					childNeed[c] = true
+				}
+			}
+		}
+		in, cm := pruneNode(node.Input, childNeed)
+		groupBy := make([]algebra.Expr, len(node.GroupBy))
+		for i, e := range node.GroupBy {
+			groupBy[i] = remapExpr(e, cm)
+		}
+		aggs := make([]algebra.AggSpec, len(node.Aggs))
+		for i, a := range node.Aggs {
+			aggs[i] = a
+			if a.Arg != nil {
+				aggs[i].Arg = remapExpr(a.Arg, cm)
+			}
+		}
+		out := &algebra.Aggregate{Input: in, GroupBy: groupBy,
+			GroupNames: node.GroupNames, Aggs: aggs}
+		return out, identityMap(out.Schema().Arity())
+
+	case *algebra.Sort:
+		need := append([]bool{}, needed...)
+		for _, k := range node.Keys {
+			for _, i := range algebra.ColsUsed(k.Expr) {
+				need[i] = true
+			}
+		}
+		in, m := pruneNode(node.Input, need)
+		keys := make([]algebra.SortKey, len(node.Keys))
+		for i, k := range node.Keys {
+			keys[i] = algebra.SortKey{Expr: remapExpr(k.Expr, m), Desc: k.Desc}
+		}
+		return &algebra.Sort{Input: in, Keys: keys}, m
+
+	case *algebra.Limit:
+		in, m := pruneNode(node.Input, needed)
+		return &algebra.Limit{Input: in, N: node.N}, m
+
+	case *algebra.Distinct:
+		// Duplicate elimination compares whole rows: every column is load-
+		// bearing even when the parent reads none of it.
+		in, m := pruneNode(node.Input, allNeeded(node.Input.Schema().Arity()))
+		return &algebra.Distinct{Input: in}, m
+
+	case *algebra.UnionAll:
+		// Keep both branches at full width so their column layouts agree.
+		// Pruning still proceeds below each branch independently.
+		l, _ := pruneNode(node.Left, allNeeded(node.Left.Schema().Arity()))
+		r, _ := pruneNode(node.Right, allNeeded(node.Right.Schema().Arity()))
+		return &algebra.UnionAll{Left: l, Right: r}, identityMap(node.Schema().Arity())
+
+	default:
+		return n, identityMap(n.Schema().Arity())
+	}
+}

@@ -1,0 +1,62 @@
+// Package physical is the execution layer of the engine: a small optimizer
+// that normalizes logical algebra plans (predicate pushdown, equi-join
+// extraction, projection pruning) and a family of Volcano-style physical
+// operators (Open/Next/Close iterators) they lower to — streaming scan,
+// filter, project, hash join with a nested-loop fallback, hash aggregate,
+// run-merging sort, early-terminating limit, union-all, and distinct.
+//
+// The layer is deliberately independent of the engine's catalog: plans are
+// lowered against a Source, so the same operators run the deterministic
+// database and the UA-encoded database produced by internal/rewrite. That
+// symmetry is the paper's "lightweight" claim in code — the UA frontend adds
+// a rewrite, not an engine.
+package physical
+
+import "repro/internal/types"
+
+// Operator is a Volcano-style iterator over rows. The contract:
+//
+//   - Open prepares the operator (and its inputs) for iteration.
+//   - Next returns the next row, or (nil, nil) when the input is exhausted.
+//     Rows returned by leaf operators may alias stored data; operators that
+//     construct rows (project, joins, aggregate, limit) return fresh slices.
+//   - Close releases resources; it must be safe to call after Open failed.
+type Operator interface {
+	Schema() types.Schema
+	Open() error
+	Next() ([]types.Value, error)
+	Close() error
+}
+
+// Source resolves table names at lowering time, so one logical plan can run
+// against different databases (deterministic vs UA-encoded).
+type Source interface {
+	// Resolve returns the schema and backing rows of the named table, or an
+	// error when the table does not exist.
+	Resolve(table string) (types.Schema, [][]types.Value, error)
+}
+
+// Drain opens op, collects every row, and closes it. The Close error is
+// reported only when iteration itself succeeded.
+func Drain(op Operator) ([][]types.Value, error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	var rows [][]types.Value
+	for {
+		row, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

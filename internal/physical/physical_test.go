@@ -1,0 +1,301 @@
+package physical
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+func iv(v int64) types.Value  { return types.NewInt(v) }
+func sv(v string) types.Value { return types.NewString(v) }
+
+// memSource is an in-memory Source for tests.
+type memSource map[string]struct {
+	schema types.Schema
+	rows   [][]types.Value
+}
+
+func (m memSource) Resolve(name string) (types.Schema, [][]types.Value, error) {
+	t, ok := m[name]
+	if !ok {
+		return types.Schema{}, nil, &unknownTable{name}
+	}
+	return t.schema, t.rows, nil
+}
+
+type unknownTable struct{ name string }
+
+func (e *unknownTable) Error() string { return "unknown table " + e.name }
+
+func (m memSource) put(name string, attrs []string, rows [][]types.Value) {
+	m[name] = struct {
+		schema types.Schema
+		rows   [][]types.Value
+	}{types.Schema{Name: name, Attrs: attrs}, rows}
+}
+
+func multiset(rows [][]types.Value) map[string]int {
+	out := make(map[string]int, len(rows))
+	for _, r := range rows {
+		out[types.Tuple(r).Key()]++
+	}
+	return out
+}
+
+func sameBag(t *testing.T, a, b [][]types.Value) {
+	t.Helper()
+	ma, mb := multiset(a), multiset(b)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, n := range ma {
+		if mb[k] != n {
+			t.Fatalf("bag mismatch at key %q: %d vs %d", k, n, mb[k])
+		}
+	}
+}
+
+func scanOf(rows [][]types.Value, attrs ...string) *Scan {
+	return NewScan("t", types.Schema{Name: "t", Attrs: attrs}, rows)
+}
+
+// randomTable builds rows with a key column drawn from a small domain
+// (including NULLs, which must never join) and a payload column.
+func randomTable(rng *rand.Rand, n, domain int) [][]types.Value {
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		key := types.Null()
+		if rng.Intn(10) > 0 {
+			key = iv(int64(rng.Intn(domain)))
+		}
+		rows[i] = []types.Value{key, iv(int64(i))}
+	}
+	return rows
+}
+
+func TestHashVsNestedLoopRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eq := algebra.Bin{Op: algebra.OpEq,
+		L: algebra.Col{Idx: 0, Name: "k"},
+		R: algebra.Col{Idx: 2, Name: "k"},
+	}
+	for trial := 0; trial < 25; trial++ {
+		l := randomTable(rng, rng.Intn(40), 1+rng.Intn(6))
+		r := randomTable(rng, rng.Intn(40), 1+rng.Intn(6))
+		hj := NewHashJoin(scanOf(l, "k", "p"), scanOf(r, "k", "q"), []int{0}, []int{0}, nil)
+		nl := NewNestedLoopJoin(scanOf(l, "k", "p"), scanOf(r, "k", "q"), eq)
+		hrows, err := Drain(hj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrows, err := Drain(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBag(t, hrows, nrows)
+	}
+}
+
+func TestJoinsOverEmptyInputs(t *testing.T) {
+	some := [][]types.Value{{iv(1), iv(10)}, {iv(2), iv(20)}}
+	none := [][]types.Value{}
+	cases := []struct{ l, r [][]types.Value }{
+		{none, some}, {some, none}, {none, none},
+	}
+	for i, c := range cases {
+		hj := NewHashJoin(scanOf(c.l, "k", "p"), scanOf(c.r, "k", "q"), []int{0}, []int{0}, nil)
+		rows, err := Drain(hj)
+		if err != nil || len(rows) != 0 {
+			t.Errorf("case %d: hash join over empty input: rows=%d err=%v", i, len(rows), err)
+		}
+		nl := NewNestedLoopJoin(scanOf(c.l, "k", "p"), scanOf(c.r, "k", "q"), nil)
+		rows, err = Drain(nl)
+		if err != nil || len(rows) != 0 {
+			t.Errorf("case %d: nested-loop join over empty input: rows=%d err=%v", i, len(rows), err)
+		}
+	}
+}
+
+func TestLowerValidatesPlans(t *testing.T) {
+	src := memSource{}
+	src.put("r", []string{"a", "b"}, [][]types.Value{{iv(1), iv(2)}})
+	src.put("s", []string{"c"}, [][]types.Value{{iv(3)}})
+	scanR := &algebra.Scan{Table: "r", TblSchema: types.NewSchema("r", "a", "b")}
+	scanS := &algebra.Scan{Table: "s", TblSchema: types.NewSchema("s", "c")}
+
+	cases := []struct {
+		name string
+		plan algebra.Node
+		want string
+	}{
+		{"unknown table",
+			&algebra.Scan{Table: "zzz"}, "unknown table"},
+		{"scan arity mismatch",
+			&algebra.Scan{Table: "r", TblSchema: types.NewSchema("r", "a", "b", "ghost")},
+			"plan expects 3 columns"},
+		{"join key count mismatch",
+			&algebra.Join{Left: scanR, Right: scanS, EquiL: []int{0, 1}, EquiR: []int{0}},
+			"left keys"},
+		{"join key out of range",
+			&algebra.Join{Left: scanR, Right: scanS, EquiL: []int{0}, EquiR: []int{5}},
+			"out of range"},
+		{"residual out of range",
+			&algebra.Join{Left: scanR, Right: scanS,
+				Residual: algebra.Col{Idx: 9, Name: "x"}},
+			"references column 9"},
+		{"union arity mismatch",
+			&algebra.UnionAll{Left: scanR, Right: scanS}, "arity mismatch"},
+		{"filter column out of range",
+			&algebra.Filter{Input: scanS, Pred: algebra.Col{Idx: 3, Name: "x"}},
+			"references column 3"},
+		{"projection name count mismatch",
+			&algebra.Project{Input: scanS, Exprs: []algebra.Expr{algebra.Col{Idx: 0}}, Names: []string{"a", "b"}},
+			"1 expressions but 2 names"},
+	}
+	for _, c := range cases {
+		_, err := Lower(c.plan, src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDistinctAndAggregateOverZeroRows(t *testing.T) {
+	empty := scanOf(nil, "a")
+	rows, err := Drain(&Distinct{Input: empty})
+	if err != nil || len(rows) != 0 {
+		t.Errorf("distinct over empty: rows=%d err=%v", len(rows), err)
+	}
+
+	// A global aggregate over zero rows still emits one row: COUNT is 0,
+	// SUM/MIN/MAX/AVG are NULL.
+	aggs := []algebra.AggSpec{
+		{Func: algebra.AggCount, Star: true, Name: "count(*)"},
+		{Func: algebra.AggSum, Arg: algebra.Col{Idx: 0, Name: "a"}, Name: "sum(a)"},
+		{Func: algebra.AggMin, Arg: algebra.Col{Idx: 0, Name: "a"}, Name: "min(a)"},
+	}
+	global := NewHashAggregate(scanOf(nil, "a"), nil, nil, aggs)
+	rows, err = Drain(global)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("global aggregate over empty: rows=%d err=%v", len(rows), err)
+	}
+	if rows[0][0].Int() != 0 || !rows[0][1].IsNull() || !rows[0][2].IsNull() {
+		t.Errorf("global aggregate row = %v", rows[0])
+	}
+
+	// A grouped aggregate over zero rows emits zero groups.
+	grouped := NewHashAggregate(scanOf(nil, "a"),
+		[]algebra.Expr{algebra.Col{Idx: 0, Name: "a"}}, []string{"a"}, aggs)
+	rows, err = Drain(grouped)
+	if err != nil || len(rows) != 0 {
+		t.Errorf("grouped aggregate over empty: rows=%d err=%v", len(rows), err)
+	}
+}
+
+// countingOp wraps an operator and counts Next calls.
+type countingOp struct {
+	Operator
+	calls int
+}
+
+func (c *countingOp) Next() ([]types.Value, error) {
+	c.calls++
+	return c.Operator.Next()
+}
+
+func TestLimitTerminatesEarlyAndCopies(t *testing.T) {
+	rows := [][]types.Value{{iv(1)}, {iv(2)}, {iv(3)}, {iv(4)}, {iv(5)}}
+	src := &countingOp{Operator: scanOf(rows, "a")}
+	lim := &Limit{Input: src, N: 2}
+	out, err := Drain(lim)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("limit: rows=%d err=%v", len(out), err)
+	}
+	if src.calls != 2 {
+		t.Errorf("limit pulled %d rows from its input, want exactly 2", src.calls)
+	}
+	// Emitted rows must not alias the scanned storage: mutating the output
+	// must leave the base rows intact (regression for the seed executor,
+	// which returned a slice of the input's backing array).
+	out[0][0] = iv(99)
+	if rows[0][0].Int() != 1 {
+		t.Error("limit output aliases the source rows")
+	}
+}
+
+func TestSortRunsMergeStable(t *testing.T) {
+	// Keys with duplicates; payload records arrival order. RunSize 2 forces
+	// a multi-run merge.
+	var rows [][]types.Value
+	keys := []int64{3, 1, 2, 1, 3, 2, 1, 2, 3, 1}
+	for i, k := range keys {
+		rows = append(rows, []types.Value{iv(k), iv(int64(i))})
+	}
+	s := &Sort{Input: scanOf(rows, "k", "ord"),
+		Keys:    []algebra.SortKey{{Expr: algebra.Col{Idx: 0, Name: "k"}}},
+		RunSize: 2}
+	out, err := Drain(s)
+	if err != nil || len(out) != len(rows) {
+		t.Fatalf("sort: rows=%d err=%v", len(out), err)
+	}
+	lastKey, lastOrd := int64(-1), int64(-1)
+	for _, r := range out {
+		k, ord := r[0].Int(), r[1].Int()
+		if k < lastKey {
+			t.Fatalf("not sorted: %v", out)
+		}
+		if k == lastKey && ord < lastOrd {
+			t.Fatalf("not stable within key %d: %v", k, out)
+		}
+		lastKey, lastOrd = k, ord
+	}
+}
+
+func TestUnionAllAndDistinctStreaming(t *testing.T) {
+	l := scanOf([][]types.Value{{iv(1)}, {iv(2)}}, "a")
+	r := scanOf([][]types.Value{{iv(2)}, {iv(3)}}, "a")
+	rows, err := Drain(&Distinct{Input: &UnionAll{Left: l, Right: r}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct(union) rows = %d, want 3", len(rows))
+	}
+	// First occurrence wins, in stream order.
+	want := []int64{1, 2, 3}
+	for i, r := range rows {
+		if r[0].Int() != want[i] {
+			t.Errorf("row %d = %v, want %d", i, r[0], want[i])
+		}
+	}
+}
+
+func TestExplainShapes(t *testing.T) {
+	src := memSource{}
+	src.put("r", []string{"a"}, nil)
+	src.put("s", []string{"b"}, nil)
+	scanR := &algebra.Scan{Table: "r", TblSchema: types.NewSchema("r", "a")}
+	scanS := &algebra.Scan{Table: "s", TblSchema: types.NewSchema("s", "b")}
+
+	hash := &algebra.Join{Left: scanR, Right: scanS, EquiL: []int{0}, EquiR: []int{0}}
+	op, err := Lower(hash, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Explain(op); !strings.Contains(s, "HashJoin") {
+		t.Errorf("explain missing HashJoin:\n%s", s)
+	}
+
+	theta := &algebra.Join{Left: scanR, Right: scanS,
+		Residual: algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 0}, R: algebra.Col{Idx: 1}}}
+	op, err = Lower(theta, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Explain(op); !strings.Contains(s, "NestedLoopJoin") {
+		t.Errorf("explain missing NestedLoopJoin:\n%s", s)
+	}
+}

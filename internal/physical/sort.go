@@ -1,0 +1,150 @@
+package physical
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// DefaultSortRunSize is the number of rows sorted per run before a new run
+// is started. Runs are merged with a loser-tree-style heap, so the operator
+// is external-friendly: spilling a sorted run to disk and streaming it back
+// would slot into runs without touching the merge or the comparator.
+const DefaultSortRunSize = 1 << 16
+
+// Sort orders the input by the keys. Open consumes the input into sorted
+// runs of at most RunSize rows; Next streams the k-way merge of the runs.
+// The sort is stable: within a run sort.SliceStable preserves arrival order,
+// and the merge breaks comparator ties by run index (runs are consecutive
+// chunks of the input).
+type Sort struct {
+	Input   Operator
+	Keys    []algebra.SortKey
+	RunSize int // 0 means DefaultSortRunSize
+
+	runs [][][]types.Value
+	h    *mergeHeap
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() types.Schema { return s.Input.Schema() }
+
+// less orders rows by the sort keys.
+func (s *Sort) less(a, b []types.Value) bool {
+	for _, k := range s.Keys {
+		va, vb := k.Expr.Eval(a), k.Expr.Eval(b)
+		c := va.Compare(vb)
+		if c != 0 {
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+// Open implements Operator: it consumes the input into sorted runs and
+// prepares the merge.
+func (s *Sort) Open() error {
+	s.runs, s.h = nil, nil
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	runSize := s.RunSize
+	if runSize <= 0 {
+		runSize = DefaultSortRunSize
+	}
+	var run [][]types.Value
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
+		s.runs = append(s.runs, run)
+		run = nil
+	}
+	for {
+		row, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		run = append(run, row)
+		if len(run) >= runSize {
+			flush()
+		}
+	}
+	flush()
+	s.h = &mergeHeap{sort: s}
+	for i, r := range s.runs {
+		s.h.items = append(s.h.items, mergeItem{run: i, rows: r})
+	}
+	heap.Init(s.h)
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() ([]types.Value, error) {
+	if s.h.Len() == 0 {
+		return nil, nil
+	}
+	top := &s.h.items[0]
+	row := top.rows[top.pos]
+	top.pos++
+	if top.pos >= len(top.rows) {
+		heap.Pop(s.h)
+	} else {
+		heap.Fix(s.h, 0)
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.runs, s.h = nil, nil
+	return s.Input.Close()
+}
+
+// mergeItem is one run's cursor in the k-way merge.
+type mergeItem struct {
+	run  int
+	rows [][]types.Value
+	pos  int
+}
+
+// mergeHeap is a min-heap of run cursors ordered by their current row, with
+// run index as the stability tie-break.
+type mergeHeap struct {
+	sort  *Sort
+	items []mergeItem
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	ra, rb := a.rows[a.pos], b.rows[b.pos]
+	if h.sort.less(ra, rb) {
+		return true
+	}
+	if h.sort.less(rb, ra) {
+		return false
+	}
+	return a.run < b.run
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(mergeItem)) }
+
+func (h *mergeHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}

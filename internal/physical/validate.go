@@ -1,0 +1,145 @@
+package physical
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Validate checks a logical plan's internal consistency against its compiled
+// (static) schemas: expression column references in range, join keys paired
+// and in range, projection expression/name counts equal, union arities
+// matching. It returns whether the plan is optimizable — false when any scan
+// lacks a compiled schema (arity 0), in which case static column positions
+// are unknowable, Optimize must be skipped, and lowering-time validation
+// against the runtime catalog takes over. Optimize itself assumes a
+// validated plan and may panic on malformed input.
+func Validate(n algebra.Node) (bool, error) {
+	known, _, err := validateNode(n)
+	return known, err
+}
+
+// validateNode reports whether the subtree's schema is statically known, its
+// output arity, and any consistency error detectable so far.
+func validateNode(n algebra.Node) (known bool, arity int, err error) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		a := node.TblSchema.Arity()
+		return a > 0, a, nil
+
+	case *algebra.Filter:
+		known, arity, err = validateNode(node.Input)
+		if err == nil && known {
+			err = checkCols(node.Pred, arity, "filter predicate")
+		}
+		return known, arity, err
+
+	case *algebra.Project:
+		known, arity, err = validateNode(node.Input)
+		if err != nil {
+			return known, arity, err
+		}
+		if len(node.Exprs) != len(node.Names) {
+			return known, arity, fmt.Errorf("physical: projection has %d expressions but %d names",
+				len(node.Exprs), len(node.Names))
+		}
+		if known {
+			for _, e := range node.Exprs {
+				if err := checkCols(e, arity, "projection"); err != nil {
+					return known, arity, err
+				}
+			}
+		}
+		return known, len(node.Exprs), nil
+
+	case *algebra.Join:
+		lk, la, err := validateNode(node.Left)
+		if err != nil {
+			return false, 0, err
+		}
+		rk, ra, err := validateNode(node.Right)
+		if err != nil {
+			return false, 0, err
+		}
+		if len(node.EquiL) != len(node.EquiR) {
+			return false, 0, fmt.Errorf("physical: join has %d left keys but %d right keys",
+				len(node.EquiL), len(node.EquiR))
+		}
+		if lk {
+			for _, i := range node.EquiL {
+				if i < 0 || i >= la {
+					return false, 0, fmt.Errorf("physical: join key %d out of range for left arity %d", i, la)
+				}
+			}
+		}
+		if rk {
+			for _, i := range node.EquiR {
+				if i < 0 || i >= ra {
+					return false, 0, fmt.Errorf("physical: join key %d out of range for right arity %d", i, ra)
+				}
+			}
+		}
+		if lk && rk && node.Residual != nil {
+			if err := checkCols(node.Residual, la+ra, "join residual"); err != nil {
+				return false, 0, err
+			}
+		}
+		return lk && rk, la + ra, nil
+
+	case *algebra.UnionAll:
+		lk, la, err := validateNode(node.Left)
+		if err != nil {
+			return false, 0, err
+		}
+		rk, ra, err := validateNode(node.Right)
+		if err != nil {
+			return false, 0, err
+		}
+		if lk && rk && la != ra {
+			return false, 0, fmt.Errorf("physical: UNION ALL arity mismatch: %d vs %d", la, ra)
+		}
+		return lk && rk, la, nil
+
+	case *algebra.Aggregate:
+		known, arity, err = validateNode(node.Input)
+		if err != nil {
+			return known, arity, err
+		}
+		if known {
+			for _, e := range node.GroupBy {
+				if err := checkCols(e, arity, "group-by key"); err != nil {
+					return known, arity, err
+				}
+			}
+			for _, a := range node.Aggs {
+				if a.Arg != nil {
+					if err := checkCols(a.Arg, arity, "aggregate argument"); err != nil {
+						return known, arity, err
+					}
+				}
+			}
+		}
+		return known, len(node.GroupNames) + len(node.Aggs), nil
+
+	case *algebra.Sort:
+		known, arity, err = validateNode(node.Input)
+		if err == nil && known {
+			for _, k := range node.Keys {
+				if err = checkCols(k.Expr, arity, "sort key"); err != nil {
+					break
+				}
+			}
+		}
+		return known, arity, err
+
+	case *algebra.Limit:
+		return validateNode(node.Input)
+
+	case *algebra.Distinct:
+		return validateNode(node.Input)
+
+	default:
+		// Unknown node types: not statically understood, never optimized.
+		return false, n.Schema().Arity(), nil
+	}
+}

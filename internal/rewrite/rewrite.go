@@ -142,58 +142,5 @@ func rewriteNode(n algebra.Node) (algebra.Node, int, error) {
 // shiftCols returns a copy of e with every column index ≥ threshold shifted
 // by delta.
 func shiftCols(e algebra.Expr, threshold, delta int) algebra.Expr {
-	switch n := e.(type) {
-	case algebra.Col:
-		if n.Idx >= threshold {
-			return algebra.Col{Idx: n.Idx + delta, Name: n.Name}
-		}
-		return n
-	case algebra.Const:
-		return n
-	case algebra.Bin:
-		return algebra.Bin{Op: n.Op, L: shiftCols(n.L, threshold, delta), R: shiftCols(n.R, threshold, delta)}
-	case algebra.Not:
-		return algebra.Not{E: shiftCols(n.E, threshold, delta)}
-	case algebra.Neg:
-		return algebra.Neg{E: shiftCols(n.E, threshold, delta)}
-	case algebra.IsNullE:
-		return algebra.IsNullE{E: shiftCols(n.E, threshold, delta), Negated: n.Negated}
-	case algebra.CaseExpr:
-		out := algebra.CaseExpr{}
-		if n.Operand != nil {
-			out.Operand = shiftCols(n.Operand, threshold, delta)
-		}
-		for _, w := range n.Whens {
-			out.Whens = append(out.Whens, algebra.CaseWhen{
-				Cond:   shiftCols(w.Cond, threshold, delta),
-				Result: shiftCols(w.Result, threshold, delta),
-			})
-		}
-		if n.Else != nil {
-			out.Else = shiftCols(n.Else, threshold, delta)
-		}
-		return out
-	case algebra.LikeE:
-		return algebra.LikeE{E: shiftCols(n.E, threshold, delta), Pattern: shiftCols(n.Pattern, threshold, delta), Negated: n.Negated}
-	case algebra.InE:
-		out := algebra.InE{E: shiftCols(n.E, threshold, delta), Negated: n.Negated}
-		for _, x := range n.List {
-			out.List = append(out.List, shiftCols(x, threshold, delta))
-		}
-		return out
-	case algebra.BetweenE:
-		return algebra.BetweenE{
-			E:  shiftCols(n.E, threshold, delta),
-			Lo: shiftCols(n.Lo, threshold, delta),
-			Hi: shiftCols(n.Hi, threshold, delta), Negated: n.Negated,
-		}
-	case algebra.ScalarFunc:
-		out := algebra.ScalarFunc{Name: n.Name}
-		for _, a := range n.Args {
-			out.Args = append(out.Args, shiftCols(a, threshold, delta))
-		}
-		return out
-	default:
-		return e
-	}
+	return algebra.ShiftCols(e, threshold, delta)
 }
