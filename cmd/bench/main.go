@@ -1,10 +1,14 @@
 // Command bench regenerates the paper's evaluation tables and figures
-// (Section 11). Run with no arguments for everything, or name experiments:
+// (Section 11) plus the physical engine's operator microbenchmarks. Run
+// with no arguments for everything, or name experiments:
 //
-//	bench fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
+//	bench fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 physical
 //
 // Flags scale the workloads; the defaults finish in a few minutes on one
-// core. Output is the textual form of each figure's data series.
+// core. Output is the textual form of each figure's data series; the
+// "physical" suite additionally writes machine-readable results (op, rows,
+// ns/op, allocs/op) to -physout so the repo's perf trajectory is tracked in
+// version control.
 package main
 
 import (
@@ -14,11 +18,14 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/physbench"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.05, "PDBench scale factor for fig11-13 (1.0 = 60k lineitems)")
 	quick := flag.Bool("quick", false, "shrink all workloads for a fast smoke run")
+	physRows := flag.Int("physrows", 100000, "input rows for the physical operator suite")
+	physOut := flag.String("physout", "BENCH_physical.json", "path for the physical suite's JSON results")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -143,5 +150,22 @@ func main() {
 			trials = 2
 		}
 		fmt.Println(experiments.Fig21(trials, 3))
+	}
+
+	if run("physical") {
+		rows := *physRows
+		if *quick {
+			rows = 10000
+		}
+		results, err := physbench.Suite(rows)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Physical operator suite (batch engine vs row-at-a-time reference)")
+		fmt.Print(physbench.Format(results))
+		if err := physbench.WriteJSON(*physOut, results); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *physOut)
 	}
 }

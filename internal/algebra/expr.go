@@ -139,28 +139,39 @@ func (e Bin) Eval(row []types.Value) types.Value {
 		return types.Null()
 	}
 	if l.Kind() == types.KindInt && r.Kind() == types.KindInt {
-		a, b := l.Int(), r.Int()
-		switch e.Op {
-		case OpAdd:
-			return types.NewInt(a + b)
-		case OpSub:
-			return types.NewInt(a - b)
-		case OpMul:
-			return types.NewInt(a * b)
-		case OpDiv:
-			if b == 0 {
-				return types.Null()
-			}
-			return types.NewInt(a / b)
-		case OpMod:
-			if b == 0 {
-				return types.Null()
-			}
-			return types.NewInt(a % b)
-		}
+		return evalArithInt(e.Op, l.Int(), r.Int())
 	}
-	a, b := l.Float(), r.Float()
-	switch e.Op {
+	return evalArithFloat(e.Op, l.Float(), r.Float())
+}
+
+// evalArithInt is the integer arithmetic body shared by Bin.Eval and the
+// compiled kernels; division and modulo by zero yield NULL.
+func evalArithInt(op BinOp, a, b int64) types.Value {
+	switch op {
+	case OpAdd:
+		return types.NewInt(a + b)
+	case OpSub:
+		return types.NewInt(a - b)
+	case OpMul:
+		return types.NewInt(a * b)
+	case OpDiv:
+		if b == 0 {
+			return types.Null()
+		}
+		return types.NewInt(a / b)
+	case OpMod:
+		if b == 0 {
+			return types.Null()
+		}
+		return types.NewInt(a % b)
+	}
+	return types.Null()
+}
+
+// evalArithFloat is the floating-point arithmetic body shared by Bin.Eval
+// and the compiled kernels (integer operands widen).
+func evalArithFloat(op BinOp, a, b float64) types.Value {
+	switch op {
 	case OpAdd:
 		return types.NewFloat(a + b)
 	case OpSub:

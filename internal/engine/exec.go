@@ -9,7 +9,7 @@ import (
 // Execute evaluates a logical plan against the catalog and materializes the
 // result. The plan is normalized by the physical optimizer (predicate
 // pushdown, equi-join extraction, projection pruning), lowered onto the
-// Volcano operator tree of internal/physical, and drained row by row. Scans
+// batch-at-a-time operator tree of internal/physical, and drained. Scans
 // resolve table names at lowering time, so the same plan can run against
 // different catalogs (e.g. the deterministic and the UA-encoded database) —
 // the symmetry the UA-DB overhead experiments rely on.

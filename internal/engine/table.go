@@ -2,7 +2,7 @@
 // middleware rewrites into: an in-memory catalog of tables and a planner
 // that compiles the SQL AST into the logical algebra of internal/algebra.
 // Execution is delegated to internal/physical — the optimizer normalizes the
-// logical plan and lowers it onto Volcano-style streaming operators (hash
+// logical plan and lowers it onto batch-at-a-time streaming operators (hash
 // joins for equi-conditions, nested loops as the theta fallback). The paper
 // ran against a commercial DBMS; all performance experiments here compare
 // rewritten queries against deterministic queries on this same engine, so

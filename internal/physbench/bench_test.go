@@ -1,0 +1,109 @@
+package physbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/physical"
+	"repro/internal/rowref"
+	"repro/internal/types"
+)
+
+// BenchmarkBatchVsRow pins the batch engine against the frozen row-at-a-time
+// reference on the two acceptance paths: the scan→filter→project pipeline
+// and the join-heavy path. The CI bench smoke step runs these with
+// -benchtime=1x, so a refactor that breaks either engine's executability
+// fails fast even before the numbers are looked at.
+func BenchmarkBatchVsRow(b *testing.B) {
+	const n = 100000
+	schema, rows := table("t", n, n/10+1)
+	uschema, urows := table("u", n, n)
+	pred := algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 1, Name: "v"},
+		R: algebra.Const{V: types.NewInt(n / 2)}}
+	exprs := []algebra.Expr{algebra.Col{Idx: 0, Name: "k"},
+		algebra.Bin{Op: algebra.OpAdd, L: algebra.Col{Idx: 0, Name: "k"}, R: algebra.Col{Idx: 1, Name: "v"}}}
+
+	b.Run("ScanFilterProject/Batch", func(b *testing.B) {
+		op := physical.NewProject(
+			&physical.Filter{Input: physical.NewScan("t", schema, rows), Pred: pred},
+			exprs, []string{"k", "kv"})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(op)
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+	b.Run("ScanFilterProject/Row", func(b *testing.B) {
+		op := &rowref.Project{
+			Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: pred},
+			Exprs: exprs}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := rowref.Drain(op)
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+	b.Run("HashJoin/Batch", func(b *testing.B) {
+		op := physical.NewHashJoin(
+			physical.NewScan("u", uschema, urows), physical.NewScan("u", uschema, urows),
+			[]int{0}, []int{0}, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(op)
+			if err != nil || len(out) != n {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+	b.Run("HashJoin/Row", func(b *testing.B) {
+		op := rowref.NewHashJoin(
+			rowref.NewScan(uschema, urows), rowref.NewScan(uschema, urows),
+			[]int{0}, []int{0}, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := rowref.Drain(op)
+			if err != nil || len(out) != n {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+}
+
+// TestFormatAndJSON covers the reporting half of the suite without running
+// the (seconds-long) measurements: Format must pair batch/row results into
+// speedup lines and WriteJSON must round-trip the records.
+func TestFormatAndJSON(t *testing.T) {
+	rs := []Result{
+		{Op: "scan-filter-project/batch", Rows: 1000, NsPerOp: 100, AllocsPerOp: 2, RowsPerSec: 1e7},
+		{Op: "scan-filter-project/row", Rows: 1000, NsPerOp: 300, AllocsPerOp: 500, RowsPerSec: 3.3e6},
+	}
+	s := Format(rs)
+	if !strings.Contains(s, "scan-filter-project/batch") ||
+		!strings.Contains(s, "3.00x throughput") {
+		t.Errorf("format missing expected lines:\n%s", s)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteJSON(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != rs[0] || back[1] != rs[1] {
+		t.Errorf("JSON round-trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,258 @@
+// Package physbench measures the physical engine's operator throughput and
+// emits the results in machine-readable form (BENCH_physical.json), so the
+// repo's perf trajectory is tracked from PR 2 onward. Every workload runs
+// twice — once on the batch engine (internal/physical) and once on the
+// frozen row-at-a-time reference (internal/rowref) — making each JSON entry
+// one side of a batch-vs-row comparison on identical plans and data.
+package physbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/physical"
+	"repro/internal/rowref"
+	"repro/internal/types"
+)
+
+// Result is one benchmark measurement. Op names the workload and engine
+// ("scan-filter-project/batch"); Rows is the input size per operation.
+type Result struct {
+	Op          string  `json:"op"`
+	Rows        int     `json:"rows"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+// WriteJSON writes results as indented JSON to path.
+func WriteJSON(path string, rs []Result) error {
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Format renders results as an aligned text table with batch-vs-row speedup
+// lines after each workload pair.
+func Format(rs []Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %10s %14s %12s %14s\n",
+		"op", "rows", "ns/op", "allocs/op", "rows/sec")
+	byOp := map[string]Result{}
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%-28s %10d %14.0f %12d %14.0f\n",
+			r.Op, r.Rows, r.NsPerOp, r.AllocsPerOp, r.RowsPerSec)
+		byOp[r.Op] = r
+	}
+	for _, r := range rs {
+		base, op, ok := strings.Cut(r.Op, "/")
+		if !ok || op != "batch" {
+			continue
+		}
+		if row, ok := byOp[base+"/row"]; ok && r.NsPerOp > 0 {
+			fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
+				base+" batch-vs-row:", row.NsPerOp/r.NsPerOp,
+				r.AllocsPerOp-row.AllocsPerOp)
+		}
+	}
+	return sb.String()
+}
+
+// table builds an n-row (k, v) table with k cycling over a small-ish domain
+// so joins and aggregates have realistic fan-in.
+func table(name string, n, domain int) (types.Schema, [][]types.Value) {
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{
+			types.NewInt(int64(i % domain)),
+			types.NewInt(int64(i)),
+		}
+	}
+	return types.NewSchema(name, "k", "v"), rows
+}
+
+// run times fn (which executes one full drain and returns the result row
+// count) with the testing package's benchmark harness, asserting the count.
+func run(op string, rows, wantRows int, fn func() (int, error)) (Result, error) {
+	var innerErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := fn()
+			if err != nil {
+				innerErr = err
+				b.FailNow()
+			}
+			if n != wantRows {
+				innerErr = fmt.Errorf("%s: got %d rows, want %d", op, n, wantRows)
+				b.FailNow()
+			}
+		}
+	})
+	if innerErr != nil {
+		return Result{}, innerErr
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return Result{
+		Op: op, Rows: rows, NsPerOp: ns,
+		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		RowsPerSec: float64(rows) / ns * 1e9,
+	}, nil
+}
+
+// drainBatch executes a batch operator tree and returns its row count.
+func drainBatch(op physical.Operator) (int, error) {
+	rows, err := physical.Drain(op)
+	return len(rows), err
+}
+
+// drainRow executes a row-reference operator tree and returns its row count.
+func drainRow(op rowref.Operator) (int, error) {
+	rows, err := rowref.Drain(op)
+	return len(rows), err
+}
+
+// Suite runs every workload at the given input size on both engines and
+// returns the measurements. The scan→filter→project pipeline is the
+// acceptance workload: the batch engine must beat the row engine by ≥2x
+// with fewer allocs/op.
+func Suite(n int) ([]Result, error) {
+	schema, rows := table("t", n, n/10+1)
+	uschema, urows := table("u", n, n) // unique keys: the join is 1:1
+	col := func(i int, name string) algebra.Expr { return algebra.Col{Idx: i, Name: name} }
+	// The acceptance pipeline is the canonical select-project query shape
+	// (the same family as the UA overhead micro query's "l.v < 9000"):
+	// v < n/2 keeps half the rows, the projection keeps a column and adds
+	// one arithmetic output.
+	pred := func() algebra.Expr {
+		return algebra.Bin{Op: algebra.OpLt, L: col(1, "v"),
+			R: algebra.Const{V: types.NewInt(int64(n / 2))}}
+	}
+	projExprs := func() []algebra.Expr {
+		return []algebra.Expr{col(0, "k"),
+			algebra.Bin{Op: algebra.OpAdd, L: col(0, "k"), R: col(1, "v")}}
+	}
+	// The expr-heavy variant stresses kernel evaluation itself: a modulo
+	// inside the comparison. Its speedup is smaller — shared expression
+	// cost bounds it — and tracking it keeps the suite honest.
+	heavyPred := func() algebra.Expr {
+		return algebra.Bin{Op: algebra.OpEq,
+			L: algebra.Bin{Op: algebra.OpMod, L: col(1, "v"), R: algebra.Const{V: types.NewInt(2)}},
+			R: algebra.Const{V: types.NewInt(0)},
+		}
+	}
+	groupBy := func() []algebra.Expr {
+		return []algebra.Expr{algebra.Bin{Op: algebra.OpMod, L: col(1, "v"), R: algebra.Const{V: types.NewInt(100)}}}
+	}
+	aggs := []algebra.AggSpec{
+		{Func: algebra.AggSum, Arg: col(1, "v"), Name: "sum(v)"},
+		{Func: algebra.AggCount, Star: true, Name: "count(*)"},
+	}
+	sortKeys := []algebra.SortKey{{Expr: col(1, "v"), Desc: true}}
+	sfpRows := n / 2
+	aggRows := 100
+	if n < 100 {
+		aggRows = n
+	}
+	distinctRows := n/10 + 1
+	if distinctRows > n {
+		distinctRows = n
+	}
+
+	var out []Result
+	add := func(r Result, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+
+	type workload struct {
+		op    string
+		want  int
+		batch func() (int, error)
+		row   func() (int, error)
+	}
+	workloads := []workload{
+		{"scan-filter-project", sfpRows,
+			func() (int, error) {
+				return drainBatch(physical.NewProject(
+					&physical.Filter{Input: physical.NewScan("t", schema, rows), Pred: pred()},
+					projExprs(), []string{"k", "kv"}))
+			},
+			func() (int, error) {
+				return drainRow(&rowref.Project{
+					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: pred()},
+					Exprs: projExprs()})
+			}},
+		{"scan-filter-project-exprheavy", sfpRows,
+			func() (int, error) {
+				return drainBatch(physical.NewProject(
+					&physical.Filter{Input: physical.NewScan("t", schema, rows), Pred: heavyPred()},
+					projExprs(), []string{"k", "kv"}))
+			},
+			func() (int, error) {
+				return drainRow(&rowref.Project{
+					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: heavyPred()},
+					Exprs: projExprs()})
+			}},
+		{"hash-join", n,
+			func() (int, error) {
+				return drainBatch(physical.NewHashJoin(
+					physical.NewScan("u", uschema, urows), physical.NewScan("u", uschema, urows),
+					[]int{0}, []int{0}, nil))
+			},
+			func() (int, error) {
+				return drainRow(rowref.NewHashJoin(
+					rowref.NewScan(uschema, urows), rowref.NewScan(uschema, urows),
+					[]int{0}, []int{0}, nil))
+			}},
+		{"hash-aggregate", aggRows,
+			func() (int, error) {
+				return drainBatch(physical.NewHashAggregate(
+					physical.NewScan("t", schema, rows), groupBy(), []string{"g"}, aggs))
+			},
+			func() (int, error) {
+				return drainRow(&rowref.HashAggregate{
+					Input: rowref.NewScan(schema, rows), GroupBy: groupBy(), Aggs: aggs,
+				})
+			}},
+		{"distinct", distinctRows,
+			func() (int, error) {
+				return drainBatch(&physical.Distinct{Input: physical.NewProject(
+					physical.NewScan("t", schema, rows),
+					[]algebra.Expr{col(0, "k")}, []string{"k"})})
+			},
+			func() (int, error) {
+				return drainRow(&rowref.Distinct{Input: &rowref.Project{
+					Input: rowref.NewScan(schema, rows),
+					Exprs: []algebra.Expr{col(0, "k")}}})
+			}},
+		{"sort", n,
+			func() (int, error) {
+				return drainBatch(&physical.Sort{
+					Input: physical.NewScan("t", schema, rows), Keys: sortKeys})
+			},
+			func() (int, error) {
+				return drainRow(&rowref.Sort{
+					Input: rowref.NewScan(schema, rows), Keys: sortKeys})
+			}},
+	}
+	for _, w := range workloads {
+		if err := add(run(w.op+"/batch", n, w.want, w.batch)); err != nil {
+			return nil, err
+		}
+		if err := add(run(w.op+"/row", n, w.want, w.row)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -6,10 +6,14 @@ import (
 )
 
 // HashAggregate groups the input by the key expressions and computes the
-// aggregate functions. Open consumes the input and builds the group table;
-// Next streams one row per group in first-seen order (a global aggregate
-// over an empty input still emits one row). Output rows are freshly
-// allocated: group-by columns first, aggregate columns after.
+// aggregate functions. Open consumes the input batch by batch — group-by
+// keys are evaluated expression-at-a-time into reused key columns
+// (algebra.EvalColumn), and groups are keyed with the shared canonical
+// binary encoding (key.go) — then Next streams one row per group in
+// first-seen order (a global aggregate over an empty input still emits one
+// row). Output rows are freshly allocated, group-by columns first,
+// aggregate columns after, and emitted in shared-spine batches slicing the
+// materialized result.
 type HashAggregate struct {
 	Input      Operator
 	GroupBy    []algebra.Expr
@@ -19,6 +23,7 @@ type HashAggregate struct {
 
 	out [][]types.Value
 	pos int
+	b   Batch
 }
 
 // NewHashAggregate builds a hash aggregate with the output schema of the
@@ -60,38 +65,32 @@ func newAggState(groupRow []types.Value, nAggs int) *aggState {
 	}
 }
 
-// absorb folds one input row into the group's state. SQL aggregates skip
-// NULL arguments; COUNT(*) counts rows unconditionally.
-func (st *aggState) absorb(aggs []algebra.AggSpec, row []types.Value) {
-	for i, a := range aggs {
-		if a.Star {
-			st.count[i]++
-			continue
+// absorbValue folds one already-evaluated aggregate argument into the i-th
+// aggregate's state. SQL aggregates skip NULL arguments; COUNT(*) never
+// reaches here (its rows are counted unconditionally by the caller).
+func (st *aggState) absorbValue(i int, v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	st.count[i]++
+	if v.IsNumeric() {
+		if v.Kind() == types.KindFloat {
+			st.isFloat[i] = true
 		}
-		v := a.Arg.Eval(row)
-		if v.IsNull() {
-			continue
+		if v.Kind() == types.KindInt {
+			st.sumI[i] += v.Int()
 		}
-		st.count[i]++
-		if v.IsNumeric() {
-			if v.Kind() == types.KindFloat {
-				st.isFloat[i] = true
-			}
-			if v.Kind() == types.KindInt {
-				st.sumI[i] += v.Int()
-			}
-			st.sumF[i] += v.Float()
+		st.sumF[i] += v.Float()
+	}
+	if !st.seen[i] {
+		st.min[i], st.max[i] = v, v
+		st.seen[i] = true
+	} else {
+		if v.Compare(st.min[i]) < 0 {
+			st.min[i] = v
 		}
-		if !st.seen[i] {
-			st.min[i], st.max[i] = v, v
-			st.seen[i] = true
-		} else {
-			if v.Compare(st.min[i]) < 0 {
-				st.min[i] = v
-			}
-			if v.Compare(st.max[i]) > 0 {
-				st.max[i] = v
-			}
+		if v.Compare(st.max[i]) > 0 {
+			st.max[i] = v
 		}
 	}
 }
@@ -144,48 +143,86 @@ func (h *HashAggregate) Open() error {
 	}
 	nAggs := len(h.Aggs)
 	groups := make(map[string]*aggState)
-	var order []string
+	var states []*aggState // first-seen order
+	groupProgs := algebra.CompileAll(h.GroupBy)
+	keyCols := make([][]types.Value, len(h.GroupBy))
+	argProgs := make([]*algebra.Compiled, nAggs)
+	argCols := make([][]types.Value, nAggs)
+	for i, a := range h.Aggs {
+		if !a.Star {
+			argProgs[i] = algebra.Compile(a.Arg)
+		}
+	}
+	var keyBuf []byte
 	for {
-		row, err := h.Input.Next()
+		b, err := h.Input.Next()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		key := make(types.Tuple, len(h.GroupBy))
-		for i, e := range h.GroupBy {
-			key[i] = e.Eval(row)
+		rows := b.Rows()
+		for g, prog := range groupProgs {
+			keyCols[g] = prog.EvalColumn(rows, keyCols[g][:0])
 		}
-		ks := key.Key()
-		st, ok := groups[ks]
-		if !ok {
-			st = newAggState(key, nAggs)
-			groups[ks] = st
-			order = append(order, ks)
+		for i, prog := range argProgs {
+			if prog != nil {
+				argCols[i] = prog.EvalColumn(rows, argCols[i][:0])
+			}
 		}
-		st.absorb(h.Aggs, row)
+		for i := range rows {
+			keyBuf = keyBuf[:0]
+			for g := range keyCols {
+				keyBuf = keyCols[g][i].AppendKey(keyBuf)
+				keyBuf = append(keyBuf, '|')
+			}
+			st, ok := groups[string(keyBuf)]
+			if !ok {
+				groupRow := make([]types.Value, len(keyCols))
+				for g := range keyCols {
+					groupRow[g] = keyCols[g][i]
+				}
+				st = newAggState(groupRow, nAggs)
+				groups[string(keyBuf)] = st
+				states = append(states, st)
+			}
+			for a := range argProgs {
+				if argProgs[a] == nil {
+					st.count[a]++ // COUNT(*) counts rows unconditionally
+				} else {
+					st.absorbValue(a, argCols[a][i])
+				}
+			}
+		}
 	}
 	// A global aggregate over an empty input still emits one row.
-	if len(h.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = newAggState(nil, nAggs)
-		order = append(order, "")
+	if len(h.GroupBy) == 0 && len(states) == 0 {
+		states = append(states, newAggState(nil, nAggs))
 	}
-	h.out = make([][]types.Value, 0, len(order))
-	for _, ks := range order {
-		h.out = append(h.out, groups[ks].result(h.Aggs, len(h.GroupBy)))
+	h.out = make([][]types.Value, 0, len(states))
+	for _, st := range states {
+		h.out = append(h.out, st.result(h.Aggs, len(h.GroupBy)))
 	}
 	return nil
 }
 
+// RowCountHint implements RowCountHinter: after Open the groups are
+// materialized, so the count is exact.
+func (h *HashAggregate) RowCountHint() (int, bool) { return len(h.out) - h.pos, true }
+
 // Next implements Operator.
-func (h *HashAggregate) Next() ([]types.Value, error) {
+func (h *HashAggregate) Next() (*Batch, error) {
 	if h.pos >= len(h.out) {
 		return nil, nil
 	}
-	row := h.out[h.pos]
-	h.pos++
-	return row, nil
+	end := h.pos + DefaultBatchSize
+	if end > len(h.out) {
+		end = len(h.out)
+	}
+	h.b.SetShared(h.out[h.pos:end])
+	h.pos = end
+	return &h.b, nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,132 @@
+package physical
+
+import "repro/internal/types"
+
+// DefaultBatchSize is the number of rows operators aim to put in one batch.
+// It is large enough to amortize per-batch interface calls and small enough
+// that a batch of row headers stays cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is a reusable slab of row references exchanged between operators.
+// The batch's spine (its [][]types.Value) belongs to whichever operator
+// returned it from Next and is valid only until that operator's next Next or
+// Close call. Row slices inside a batch are stable: producers never reuse a
+// row's backing storage once emitted, so consumers that retain rows across
+// batches (sort runs, join build tables, Drain) may keep the row slices
+// without copying — but must copy the spine, since that is recycled.
+//
+// A batch whose spine aliases storage owned elsewhere (a Scan slicing its
+// table's row array) is marked shared; consumers must not reorder or
+// truncate a shared spine in place. Owned spines may be compacted in place
+// by the immediate consumer (selection-vector filtering), which is why
+// Filter and Distinct can often avoid even the pointer copy.
+type Batch struct {
+	rows   [][]types.Value
+	shared bool
+}
+
+// NewBatch returns an owned, empty batch with the given row capacity.
+func NewBatch(capacity int) *Batch {
+	return &Batch{rows: make([][]types.Value, 0, capacity)}
+}
+
+// Len reports the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// Rows exposes the spine for iteration. Callers must honor the ownership
+// contract documented on Batch: read-only for shared spines, and no use
+// after the producer's next Next call.
+func (b *Batch) Rows() [][]types.Value { return b.rows }
+
+// Row returns the i-th row.
+func (b *Batch) Row(i int) []types.Value { return b.rows[i] }
+
+// Shared reports whether the spine aliases storage owned outside the batch
+// (and therefore must not be reordered or truncated in place).
+func (b *Batch) Shared() bool { return b.shared }
+
+// Reset truncates the batch to zero rows and reclaims spine ownership. If
+// the spine was shared it is dropped rather than truncated, so the aliased
+// storage is never written through.
+func (b *Batch) Reset() {
+	if b.shared {
+		b.rows, b.shared = nil, false
+		return
+	}
+	b.rows = b.rows[:0]
+}
+
+// SetShared points the batch at rows owned elsewhere, marking the spine
+// shared. Used by leaf operators to emit zero-copy slices of table storage.
+func (b *Batch) SetShared(rows [][]types.Value) {
+	b.rows, b.shared = rows, true
+}
+
+// Append adds a row to an owned batch.
+func (b *Batch) Append(row []types.Value) {
+	b.rows = append(b.rows, row)
+}
+
+// Truncate shortens an owned batch to n rows.
+func (b *Batch) Truncate(n int) { b.rows = b.rows[:n] }
+
+// applySel narrows in to the rows selected by sel (indices, ascending).
+// Owned spines are compacted in place — the selection-vector fast path —
+// while shared spines are copied into scratch, which the caller must own
+// and reuse across calls. The returned batch holds the selected rows.
+func applySel(in *Batch, sel []int, scratch *Batch) *Batch {
+	if len(sel) == in.Len() {
+		return in
+	}
+	if in.shared {
+		scratch.Reset()
+		for _, i := range sel {
+			scratch.Append(in.rows[i])
+		}
+		return scratch
+	}
+	for out, i := range sel {
+		in.rows[out] = in.rows[i]
+	}
+	in.Truncate(len(sel))
+	return in
+}
+
+// slab hands out stable row slices carved from large value arrays: one
+// allocation per ~batch of rows instead of one per row. Slices are never
+// reclaimed — emitted rows must stay valid until Close — so exhausting a
+// chunk simply allocates the next one.
+type slab struct {
+	buf   []types.Value
+	width int
+}
+
+// newSlab returns a slab cutting rows of the given width.
+func newSlab(width int) *slab { return &slab{width: width} }
+
+// peek returns the next row's storage without committing it: the same
+// storage is handed out again until commit is called. Operators that may
+// discard a candidate row (a join testing its residual) fill the peeked
+// row, test, and only then commit.
+func (s *slab) peek() []types.Value {
+	if len(s.buf) < s.width {
+		n := DefaultBatchSize * s.width
+		if n < s.width {
+			n = s.width
+		}
+		s.buf = make([]types.Value, n)
+	}
+	return s.buf[:s.width:s.width]
+}
+
+// commit finalizes the most recently peeked row; its storage will not be
+// handed out again.
+func (s *slab) commit() { s.buf = s.buf[s.width:] }
+
+// row fills a fresh committed row with the values of src.
+func (s *slab) row(src []types.Value) []types.Value {
+	r := s.peek()
+	copy(r, src)
+	s.commit()
+	return r
+}

@@ -5,42 +5,32 @@ import (
 	"repro/internal/types"
 )
 
-// joinKey builds the canonical hash key for the given column positions, or
-// reports false when any key column is NULL (NULL keys never match).
-func joinKey(row []types.Value, idx []int) (string, bool) {
-	key := make(types.Tuple, len(idx))
-	for i, j := range idx {
-		if row[j].IsNull() {
-			return "", false
-		}
-		key[i] = row[j]
-	}
-	return key.Key(), true
-}
-
-// concatRow builds the joined output row.
-func concatRow(l, r []types.Value) []types.Value {
-	row := make([]types.Value, 0, len(l)+len(r))
-	row = append(row, l...)
-	row = append(row, r...)
-	return row
-}
-
 // HashJoin executes an equi-join in O(|build| + |probe| + |output|): Open
-// drains the right (build) input into a hash table keyed on EquiR, then Next
-// streams the left (probe) input, emitting one concatenated row per match
-// that also satisfies the residual predicate (evaluated over the
-// concatenated row). NULL join keys never match, per SQL semantics.
+// drains the right (build) input into a hash table keyed on EquiR with the
+// shared canonical key encoding (key.go), then Next streams the left
+// (probe) input batch by batch, emitting concatenated rows that satisfy the
+// residual predicate (evaluated over the concatenated row). Output rows are
+// carved from slabs, so one probe batch costs O(1) allocations however many
+// matches it produces. NULL join keys never match, per SQL semantics.
+//
+// One probe batch can fan out into many output batches; Next keeps its
+// probe cursor (batch, row, match index) across calls and resumes mid-row.
 type HashJoin struct {
 	Left, Right  Operator // Right is the build side
 	EquiL, EquiR []int
 	Residual     algebra.Expr
 	schema       types.Schema
 
-	build    map[string][][]types.Value
-	probeRow []types.Value
+	buildIdx map[string]int    // canonical key -> index into buckets
+	buckets  [][][]types.Value // build rows per distinct key
+	res      *algebra.Compiled // compiled Residual, nil when absent
+	keyBuf   []byte
+	probe    *Batch // current probe batch, nil when a new one is needed
+	pi       int    // next probe row index
 	matches  [][]types.Value
 	mi       int
+	out      Batch
+	sl       *slab
 }
 
 // NewHashJoin builds a hash join; key positions are left- and right-relative.
@@ -53,53 +43,111 @@ func NewHashJoin(l, r Operator, equiL, equiR []int, residual algebra.Expr) *Hash
 func (j *HashJoin) Schema() types.Schema { return j.schema }
 
 // Open implements Operator: it materializes the build side's hash table.
+// Build rows are retained directly — row slices are stable until Close —
+// only the batch spines are ephemeral.
 func (j *HashJoin) Open() error {
-	j.probeRow, j.matches, j.mi = nil, nil, 0
+	j.probe, j.matches, j.pi, j.mi = nil, nil, 0, 0
+	j.sl = newSlab(j.schema.Arity())
+	j.res = nil
+	if j.Residual != nil {
+		j.res = algebra.Compile(j.Residual)
+	}
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	j.build = make(map[string][][]types.Value)
+	j.buildIdx = make(map[string]int)
+	j.buckets = nil
 	for {
-		row, err := j.Right.Next()
+		b, err := j.Right.Next()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		if key, ok := joinKey(row, j.EquiR); ok {
-			j.build[key] = append(j.build[key], row)
+		for _, row := range b.Rows() {
+			key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiR)
+			j.keyBuf = key
+			if !ok {
+				continue
+			}
+			// The m[string(b)] lookup is allocation-free; the key string is
+			// materialized once per distinct key, not once per build row.
+			idx, seen := j.buildIdx[string(key)]
+			if !seen {
+				idx = len(j.buckets)
+				j.buildIdx[string(key)] = idx
+				j.buckets = append(j.buckets, nil)
+			}
+			j.buckets[idx] = append(j.buckets[idx], row)
 		}
 	}
 	return nil
 }
 
+// emit concatenates l and r into a slab row and appends it to the output
+// batch when the residual accepts it; slab storage is only committed for
+// emitted rows.
+func (j *HashJoin) emit(l, r []types.Value) {
+	row := j.sl.peek()
+	copy(row, l)
+	copy(row[len(l):], r)
+	if j.res != nil && !algebra.Truthy(j.res.Eval(row)) {
+		return
+	}
+	j.sl.commit()
+	j.out.Append(row)
+}
+
 // Next implements Operator.
-func (j *HashJoin) Next() ([]types.Value, error) {
+func (j *HashJoin) Next() (*Batch, error) {
+	j.out.Reset()
 	for {
-		for j.mi < len(j.matches) {
-			row := concatRow(j.probeRow, j.matches[j.mi])
-			j.mi++
-			if j.Residual == nil || algebra.Truthy(j.Residual.Eval(row)) {
-				return row, nil
+		if j.probe != nil {
+			for {
+				for j.mi < len(j.matches) {
+					j.emit(j.probe.Row(j.pi-1), j.matches[j.mi])
+					j.mi++
+					if j.out.Len() >= DefaultBatchSize {
+						return &j.out, nil
+					}
+				}
+				if j.pi >= j.probe.Len() {
+					j.probe = nil
+					break
+				}
+				row := j.probe.Row(j.pi)
+				j.pi++
+				j.matches, j.mi = nil, 0
+				key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiL)
+				j.keyBuf = key
+				if ok {
+					if idx, hit := j.buildIdx[string(key)]; hit {
+						j.matches = j.buckets[idx]
+					}
+				}
 			}
 		}
-		probe, err := j.Left.Next()
-		if probe == nil || err != nil {
+		b, err := j.Left.Next()
+		if err != nil {
 			return nil, err
 		}
-		if key, ok := joinKey(probe, j.EquiL); ok {
-			j.probeRow, j.matches, j.mi = probe, j.build[key], 0
+		if b == nil {
+			if j.out.Len() > 0 {
+				return &j.out, nil
+			}
+			return nil, nil
 		}
+		j.probe, j.pi, j.matches, j.mi = b, 0, nil, 0
 	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	j.build, j.matches, j.probeRow = nil, nil, nil
+	j.buildIdx, j.buckets, j.matches, j.probe, j.sl = nil, nil, nil, nil, nil
 	lerr := j.Left.Close()
 	rerr := j.Right.Close()
 	if lerr != nil {
@@ -110,16 +158,21 @@ func (j *HashJoin) Close() error {
 
 // NestedLoopJoin is the theta-join fallback: the right input is materialized
 // once on Open, and every (left, right) pair satisfying the predicate is
-// emitted. O(n·m); the optimizer extracts equi-join keys precisely so this
-// operator only runs for genuinely non-equi predicates.
+// emitted, batch by batch with the same slab discipline as HashJoin.
+// O(n·m); the optimizer extracts equi-join keys precisely so this operator
+// only runs for genuinely non-equi predicates.
 type NestedLoopJoin struct {
 	Left, Right Operator
 	Pred        algebra.Expr // nil accepts all pairs
 	schema      types.Schema
 
-	inner    [][]types.Value
-	probeRow []types.Value
-	ii       int
+	inner [][]types.Value
+	pred  *algebra.Compiled // compiled Pred, nil when absent
+	probe *Batch
+	pi    int // probe row index currently being expanded
+	ii    int // next inner row for that probe row
+	out   Batch
+	sl    *slab
 }
 
 // NewNestedLoopJoin builds a nested-loop join.
@@ -133,7 +186,12 @@ func (j *NestedLoopJoin) Schema() types.Schema { return j.schema }
 
 // Open implements Operator: it materializes the inner (right) input.
 func (j *NestedLoopJoin) Open() error {
-	j.inner, j.probeRow, j.ii = nil, nil, 0
+	j.inner, j.probe, j.pi, j.ii = nil, nil, 0, 0
+	j.sl = newSlab(j.schema.Arity())
+	j.pred = nil
+	if j.Pred != nil {
+		j.pred = algebra.Compile(j.Pred)
+	}
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
@@ -141,41 +199,61 @@ func (j *NestedLoopJoin) Open() error {
 		return err
 	}
 	for {
-		row, err := j.Right.Next()
+		b, err := j.Right.Next()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		j.inner = append(j.inner, row)
+		j.inner = append(j.inner, b.Rows()...)
 	}
 	return nil
 }
 
 // Next implements Operator.
-func (j *NestedLoopJoin) Next() ([]types.Value, error) {
+func (j *NestedLoopJoin) Next() (*Batch, error) {
+	j.out.Reset()
 	for {
-		if j.probeRow != nil {
-			for j.ii < len(j.inner) {
-				row := concatRow(j.probeRow, j.inner[j.ii])
-				j.ii++
-				if j.Pred == nil || algebra.Truthy(j.Pred.Eval(row)) {
-					return row, nil
+		if j.probe != nil {
+			for j.pi < j.probe.Len() {
+				l := j.probe.Row(j.pi)
+				for j.ii < len(j.inner) {
+					row := j.sl.peek()
+					copy(row, l)
+					copy(row[len(l):], j.inner[j.ii])
+					j.ii++
+					if j.pred != nil && !algebra.Truthy(j.pred.Eval(row)) {
+						continue
+					}
+					j.sl.commit()
+					j.out.Append(row)
+					if j.out.Len() >= DefaultBatchSize {
+						return &j.out, nil
+					}
 				}
+				j.pi++
+				j.ii = 0
 			}
+			j.probe = nil
 		}
-		probe, err := j.Left.Next()
-		if probe == nil || err != nil {
+		b, err := j.Left.Next()
+		if err != nil {
 			return nil, err
 		}
-		j.probeRow, j.ii = probe, 0
+		if b == nil {
+			if j.out.Len() > 0 {
+				return &j.out, nil
+			}
+			return nil, nil
+		}
+		j.probe, j.pi, j.ii = b, 0, 0
 	}
 }
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
-	j.inner, j.probeRow = nil, nil
+	j.inner, j.probe, j.sl = nil, nil, nil
 	lerr := j.Left.Close()
 	rerr := j.Right.Close()
 	if lerr != nil {

@@ -1,0 +1,50 @@
+package physical
+
+import "repro/internal/types"
+
+// This file is the one place hash keys are built in the physical layer.
+// HashJoin, HashAggregate, and Distinct all key their tables with the
+// canonical binary encoding of types.Value (Value.AppendKey) joined by '|'
+// separators — the same format as types.Tuple.Key — so a value pair
+// collides iff the values compare equal, and the three operators agree with
+// each other and with every annotation-lookup map elsewhere in the repo.
+//
+// The builders append into a caller-owned scratch buffer; looking a key up
+// as m[string(buf)] does not allocate (the compiler elides the conversion
+// for map access), so steady-state probing is allocation-free.
+
+// appendRowKey appends the canonical key of the whole row to buf and
+// returns it. NULLs participate (encoded distinctly from every non-NULL
+// value), matching GROUP BY and DISTINCT semantics where NULLs form a
+// group.
+func appendRowKey(buf []byte, row []types.Value) []byte {
+	for _, v := range row {
+		buf = v.AppendKey(buf)
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// appendColsKey appends the canonical key of the row restricted to the
+// columns idx, as appendRowKey does for the whole row.
+func appendColsKey(buf []byte, row []types.Value, idx []int) []byte {
+	for _, j := range idx {
+		buf = row[j].AppendKey(buf)
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// appendJoinKey appends the equi-join key of the row's columns idx, or
+// reports false when any key column is NULL — NULL join keys never match,
+// per SQL semantics, so such rows are skipped entirely.
+func appendJoinKey(buf []byte, row []types.Value, idx []int) ([]byte, bool) {
+	for _, j := range idx {
+		if row[j].IsNull() {
+			return buf, false
+		}
+		buf = row[j].AppendKey(buf)
+		buf = append(buf, '|')
+	}
+	return buf, true
+}

@@ -5,18 +5,22 @@ import (
 	"repro/internal/types"
 )
 
-// Scan streams the rows of a resolved base table. The emitted rows alias
-// the table's storage; operators above that construct rows (Project, joins,
-// HashAggregate) emit fresh slices and never mutate inputs, while
-// row-preserving operators (Filter, Sort, Distinct, UnionAll) pass the
-// aliased slices through. Callers therefore must not mutate result rows of
-// row-preserving plans in place; Limit is the exception and copies, so that
-// LIMIT results are always safe to mutate.
+// Scan emits the rows of a resolved base table in batches whose spines are
+// zero-copy slices of the table's row array (marked shared — consumers must
+// not compact them in place). The row slices alias table storage; operators
+// above that construct rows (Project, joins, HashAggregate) emit fresh
+// slices and never mutate inputs, while row-preserving operators (Filter,
+// Sort, Distinct, UnionAll) pass the aliased slices through. Callers
+// therefore must not mutate result rows of row-preserving plans in place;
+// Limit is the exception and copies, so that LIMIT results are always safe
+// to mutate.
 type Scan struct {
-	Table  string
-	schema types.Schema
-	rows   [][]types.Value
-	pos    int
+	Table     string
+	BatchSize int // rows per batch; 0 means DefaultBatchSize
+	schema    types.Schema
+	rows      [][]types.Value
+	pos       int
+	out       Batch
 }
 
 // NewScan builds a scan over pre-resolved rows.
@@ -30,54 +34,86 @@ func (s *Scan) Schema() types.Schema { return s.schema }
 // Open implements Operator.
 func (s *Scan) Open() error { s.pos = 0; return nil }
 
+// RowCountHint implements RowCountHinter: a scan knows its table size.
+func (s *Scan) RowCountHint() (int, bool) { return len(s.rows) - s.pos, true }
+
 // Next implements Operator.
-func (s *Scan) Next() ([]types.Value, error) {
+func (s *Scan) Next() (*Batch, error) {
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
-	row := s.rows[s.pos]
-	s.pos++
-	return row, nil
+	size := s.BatchSize
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	end := s.pos + size
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	s.out.SetShared(s.rows[s.pos:end])
+	s.pos = end
+	return &s.out, nil
 }
 
 // Close implements Operator.
 func (s *Scan) Close() error { return nil }
 
-// Filter streams the input rows whose predicate evaluates to TRUE (SQL
-// three-valued logic: UNKNOWN rows are dropped).
+// Filter keeps the input rows whose predicate evaluates to TRUE (SQL
+// three-valued logic: UNKNOWN rows are dropped). The predicate is compiled
+// to a closure kernel at Open; each input batch is then narrowed through a
+// reused selection vector: owned batches are compacted in place, shared
+// (scan-aliased) batches are compacted into the filter's own spine — either
+// way no row data moves, only row pointers.
 type Filter struct {
 	Input Operator
 	Pred  algebra.Expr
+
+	prog    *algebra.Compiled
+	sel     []int
+	scratch Batch
 }
 
 // Schema implements Operator.
 func (f *Filter) Schema() types.Schema { return f.Input.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error { return f.Input.Open() }
+func (f *Filter) Open() error {
+	f.prog = algebra.Compile(f.Pred)
+	return f.Input.Open()
+}
 
 // Next implements Operator.
-func (f *Filter) Next() ([]types.Value, error) {
+func (f *Filter) Next() (*Batch, error) {
 	for {
-		row, err := f.Input.Next()
-		if row == nil || err != nil {
+		b, err := f.Input.Next()
+		if b == nil || err != nil {
 			return nil, err
 		}
-		if algebra.Truthy(f.Pred.Eval(row)) {
-			return row, nil
+		f.sel = f.prog.SelectTruthy(b.Rows(), f.sel[:0])
+		if len(f.sel) == 0 {
+			continue
 		}
+		return applySel(b, f.sel, &f.scratch), nil
 	}
 }
 
 // Close implements Operator.
 func (f *Filter) Close() error { return f.Input.Close() }
 
-// Project computes one output column per expression, allocating a fresh row.
+// Project computes one output column per expression. The expressions are
+// compiled to closure kernels at Open; output rows for a batch are carved
+// out of a single freshly allocated value slab — one allocation per batch
+// instead of one per row — filled expression-at-a-time with strided batch
+// evaluation. The slab is not reused, so emitted rows stay valid until
+// Close, as the engine-wide row-stability rule requires.
 type Project struct {
 	Input  Operator
 	Exprs  []algebra.Expr
 	Names  []string
 	schema types.Schema
+
+	progs []*algebra.Compiled
+	out   Batch
 }
 
 // NewProject builds a projection operator.
@@ -90,19 +126,35 @@ func NewProject(in Operator, exprs []algebra.Expr, names []string) *Project {
 func (p *Project) Schema() types.Schema { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error { return p.Input.Open() }
+func (p *Project) Open() error {
+	p.progs = algebra.CompileAll(p.Exprs)
+	return p.Input.Open()
+}
+
+// RowCountHint implements RowCountHinter: projection preserves cardinality.
+func (p *Project) RowCountHint() (int, bool) {
+	if h, ok := p.Input.(RowCountHinter); ok {
+		return h.RowCountHint()
+	}
+	return 0, false
+}
 
 // Next implements Operator.
-func (p *Project) Next() ([]types.Value, error) {
-	row, err := p.Input.Next()
-	if row == nil || err != nil {
+func (p *Project) Next() (*Batch, error) {
+	b, err := p.Input.Next()
+	if b == nil || err != nil {
 		return nil, err
 	}
-	out := make([]types.Value, len(p.Exprs))
-	for i, e := range p.Exprs {
-		out[i] = e.Eval(row)
+	n, k := b.Len(), len(p.Exprs)
+	buf := make([]types.Value, n*k)
+	for j, prog := range p.progs {
+		prog.EvalStrided(b.Rows(), buf[j:], k)
 	}
-	return out, nil
+	p.out.Reset()
+	for i := 0; i < n; i++ {
+		p.out.Append(buf[i*k : (i+1)*k : (i+1)*k])
+	}
+	return &p.out, nil
 }
 
 // Close implements Operator.
@@ -110,12 +162,13 @@ func (p *Project) Close() error { return p.Input.Close() }
 
 // Limit emits the first N input rows and then stops pulling from its input —
 // early termination that streaming producers below benefit from. Emitted
-// rows are copied so callers can mutate them (or append past them) without
-// corrupting the source table the rows may alias.
+// rows are copied (slab-allocated per batch) so callers can mutate them, or
+// append past them, without corrupting the source table the rows may alias.
 type Limit struct {
 	Input   Operator
 	N       int64
 	emitted int64
+	out     Batch
 }
 
 // Schema implements Operator.
@@ -124,23 +177,52 @@ func (l *Limit) Schema() types.Schema { return l.Input.Schema() }
 // Open implements Operator.
 func (l *Limit) Open() error { l.emitted = 0; return l.Input.Open() }
 
+// RowCountHint implements RowCountHinter when the input's count is known.
+func (l *Limit) RowCountHint() (int, bool) {
+	h, ok := l.Input.(RowCountHinter)
+	if !ok {
+		return 0, false
+	}
+	n, known := h.RowCountHint()
+	if !known {
+		return 0, false
+	}
+	if int64(n) > l.N {
+		n = int(l.N)
+	}
+	return n, true
+}
+
 // Next implements Operator.
-func (l *Limit) Next() ([]types.Value, error) {
+func (l *Limit) Next() (*Batch, error) {
 	if l.emitted >= l.N {
 		return nil, nil
 	}
-	row, err := l.Input.Next()
-	if row == nil || err != nil {
+	b, err := l.Input.Next()
+	if b == nil || err != nil {
 		return nil, err
 	}
-	l.emitted++
-	return append([]types.Value(nil), row...), nil
+	take := b.Len()
+	if rem := l.N - l.emitted; int64(take) > rem {
+		take = int(rem)
+	}
+	l.emitted += int64(take)
+	width := l.Schema().Arity()
+	buf := make([]types.Value, take*width)
+	l.out.Reset()
+	for i := 0; i < take; i++ {
+		row := buf[i*width : (i+1)*width : (i+1)*width]
+		copy(row, b.Row(i))
+		l.out.Append(row)
+	}
+	return &l.out, nil
 }
 
 // Close implements Operator.
 func (l *Limit) Close() error { return l.Input.Close() }
 
-// UnionAll streams the left input, then the right (bag union).
+// UnionAll streams the left input's batches, then the right's (bag union).
+// Batches pass through untouched, shared flag and all.
 type UnionAll struct {
 	Left, Right Operator
 	onRight     bool
@@ -158,12 +240,30 @@ func (u *UnionAll) Open() error {
 	return u.Right.Open()
 }
 
+// RowCountHint implements RowCountHinter when both inputs' counts are known.
+func (u *UnionAll) RowCountHint() (int, bool) {
+	lh, ok := u.Left.(RowCountHinter)
+	if !ok {
+		return 0, false
+	}
+	rh, ok := u.Right.(RowCountHinter)
+	if !ok {
+		return 0, false
+	}
+	ln, lok := lh.RowCountHint()
+	rn, rok := rh.RowCountHint()
+	if !lok || !rok {
+		return 0, false
+	}
+	return ln + rn, true
+}
+
 // Next implements Operator.
-func (u *UnionAll) Next() ([]types.Value, error) {
+func (u *UnionAll) Next() (*Batch, error) {
 	if !u.onRight {
-		row, err := u.Left.Next()
-		if row != nil || err != nil {
-			return row, err
+		b, err := u.Left.Next()
+		if b != nil || err != nil {
+			return b, err
 		}
 		u.onRight = true
 	}
@@ -180,11 +280,17 @@ func (u *UnionAll) Close() error {
 	return rerr
 }
 
-// Distinct streams the first occurrence of each row, keyed by the canonical
-// tuple encoding.
+// Distinct keeps the first occurrence of each row, keyed by the shared
+// canonical binary encoding (see key.go). Like Filter it narrows each batch
+// through a selection vector — in place for owned spines, into its own
+// spine for shared ones — so dedup moves row pointers, never row data.
 type Distinct struct {
 	Input Operator
-	seen  map[string]bool
+	seen  map[string]struct{}
+
+	sel     []int
+	keyBuf  []byte
+	scratch Batch
 }
 
 // Schema implements Operator.
@@ -192,22 +298,30 @@ func (d *Distinct) Schema() types.Schema { return d.Input.Schema() }
 
 // Open implements Operator.
 func (d *Distinct) Open() error {
-	d.seen = make(map[string]bool)
+	d.seen = make(map[string]struct{})
 	return d.Input.Open()
 }
 
 // Next implements Operator.
-func (d *Distinct) Next() ([]types.Value, error) {
+func (d *Distinct) Next() (*Batch, error) {
 	for {
-		row, err := d.Input.Next()
-		if row == nil || err != nil {
+		b, err := d.Input.Next()
+		if b == nil || err != nil {
 			return nil, err
 		}
-		k := types.Tuple(row).Key()
-		if !d.seen[k] {
-			d.seen[k] = true
-			return row, nil
+		d.sel = d.sel[:0]
+		for i, row := range b.Rows() {
+			d.keyBuf = appendRowKey(d.keyBuf[:0], row)
+			if _, dup := d.seen[string(d.keyBuf)]; dup {
+				continue
+			}
+			d.seen[string(d.keyBuf)] = struct{}{}
+			d.sel = append(d.sel, i)
 		}
+		if len(d.sel) == 0 {
+			continue
+		}
+		return applySel(b, d.sel, &d.scratch), nil
 	}
 }
 

@@ -1,31 +1,46 @@
 // Package physical is the execution layer of the engine: a small optimizer
 // that normalizes logical algebra plans (predicate pushdown, equi-join
-// extraction, projection pruning) and a family of Volcano-style physical
-// operators (Open/Next/Close iterators) they lower to — streaming scan,
-// filter, project, hash join with a nested-loop fallback, hash aggregate,
-// run-merging sort, early-terminating limit, union-all, and distinct.
+// extraction, projection pruning) and a family of batch-at-a-time physical
+// operators (Open/Next/Close over Batch) they lower to — zero-copy scan,
+// selection-vector filter, slab-allocating project, hash join with a
+// nested-loop fallback, hash aggregate, run-merging sort, early-terminating
+// limit, union-all, and distinct.
 //
 // The layer is deliberately independent of the engine's catalog: plans are
 // lowered against a Source, so the same operators run the deterministic
 // database and the UA-encoded database produced by internal/rewrite. That
 // symmetry is the paper's "lightweight" claim in code — the UA frontend adds
-// a rewrite, not an engine.
+// a rewrite, not an engine — and every cycle the batch engine saves is saved
+// on both paths at once.
 package physical
 
 import "repro/internal/types"
 
-// Operator is a Volcano-style iterator over rows. The contract:
+// Operator is a batch-at-a-time iterator over rows. The contract:
 //
 //   - Open prepares the operator (and its inputs) for iteration.
-//   - Next returns the next row, or (nil, nil) when the input is exhausted.
-//     Rows returned by leaf operators may alias stored data; operators that
-//     construct rows (project, joins, aggregate, limit) return fresh slices.
+//   - Next returns the next non-empty batch, or (nil, nil) when the input is
+//     exhausted; empty batches are never returned. The batch (its spine) is
+//     valid only until the operator's next Next or Close call; row slices
+//     inside it are stable until Close and may be retained. See Batch for
+//     the full ownership rules.
 //   - Close releases resources; it must be safe to call after Open failed.
 type Operator interface {
 	Schema() types.Schema
 	Open() error
-	Next() ([]types.Value, error)
+	Next() (*Batch, error)
 	Close() error
+}
+
+// RowCountHinter is optionally implemented by operators that know, after
+// Open, exactly how many rows their Next calls will emit in total. Drain
+// uses the hint to size its result slice in one allocation. Operators whose
+// output size is data-dependent and not yet materialized (filters, joins,
+// distinct) simply do not implement it.
+type RowCountHinter interface {
+	// RowCountHint reports the exact remaining row count, and whether it is
+	// known. Valid only between Open and the first Next.
+	RowCountHint() (int, bool)
 }
 
 // Source resolves table names at lowering time, so one logical plan can run
@@ -37,23 +52,30 @@ type Source interface {
 }
 
 // Drain opens op, collects every row, and closes it. The Close error is
-// reported only when iteration itself succeeded.
+// reported only when iteration itself succeeded. The result's spine is owned
+// by the caller; the rows obey the engine-wide stability rule (stable, but
+// possibly aliasing table storage — do not mutate in place).
 func Drain(op Operator) ([][]types.Value, error) {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return nil, err
 	}
 	var rows [][]types.Value
+	if h, ok := op.(RowCountHinter); ok {
+		if n, known := h.RowCountHint(); known {
+			rows = make([][]types.Value, 0, n)
+		}
+	}
 	for {
-		row, err := op.Next()
+		b, err := op.Next()
 		if err != nil {
 			op.Close()
 			return nil, err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		rows = append(rows, row)
+		rows = append(rows, b.Rows()...)
 	}
 	if err := op.Close(); err != nil {
 		return nil, err

@@ -201,21 +201,23 @@ type countingOp struct {
 	calls int
 }
 
-func (c *countingOp) Next() ([]types.Value, error) {
+func (c *countingOp) Next() (*Batch, error) {
 	c.calls++
 	return c.Operator.Next()
 }
 
 func TestLimitTerminatesEarlyAndCopies(t *testing.T) {
 	rows := [][]types.Value{{iv(1)}, {iv(2)}, {iv(3)}, {iv(4)}, {iv(5)}}
-	src := &countingOp{Operator: scanOf(rows, "a")}
+	scan := scanOf(rows, "a")
+	scan.BatchSize = 2 // 3 batches of ≤2 rows
+	src := &countingOp{Operator: scan}
 	lim := &Limit{Input: src, N: 2}
 	out, err := Drain(lim)
 	if err != nil || len(out) != 2 {
 		t.Fatalf("limit: rows=%d err=%v", len(out), err)
 	}
-	if src.calls != 2 {
-		t.Errorf("limit pulled %d rows from its input, want exactly 2", src.calls)
+	if src.calls != 1 {
+		t.Errorf("limit pulled %d batches from its input, want exactly 1", src.calls)
 	}
 	// Emitted rows must not alias the scanned storage: mutating the output
 	// must leave the base rows intact (regression for the seed executor,

@@ -14,28 +14,33 @@ import (
 // would slot into runs without touching the merge or the comparator.
 const DefaultSortRunSize = 1 << 16
 
-// Sort orders the input by the keys. Open consumes the input into sorted
-// runs of at most RunSize rows; Next streams the k-way merge of the runs.
-// The sort is stable: within a run sort.SliceStable preserves arrival order,
-// and the merge breaks comparator ties by run index (runs are consecutive
-// chunks of the input).
+// Sort orders the input by the keys. Open consumes the input's batches into
+// sorted runs of at most RunSize rows (retaining the stable row slices;
+// only the ephemeral batch spines are copied); Next streams the k-way merge
+// of the runs in batches of up to DefaultBatchSize through a reused spine.
+// The sort is stable: within a run sort.SliceStable preserves arrival
+// order, and the merge breaks comparator ties by run index (runs are
+// consecutive chunks of the input).
 type Sort struct {
 	Input   Operator
 	Keys    []algebra.SortKey
 	RunSize int // 0 means DefaultSortRunSize
 
-	runs [][][]types.Value
-	h    *mergeHeap
+	keyProgs []*algebra.Compiled
+	runs     [][][]types.Value
+	total    int
+	h        *mergeHeap
+	out      Batch
 }
 
 // Schema implements Operator.
 func (s *Sort) Schema() types.Schema { return s.Input.Schema() }
 
-// less orders rows by the sort keys.
+// less orders rows by the compiled sort keys.
 func (s *Sort) less(a, b []types.Value) bool {
-	for _, k := range s.Keys {
-		va, vb := k.Expr.Eval(a), k.Expr.Eval(b)
-		c := va.Compare(vb)
+	for i, k := range s.Keys {
+		prog := s.keyProgs[i]
+		c := prog.Eval(a).Compare(prog.Eval(b))
 		if c != 0 {
 			if k.Desc {
 				return c > 0
@@ -49,7 +54,11 @@ func (s *Sort) less(a, b []types.Value) bool {
 // Open implements Operator: it consumes the input into sorted runs and
 // prepares the merge.
 func (s *Sort) Open() error {
-	s.runs, s.h = nil, nil
+	s.runs, s.h, s.total = nil, nil, 0
+	s.keyProgs = s.keyProgs[:0]
+	for _, k := range s.Keys {
+		s.keyProgs = append(s.keyProgs, algebra.Compile(k.Expr))
+	}
 	if err := s.Input.Open(); err != nil {
 		return err
 	}
@@ -64,19 +73,22 @@ func (s *Sort) Open() error {
 		}
 		sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
 		s.runs = append(s.runs, run)
+		s.total += len(run)
 		run = nil
 	}
 	for {
-		row, err := s.Input.Next()
+		b, err := s.Input.Next()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		run = append(run, row)
-		if len(run) >= runSize {
-			flush()
+		for _, row := range b.Rows() {
+			run = append(run, row)
+			if len(run) >= runSize {
+				flush()
+			}
 		}
 	}
 	flush()
@@ -88,20 +100,27 @@ func (s *Sort) Open() error {
 	return nil
 }
 
+// RowCountHint implements RowCountHinter: after Open every run is
+// materialized, so the count is exact.
+func (s *Sort) RowCountHint() (int, bool) { return s.total, true }
+
 // Next implements Operator.
-func (s *Sort) Next() ([]types.Value, error) {
+func (s *Sort) Next() (*Batch, error) {
 	if s.h.Len() == 0 {
 		return nil, nil
 	}
-	top := &s.h.items[0]
-	row := top.rows[top.pos]
-	top.pos++
-	if top.pos >= len(top.rows) {
-		heap.Pop(s.h)
-	} else {
-		heap.Fix(s.h, 0)
+	s.out.Reset()
+	for s.h.Len() > 0 && s.out.Len() < DefaultBatchSize {
+		top := &s.h.items[0]
+		s.out.Append(top.rows[top.pos])
+		top.pos++
+		if top.pos >= len(top.rows) {
+			heap.Pop(s.h)
+		} else {
+			heap.Fix(s.h, 0)
+		}
 	}
-	return row, nil
+	return &s.out, nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,76 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAppendKeyCollisions pins the canonical binary key encoding against
+// the classic collision traps: the encoding must distinguish exactly the
+// value (tuples) that Compare distinguishes.
+func TestAppendKeyCollisions(t *testing.T) {
+	distinct := []struct {
+		name string
+		a, b Tuple
+	}{
+		{"concat boundary", Tuple{NewString("a"), NewString("bc")}, Tuple{NewString("ab"), NewString("c")}},
+		{"NULL vs empty string", Tuple{Null()}, Tuple{NewString("")}},
+		{"NULL vs zero", Tuple{Null()}, Tuple{NewInt(0)}},
+		{"int vs its decimal string", Tuple{NewInt(1)}, Tuple{NewString("1")}},
+		{"bool vs its encoding letter", Tuple{NewBool(true)}, Tuple{NewString("T")}},
+		{"separator inside string", Tuple{NewString("a|b")}, Tuple{NewString("a"), NewString("b")}},
+		{"string with length-like prefix", Tuple{NewString("2:ab")}, Tuple{NewString("ab")}},
+		{"zero vs negative zero string forms", Tuple{NewString("0")}, Tuple{NewString("-0")}},
+		{"true vs false", Tuple{NewBool(true)}, Tuple{NewBool(false)}},
+	}
+	for _, c := range distinct {
+		if c.a.Key() == c.b.Key() {
+			t.Errorf("%s: %v and %v collide on key %q", c.name, c.a, c.b, c.a.Key())
+		}
+	}
+
+	// Values that compare equal must encode identically — grouping and
+	// joining follow Compare's cross-kind numeric equality.
+	equal := []struct {
+		name string
+		a, b Tuple
+	}{
+		{"int vs equal float", Tuple{NewInt(1)}, Tuple{NewFloat(1.0)}},
+		{"negative int vs equal float", Tuple{NewInt(-7)}, Tuple{NewFloat(-7.0)}},
+		{"NULLs", Tuple{Null()}, Tuple{Null()}},
+	}
+	for _, c := range equal {
+		if c.a.Key() != c.b.Key() {
+			t.Errorf("%s: %v and %v should share a key: %q vs %q",
+				c.name, c.a, c.b, c.a.Key(), c.b.Key())
+		}
+	}
+}
+
+// TestAppendKeyMatchesCompare fuzzes the invariant Key(a) == Key(b) iff
+// Compare(a, b) == 0 over random value pairs.
+func TestAppendKeyMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randVal := func() Value {
+		switch rng.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return NewBool(rng.Intn(2) == 0)
+		case 2:
+			return NewInt(int64(rng.Intn(7) - 3))
+		case 3:
+			return NewFloat(float64(rng.Intn(7)-3) / 2)
+		default:
+			return NewString(string(rune('a' + rng.Intn(3))))
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		a, b := randVal(), randVal()
+		ka := string(a.AppendKey(nil))
+		kb := string(b.AppendKey(nil))
+		if (a.Compare(b) == 0) != (ka == kb) {
+			t.Fatalf("Compare(%v,%v)=%d but keys %q vs %q", a, b, a.Compare(b), ka, kb)
+		}
+	}
+}

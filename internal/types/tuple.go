@@ -16,7 +16,7 @@ func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
 func (t Tuple) Key() string {
 	b := make([]byte, 0, 16*len(t))
 	for _, v := range t {
-		b = v.appendKey(b)
+		b = v.AppendKey(b)
 		b = append(b, '|')
 	}
 	return string(b)

@@ -183,10 +183,17 @@ func (v Value) String() string {
 	}
 }
 
-// appendKey appends a canonical, injective encoding of v to b. Integers that
-// are exactly representable as floats encode identically to the equal float,
-// matching Compare's cross-kind numeric equality.
-func (v Value) appendKey(b []byte) []byte {
+// AppendKey appends the canonical binary key encoding of v to b. The
+// encoding is the single shared grouping/join/dedup key format of the whole
+// engine: two values encode identically iff Compare orders them equal.
+// Integers that are exactly representable as floats encode identically to
+// the equal float, matching Compare's cross-kind numeric equality; strings
+// are length-prefixed so concatenated encodings cannot collide ("a","bc" vs
+// "ab","c"); NULL ('N') is distinct from the empty string ("s0:"). The
+// numeric encoding is fixed-width-free hex and therefore not
+// self-delimiting — multi-value keys must join encodings with a separator,
+// as Tuple.Key and the physical operators' key builders do.
+func (v Value) AppendKey(b []byte) []byte {
 	switch v.kind {
 	case KindNull:
 		return append(b, 'N')
