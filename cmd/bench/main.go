@@ -9,11 +9,22 @@
 // "physical" suite additionally writes machine-readable results (op, rows,
 // ns/op, allocs/op) to -physout so the repo's perf trajectory is tracked in
 // version control.
+//
+// Two subcommands manage that committed baseline as a regression gate:
+//
+//	bench check   rerun the physical suite and compare rows_per_sec against
+//	              the committed BENCH_physical.json; exit 1 if any pipeline
+//	              regressed by more than -tolerance (default 25%)
+//	bench update  rerun the suite and rewrite the baseline in place — run it
+//	              after deliberate perf-relevant changes and commit the diff
+//
+// CI runs `bench check` on every PR.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,10 +33,19 @@ import (
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && (args[0] == "check" || args[0] == "update") {
+		if err := runGate(args[0], args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	sf := flag.Float64("sf", 0.05, "PDBench scale factor for fig11-13 (1.0 = 60k lineitems)")
 	quick := flag.Bool("quick", false, "shrink all workloads for a fast smoke run")
-	physRows := flag.Int("physrows", 100000, "input rows for the physical operator suite")
+	physRows := flag.Int("physrows", 1000000, "input rows for the physical operator suite")
 	physOut := flag.String("physout", "BENCH_physical.json", "path for the physical suite's JSON results")
+	dop := flag.Int("dop", 0, "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -157,7 +177,7 @@ func main() {
 		if *quick {
 			rows = 10000
 		}
-		results, err := physbench.Suite(rows)
+		results, err := physbench.Suite(rows, *dop)
 		if err != nil {
 			fail(err)
 		}
@@ -168,4 +188,61 @@ func main() {
 		}
 		fmt.Println("wrote", *physOut)
 	}
+}
+
+// measure runs the physical suite; a seam so the gate's flag/IO/verdict
+// paths are testable without ~20s of real measurement per invocation.
+var measure = physbench.Suite
+
+// runGate implements `bench check` and `bench update`: rerun the physical
+// suite and either gate against, or refresh, the committed baseline. check
+// returns an error (non-zero exit) when any op regressed beyond tolerance.
+func runGate(mode string, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench "+mode, flag.ContinueOnError)
+	physRows := fs.Int("physrows", 1000000, "input rows for the physical operator suite (must match the baseline's)")
+	dop := fs.Int("dop", 0, "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)")
+	baseline := fs.String("baseline", "BENCH_physical.json", "committed baseline path")
+	out := fs.String("out", "", "also write the fresh measurements to this path (check only)")
+	tol := fs.Float64("tolerance", 0.25, "allowed rows_per_sec regression fraction before the gate fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var base []physbench.Result
+	if mode == "check" {
+		// Load the baseline before spending minutes measuring.
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("reading baseline: %w (run `bench update` to create it)", err)
+		}
+		if base, err = physbench.ParseJSON(raw); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", *baseline, err)
+		}
+	}
+
+	results, err := measure(*physRows, *dop)
+	if err != nil {
+		return err
+	}
+	if mode == "update" {
+		if err := physbench.WriteJSON(*baseline, results); err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, physbench.Format(results))
+		fmt.Fprintln(stdout, "updated", *baseline)
+		return nil
+	}
+	if *out != "" {
+		if err := physbench.WriteJSON(*out, results); err != nil {
+			return err
+		}
+	}
+	report, regressed := physbench.Check(base, results, *tol)
+	fmt.Fprint(stdout, report)
+	if len(regressed) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s",
+			strings.Join(regressed, "\n  "))
+	}
+	fmt.Fprintf(stdout, "benchmark regression gate passed (tolerance %.0f%%)\n", *tol*100)
+	return nil
 }

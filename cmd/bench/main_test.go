@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/physbench"
+)
+
+// stubSuite replaces the real (seconds-per-entry) measurement suite with
+// canned results scaled by factor, restoring it on cleanup. The gate's flag
+// parsing, baseline IO, comparison, and verdicts all still run for real.
+func stubSuite(t *testing.T, factor float64) {
+	t.Helper()
+	orig := measure
+	measure = func(n, dop int) ([]physbench.Result, error) {
+		rs := []physbench.Result{
+			{Op: "scan-filter-project/batch", Rows: n, NsPerOp: 1000, RowsPerSec: 1e7 * factor},
+			{Op: "scan-filter-project/row", Rows: n, NsPerOp: 3000, RowsPerSec: 3e6 * factor},
+			{Op: "scan-filter-project/par", Rows: n, DOP: dop, NsPerOp: 500, RowsPerSec: 2e7 * factor},
+		}
+		return rs, nil
+	}
+	t.Cleanup(func() { measure = orig })
+}
+
+// TestMainSmokeGate is the CI start sanity for the bench CLI's regression
+// gate: `bench update` writes a baseline, `bench check` against it passes,
+// and a slower rerun fails with a regression verdict.
+func TestMainSmokeGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+
+	stubSuite(t, 1.0)
+	var out strings.Builder
+	if err := runGate("update", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("update wrote no baseline: %v", err)
+	}
+
+	out.Reset()
+	fresh := filepath.Join(dir, "fresh.json")
+	if err := runGate("check", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline,
+		"-out", fresh}, &out); err != nil {
+		t.Fatalf("check against own update failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Errorf("check output missing verdict:\n%s", out.String())
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("check -out wrote no results: %v", err)
+	}
+
+	// A current run at 40% of baseline throughput must trip the 25% gate.
+	stubSuite(t, 0.4)
+	out.Reset()
+	err := runGate("check", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline}, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression gate failed") {
+		t.Errorf("regressed rerun must fail the gate, got %v", err)
+	}
+
+	// ... but is fine under a loose tolerance.
+	out.Reset()
+	if err := runGate("check", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline,
+		"-tolerance", "0.7"}, &out); err != nil {
+		t.Errorf("loose tolerance must pass, got %v", err)
+	}
+}
+
+// TestMainCheckMissingBaseline: a helpful error pointing at `bench update`,
+// before any measurement is spent.
+func TestMainCheckMissingBaseline(t *testing.T) {
+	stubSuite(t, 1.0)
+	var out strings.Builder
+	err := runGate("check", []string{
+		"-physrows", "2000", "-baseline", filepath.Join(t.TempDir(), "absent.json")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "bench update") {
+		t.Errorf("missing baseline must point at `bench update`, got %v", err)
+	}
+}

@@ -9,13 +9,15 @@
 // Plain CSV tables are treated as deterministic (every row certain). Tables
 // referenced with a model annotation in the query are read from the same
 // -table set and encoded on the fly. With no -query, queries are read from
-// stdin, one per line (exit with an empty line or EOF).
+// stdin, one per line (exit with an empty line or EOF). -dop caps the
+// physical engine's parallelism (0 = one worker per CPU, 1 = serial).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -33,21 +35,37 @@ func (t *tableFlags) Set(v string) error {
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "uadb:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole CLI behind a testable seam: flags in args, queries from
+// stdin when -query is absent, results on stdout. Per-query execution errors
+// are reported inline on stderr and do not abort the session; setup errors
+// return.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("uadb", flag.ContinueOnError)
 	var tables tableFlags
-	flag.Var(&tables, "table", "name=path.csv (repeatable)")
-	query := flag.String("query", "", "UA-SQL query; omit to read from stdin")
-	explain := flag.Bool("explain", false, "print the rewritten logical plan instead of executing")
-	flag.Parse()
+	fs.Var(&tables, "table", "name=path.csv (repeatable)")
+	query := fs.String("query", "", "UA-SQL query; omit to read from stdin")
+	explain := fs.Bool("explain", false, "print the rewritten logical plan instead of executing")
+	dop := fs.Int("dop", 0, "degree of parallelism: 0 = GOMAXPROCS, 1 = serial engine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	front := rewrite.NewFrontend(engine.NewCatalog())
+	front.DOP = *dop
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			fatal(fmt.Errorf("bad -table %q, want name=path.csv", spec))
+			return fmt.Errorf("bad -table %q, want name=path.csv", spec)
 		}
 		t, err := csvio.Load(name, path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		// Register raw (for model annotations) and deterministic-encoded
 		// (for direct references).
@@ -58,42 +76,37 @@ func main() {
 	if *explain && *query != "" {
 		plan, err := front.Explain(*query)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Println(plan)
-		return
+		fmt.Fprintln(stdout, plan)
+		return nil
 	}
 	if *query != "" {
-		runQuery(front, *query)
-		return
+		runQuery(front, *query, stdout, stderr)
+		return nil
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("uadb> enter queries, empty line to quit")
+	fmt.Fprintln(stdout, "uadb> enter queries, empty line to quit")
 	for {
-		fmt.Print("uadb> ")
+		fmt.Fprint(stdout, "uadb> ")
 		if !sc.Scan() {
-			return
+			return nil
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
-			return
+			return nil
 		}
-		runQuery(front, line)
+		runQuery(front, line, stdout, stderr)
 	}
 }
 
-func runQuery(front *rewrite.Frontend, q string) {
+func runQuery(front *rewrite.Frontend, q string, stdout, stderr io.Writer) {
 	res, err := front.Run(q)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
+		fmt.Fprintln(stderr, "error:", err)
 		return
 	}
-	fmt.Print(res)
-	fmt.Printf("(%d rows)\n", res.NumRows())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uadb:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, res)
+	fmt.Fprintf(stdout, "(%d rows)\n", res.NumRows())
 }

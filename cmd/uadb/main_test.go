@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSV drops a small table for the CLI to load.
+func writeCSV(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMainSmokeQuery is the CI start sanity for the uadb CLI: load a table,
+// run one query end to end (through the UA rewrite and the physical engine),
+// and see the certainty-annotated result.
+func TestMainSmokeQuery(t *testing.T) {
+	csv := writeCSV(t, "t.csv", "id,v\n1,10\n2,20\n3,30\n")
+	var out strings.Builder
+	var errOut strings.Builder
+	err := run([]string{
+		"-table", "t=" + csv,
+		"-query", "SELECT t.id FROM t WHERE t.v > 15",
+	}, strings.NewReader(""), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 rows)") {
+		t.Errorf("query output missing row count:\n%s", out.String())
+	}
+}
+
+// TestMainSmokeStdinAndDOP: the stdin loop, the -dop flag, and inline
+// per-query error reporting all work.
+func TestMainSmokeStdinAndDOP(t *testing.T) {
+	csv := writeCSV(t, "t.csv", "id,v\n1,10\n2,20\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-dop", "2", "-table", "t=" + csv},
+		strings.NewReader("SELECT t.id FROM t\nSELECT nope FROM missing\n\n"), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 rows)") {
+		t.Errorf("stdin query output missing row count:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "error:") {
+		t.Errorf("failing query must report inline on stderr, got:\n%s", errOut.String())
+	}
+}
+
+// TestMainSmokeExplain: -explain prints the rewritten plan without running.
+func TestMainSmokeExplain(t *testing.T) {
+	csv := writeCSV(t, "t.csv", "id,v\n1,10\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-table", "t=" + csv, "-explain",
+		"-query", "SELECT t.id FROM t"}, strings.NewReader(""), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("explain produced no output")
+	}
+}
+
+// TestMainBadTableSpec: malformed -table specs fail with a clear error.
+func TestMainBadTableSpec(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-table", "nope"}, strings.NewReader(""), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "bad -table") {
+		t.Errorf("want bad -table error, got %v", err)
+	}
+}

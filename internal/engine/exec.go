@@ -9,15 +9,23 @@ import (
 // Execute evaluates a logical plan against the catalog and materializes the
 // result. The plan is normalized by the physical optimizer (predicate
 // pushdown, equi-join extraction, projection pruning), lowered onto the
-// batch-at-a-time operator tree of internal/physical, and drained. Scans
-// resolve table names at lowering time, so the same plan can run against
-// different catalogs (e.g. the deterministic and the UA-encoded database) —
-// the symmetry the UA-DB overhead experiments rely on.
+// batch-at-a-time operator tree of internal/physical — morsel-parallel where
+// the plan and table sizes allow, up to runtime.GOMAXPROCS workers — and
+// drained. Scans resolve table names at lowering time, so the same plan can
+// run against different catalogs (e.g. the deterministic and the UA-encoded
+// database) — the symmetry the UA-DB overhead experiments rely on.
 // Result rows may alias catalog storage when the plan preserves rows end to
 // end (a bare scan or filter); callers must not mutate them in place, the
 // same contract the catalog's own tables carry. LIMIT results are copies.
 func Execute(n algebra.Node, cat *Catalog) (*Table, error) {
-	op, err := compile(n, cat)
+	return ExecuteOpts(n, cat, physical.Options{})
+}
+
+// ExecuteOpts is Execute with explicit physical execution options; the zero
+// Options means automatic parallelism (DOP = GOMAXPROCS), Options{DOP: 1}
+// forces the serial engine.
+func ExecuteOpts(n algebra.Node, cat *Catalog, opt physical.Options) (*Table, error) {
+	op, err := compile(n, cat, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +43,7 @@ func Execute(n algebra.Node, cat *Catalog) (*Table, error) {
 // pure runtime resolution) skip the optimizer, whose rewrites need static
 // column positions; lowering still validates them against the runtime
 // catalog.
-func compile(n algebra.Node, cat *Catalog) (physical.Operator, error) {
+func compile(n algebra.Node, cat *Catalog, opt physical.Options) (physical.Operator, error) {
 	optimizable, err := physical.Validate(n)
 	if err != nil {
 		return nil, err
@@ -44,14 +52,15 @@ func compile(n algebra.Node, cat *Catalog) (physical.Operator, error) {
 	if optimizable {
 		plan = physical.Optimize(n)
 	}
-	return physical.Lower(plan, cat)
+	return physical.LowerOpts(plan, cat, opt)
 }
 
 // ExplainPhysical returns the physical operator tree Execute would run for
 // the plan, after optimization, as an indented string — the plan-shape
-// tests and EXPLAIN output both use it.
+// tests and EXPLAIN output both use it. It compiles with the same default
+// options as Execute, so parallelized plans show their Gather pipelines.
 func ExplainPhysical(n algebra.Node, cat *Catalog) (string, error) {
-	op, err := compile(n, cat)
+	op, err := compile(n, cat, physical.Options{})
 	if err != nil {
 		return "", err
 	}

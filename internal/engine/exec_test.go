@@ -256,3 +256,50 @@ func TestDistinctAndAggregateOverEmptySQL(t *testing.T) {
 		}
 	}
 }
+
+// TestExecuteOptsParallelAgreement: Execute's parallel path (forced down to
+// tiny tables via explicit options) must agree with the serial engine
+// row-for-row, and the explained plan must show the exchange.
+func TestExecuteOptsParallelAgreement(t *testing.T) {
+	cat := NewCatalog()
+	tbl := NewTable(types.NewSchema("big", "k", "v"))
+	for i := 0; i < 400; i++ {
+		tbl.Append([]types.Value{types.NewInt(int64(i % 13)), types.NewInt(int64(i))})
+	}
+	cat.Put(tbl)
+	plan := &algebra.Project{
+		Input: &algebra.Filter{
+			Input: &algebra.Scan{Table: "big", TblSchema: tbl.Schema},
+			Pred: algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 1},
+				R: algebra.Const{V: types.NewInt(300)}},
+		},
+		Exprs: []algebra.Expr{algebra.Col{Idx: 0}},
+		Names: []string{"k"},
+	}
+	par := physical.Options{DOP: 4, MorselSize: 32, MinParallelRows: 1}
+
+	want, err := ExecuteOpts(plan, cat, physical.Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExecuteOpts(plan, cat, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("parallel %d rows, serial %d", got.NumRows(), want.NumRows())
+	}
+	for i := range got.Rows {
+		if types.Tuple(got.Rows[i]).Key() != types.Tuple(want.Rows[i]).Key() {
+			t.Fatalf("row %d differs: %v vs %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+
+	op, err := compile(plan, cat, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := physical.Explain(op); !strings.Contains(s, "Gather") {
+		t.Errorf("parallel compile must produce a Gather:\n%s", s)
+	}
+}

@@ -1,7 +1,6 @@
 package physbench
 
 import (
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,17 +77,21 @@ func BenchmarkBatchVsRow(b *testing.B) {
 }
 
 // TestFormatAndJSON covers the reporting half of the suite without running
-// the (seconds-long) measurements: Format must pair batch/row results into
-// speedup lines and WriteJSON must round-trip the records.
+// the (seconds-long) measurements: Format must pair batch/row and par/batch
+// results into speedup lines and WriteJSON must round-trip the records.
 func TestFormatAndJSON(t *testing.T) {
 	rs := []Result{
 		{Op: "scan-filter-project/batch", Rows: 1000, NsPerOp: 100, AllocsPerOp: 2, RowsPerSec: 1e7},
 		{Op: "scan-filter-project/row", Rows: 1000, NsPerOp: 300, AllocsPerOp: 500, RowsPerSec: 3.3e6},
+		{Op: "scan-filter-project/par", Rows: 1000, DOP: 4, NsPerOp: 50, AllocsPerOp: 40, RowsPerSec: 2e7},
 	}
 	s := Format(rs)
 	if !strings.Contains(s, "scan-filter-project/batch") ||
 		!strings.Contains(s, "3.00x throughput") {
 		t.Errorf("format missing expected lines:\n%s", s)
+	}
+	if !strings.Contains(s, "par-vs-batch") || !strings.Contains(s, "2.00x throughput at dop=4") {
+		t.Errorf("format missing par-vs-batch line:\n%s", s)
 	}
 
 	path := filepath.Join(t.TempDir(), "bench.json")
@@ -99,11 +102,49 @@ func TestFormatAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back []Result
-	if err := json.Unmarshal(raw, &back); err != nil {
+	back, err := ParseJSON(raw)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 2 || back[0] != rs[0] || back[1] != rs[1] {
-		t.Errorf("JSON round-trip mismatch: %+v", back)
+	if len(back) != len(rs) {
+		t.Fatalf("JSON round-trip: %d results, want %d", len(back), len(rs))
+	}
+	for i := range rs {
+		if back[i] != rs[i] {
+			t.Errorf("JSON round-trip mismatch at %d: %+v != %+v", i, back[i], rs[i])
+		}
+	}
+}
+
+// TestCheck pins the regression gate's comparison semantics: within
+// tolerance passes, beyond it fails, faster never fails, and op/row-count
+// mismatches are reported but skipped.
+func TestCheck(t *testing.T) {
+	base := []Result{
+		{Op: "a/batch", Rows: 1000, RowsPerSec: 100},
+		{Op: "b/batch", Rows: 1000, RowsPerSec: 100},
+		{Op: "gone/batch", Rows: 1000, RowsPerSec: 100},
+		{Op: "resized/batch", Rows: 1000, RowsPerSec: 100},
+	}
+	base = append(base, Result{Op: "p/par", Rows: 1000, DOP: 4, RowsPerSec: 100})
+	cur := []Result{
+		{Op: "a/batch", Rows: 1000, RowsPerSec: 80},      // -20%: within 25%
+		{Op: "b/batch", Rows: 1000, RowsPerSec: 60},      // -40%: regressed
+		{Op: "resized/batch", Rows: 500, RowsPerSec: 1},  // different size: skip
+		{Op: "new/batch", Rows: 1000, RowsPerSec: 1},     // not in baseline: skip
+		{Op: "p/par", Rows: 1000, DOP: 2, RowsPerSec: 1}, // different dop: skip
+	}
+	report, regressed := Check(base, cur, 0.25)
+	if len(regressed) != 1 || !strings.Contains(regressed[0], "b/batch") {
+		t.Fatalf("want exactly b/batch regressed, got %v", regressed)
+	}
+	for _, frag := range []string{"REGRESSED", "skip", "not in baseline", "dop mismatch"} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q:\n%s", frag, report)
+		}
+	}
+	// Faster than baseline is never a failure.
+	if _, reg := Check(base[:1], []Result{{Op: "a/batch", Rows: 1000, RowsPerSec: 1e6}}, 0.25); len(reg) != 0 {
+		t.Errorf("faster run must pass, got %v", reg)
 	}
 }

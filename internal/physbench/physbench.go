@@ -3,13 +3,18 @@
 // repo's perf trajectory is tracked from PR 2 onward. Every workload runs
 // twice — once on the batch engine (internal/physical) and once on the
 // frozen row-at-a-time reference (internal/rowref) — making each JSON entry
-// one side of a batch-vs-row comparison on identical plans and data.
+// one side of a batch-vs-row comparison on identical plans and data; with
+// dop > 1 the pipeline-shaped workloads run a third time on the
+// morsel-parallel engine ("/par"). Check compares two result sets, which is
+// the core of the `bench check` CI regression gate.
 package physbench
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -20,10 +25,12 @@ import (
 )
 
 // Result is one benchmark measurement. Op names the workload and engine
-// ("scan-filter-project/batch"); Rows is the input size per operation.
+// ("scan-filter-project/batch"); Rows is the input size per operation. DOP
+// is set on "/par" entries: the worker count of the morsel-parallel engine.
 type Result struct {
 	Op          string  `json:"op"`
 	Rows        int     `json:"rows"`
+	DOP         int     `json:"dop,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -37,6 +44,15 @@ func WriteJSON(path string, rs []Result) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ParseJSON decodes results previously written by WriteJSON.
+func ParseJSON(raw []byte) ([]Result, error) {
+	var rs []Result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
 }
 
 // Format renders results as an aligned text table with batch-vs-row speedup
@@ -53,16 +69,82 @@ func Format(rs []Result) string {
 	}
 	for _, r := range rs {
 		base, op, ok := strings.Cut(r.Op, "/")
-		if !ok || op != "batch" {
+		if !ok || r.NsPerOp <= 0 {
 			continue
 		}
-		if row, ok := byOp[base+"/row"]; ok && r.NsPerOp > 0 {
-			fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
-				base+" batch-vs-row:", row.NsPerOp/r.NsPerOp,
-				r.AllocsPerOp-row.AllocsPerOp)
+		switch op {
+		case "batch":
+			if row, ok := byOp[base+"/row"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
+					base+" batch-vs-row:", row.NsPerOp/r.NsPerOp,
+					r.AllocsPerOp-row.AllocsPerOp)
+			}
+		case "par":
+			if batch, ok := byOp[base+"/batch"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput at dop=%d\n",
+					base+" par-vs-batch:", batch.NsPerOp/r.NsPerOp, r.DOP)
+			}
 		}
 	}
 	return sb.String()
+}
+
+// Check compares current results against a committed baseline: every op
+// present in both (at the same input size) must keep its rows_per_sec within
+// the tolerated fraction of the baseline — tol 0.25 fails any pipeline more
+// than 25% slower than its recorded throughput. It returns a human-readable
+// comparison and the list of regressed ops (empty = gate passes). Ops
+// missing from either side, or measured at a different size, are reported
+// but never fail the gate, so baselines and suites can evolve independently.
+func Check(baseline, current []Result, tol float64) (report string, regressed []string) {
+	var sb strings.Builder
+	curByOp := map[string]Result{}
+	for _, r := range current {
+		curByOp[r.Op] = r
+	}
+	fmt.Fprintf(&sb, "%-34s %14s %14s %8s\n", "op", "base rows/sec", "cur rows/sec", "ratio")
+	for _, b := range baseline {
+		c, ok := curByOp[b.Op]
+		if !ok {
+			fmt.Fprintf(&sb, "%-34s %14.0f %14s %8s\n", b.Op, b.RowsPerSec, "-", "skip")
+			continue
+		}
+		delete(curByOp, b.Op)
+		if c.Rows != b.Rows {
+			fmt.Fprintf(&sb, "%-34s rows mismatch (base %d, current %d): skipped\n",
+				b.Op, b.Rows, c.Rows)
+			continue
+		}
+		if c.DOP != b.DOP {
+			// A /par entry measured at a different worker count (e.g. a CI
+			// runner with a different core count than the baseline machine)
+			// is not comparable.
+			fmt.Fprintf(&sb, "%-34s dop mismatch (base %d, current %d): skipped\n",
+				b.Op, b.DOP, c.DOP)
+			continue
+		}
+		ratio := 0.0
+		if b.RowsPerSec > 0 {
+			ratio = c.RowsPerSec / b.RowsPerSec
+		}
+		verdict := "ok"
+		if ratio < 1-tol {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f rows/sec (%.2fx, floor %.2fx)",
+				b.Op, b.RowsPerSec, c.RowsPerSec, ratio, 1-tol))
+		}
+		fmt.Fprintf(&sb, "%-34s %14.0f %14.0f %7.2fx %s\n",
+			b.Op, b.RowsPerSec, c.RowsPerSec, ratio, verdict)
+	}
+	extra := make([]string, 0, len(curByOp))
+	for op := range curByOp {
+		extra = append(extra, op)
+	}
+	sort.Strings(extra)
+	for _, op := range extra {
+		fmt.Fprintf(&sb, "%-34s not in baseline: skipped\n", op)
+	}
+	return sb.String(), regressed
 }
 
 // table builds an n-row (k, v) table with k cycling over a small-ish domain
@@ -119,13 +201,43 @@ func drainRow(op rowref.Operator) (int, error) {
 	return len(rows), err
 }
 
-// Suite runs every workload at the given input size on both engines and
-// returns the measurements. The scan→filter→project pipeline is the
-// acceptance workload: the batch engine must beat the row engine by ≥2x
-// with fewer allocs/op.
-func Suite(n int) ([]Result, error) {
+// benchSource exposes the generated tables to physical.LowerOpts, so the
+// parallel workloads run through the same lowering the engine uses.
+type benchSource map[string]struct {
+	schema types.Schema
+	rows   [][]types.Value
+}
+
+func (s benchSource) Resolve(table string) (types.Schema, [][]types.Value, error) {
+	t, ok := s[table]
+	if !ok {
+		return types.Schema{}, nil, fmt.Errorf("physbench: no table %q", table)
+	}
+	return t.schema, t.rows, nil
+}
+
+// Suite runs every workload at the given input size on both serial engines
+// (batch vs the frozen row reference) and returns the measurements. The
+// scan→filter→project pipeline is the acceptance workload: the batch engine
+// must beat the row engine by ≥2x with fewer allocs/op. With dop > 1
+// (dop <= 0 resolves to GOMAXPROCS, like physical.Options) the
+// pipeline-shaped workloads run a third time on the morsel-parallel engine
+// ("/par" entries) at that worker count — on multi-core hardware
+// scan-filter-project/par is the parallel acceptance workload against
+// scan-filter-project/batch.
+func Suite(n, dop int) ([]Result, error) {
+	if dop <= 0 {
+		dop = runtime.GOMAXPROCS(0)
+	}
 	schema, rows := table("t", n, n/10+1)
 	uschema, urows := table("u", n, n) // unique keys: the join is 1:1
+	src := benchSource{
+		"t": {schema, rows},
+		"u": {uschema, urows},
+	}
+	lowerPar := func(plan algebra.Node) (physical.Operator, error) {
+		return physical.LowerOpts(plan, src, physical.Options{DOP: dop})
+	}
 	col := func(i int, name string) algebra.Expr { return algebra.Col{Idx: i, Name: name} }
 	// The acceptance pipeline is the canonical select-project query shape
 	// (the same family as the UA overhead micro query's "l.v < 9000"):
@@ -175,11 +287,24 @@ func Suite(n int) ([]Result, error) {
 		return nil
 	}
 
+	scanT := func() *algebra.Scan { return &algebra.Scan{Table: "t", TblSchema: schema} }
+	scanU := func() *algebra.Scan { return &algebra.Scan{Table: "u", TblSchema: uschema} }
+	drainPar := func(plan algebra.Node) func() (int, error) {
+		return func() (int, error) {
+			op, err := lowerPar(plan)
+			if err != nil {
+				return 0, err
+			}
+			return drainBatch(op)
+		}
+	}
+
 	type workload struct {
 		op    string
 		want  int
 		batch func() (int, error)
 		row   func() (int, error)
+		par   func() (int, error) // nil: workload has no parallel lowering
 	}
 	workloads := []workload{
 		{"scan-filter-project", sfpRows,
@@ -192,7 +317,10 @@ func Suite(n int) ([]Result, error) {
 				return drainRow(&rowref.Project{
 					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: pred()},
 					Exprs: projExprs()})
-			}},
+			},
+			drainPar(&algebra.Project{
+				Input: &algebra.Filter{Input: scanT(), Pred: pred()},
+				Exprs: projExprs(), Names: []string{"k", "kv"}})},
 		{"scan-filter-project-exprheavy", sfpRows,
 			func() (int, error) {
 				return drainBatch(physical.NewProject(
@@ -203,7 +331,10 @@ func Suite(n int) ([]Result, error) {
 				return drainRow(&rowref.Project{
 					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: heavyPred()},
 					Exprs: projExprs()})
-			}},
+			},
+			drainPar(&algebra.Project{
+				Input: &algebra.Filter{Input: scanT(), Pred: heavyPred()},
+				Exprs: projExprs(), Names: []string{"k", "kv"}})},
 		{"hash-join", n,
 			func() (int, error) {
 				return drainBatch(physical.NewHashJoin(
@@ -214,7 +345,9 @@ func Suite(n int) ([]Result, error) {
 				return drainRow(rowref.NewHashJoin(
 					rowref.NewScan(uschema, urows), rowref.NewScan(uschema, urows),
 					[]int{0}, []int{0}, nil))
-			}},
+			},
+			drainPar(&algebra.Join{Left: scanU(), Right: scanU(),
+				EquiL: []int{0}, EquiR: []int{0}})},
 		{"hash-aggregate", aggRows,
 			func() (int, error) {
 				return drainBatch(physical.NewHashAggregate(
@@ -224,7 +357,9 @@ func Suite(n int) ([]Result, error) {
 				return drainRow(&rowref.HashAggregate{
 					Input: rowref.NewScan(schema, rows), GroupBy: groupBy(), Aggs: aggs,
 				})
-			}},
+			},
+			drainPar(&algebra.Aggregate{Input: scanT(),
+				GroupBy: groupBy(), GroupNames: []string{"g"}, Aggs: aggs})},
 		{"distinct", distinctRows,
 			func() (int, error) {
 				return drainBatch(&physical.Distinct{Input: physical.NewProject(
@@ -235,7 +370,8 @@ func Suite(n int) ([]Result, error) {
 				return drainRow(&rowref.Distinct{Input: &rowref.Project{
 					Input: rowref.NewScan(schema, rows),
 					Exprs: []algebra.Expr{col(0, "k")}}})
-			}},
+			},
+			nil},
 		{"sort", n,
 			func() (int, error) {
 				return drainBatch(&physical.Sort{
@@ -244,7 +380,8 @@ func Suite(n int) ([]Result, error) {
 			func() (int, error) {
 				return drainRow(&rowref.Sort{
 					Input: rowref.NewScan(schema, rows), Keys: sortKeys})
-			}},
+			},
+			nil},
 	}
 	for _, w := range workloads {
 		if err := add(run(w.op+"/batch", n, w.want, w.batch)); err != nil {
@@ -253,6 +390,15 @@ func Suite(n int) ([]Result, error) {
 		if err := add(run(w.op+"/row", n, w.want, w.row)); err != nil {
 			return nil, err
 		}
+		if w.par == nil || dop <= 1 {
+			continue
+		}
+		r, err := run(w.op+"/par", n, w.want, w.par)
+		if err != nil {
+			return nil, err
+		}
+		r.DOP = dop
+		out = append(out, r)
 	}
 	return out, nil
 }

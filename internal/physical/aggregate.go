@@ -65,6 +65,35 @@ func newAggState(groupRow []types.Value, nAggs int) *aggState {
 	}
 }
 
+// merge folds another partial state for the same group into st. Counts and
+// sums add, extrema combine, and the float-ness flag ORs — exact for COUNT,
+// integer SUM, MIN, and MAX; float SUM/AVG merge re-associates the addition,
+// so parallel aggregation of float columns can differ from the serial result
+// in the last ulp (the merge order itself — morsel sequence order — is
+// deterministic, so a given input always produces the same answer).
+func (st *aggState) merge(o *aggState) {
+	for i := range st.count {
+		st.count[i] += o.count[i]
+		st.sumI[i] += o.sumI[i]
+		st.sumF[i] += o.sumF[i]
+		st.isFloat[i] = st.isFloat[i] || o.isFloat[i]
+		if !o.seen[i] {
+			continue
+		}
+		if !st.seen[i] {
+			st.min[i], st.max[i] = o.min[i], o.max[i]
+			st.seen[i] = true
+			continue
+		}
+		if o.min[i].Compare(st.min[i]) < 0 {
+			st.min[i] = o.min[i]
+		}
+		if o.max[i].Compare(st.max[i]) > 0 {
+			st.max[i] = o.max[i]
+		}
+	}
+}
+
 // absorbValue folds one already-evaluated aggregate argument into the i-th
 // aggregate's state. SQL aggregates skip NULL arguments; COUNT(*) never
 // reaches here (its rows are counted unconditionally by the caller).
@@ -135,25 +164,85 @@ func (st *aggState) result(aggs []algebra.AggSpec, nGroupCols int) []types.Value
 	return row
 }
 
+// aggFolder is the batch-folding core shared by the serial HashAggregate and
+// the per-worker partial aggregation of ParallelHashAggregate: compiled
+// group-key and argument kernels, reused evaluation columns, and the
+// canonical-key group lookup. One folder belongs to one goroutine — the
+// kernels it compiles are closures, so parallel workers each build their own.
+type aggFolder struct {
+	aggs       []algebra.AggSpec
+	groupProgs []*algebra.Compiled
+	argProgs   []*algebra.Compiled
+	keyCols    [][]types.Value
+	argCols    [][]types.Value
+	keyBuf     []byte
+}
+
+// newAggFolder compiles the group and argument expressions.
+func newAggFolder(groupBy []algebra.Expr, aggs []algebra.AggSpec) *aggFolder {
+	f := &aggFolder{
+		aggs:       aggs,
+		groupProgs: algebra.CompileAll(groupBy),
+		argProgs:   make([]*algebra.Compiled, len(aggs)),
+		keyCols:    make([][]types.Value, len(groupBy)),
+		argCols:    make([][]types.Value, len(aggs)),
+	}
+	for i, a := range aggs {
+		if !a.Star {
+			f.argProgs[i] = algebra.Compile(a.Arg)
+		}
+	}
+	return f
+}
+
+// fold absorbs one batch into groups, calling add (in first-seen order) for
+// every group created along the way.
+func (f *aggFolder) fold(b *Batch, groups map[string]*aggState, add func(key string, st *aggState)) {
+	rows := b.Rows()
+	for g, prog := range f.groupProgs {
+		f.keyCols[g] = prog.EvalColumn(rows, f.keyCols[g][:0])
+	}
+	for i, prog := range f.argProgs {
+		if prog != nil {
+			f.argCols[i] = prog.EvalColumn(rows, f.argCols[i][:0])
+		}
+	}
+	for i := range rows {
+		f.keyBuf = f.keyBuf[:0]
+		for g := range f.keyCols {
+			f.keyBuf = f.keyCols[g][i].AppendKey(f.keyBuf)
+			f.keyBuf = append(f.keyBuf, '|')
+		}
+		st, ok := groups[string(f.keyBuf)]
+		if !ok {
+			groupRow := make([]types.Value, len(f.keyCols))
+			for g := range f.keyCols {
+				groupRow[g] = f.keyCols[g][i]
+			}
+			st = newAggState(groupRow, len(f.aggs))
+			key := string(f.keyBuf)
+			groups[key] = st
+			add(key, st)
+		}
+		for a := range f.argProgs {
+			if f.argProgs[a] == nil {
+				st.count[a]++ // COUNT(*) counts rows unconditionally
+			} else {
+				st.absorbValue(a, f.argCols[a][i])
+			}
+		}
+	}
+}
+
 // Open implements Operator: it consumes the input and builds all groups.
 func (h *HashAggregate) Open() error {
 	h.out, h.pos = nil, 0
 	if err := h.Input.Open(); err != nil {
 		return err
 	}
-	nAggs := len(h.Aggs)
 	groups := make(map[string]*aggState)
 	var states []*aggState // first-seen order
-	groupProgs := algebra.CompileAll(h.GroupBy)
-	keyCols := make([][]types.Value, len(h.GroupBy))
-	argProgs := make([]*algebra.Compiled, nAggs)
-	argCols := make([][]types.Value, nAggs)
-	for i, a := range h.Aggs {
-		if !a.Star {
-			argProgs[i] = algebra.Compile(a.Arg)
-		}
-	}
-	var keyBuf []byte
+	folder := newAggFolder(h.GroupBy, h.Aggs)
 	for {
 		b, err := h.Input.Next()
 		if err != nil {
@@ -162,43 +251,13 @@ func (h *HashAggregate) Open() error {
 		if b == nil {
 			break
 		}
-		rows := b.Rows()
-		for g, prog := range groupProgs {
-			keyCols[g] = prog.EvalColumn(rows, keyCols[g][:0])
-		}
-		for i, prog := range argProgs {
-			if prog != nil {
-				argCols[i] = prog.EvalColumn(rows, argCols[i][:0])
-			}
-		}
-		for i := range rows {
-			keyBuf = keyBuf[:0]
-			for g := range keyCols {
-				keyBuf = keyCols[g][i].AppendKey(keyBuf)
-				keyBuf = append(keyBuf, '|')
-			}
-			st, ok := groups[string(keyBuf)]
-			if !ok {
-				groupRow := make([]types.Value, len(keyCols))
-				for g := range keyCols {
-					groupRow[g] = keyCols[g][i]
-				}
-				st = newAggState(groupRow, nAggs)
-				groups[string(keyBuf)] = st
-				states = append(states, st)
-			}
-			for a := range argProgs {
-				if argProgs[a] == nil {
-					st.count[a]++ // COUNT(*) counts rows unconditionally
-				} else {
-					st.absorbValue(a, argCols[a][i])
-				}
-			}
-		}
+		folder.fold(b, groups, func(_ string, st *aggState) {
+			states = append(states, st)
+		})
 	}
 	// A global aggregate over an empty input still emits one row.
 	if len(h.GroupBy) == 0 && len(states) == 0 {
-		states = append(states, newAggState(nil, nAggs))
+		states = append(states, newAggState(nil, len(h.Aggs)))
 	}
 	h.out = make([][]types.Value, 0, len(states))
 	for _, st := range states {

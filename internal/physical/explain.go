@@ -77,6 +77,34 @@ func explain(sb *strings.Builder, op Operator, depth int) {
 	case *Distinct:
 		sb.WriteString("Distinct\n")
 		explain(sb, o.Input, depth+1)
+	case *Gather:
+		// All workers run identical pipeline copies; print worker 0's.
+		fmt.Fprintf(sb, "Gather[dop=%d, morsel=%d]\n", o.DOP(), o.MorselSize())
+		explain(sb, o.Workers[0].Pipe, depth+1)
+	case *MorselScan:
+		fmt.Fprintf(sb, "MorselScan(%s)\n", o.Table)
+	case *HashJoinProbe:
+		res := ""
+		if o.Residual != nil {
+			res = fmt.Sprintf(", residual %s", o.Residual)
+		}
+		fmt.Fprintf(sb, "HashJoinProbe[L%v = R%v%s]\n", o.EquiL, o.Build.Keys, res)
+		explain(sb, o.Input, depth+1)
+		sb.WriteString(strings.Repeat("  ", depth+1))
+		sb.WriteString("build:\n")
+		explain(sb, o.Build.Input, depth+2)
+	case *ParallelHashAggregate:
+		keys := make([]string, len(o.GroupBy))
+		for i, e := range o.GroupBy {
+			keys[i] = e.String()
+		}
+		aggs := make([]string, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = a.String()
+		}
+		fmt.Fprintf(sb, "ParallelHashAggregate[dop=%d; by %s; %s]\n",
+			o.DOP(), strings.Join(keys, ","), strings.Join(aggs, ","))
+		explain(sb, o.workers[0].pipe, depth+1)
 	default:
 		fmt.Fprintf(sb, "%T\n", op)
 	}

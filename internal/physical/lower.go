@@ -4,28 +4,59 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
+	"repro/internal/types"
 )
 
 // Lower compiles a logical plan into a physical operator tree, resolving
 // scans against src and validating the plan's internal schema consistency
 // (column references in range, join keys paired, union arities equal) so
 // that execution cannot index out of bounds on a malformed or mismatched
-// plan.
+// plan. Lower always produces the serial operator tree; LowerOpts adds the
+// degree-of-parallelism knob.
 func Lower(n algebra.Node, src Source) (Operator, error) {
-	switch node := n.(type) {
-	case *algebra.Scan:
-		schema, rows, err := src.Resolve(node.Table)
+	return LowerOpts(n, src, Options{DOP: 1})
+}
+
+// LowerOpts is Lower with execution options. With DOP > 1 the lowering
+// rewrites eligible subtrees into morsel-driven parallel form:
+//
+//   - a Filter/Project pipeline over a big enough base-table scan becomes a
+//     Gather over DOP workers, each running its own copy of the pipeline
+//     (own compiled kernels, own scratch spines) over morsels claimed from
+//     a shared queue, with output restored to the serial first-seen order
+//     by morsel sequence number;
+//   - an equi-join whose probe (left) side is such a pipeline becomes a
+//     Gather of HashJoinProbe workers over a shared partitioned build table
+//     constructed in parallel before the workers start;
+//   - an aggregate over such a pipeline becomes a ParallelHashAggregate:
+//     per-worker partial states merged in morsel order.
+//
+// Every other node lowers serially around the parallel subtrees. DOP = 1
+// (or a plan with no eligible subtree) produces exactly the serial tree.
+func LowerOpts(n algebra.Node, src Source, opt Options) (Operator, error) {
+	return lowerNode(n, src, opt.normalized())
+}
+
+func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
+	if opt.DOP > 1 {
+		op, ok, err := lowerParallel(n, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		if want := node.TblSchema.Arity(); want > 0 && want != schema.Arity() {
-			return nil, fmt.Errorf("physical: scan of %q: plan expects %d columns, table has %d",
-				node.Table, want, schema.Arity())
+		if ok {
+			return op, nil
+		}
+	}
+	switch node := n.(type) {
+	case *algebra.Scan:
+		schema, rows, err := resolveScan(node, src)
+		if err != nil {
+			return nil, err
 		}
 		return NewScan(node.Table, schema, rows), nil
 
 	case *algebra.Filter:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -35,49 +66,26 @@ func Lower(n algebra.Node, src Source) (Operator, error) {
 		return &Filter{Input: in, Pred: node.Pred}, nil
 
 	case *algebra.Project:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		if len(node.Exprs) != len(node.Names) {
-			return nil, fmt.Errorf("physical: projection has %d expressions but %d names",
-				len(node.Exprs), len(node.Names))
-		}
-		for _, e := range node.Exprs {
-			if err := checkCols(e, in.Schema().Arity(), "projection"); err != nil {
-				return nil, err
-			}
+		if err := checkProject(node, in.Schema().Arity()); err != nil {
+			return nil, err
 		}
 		return NewProject(in, node.Exprs, node.Names), nil
 
 	case *algebra.Join:
-		l, err := Lower(node.Left, src)
+		l, err := lowerNode(node.Left, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Lower(node.Right, src)
+		r, err := lowerNode(node.Right, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		la, ra := l.Schema().Arity(), r.Schema().Arity()
-		if len(node.EquiL) != len(node.EquiR) {
-			return nil, fmt.Errorf("physical: join has %d left keys but %d right keys",
-				len(node.EquiL), len(node.EquiR))
-		}
-		for _, i := range node.EquiL {
-			if i < 0 || i >= la {
-				return nil, fmt.Errorf("physical: join key %d out of range for left arity %d", i, la)
-			}
-		}
-		for _, i := range node.EquiR {
-			if i < 0 || i >= ra {
-				return nil, fmt.Errorf("physical: join key %d out of range for right arity %d", i, ra)
-			}
-		}
-		if node.Residual != nil {
-			if err := checkCols(node.Residual, la+ra, "join residual"); err != nil {
-				return nil, err
-			}
+		if err := checkJoin(node, l.Schema().Arity(), r.Schema().Arity()); err != nil {
+			return nil, err
 		}
 		if len(node.EquiL) > 0 {
 			return NewHashJoin(l, r, node.EquiL, node.EquiR, node.Residual), nil
@@ -85,11 +93,11 @@ func Lower(n algebra.Node, src Source) (Operator, error) {
 		return NewNestedLoopJoin(l, r, node.Residual), nil
 
 	case *algebra.UnionAll:
-		l, err := Lower(node.Left, src)
+		l, err := lowerNode(node.Left, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Lower(node.Right, src)
+		r, err := lowerNode(node.Right, src, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -100,27 +108,17 @@ func Lower(n algebra.Node, src Source) (Operator, error) {
 		return &UnionAll{Left: l, Right: r}, nil
 
 	case *algebra.Aggregate:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
-		arity := in.Schema().Arity()
-		for _, e := range node.GroupBy {
-			if err := checkCols(e, arity, "group-by key"); err != nil {
-				return nil, err
-			}
-		}
-		for _, a := range node.Aggs {
-			if a.Arg != nil {
-				if err := checkCols(a.Arg, arity, "aggregate argument"); err != nil {
-					return nil, err
-				}
-			}
+		if err := checkAggregate(node, in.Schema().Arity()); err != nil {
+			return nil, err
 		}
 		return NewHashAggregate(in, node.GroupBy, node.GroupNames, node.Aggs), nil
 
 	case *algebra.Sort:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -132,14 +130,14 @@ func Lower(n algebra.Node, src Source) (Operator, error) {
 		return &Sort{Input: in, Keys: node.Keys}, nil
 
 	case *algebra.Limit:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
 		return &Limit{Input: in, N: node.N}, nil
 
 	case *algebra.Distinct:
-		in, err := Lower(node.Input, src)
+		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -148,6 +146,236 @@ func Lower(n algebra.Node, src Source) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("physical: unsupported plan node %T", n)
 	}
+}
+
+// resolveScan resolves a logical scan against the source and cross-checks
+// the compiled arity, shared by the serial and parallel lowering paths.
+func resolveScan(node *algebra.Scan, src Source) (types.Schema, [][]types.Value, error) {
+	schema, rows, err := src.Resolve(node.Table)
+	if err != nil {
+		return types.Schema{}, nil, err
+	}
+	if want := node.TblSchema.Arity(); want > 0 && want != schema.Arity() {
+		return types.Schema{}, nil, fmt.Errorf("physical: scan of %q: plan expects %d columns, table has %d",
+			node.Table, want, schema.Arity())
+	}
+	return schema, rows, nil
+}
+
+// checkProject validates a projection node against its input arity.
+func checkProject(node *algebra.Project, arity int) error {
+	if len(node.Exprs) != len(node.Names) {
+		return fmt.Errorf("physical: projection has %d expressions but %d names",
+			len(node.Exprs), len(node.Names))
+	}
+	for _, e := range node.Exprs {
+		if err := checkCols(e, arity, "projection"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkJoin validates a join's key pairing and column ranges.
+func checkJoin(node *algebra.Join, la, ra int) error {
+	if len(node.EquiL) != len(node.EquiR) {
+		return fmt.Errorf("physical: join has %d left keys but %d right keys",
+			len(node.EquiL), len(node.EquiR))
+	}
+	for _, i := range node.EquiL {
+		if i < 0 || i >= la {
+			return fmt.Errorf("physical: join key %d out of range for left arity %d", i, la)
+		}
+	}
+	for _, i := range node.EquiR {
+		if i < 0 || i >= ra {
+			return fmt.Errorf("physical: join key %d out of range for right arity %d", i, ra)
+		}
+	}
+	if node.Residual != nil {
+		if err := checkCols(node.Residual, la+ra, "join residual"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAggregate validates an aggregate's expressions against its input.
+func checkAggregate(node *algebra.Aggregate, arity int) error {
+	for _, e := range node.GroupBy {
+		if err := checkCols(e, arity, "group-by key"); err != nil {
+			return err
+		}
+	}
+	for _, a := range node.Aggs {
+		if a.Arg != nil {
+			if err := checkCols(a.Arg, arity, "aggregate argument"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pipelineSpec describes a parallelizable pipeline: a Filter/Project chain
+// over a base-table scan big enough to split into morsels. mk builds one
+// worker's private copy of the pipeline — fresh operator structs over a new
+// MorselScan, so nothing but the read-only morsel source (and the shared
+// algebra expressions, which compile per Open into per-worker kernels) is
+// shared between workers.
+type pipelineSpec struct {
+	src            *morselSource
+	table          string
+	schema         types.Schema
+	preservesCount bool // no Filter in the chain → scan cardinality survives
+	depth          int  // compute operators above the scan
+	mk             func() (Operator, *MorselScan)
+}
+
+// pipelineFor recognizes a parallelizable pipeline rooted at n. ok is false
+// — with no error — when the subtree has the wrong shape or the table is too
+// small to be worth splitting; validation errors are the same ones serial
+// lowering would report.
+func pipelineFor(n algebra.Node, src Source, opt Options) (*pipelineSpec, bool, error) {
+	switch node := n.(type) {
+	case *algebra.Scan:
+		schema, rows, err := resolveScan(node, src)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(rows) < opt.MinParallelRows {
+			return nil, false, nil
+		}
+		ms := &morselSource{rows: rows, size: opt.MorselSize}
+		return &pipelineSpec{
+			src: ms, table: node.Table, schema: schema, preservesCount: true,
+			mk: func() (Operator, *MorselScan) {
+				s := &MorselScan{Table: node.Table, src: ms, schema: schema}
+				return s, s
+			},
+		}, true, nil
+
+	case *algebra.Filter:
+		in, ok, err := pipelineFor(node.Input, src, opt)
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		if err := checkCols(node.Pred, in.schema.Arity(), "filter predicate"); err != nil {
+			return nil, false, err
+		}
+		out := *in
+		out.preservesCount = false
+		out.depth++
+		inMk := in.mk
+		out.mk = func() (Operator, *MorselScan) {
+			pipe, scan := inMk()
+			return &Filter{Input: pipe, Pred: node.Pred}, scan
+		}
+		return &out, true, nil
+
+	case *algebra.Project:
+		in, ok, err := pipelineFor(node.Input, src, opt)
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		if err := checkProject(node, in.schema.Arity()); err != nil {
+			return nil, false, err
+		}
+		out := *in
+		out.schema = types.Schema{Attrs: node.Names}
+		out.depth++
+		inMk := in.mk
+		out.mk = func() (Operator, *MorselScan) {
+			pipe, scan := inMk()
+			return NewProject(pipe, node.Exprs, node.Names), scan
+		}
+		return &out, true, nil
+	}
+	return nil, false, nil
+}
+
+// newGather assembles a Gather over opt.DOP workers built from spec, with
+// wrap (optional) stacking a per-worker operator — the join probe — on top
+// of each pipeline copy.
+func newGather(spec *pipelineSpec, opt Options, schema types.Schema,
+	wrap func(Operator) Operator, prepare func() error, hintOK bool) *Gather {
+	workers := make([]*Exchange, opt.DOP)
+	for i := range workers {
+		pipe, scan := spec.mk()
+		if wrap != nil {
+			pipe = wrap(pipe)
+		}
+		workers[i] = &Exchange{Pipe: pipe, Scan: scan}
+	}
+	return &Gather{Workers: workers, src: spec.src, schema: schema,
+		prepare: prepare, hintOK: hintOK}
+}
+
+// lowerParallel rewrites eligible subtrees to morsel-driven parallel
+// operators; ok reports whether it took the node.
+func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, error) {
+	switch node := n.(type) {
+	case *algebra.Filter, *algebra.Project:
+		spec, ok, err := pipelineFor(n, src, opt)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if spec.depth == 0 {
+			// A bare scan has no per-row compute to spread across workers;
+			// the serial zero-copy Scan is strictly better.
+			return nil, false, nil
+		}
+		g := newGather(spec, opt, spec.schema, nil, nil, spec.preservesCount)
+		return g, true, nil
+
+	case *algebra.Join:
+		if len(node.EquiL) == 0 {
+			return nil, false, nil
+		}
+		spec, ok, err := pipelineFor(node.Left, src, opt)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		right, err := lowerNode(node.Right, src, opt)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := checkJoin(node, spec.schema.Arity(), right.Schema().Arity()); err != nil {
+			return nil, false, err
+		}
+		build := &hashBuild{Input: right, Keys: node.EquiR, dop: opt.DOP}
+		schema := spec.schema.Concat(right.Schema())
+		wrap := func(pipe Operator) Operator {
+			return &HashJoinProbe{Input: pipe, Build: build,
+				EquiL: node.EquiL, Residual: node.Residual, schema: schema}
+		}
+		g := newGather(spec, opt, schema, wrap, build.build, false)
+		return g, true, nil
+
+	case *algebra.Aggregate:
+		spec, ok, err := pipelineFor(node.Input, src, opt)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if err := checkAggregate(node, spec.schema.Arity()); err != nil {
+			return nil, false, err
+		}
+		attrs := append([]string{}, node.GroupNames...)
+		for _, a := range node.Aggs {
+			attrs = append(attrs, a.Name)
+		}
+		h := &ParallelHashAggregate{
+			GroupBy: node.GroupBy, GroupNames: node.GroupNames, Aggs: node.Aggs,
+			schema: types.Schema{Attrs: attrs}, src: spec.src,
+		}
+		h.workers = make([]*aggWorker, opt.DOP)
+		for i := range h.workers {
+			pipe, scan := spec.mk()
+			h.workers[i] = &aggWorker{scan: scan, pipe: pipe}
+		}
+		return h, true, nil
+	}
+	return nil, false, nil
 }
 
 // checkCols verifies every column reference of e lies within the input

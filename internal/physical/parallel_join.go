@@ -1,0 +1,226 @@
+package physical
+
+import (
+	"sync"
+
+	"repro/internal/algebra"
+	"repro/internal/types"
+)
+
+// keyHash is FNV-1a over a canonical key encoding; it only routes keys to
+// build partitions, so equality still rests on the byte-exact key itself.
+func keyHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// hashBuild is a hash-join build table shared, read-only, by every probe
+// worker of a parallel join. It is partitioned by key hash so construction
+// parallelizes: one pass computes each build row's partition in parallel
+// chunks, then one worker per partition inserts its rows — in global build
+// order, so bucket contents match the serial HashJoin's first-seen order
+// exactly. After build() returns the structure is immutable; the Gather
+// starts probe workers only then, which is what makes the lock-free
+// concurrent probing sound.
+type hashBuild struct {
+	Input Operator // build-side plan, drained once per Open by build()
+	Keys  []int
+	dop   int
+
+	parts []buildPart
+}
+
+// buildPart is one hash partition: the same idx/buckets layout as the serial
+// HashJoin's table, just restricted to keys that route here.
+type buildPart struct {
+	idx     map[string]int
+	buckets [][][]types.Value
+}
+
+// build drains the build input and constructs the partitioned table with dop
+// goroutines. NULL-keyed rows are dropped here, as in the serial build —
+// NULL join keys never match.
+func (hb *hashBuild) build() error {
+	rows, err := Drain(hb.Input)
+	if err != nil {
+		return err
+	}
+	p := hb.dop
+	if p < 1 {
+		p = 1
+	}
+	// Pass 1, parallel over row chunks: route every row to a partition
+	// (-1 for NULL keys).
+	partOf := make([]int32, len(rows))
+	var wg sync.WaitGroup
+	chunk := (len(rows) + p - 1) / p
+	for w := 0; w < p && w*chunk < len(rows); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				key, ok := appendJoinKey(buf[:0], rows[i], hb.Keys)
+				buf = key
+				if !ok {
+					partOf[i] = -1
+					continue
+				}
+				partOf[i] = int32(keyHash(key) % uint64(p))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	// Pass 2, parallel over partitions: each worker owns one partition's map
+	// outright, so insertion needs no locks; scanning partOf is cheap next
+	// to encoding and inserting the partition's own rows.
+	hb.parts = make([]buildPart, p)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := buildPart{idx: make(map[string]int)}
+			var buf []byte
+			for i, row := range rows {
+				if partOf[i] != int32(w) {
+					continue
+				}
+				key, _ := appendJoinKey(buf[:0], row, hb.Keys)
+				buf = key
+				idx, seen := part.idx[string(key)]
+				if !seen {
+					idx = len(part.buckets)
+					part.idx[string(key)] = idx
+					part.buckets = append(part.buckets, nil)
+				}
+				part.buckets[idx] = append(part.buckets[idx], row)
+			}
+			hb.parts[w] = part
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// lookup returns the bucket of build rows matching the encoded key, in the
+// deterministic build order. Read-only; safe for concurrent probe workers.
+func (hb *hashBuild) lookup(key []byte) [][]types.Value {
+	part := &hb.parts[keyHash(key)%uint64(len(hb.parts))]
+	if idx, ok := part.idx[string(key)]; ok {
+		return part.buckets[idx]
+	}
+	return nil
+}
+
+// HashJoinProbe is the per-worker probe half of a parallel hash join. It sits
+// on top of a worker's morsel pipeline inside an Exchange and runs the exact
+// probe loop of the serial HashJoin — resumable mid-probe-row, slab-allocated
+// output, residual over the concatenated row — against the shared immutable
+// hashBuild instead of a private table. Because bucket order matches the
+// serial build and the Gather restores morsel order, the joined output is
+// byte-identical to the serial operator's.
+type HashJoinProbe struct {
+	Input    Operator
+	Build    *hashBuild
+	EquiL    []int
+	Residual algebra.Expr
+
+	schema  types.Schema
+	res     *algebra.Compiled
+	keyBuf  []byte
+	probe   *Batch
+	pi      int
+	matches [][]types.Value
+	mi      int
+	out     Batch
+	sl      *slab
+}
+
+// Schema implements Operator.
+func (j *HashJoinProbe) Schema() types.Schema { return j.schema }
+
+// Open implements Operator. The shared build table is prepared by the Gather
+// before any worker opens, so only worker-local state is set up here.
+func (j *HashJoinProbe) Open() error {
+	j.probe, j.matches, j.pi, j.mi = nil, nil, 0, 0
+	j.sl = newSlab(j.schema.Arity())
+	j.res = nil
+	if j.Residual != nil {
+		j.res = algebra.Compile(j.Residual)
+	}
+	return j.Input.Open()
+}
+
+// emit concatenates l and r into a slab row and appends it to the output
+// batch when the residual accepts it, exactly as the serial HashJoin does.
+func (j *HashJoinProbe) emit(l, r []types.Value) {
+	row := j.sl.peek()
+	copy(row, l)
+	copy(row[len(l):], r)
+	if j.res != nil && !algebra.Truthy(j.res.Eval(row)) {
+		return
+	}
+	j.sl.commit()
+	j.out.Append(row)
+}
+
+// Next implements Operator.
+func (j *HashJoinProbe) Next() (*Batch, error) {
+	j.out.Reset()
+	for {
+		if j.probe != nil {
+			for {
+				for j.mi < len(j.matches) {
+					j.emit(j.probe.Row(j.pi-1), j.matches[j.mi])
+					j.mi++
+					if j.out.Len() >= DefaultBatchSize {
+						return &j.out, nil
+					}
+				}
+				if j.pi >= j.probe.Len() {
+					j.probe = nil
+					break
+				}
+				row := j.probe.Row(j.pi)
+				j.pi++
+				j.matches, j.mi = nil, 0
+				key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiL)
+				j.keyBuf = key
+				if ok {
+					j.matches = j.Build.lookup(key)
+				}
+			}
+		}
+		b, err := j.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			if j.out.Len() > 0 {
+				return &j.out, nil
+			}
+			return nil, nil
+		}
+		j.probe, j.pi, j.matches, j.mi = b, 0, nil, 0
+	}
+}
+
+// Close implements Operator: worker-local teardown only — the shared build
+// table belongs to the Gather's prepare step and its input was closed when
+// build() drained it.
+func (j *HashJoinProbe) Close() error {
+	j.matches, j.probe, j.sl = nil, nil, nil
+	return j.Input.Close()
+}

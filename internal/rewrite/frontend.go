@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cond"
 	"repro/internal/engine"
+	"repro/internal/physical"
 	"repro/internal/sql"
 	"repro/internal/types"
 	"repro/internal/uadb"
@@ -21,6 +22,12 @@ type Frontend struct {
 	Enc *engine.Catalog
 	// Raw holds un-encoded inputs referenced with model annotations.
 	Raw *engine.Catalog
+	// DOP caps the physical engine's degree of parallelism for queries run
+	// through this frontend: 0 means automatic (GOMAXPROCS), 1 forces the
+	// serial engine. The UA rewrite rides the same engine either way — the
+	// paper's lightweight claim — so parallel speedups apply to UA queries
+	// and deterministic ones alike.
+	DOP int
 }
 
 // NewFrontend returns a frontend over the given encoded catalog.
@@ -47,7 +54,7 @@ func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.Execute(plan, f.Enc)
+	return engine.ExecuteOpts(plan, f.Enc, physical.Options{DOP: f.DOP})
 }
 
 // Explain parses, resolves annotations, compiles and rewrites the query,
