@@ -237,12 +237,19 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	report, regressed := physbench.Check(base, results, *tol)
+	report, regressed, stats := physbench.Check(base, results, *tol)
 	fmt.Fprint(stdout, report)
 	if len(regressed) > 0 {
 		return fmt.Errorf("benchmark regression gate failed:\n  %s",
 			strings.Join(regressed, "\n  "))
 	}
-	fmt.Fprintf(stdout, "benchmark regression gate passed (tolerance %.0f%%)\n", *tol*100)
+	if stats.AllSkipped() {
+		// Every baseline entry was skipped (op renames, -physrows or -dop
+		// drift): the gate compared nothing and a pass would be vacuous.
+		return fmt.Errorf("benchmark regression gate compared nothing: all %d baseline entries skipped (rerun with the baseline's -physrows/-dop, or refresh it with `bench update`)",
+			stats.Baseline)
+	}
+	fmt.Fprintf(stdout, "benchmark regression gate passed (tolerance %.0f%%, %d/%d entries compared)\n",
+		*tol*100, stats.Compared, stats.Baseline)
 	return nil
 }

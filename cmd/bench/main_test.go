@@ -75,6 +75,33 @@ func TestMainSmokeGate(t *testing.T) {
 	}
 }
 
+// TestMainCheckAllSkippedFails: a gate that skipped every baseline entry
+// compared nothing and must fail, not pass vacuously — e.g. after a rerun
+// at the wrong -physrows, which silently mismatches every entry's row count.
+func TestMainCheckAllSkippedFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+
+	stubSuite(t, 1.0)
+	var out strings.Builder
+	if err := runGate("update", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// Rerun at a different input size: every entry row-count-mismatches.
+	out.Reset()
+	err := runGate("check", []string{
+		"-physrows", "4000", "-dop", "2", "-baseline", baseline}, &out)
+	if err == nil || !strings.Contains(err.Error(), "compared nothing") {
+		t.Errorf("all-skipped gate must fail with a compared-nothing error, got %v\n%s",
+			err, out.String())
+	}
+	if !strings.Contains(out.String(), "compared 0 of") {
+		t.Errorf("report missing skip summary:\n%s", out.String())
+	}
+}
+
 // TestMainCheckMissingBaseline: a helpful error pointing at `bench update`,
 // before any measurement is spent.
 func TestMainCheckMissingBaseline(t *testing.T) {

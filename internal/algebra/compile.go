@@ -32,6 +32,13 @@ type Compiled struct {
 	fn       rowFn
 	selector func(rows [][]types.Value, sel []int) []int
 	strider  func(rows [][]types.Value, dst []types.Value, stride int)
+
+	// Columnar kernels (compile_vec.go): run the same shapes unboxed over
+	// typed vectors when the batch is columnar; nil when the shape has no
+	// columnar kernel, in which case SelectTruthyVec/EvalVec report !ok and
+	// the operators use the row kernels above.
+	vecSel  vecSelFn
+	vecEval vecEvalFn
 }
 
 // Compile builds the kernels for e.
@@ -40,6 +47,8 @@ func Compile(e Expr) *Compiled {
 		fn:       compileFn(e),
 		selector: compileSelector(e),
 		strider:  compileStrider(e),
+		vecSel:   compileVecSelector(e),
+		vecEval:  compileVecEval(e),
 	}
 }
 

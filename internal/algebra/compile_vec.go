@@ -1,0 +1,904 @@
+package algebra
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Typed columnar kernels. The closure kernels of compile.go still box every
+// cell in a types.Value; when the physical layer hands Compile a batch in
+// columnar form (internal/vector), the kernels in this file run the hot
+// loops — comparisons, arithmetic, least/greatest — directly over the
+// unboxed []int64/[]float64/[]string spines instead. Which loop runs is
+// decided per batch by a type switch on the operand vectors (one switch per
+// batch, not per row); when the runtime column types have no dedicated loop
+// a generic element-wise loop over boxed reads keeps the kernel total, and
+// when the *expression shape* has no columnar kernel at all the caller falls
+// back to the row kernels.
+//
+// Semantics are bit-for-bit those of Expr.Eval: integer comparisons widen to
+// float64 exactly like Value.Compare, arithmetic mirrors
+// evalArithInt/evalArithFloat (division and modulo by zero yield NULL, for
+// floats too), NULL operands poison comparisons and arithmetic, and
+// least/greatest return the winning operand unchanged, kind and all. The
+// parity tests and the CI fuzzer pin every loop against Eval.
+
+// vecSelFn appends the selected row indices for one columnar batch.
+type vecSelFn func(cols []vector.Vector, n int, sel []int) []int
+
+// vecEvalFn evaluates the expression over one columnar batch.
+type vecEvalFn func(cols []vector.Vector, n int) vector.Vector
+
+// SelectTruthyVec is SelectTruthy over a columnar batch: it appends to sel
+// (pass sel[:0]) the indices of rows where the expression is TRUE. ok
+// reports whether a columnar kernel exists for the expression's shape; when
+// false the caller must use the row path.
+func (c *Compiled) SelectTruthyVec(cols []vector.Vector, n int, sel []int) (_ []int, ok bool) {
+	if c.vecSel == nil {
+		return sel, false
+	}
+	return c.vecSel(cols, n, sel), true
+}
+
+// EvalVec evaluates the expression once per row of a columnar batch,
+// returning the results as a vector (possibly a zero-copy passthrough of an
+// input column). ok reports whether a columnar kernel exists for the
+// expression's shape.
+func (c *Compiled) EvalVec(cols []vector.Vector, n int) (_ vector.Vector, ok bool) {
+	if c.vecEval == nil {
+		return nil, false
+	}
+	return c.vecEval(cols, n), true
+}
+
+// CanEvalVec reports whether the expression has a columnar kernel (EvalVec
+// and EvalVecStrided will succeed).
+func (c *Compiled) CanEvalVec() bool { return c.vecEval != nil }
+
+// EvalVecStrided is EvalStrided over a columnar batch: it evaluates through
+// the unboxed columnar kernel and writes the boxed results at dst[i*stride]
+// in one typed loop. Projections headed for row consumers use it to fuse
+// typed evaluation with row-slab construction — the output Values are
+// written exactly once, with no intermediate materialization pass. Returns
+// false (dst untouched) when the expression has no columnar kernel.
+func (c *Compiled) EvalVecStrided(cols []vector.Vector, n int, dst []types.Value, stride int) bool {
+	if c.vecEval == nil {
+		return false
+	}
+	stridedFromVector(c.vecEval(cols, n), n, dst, stride)
+	return true
+}
+
+// stridedFromVector boxes a result vector into a strided row-major slab,
+// one concrete loop per vector type. NULL slots stay the zero Value.
+func stridedFromVector(v vector.Vector, n int, dst []types.Value, stride int) {
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		if !tv.AnyNull() {
+			for i, x := range tv.Vals {
+				dst[i*stride] = types.NewInt(x)
+			}
+			return
+		}
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				dst[i*stride] = types.Null()
+			} else {
+				dst[i*stride] = types.NewInt(x)
+			}
+		}
+	case *vector.Float64Vector:
+		if !tv.AnyNull() {
+			for i, x := range tv.Vals {
+				dst[i*stride] = types.NewFloat(x)
+			}
+			return
+		}
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				dst[i*stride] = types.Null()
+			} else {
+				dst[i*stride] = types.NewFloat(x)
+			}
+		}
+	case *vector.StringVector:
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				dst[i*stride] = types.Null()
+			} else {
+				dst[i*stride] = types.NewString(x)
+			}
+		}
+	case *vector.BoolVector:
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				dst[i*stride] = types.Null()
+			} else {
+				dst[i*stride] = types.NewBool(x)
+			}
+		}
+	case *vector.ValueVector:
+		for i, x := range tv.Vals {
+			dst[i*stride] = x
+		}
+	default:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = v.Value(i)
+		}
+	}
+}
+
+// vecOperand is a compiled operand of a columnar kernel: a constant bound at
+// compile time, or a sub-kernel producing a vector per batch (a bare column
+// compiles to a zero-copy passthrough).
+type vecOperand struct {
+	isConst bool
+	c       types.Value
+	eval    vecEvalFn
+}
+
+func compileVecOperand(e Expr) (vecOperand, bool) {
+	if c, isC := e.(Const); isC {
+		return vecOperand{isConst: true, c: c.V}, true
+	}
+	if fn := compileVecEval(e); fn != nil {
+		return vecOperand{eval: fn}, true
+	}
+	return vecOperand{}, false
+}
+
+// compileVecSelector builds the columnar selection kernel for comparison
+// predicates whose operands are themselves columnar-evaluable (bare columns,
+// constants, or arithmetic over them — e.g. the UA overhead pipelines'
+// "v < 9000" and the expression-heavy "v % 2 = 0"). Returns nil when the
+// shape doesn't match.
+func compileVecSelector(e Expr) vecSelFn {
+	b, isBin := e.(Bin)
+	if !isBin {
+		return nil
+	}
+	switch b.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+	default:
+		return nil
+	}
+	l, lok := compileVecOperand(b.L)
+	r, rok := compileVecOperand(b.R)
+	if !lok || !rok {
+		return nil
+	}
+	onLt, onEq, onGt := cmpFlags(b.Op)
+	switch {
+	case l.isConst && r.isConst:
+		// Constant comparison: decided once, selects all rows or none.
+		keep := Truthy(Bin{Op: b.Op, L: Const{V: l.c}, R: Const{V: r.c}}.Eval(nil))
+		return func(_ []vector.Vector, n int, sel []int) []int {
+			if keep {
+				for i := 0; i < n; i++ {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+	case r.isConst:
+		cv := r.c
+		return func(cols []vector.Vector, n int, sel []int) []int {
+			return selVecConst(l.eval(cols, n), cv, onLt, onEq, onGt, sel)
+		}
+	case l.isConst:
+		// Normalize to column-on-the-left by flipping the comparison.
+		cv := l.c
+		return func(cols []vector.Vector, n int, sel []int) []int {
+			return selVecConst(r.eval(cols, n), cv, onGt, onEq, onLt, sel)
+		}
+	default:
+		return func(cols []vector.Vector, n int, sel []int) []int {
+			return selVecVec(l.eval(cols, n), r.eval(cols, n), onLt, onEq, onGt, sel)
+		}
+	}
+}
+
+// selVecConst selects the rows where v cmp cv holds, with a dedicated
+// unboxed loop per typed vector. NULL never selects (3VL), and a NULL
+// constant statically selects nothing.
+func selVecConst(v vector.Vector, cv types.Value, onLt, onEq, onGt bool, sel []int) []int {
+	if cv.IsNull() {
+		return sel
+	}
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		if !cv.IsNumeric() {
+			return selKindMismatch(tv, types.KindInt, cv.Kind(), onLt, onEq, onGt, sel)
+		}
+		cvf := cv.Float()
+		if !tv.AnyNull() {
+			for i, x := range tv.Vals {
+				// Widen like Value.Compare's numeric path, so the unboxed
+				// loop agrees with Eval past 2^53. The NaN-safe equality arm
+				// matters even here: cvf may be a NaN constant, which
+				// Compare orders equal to everything.
+				xf := float64(x)
+				if xf < cvf && onLt || xf > cvf && onGt || !(xf < cvf) && !(xf > cvf) && onEq {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				continue
+			}
+			xf := float64(x)
+			if xf < cvf && onLt || xf > cvf && onGt || !(xf < cvf) && !(xf > cvf) && onEq {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	case *vector.Float64Vector:
+		if !cv.IsNumeric() {
+			return selKindMismatch(tv, types.KindFloat, cv.Kind(), onLt, onEq, onGt, sel)
+		}
+		cvf := cv.Float()
+		if !tv.AnyNull() {
+			for i, x := range tv.Vals {
+				// NaN is neither < nor >, so it lands on the onEq arm —
+				// exactly Value.Compare's "incomparable floats order equal".
+				if x < cvf && onLt || x > cvf && onGt || !(x < cvf) && !(x > cvf) && onEq {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				continue
+			}
+			if x < cvf && onLt || x > cvf && onGt || !(x < cvf) && !(x > cvf) && onEq {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	case *vector.StringVector:
+		if cv.Kind() != types.KindString {
+			return selKindMismatch(tv, types.KindString, cv.Kind(), onLt, onEq, onGt, sel)
+		}
+		cvs := cv.Str()
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				continue
+			}
+			c := strings.Compare(x, cvs)
+			if c < 0 && onLt || c == 0 && onEq || c > 0 && onGt {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	case *vector.BoolVector:
+		if cv.Kind() != types.KindBool {
+			return selKindMismatch(tv, types.KindBool, cv.Kind(), onLt, onEq, onGt, sel)
+		}
+		cvb := cv.Bool()
+		for i, x := range tv.Vals {
+			if tv.Null(i) {
+				continue
+			}
+			c := cmpBool(x, cvb)
+			if c < 0 && onLt || c == 0 && onEq || c > 0 && onGt {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	default:
+		for i := 0; i < v.Len(); i++ {
+			a := v.Value(i)
+			if a.IsNull() {
+				continue
+			}
+			c := a.Compare(cv)
+			if c < 0 && onLt || c == 0 && onEq || c > 0 && onGt {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	}
+}
+
+// selVecVec selects the rows where l cmp r holds element-wise.
+func selVecVec(l, r vector.Vector, onLt, onEq, onGt bool, sel []int) []int {
+	n := l.Len()
+	// Numeric pairs all compare through float64, exactly like Value.Compare;
+	// the int64/int64 pair gets its own loop over the raw slices.
+	if li, lok := l.(*vector.Int64Vector); lok {
+		if ri, rok := r.(*vector.Int64Vector); rok {
+			noNulls := !li.AnyNull() && !ri.AnyNull()
+			for i, x := range li.Vals {
+				if !noNulls && (li.Null(i) || ri.Null(i)) {
+					continue
+				}
+				// int64 widening can't produce NaN, so plain == is exact.
+				xf, yf := float64(x), float64(ri.Vals[i])
+				if xf < yf && onLt || xf == yf && onEq || xf > yf && onGt {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+	}
+	if lf, lok := floatReader(l); lok {
+		if rf, rok := floatReader(r); rok {
+			for i := 0; i < n; i++ {
+				if l.Null(i) || r.Null(i) {
+					continue
+				}
+				x, y := lf(i), rf(i)
+				if x < y && onLt || x > y && onGt || !(x < y) && !(x > y) && onEq {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+	}
+	if ls, lok := l.(*vector.StringVector); lok {
+		if rs, rok := r.(*vector.StringVector); rok {
+			for i, x := range ls.Vals {
+				if ls.Null(i) || rs.Null(i) {
+					continue
+				}
+				c := strings.Compare(x, rs.Vals[i])
+				if c < 0 && onLt || c == 0 && onEq || c > 0 && onGt {
+					sel = append(sel, i)
+				}
+			}
+			return sel
+		}
+	}
+	// Generic element-wise loop: boxed Compare per row, still one batch-level
+	// dispatch. Handles ValueVector fallbacks, bool pairs, and cross-kind
+	// typed pairs.
+	for i := 0; i < n; i++ {
+		a, b := l.Value(i), r.Value(i)
+		if a.IsNull() || b.IsNull() {
+			continue
+		}
+		c := a.Compare(b)
+		if c < 0 && onLt || c == 0 && onEq || c > 0 && onGt {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// selKindMismatch handles a typed vector compared against a constant of an
+// incomparable kind: Value.Compare orders such pairs by kind, so the
+// comparison outcome is one compile-time constant and only NULLs vary.
+func selKindMismatch(v vector.Vector, vKind, cKind types.Kind, onLt, onEq, onGt bool, sel []int) []int {
+	c := 0
+	switch {
+	case vKind < cKind:
+		c = -1
+	case vKind > cKind:
+		c = 1
+	}
+	if !(c < 0 && onLt || c == 0 && onEq || c > 0 && onGt) {
+		return sel
+	}
+	for i := 0; i < v.Len(); i++ {
+		if !v.Null(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// cmpBool mirrors Value.Compare on booleans: false < true.
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// floatReader returns an unboxed float64 accessor for numeric vectors
+// (integers widen, exactly like Value.Float), or ok=false for non-numeric
+// ones.
+func floatReader(v vector.Vector) (func(i int) float64, bool) {
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		vals := tv.Vals
+		return func(i int) float64 { return float64(vals[i]) }, true
+	case *vector.Float64Vector:
+		vals := tv.Vals
+		return func(i int) float64 { return vals[i] }, true
+	default:
+		return nil, false
+	}
+}
+
+// compileVecEval builds the columnar projection kernel: bare columns pass
+// through zero-copy, constants broadcast, arithmetic runs unboxed when the
+// operand columns are numeric, and least/greatest — the UA rewrite's
+// certainty combination — loops unboxed over same-typed operands. Returns
+// nil when the shape doesn't match.
+func compileVecEval(e Expr) vecEvalFn {
+	switch ex := e.(type) {
+	case Col:
+		idx := ex.Idx
+		return func(cols []vector.Vector, _ int) vector.Vector { return cols[idx] }
+	case Const:
+		// The broadcast vector is cached in the kernel and rebuilt only when
+		// the batch size changes (in practice: full batches, then the tail),
+		// under the same batch-lifetime rule as the arithmetic scratch.
+		v := ex.V
+		var cached vector.Vector
+		cachedN := -1
+		return func(_ []vector.Vector, n int) vector.Vector {
+			if n != cachedN {
+				cached, cachedN = constVector(v, n), n
+			}
+			return cached
+		}
+	case Bin:
+		switch ex.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		default:
+			return nil
+		}
+		l, lok := compileVecOperand(ex.L)
+		r, rok := compileVecOperand(ex.R)
+		if !lok || !rok {
+			return nil
+		}
+		op := ex.Op
+		// Per-kernel output scratch, reused batch to batch: the result
+		// vector is valid until the kernel's next invocation, exactly the
+		// batch lifetime rule. Kernels are compiled per Open per operator
+		// (parallel workers each compile their own), so the scratch is
+		// single-goroutine by construction.
+		scratch := &arithScratch{}
+		return func(cols []vector.Vector, n int) vector.Vector {
+			return vecArith(op, l, r, cols, n, scratch)
+		}
+	case ScalarFunc:
+		if (ex.Name != "least" && ex.Name != "greatest") || len(ex.Args) == 0 {
+			return nil
+		}
+		args := make([]vecOperand, len(ex.Args))
+		for i, a := range ex.Args {
+			var ok bool
+			if args[i], ok = compileVecOperand(a); !ok {
+				return nil
+			}
+		}
+		wantLess := ex.Name == "least"
+		return func(cols []vector.Vector, n int) vector.Vector {
+			return vecLeastGreatest(wantLess, args, cols, n)
+		}
+	default:
+		return nil
+	}
+}
+
+// constVector broadcasts a constant to n rows. A NULL constant broadcasts as
+// zero Values (the zero Value is NULL), costing one zeroed allocation.
+func constVector(v types.Value, n int) vector.Vector {
+	switch v.Kind() {
+	case types.KindInt:
+		vals := make([]int64, n)
+		c := v.Int()
+		for i := range vals {
+			vals[i] = c
+		}
+		return vector.NewInt64Vector(vals, nil)
+	case types.KindFloat:
+		vals := make([]float64, n)
+		c := v.Float()
+		for i := range vals {
+			vals[i] = c
+		}
+		return vector.NewFloat64Vector(vals, nil)
+	case types.KindString:
+		vals := make([]string, n)
+		c := v.Str()
+		for i := range vals {
+			vals[i] = c
+		}
+		return vector.NewStringVector(vals, nil)
+	case types.KindBool:
+		vals := make([]bool, n)
+		c := v.Bool()
+		for i := range vals {
+			vals[i] = c
+		}
+		return vector.NewBoolVector(vals, nil)
+	default:
+		return vector.NewValueVector(make([]types.Value, n))
+	}
+}
+
+// arithSide is one resolved operand of an arithmetic loop: exactly one of
+// i64/f64/boxed is non-nil for vector operands, or constant payloads are
+// bound. nullAt is nil when the side can never be NULL.
+type arithSide struct {
+	i64    []int64
+	f64    []float64
+	cI     int64
+	cF     float64
+	nullAt func(i int) bool
+}
+
+func (s *arithSide) int(i int) int64 {
+	if s.i64 != nil {
+		return s.i64[i]
+	}
+	return s.cI
+}
+
+func (s *arithSide) float(i int) float64 {
+	switch {
+	case s.f64 != nil:
+		return s.f64[i]
+	case s.i64 != nil:
+		return float64(s.i64[i])
+	default:
+		return s.cF
+	}
+}
+
+func (s *arithSide) null(i int) bool { return s.nullAt != nil && s.nullAt(i) }
+
+// resolveNumericSide binds an operand for the unboxed arithmetic loops.
+// intOnly additionally requires the side to be integer-typed. ok is false
+// when the operand is non-numeric or boxed.
+func resolveNumericSide(o vecOperand, v vector.Vector, intOnly bool) (arithSide, bool) {
+	if o.isConst {
+		switch {
+		case o.c.Kind() == types.KindInt:
+			return arithSide{cI: o.c.Int(), cF: float64(o.c.Int())}, true
+		case o.c.Kind() == types.KindFloat && !intOnly:
+			return arithSide{cF: o.c.Float()}, true
+		default:
+			return arithSide{}, false
+		}
+	}
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		s := arithSide{i64: tv.Vals}
+		if tv.AnyNull() {
+			s.nullAt = tv.Null
+		}
+		return s, true
+	case *vector.Float64Vector:
+		if intOnly {
+			return arithSide{}, false
+		}
+		s := arithSide{f64: tv.Vals}
+		if tv.AnyNull() {
+			s.nullAt = tv.Null
+		}
+		return s, true
+	default:
+		return arithSide{}, false
+	}
+}
+
+// arithScratch is one arithmetic kernel's reusable output storage.
+type arithScratch struct {
+	i64 []int64
+	f64 []float64
+}
+
+func (s *arithScratch) ints(n int) []int64 {
+	if cap(s.i64) < n {
+		s.i64 = make([]int64, n)
+	}
+	return s.i64[:n]
+}
+
+func (s *arithScratch) floats(n int) []float64 {
+	if cap(s.f64) < n {
+		s.f64 = make([]float64, n)
+	}
+	return s.f64[:n]
+}
+
+// vecArith evaluates one arithmetic node over a columnar batch. The int/int
+// case runs fully unboxed into an Int64Vector (division and modulo by zero
+// set the null bitmap, mirroring evalArithInt); any float operand widens the
+// whole loop to float64 (mirroring evalArithFloat, including NULL on
+// division by zero); non-numeric typed operands yield all-NULL; everything
+// else — a boxed ValueVector operand, whose elements may mix kinds per row —
+// takes the generic element-wise loop.
+func vecArith(op BinOp, l, r vecOperand, cols []vector.Vector, n int, scratch *arithScratch) vector.Vector {
+	var lv, rv vector.Vector
+	if !l.isConst {
+		lv = l.eval(cols, n)
+	}
+	if !r.isConst {
+		rv = r.eval(cols, n)
+	}
+
+	// A NULL or non-numeric constant, or a non-numeric typed vector, makes
+	// every row NULL. (Boxed ValueVector operands decide per row below.)
+	if constNotIntFloat(l) || constNotIntFloat(r) || vecNonNumeric(lv) || vecNonNumeric(rv) {
+		return vector.NewValueVector(make([]types.Value, n))
+	}
+
+	if ls, lok := resolveNumericSide(l, lv, true); lok {
+		if rs, rok := resolveNumericSide(r, rv, true); rok {
+			return vecArithInt(op, ls, rs, n, scratch)
+		}
+	}
+	if ls, lok := resolveNumericSide(l, lv, false); lok {
+		if rs, rok := resolveNumericSide(r, rv, false); rok {
+			return vecArithFloat(op, ls, rs, n, scratch)
+		}
+	}
+
+	// Generic: boxed element-wise evaluation (ValueVector operands).
+	out := make([]types.Value, n)
+	read := func(o vecOperand, v vector.Vector, i int) types.Value {
+		if o.isConst {
+			return o.c
+		}
+		return v.Value(i)
+	}
+	for i := 0; i < n; i++ {
+		a, b := read(l, lv, i), read(r, rv, i)
+		switch {
+		case a.IsNull() || b.IsNull() || !a.IsNumeric() || !b.IsNumeric():
+			// out[i] stays NULL
+		case a.Kind() == types.KindInt && b.Kind() == types.KindInt:
+			out[i] = evalArithInt(op, a.Int(), b.Int())
+		default:
+			out[i] = evalArithFloat(op, a.Float(), b.Float())
+		}
+	}
+	return vector.NewValueVector(out)
+}
+
+// constNotIntFloat reports a constant operand that cannot take the numeric
+// arithmetic path: NULL or non-numeric.
+func constNotIntFloat(o vecOperand) bool {
+	return o.isConst && !o.c.IsNumeric()
+}
+
+// vecNonNumeric reports a typed vector of non-numeric kind (boxed fallbacks
+// return false: their elements decide per row).
+func vecNonNumeric(v vector.Vector) bool {
+	switch v.(type) {
+	case *vector.StringVector, *vector.BoolVector:
+		return true
+	default:
+		return false
+	}
+}
+
+// vecArithInt is the unboxed int64 arithmetic loop. The common case — two
+// null-free columns under +, -, * — runs with no per-element branches beyond
+// the constant-folded op switch and the spill-free slice reads.
+func vecArithInt(op BinOp, l, r arithSide, n int, scratch *arithScratch) vector.Vector {
+	out := scratch.ints(n)
+	var nulls *vector.Bitmap
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = vector.NewBitmap(n)
+		}
+		nulls.Set(i)
+	}
+	for i := 0; i < n; i++ {
+		if l.null(i) || r.null(i) {
+			setNull(i)
+			continue
+		}
+		a, b := l.int(i), r.int(i)
+		switch op {
+		case OpAdd:
+			out[i] = a + b
+		case OpSub:
+			out[i] = a - b
+		case OpMul:
+			out[i] = a * b
+		case OpDiv:
+			if b == 0 {
+				setNull(i)
+				continue
+			}
+			out[i] = a / b
+		default: // OpMod
+			if b == 0 {
+				setNull(i)
+				continue
+			}
+			out[i] = a % b
+		}
+	}
+	return vector.NewInt64Vector(out, nulls)
+}
+
+// vecArithFloat is the float64 arithmetic loop (integer operands widen).
+func vecArithFloat(op BinOp, l, r arithSide, n int, scratch *arithScratch) vector.Vector {
+	out := scratch.floats(n)
+	var nulls *vector.Bitmap
+	setNull := func(i int) {
+		if nulls == nil {
+			nulls = vector.NewBitmap(n)
+		}
+		nulls.Set(i)
+	}
+	for i := 0; i < n; i++ {
+		if l.null(i) || r.null(i) {
+			setNull(i)
+			continue
+		}
+		a, b := l.float(i), r.float(i)
+		switch op {
+		case OpAdd:
+			out[i] = a + b
+		case OpSub:
+			out[i] = a - b
+		case OpMul:
+			out[i] = a * b
+		case OpDiv:
+			if b == 0 {
+				setNull(i)
+				continue
+			}
+			out[i] = a / b
+		default: // OpMod
+			if b == 0 {
+				setNull(i)
+				continue
+			}
+			out[i] = math.Mod(a, b)
+		}
+	}
+	return vector.NewFloat64Vector(out, nulls)
+}
+
+// vecLeastGreatest evaluates least/greatest over a columnar batch. When
+// every operand is int64 (or every operand is float64) the loop runs
+// unboxed; anything else takes the generic loop, which returns the winning
+// operand's Value unchanged — preserving its kind, as Eval does. Any NULL
+// operand makes the row NULL.
+func vecLeastGreatest(wantLess bool, args []vecOperand, cols []vector.Vector, n int) vector.Vector {
+	vecs := make([]vector.Vector, len(args))
+	for i, a := range args {
+		if !a.isConst {
+			vecs[i] = a.eval(cols, n)
+		}
+	}
+
+	if sides, homogeneous := resolveAll(args, vecs, true); homogeneous {
+		out := make([]int64, n)
+		var nulls *vector.Bitmap
+	intRows:
+		for i := 0; i < n; i++ {
+			for j := range sides {
+				if sides[j].null(i) {
+					if nulls == nil {
+						nulls = vector.NewBitmap(n)
+					}
+					nulls.Set(i)
+					continue intRows
+				}
+			}
+			best := sides[0].int(i)
+			for j := 1; j < len(sides); j++ {
+				v := sides[j].int(i)
+				// Compare via float64 widening, matching Value.Compare, so
+				// huge-int ties resolve identically to the boxed kernel
+				// (the earlier operand wins a tie).
+				if bf, vf := float64(best), float64(v); wantLess && vf < bf || !wantLess && vf > bf {
+					best = v
+				}
+			}
+			out[i] = best
+		}
+		return vector.NewInt64Vector(out, nulls)
+	}
+
+	if sides, homogeneous := resolveAllFloat(args, vecs); homogeneous {
+		out := make([]float64, n)
+		var nulls *vector.Bitmap
+	floatRows:
+		for i := 0; i < n; i++ {
+			for j := range sides {
+				if sides[j].null(i) {
+					if nulls == nil {
+						nulls = vector.NewBitmap(n)
+					}
+					nulls.Set(i)
+					continue floatRows
+				}
+			}
+			best := sides[0].float(i)
+			for j := 1; j < len(sides); j++ {
+				// NaN never beats best, and a NaN best is never beaten —
+				// Value.Compare orders NaN equal to everything.
+				if v := sides[j].float(i); wantLess && v < best || !wantLess && v > best {
+					best = v
+				}
+			}
+			out[i] = best
+		}
+		return vector.NewFloat64Vector(out, nulls)
+	}
+
+	// Generic: boxed element-wise, preserving the winner's kind (mixed
+	// int/float operands must return the winning operand itself).
+	out := make([]types.Value, n)
+	for i := 0; i < n; i++ {
+		var best types.Value
+		null := false
+		for j := range args {
+			var v types.Value
+			if args[j].isConst {
+				v = args[j].c
+			} else {
+				v = vecs[j].Value(i)
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			if j == 0 {
+				best = v
+				continue
+			}
+			if c := v.Compare(best); wantLess && c < 0 || !wantLess && c > 0 {
+				best = v
+			}
+		}
+		if !null {
+			out[i] = best
+		}
+	}
+	return vector.NewValueVector(out)
+}
+
+// resolveAll binds every operand as an integer side, reporting whether all
+// of them are integer-typed.
+func resolveAll(args []vecOperand, vecs []vector.Vector, intOnly bool) ([]arithSide, bool) {
+	sides := make([]arithSide, len(args))
+	for i, a := range args {
+		s, ok := resolveNumericSide(a, vecs[i], intOnly)
+		if !ok {
+			return nil, false
+		}
+		sides[i] = s
+	}
+	return sides, true
+}
+
+// resolveAllFloat binds every operand as a float side, reporting whether all
+// of them are float64-typed (mixed int/float falls to the generic loop,
+// which must preserve the winner's kind).
+func resolveAllFloat(args []vecOperand, vecs []vector.Vector) ([]arithSide, bool) {
+	sides := make([]arithSide, len(args))
+	for i, a := range args {
+		if a.isConst {
+			if a.c.Kind() != types.KindFloat {
+				return nil, false
+			}
+			sides[i] = arithSide{cF: a.c.Float()}
+			continue
+		}
+		tv, ok := vecs[i].(*vector.Float64Vector)
+		if !ok {
+			return nil, false
+		}
+		s := arithSide{f64: tv.Vals}
+		if tv.AnyNull() {
+			s.nullAt = tv.Null
+		}
+		sides[i] = s
+	}
+	return sides, true
+}

@@ -1,0 +1,208 @@
+package algebra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// randTypedRows generates rows whose columns each stick to one kind (with
+// NULLs mixed in), so FromRows infers typed vectors and the unboxed loops
+// actually run; one column stays deliberately mixed-kind to cover the boxed
+// ValueVector fallback inside otherwise-typed batches.
+func randTypedRows(rng *rand.Rand, arity, n int) [][]types.Value {
+	kinds := make([]types.Kind, arity)
+	for j := range kinds {
+		kinds[j] = []types.Kind{types.KindInt, types.KindFloat, types.KindString, types.KindBool}[rng.Intn(4)]
+	}
+	if arity > 0 {
+		kinds[arity-1] = types.KindNull // sentinel: mixed column
+	}
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		row := make([]types.Value, arity)
+		for j, k := range kinds {
+			if rng.Intn(6) == 0 {
+				row[j] = types.Null()
+				continue
+			}
+			switch k {
+			case types.KindInt:
+				row[j] = types.NewInt(int64(rng.Intn(9) - 4))
+			case types.KindFloat:
+				fs := []float64{-2, -0.5, 0, math.Copysign(0, -1), 1.5, math.NaN(), math.Inf(1)}
+				row[j] = types.NewFloat(fs[rng.Intn(len(fs))])
+			case types.KindString:
+				row[j] = types.NewString(string(rune('a' + rng.Intn(3))))
+			case types.KindBool:
+				row[j] = types.NewBool(rng.Intn(2) == 0)
+			default:
+				row[j] = randRow(rng, 1)[0] // mixed column
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// checkVecParity pins the columnar kernels of one compiled expression
+// against the interpreted Eval over one batch of rows.
+func checkVecParity(t *testing.T, e Expr, rows [][]types.Value, arity int) {
+	t.Helper()
+	prog := Compile(e)
+	cols := vector.FromRows(rows, arity)
+	vecs := cols.Slice(0, len(rows))
+
+	if sel, ok := prog.SelectTruthyVec(vecs, len(rows), nil); ok {
+		var want []int
+		for i, row := range rows {
+			if Truthy(e.Eval(row)) {
+				want = append(want, i)
+			}
+		}
+		if len(sel) != len(want) {
+			t.Fatalf("expr %s: vec sel %v, want %v", e, sel, want)
+		}
+		for i := range sel {
+			if sel[i] != want[i] {
+				t.Fatalf("expr %s: vec sel %v, want %v", e, sel, want)
+			}
+		}
+	}
+
+	if out, ok := prog.EvalVec(vecs, len(rows)); ok {
+		if out.Len() != len(rows) {
+			t.Fatalf("expr %s: EvalVec len %d, want %d", e, out.Len(), len(rows))
+		}
+		for i, row := range rows {
+			want, got := e.Eval(row), out.Value(i)
+			if want.Kind() != got.Kind() ||
+				string(want.AppendKey(nil)) != string(got.AppendKey(nil)) {
+				t.Fatalf("expr %s row %d (%v): Eval=%v (%s) EvalVec=%v (%s)",
+					e, i, row, want, want.Kind(), got, got.Kind())
+			}
+		}
+	}
+}
+
+// TestVecKernelsMatchEvalRandomized fuzzes the columnar kernels against
+// Eval on random expressions over typed (and one mixed) columns.
+func TestVecKernelsMatchEvalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const arity = 5
+	for trial := 0; trial < 600; trial++ {
+		e := randExpr(rng, arity, 1+rng.Intn(3))
+		rows := randTypedRows(rng, arity, 1+rng.Intn(50))
+		checkVecParity(t, e, rows, arity)
+	}
+}
+
+// TestVecKernelShapes asserts which expression shapes get columnar kernels:
+// the hot paths must not silently lose their typed loops.
+func TestVecKernelShapes(t *testing.T) {
+	col := func(i int) Expr { return Col{Idx: i, Name: "c"} }
+	ci := func(v int64) Expr { return Const{V: types.NewInt(v)} }
+	hasSel := func(e Expr) bool { return Compile(e).vecSel != nil }
+	hasEval := func(e Expr) bool { return Compile(e).vecEval != nil }
+
+	if !hasSel(Bin{Op: OpLt, L: col(0), R: ci(3)}) {
+		t.Error("col < const lost its columnar selector")
+	}
+	if !hasSel(Bin{Op: OpEq, L: Bin{Op: OpMod, L: col(1), R: ci(2)}, R: ci(0)}) {
+		t.Error("(col % const) = const lost its columnar selector")
+	}
+	if !hasSel(Bin{Op: OpGe, L: col(0), R: col(1)}) {
+		t.Error("col >= col lost its columnar selector")
+	}
+	if hasSel(Bin{Op: OpAnd, L: Bin{Op: OpLt, L: col(0), R: ci(1)}, R: Bin{Op: OpLt, L: col(1), R: ci(1)}}) {
+		t.Error("AND unexpectedly grew a columnar selector; update this test and the fallback docs")
+	}
+	if !hasEval(Bin{Op: OpAdd, L: col(0), R: col(1)}) {
+		t.Error("col + col lost its columnar kernel")
+	}
+	if !hasEval(ScalarFunc{Name: "least", Args: []Expr{col(0), col(1)}}) {
+		t.Error("least(col, col) — the UA certainty combination — lost its columnar kernel")
+	}
+	if !hasEval(col(2)) || !hasEval(ci(7)) {
+		t.Error("bare column / constant lost their columnar kernels")
+	}
+	if hasEval(ScalarFunc{Name: "coalesce", Args: []Expr{col(0), col(1)}}) {
+		t.Error("coalesce unexpectedly grew a columnar kernel; update this test")
+	}
+}
+
+// TestVecKernelsEdgeCases hits the traps the randomized generator rarely
+// lands on precisely: huge-int widening, NaN constants, ±0, division and
+// modulo by zero (int and float), kind-mismatched comparisons, and
+// least/greatest kind preservation.
+func TestVecKernelsEdgeCases(t *testing.T) {
+	const big = int64(1) << 53
+	intRows := func(vals ...int64) [][]types.Value {
+		rows := make([][]types.Value, len(vals))
+		for i, v := range vals {
+			rows[i] = []types.Value{types.NewInt(v), types.NewInt(vals[len(vals)-1-i])}
+		}
+		return rows
+	}
+	floatRows := func(vals ...float64) [][]types.Value {
+		rows := make([][]types.Value, len(vals))
+		for i, v := range vals {
+			rows[i] = []types.Value{types.NewFloat(v), types.NewFloat(vals[len(vals)-1-i])}
+		}
+		return rows
+	}
+	col0, col1 := Col{Idx: 0, Name: "a"}, Col{Idx: 1, Name: "b"}
+
+	ops := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		// Huge ints: 2^53 and 2^53+1 widen to the same float64 and must
+		// compare equal, exactly like Eval and the key encoding.
+		rows := intRows(big, big+1, -big-1, 0)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewInt(big + 1)}}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: col1}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewFloat(float64(big))}}, rows, 2)
+
+		// NaN constant against int and float columns: Compare orders NaN
+		// equal to everything.
+		nan := Const{V: types.NewFloat(math.NaN())}
+		checkVecParity(t, Bin{Op: op, L: col0, R: nan}, rows, 2)
+		frows := floatRows(math.NaN(), math.Inf(1), math.Copysign(0, -1), 0, 1.5)
+		checkVecParity(t, Bin{Op: op, L: col0, R: nan}, frows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: col1}, frows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewFloat(0)}}, frows, 2)
+
+		// Kind-mismatched constant: outcome is decided by kind order.
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewString("x")}}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewBool(true)}}, rows, 2)
+	}
+
+	for _, op := range []BinOp{OpAdd, OpSub, OpMul, OpDiv, OpMod} {
+		rows := intRows(7, 0, -3, big, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: col1}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewInt(0)}}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: Const{V: types.NewInt(5)}, R: col1}, rows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewFloat(0)}}, rows, 2)
+		frows := floatRows(1.5, 0, -2.25, math.Inf(1))
+		checkVecParity(t, Bin{Op: op, L: col0, R: col1}, frows, 2)
+		checkVecParity(t, Bin{Op: op, L: col0, R: Const{V: types.NewString("x")}}, frows, 2)
+	}
+
+	// least/greatest must preserve the winner's kind on mixed int/float
+	// operands (generic path) and stay unboxed on homogeneous ones.
+	mixed := [][]types.Value{
+		{types.NewInt(1), types.NewFloat(1)},
+		{types.NewInt(3), types.NewFloat(2.5)},
+		{types.Null(), types.NewFloat(0)},
+	}
+	for _, name := range []string{"least", "greatest"} {
+		checkVecParity(t, ScalarFunc{Name: name, Args: []Expr{col0, col1}}, mixed, 2)
+		checkVecParity(t, ScalarFunc{Name: name, Args: []Expr{col0, col1}}, intRows(big, big+1, 1, -4), 2)
+		checkVecParity(t, ScalarFunc{Name: name, Args: []Expr{col0, col1}},
+			floatRows(math.NaN(), 1, -2, 0), 2)
+		checkVecParity(t, ScalarFunc{Name: name,
+			Args: []Expr{col0, Const{V: types.NewInt(2)}}}, intRows(1, 3, 2), 2)
+	}
+}

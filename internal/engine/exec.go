@@ -4,6 +4,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/physical"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Execute evaluates a logical plan against the catalog and materializes the
@@ -75,6 +76,18 @@ func (c *Catalog) Resolve(name string) (types.Schema, [][]types.Value, error) {
 		return types.Schema{}, nil, &UnknownTableError{Name: name}
 	}
 	return t.Schema, t.Rows, nil
+}
+
+// ResolveColumns implements physical.ColumnSource: scans over catalog tables
+// get the table's columnar mirror alongside the rows, which switches the
+// physical engine onto its typed (unboxed) operator paths. The mirror is
+// built lazily on the first query after a table changes.
+func (c *Catalog) ResolveColumns(name string) (*vector.Columns, bool) {
+	t := c.Get(name)
+	if t == nil {
+		return nil, false
+	}
+	return t.Columns(), true
 }
 
 // UnknownTableError reports a scan of a table the catalog does not hold.

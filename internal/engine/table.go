@@ -13,15 +13,24 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Table is a bag of rows with a schema. Duplicate rows represent
-// multiplicity, exactly like a relational DBMS.
+// multiplicity, exactly like a relational DBMS. Alongside the rows the
+// table lazily maintains a columnar mirror (internal/vector) that the
+// physical engine's typed operator paths scan; the mirror is invalidated by
+// Append and rebuilt on the next query, so it is always consistent with
+// Rows when read through Columns.
 type Table struct {
 	Schema types.Schema
 	Rows   [][]types.Value
+
+	colsMu sync.Mutex      // guards cols: concurrent read-only queries race on the lazy build
+	cols   *vector.Columns // lazy columnar mirror; nil or stale until Columns()
 }
 
 // NewTable builds an empty table with the given schema.
@@ -42,6 +51,22 @@ func (t *Table) AppendVals(vals ...types.Value) { t.Append(vals) }
 
 // NumRows returns the number of rows.
 func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Columns returns the table's columnar mirror, building it on first use and
+// rebuilding it after the row count changed (Append invalidates by length;
+// callers mutating retained rows in place were already outside the
+// contract). The build is mutex-guarded so concurrent read-only queries on
+// one catalog — safe before the mirror existed — stay safe: they serialize
+// only on the first build, not per query. Mutation (Append) remains
+// non-concurrent with queries, as before.
+func (t *Table) Columns() *vector.Columns {
+	t.colsMu.Lock()
+	defer t.colsMu.Unlock()
+	if t.cols == nil || t.cols.N != len(t.Rows) {
+		t.cols = vector.FromRows(t.Rows, t.Schema.Arity())
+	}
+	return t.cols
+}
 
 // Clone returns a deep copy.
 func (t *Table) Clone() *Table {

@@ -134,17 +134,47 @@ func TestCheck(t *testing.T) {
 		{Op: "new/batch", Rows: 1000, RowsPerSec: 1},     // not in baseline: skip
 		{Op: "p/par", Rows: 1000, DOP: 2, RowsPerSec: 1}, // different dop: skip
 	}
-	report, regressed := Check(base, cur, 0.25)
+	report, regressed, stats := Check(base, cur, 0.25)
 	if len(regressed) != 1 || !strings.Contains(regressed[0], "b/batch") {
 		t.Fatalf("want exactly b/batch regressed, got %v", regressed)
 	}
-	for _, frag := range []string{"REGRESSED", "skip", "not in baseline", "dop mismatch"} {
+	for _, frag := range []string{"REGRESSED", "skip", "not in baseline", "dop mismatch", "compared 2 of 5"} {
 		if !strings.Contains(report, frag) {
 			t.Errorf("report missing %q:\n%s", frag, report)
 		}
 	}
+	if stats.Baseline != 5 || stats.Compared != 2 || stats.Skipped != 3 {
+		t.Errorf("stats = %+v, want {Baseline:5 Compared:2 Skipped:3}", stats)
+	}
+	if stats.AllSkipped() {
+		t.Error("AllSkipped true despite 2 comparisons")
+	}
 	// Faster than baseline is never a failure.
-	if _, reg := Check(base[:1], []Result{{Op: "a/batch", Rows: 1000, RowsPerSec: 1e6}}, 0.25); len(reg) != 0 {
+	if _, reg, _ := Check(base[:1], []Result{{Op: "a/batch", Rows: 1000, RowsPerSec: 1e6}}, 0.25); len(reg) != 0 {
 		t.Errorf("faster run must pass, got %v", reg)
+	}
+}
+
+// TestCheckAllSkipped pins the vacuous-gate accounting: a baseline of which
+// nothing is comparable must be detectable by the caller, and an empty
+// baseline must not count as vacuous (there was nothing to guard).
+func TestCheckAllSkipped(t *testing.T) {
+	base := []Result{
+		{Op: "a/batch", Rows: 1000, RowsPerSec: 100},
+		{Op: "p/par", Rows: 1000, DOP: 4, RowsPerSec: 100},
+	}
+	cur := []Result{
+		{Op: "a/batch", Rows: 500, RowsPerSec: 1},        // rows mismatch
+		{Op: "p/par", Rows: 1000, DOP: 2, RowsPerSec: 1}, // dop mismatch
+	}
+	_, regressed, stats := Check(base, cur, 0.25)
+	if len(regressed) != 0 {
+		t.Fatalf("skipped entries must not regress, got %v", regressed)
+	}
+	if !stats.AllSkipped() || stats.Compared != 0 || stats.Skipped != 2 {
+		t.Errorf("stats = %+v, want all skipped", stats)
+	}
+	if _, _, empty := Check(nil, cur, 0.25); empty.AllSkipped() {
+		t.Error("empty baseline must not report AllSkipped")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/physical"
 	"repro/internal/rowref"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Result is one benchmark measurement. Op names the workload and engine
@@ -79,6 +80,12 @@ func Format(rs []Result) string {
 					base+" batch-vs-row:", row.NsPerOp/r.NsPerOp,
 					r.AllocsPerOp-row.AllocsPerOp)
 			}
+		case "typed":
+			if batch, ok := byOp[base+"/batch"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
+					base+" typed-vs-batch:", batch.NsPerOp/r.NsPerOp,
+					r.AllocsPerOp-batch.AllocsPerOp)
+			}
 		case "par":
 			if batch, ok := byOp[base+"/batch"]; ok {
 				fmt.Fprintf(&sb, "%-28s %.2fx throughput at dop=%d\n",
@@ -89,28 +96,47 @@ func Format(rs []Result) string {
 	return sb.String()
 }
 
+// CheckStats summarizes how much of the baseline a Check actually compared.
+// A gate that skipped every baseline entry compared nothing and passes
+// vacuously — callers (cmd/bench check) must treat Compared == 0 with a
+// non-empty baseline as a gate failure, not a pass.
+type CheckStats struct {
+	Baseline int // entries in the committed baseline
+	Compared int // baseline entries actually compared
+	Skipped  int // baseline entries skipped (missing op, rows or dop mismatch)
+}
+
+// AllSkipped reports a vacuous comparison: a non-empty baseline of which
+// nothing was comparable.
+func (s CheckStats) AllSkipped() bool { return s.Baseline > 0 && s.Compared == 0 }
+
 // Check compares current results against a committed baseline: every op
 // present in both (at the same input size) must keep its rows_per_sec within
 // the tolerated fraction of the baseline — tol 0.25 fails any pipeline more
 // than 25% slower than its recorded throughput. It returns a human-readable
-// comparison and the list of regressed ops (empty = gate passes). Ops
-// missing from either side, or measured at a different size, are reported
-// but never fail the gate, so baselines and suites can evolve independently.
-func Check(baseline, current []Result, tol float64) (report string, regressed []string) {
+// comparison, the list of regressed ops (empty = gate passes), and the
+// skip accounting. Ops missing from either side, or measured at a different
+// size, are reported and counted but never fail the gate here, so baselines
+// and suites can evolve independently; the caller decides what an entirely
+// skipped baseline means.
+func Check(baseline, current []Result, tol float64) (report string, regressed []string, stats CheckStats) {
 	var sb strings.Builder
 	curByOp := map[string]Result{}
 	for _, r := range current {
 		curByOp[r.Op] = r
 	}
+	stats.Baseline = len(baseline)
 	fmt.Fprintf(&sb, "%-34s %14s %14s %8s\n", "op", "base rows/sec", "cur rows/sec", "ratio")
 	for _, b := range baseline {
 		c, ok := curByOp[b.Op]
 		if !ok {
+			stats.Skipped++
 			fmt.Fprintf(&sb, "%-34s %14.0f %14s %8s\n", b.Op, b.RowsPerSec, "-", "skip")
 			continue
 		}
 		delete(curByOp, b.Op)
 		if c.Rows != b.Rows {
+			stats.Skipped++
 			fmt.Fprintf(&sb, "%-34s rows mismatch (base %d, current %d): skipped\n",
 				b.Op, b.Rows, c.Rows)
 			continue
@@ -119,10 +145,12 @@ func Check(baseline, current []Result, tol float64) (report string, regressed []
 			// A /par entry measured at a different worker count (e.g. a CI
 			// runner with a different core count than the baseline machine)
 			// is not comparable.
+			stats.Skipped++
 			fmt.Fprintf(&sb, "%-34s dop mismatch (base %d, current %d): skipped\n",
 				b.Op, b.DOP, c.DOP)
 			continue
 		}
+		stats.Compared++
 		ratio := 0.0
 		if b.RowsPerSec > 0 {
 			ratio = c.RowsPerSec / b.RowsPerSec
@@ -144,7 +172,9 @@ func Check(baseline, current []Result, tol float64) (report string, regressed []
 	for _, op := range extra {
 		fmt.Fprintf(&sb, "%-34s not in baseline: skipped\n", op)
 	}
-	return sb.String(), regressed
+	fmt.Fprintf(&sb, "compared %d of %d baseline entries (%d skipped, %d current-only)\n",
+		stats.Compared, stats.Baseline, stats.Skipped, len(extra))
+	return sb.String(), regressed, stats
 }
 
 // table builds an n-row (k, v) table with k cycling over a small-ish domain
@@ -160,9 +190,26 @@ func table(name string, n, domain int) (types.Schema, [][]types.Value) {
 	return types.NewSchema(name, "k", "v"), rows
 }
 
+// floatTable is table with a float64 v column, so the suite measures the
+// typed engine's float64 loops as well as its int64 ones.
+func floatTable(name string, n, domain int) (types.Schema, [][]types.Value) {
+	rows := make([][]types.Value, n)
+	for i := range rows {
+		rows[i] = []types.Value{
+			types.NewInt(int64(i % domain)),
+			types.NewFloat(float64(i) / 2),
+		}
+	}
+	return types.NewSchema(name, "k", "v"), rows
+}
+
 // run times fn (which executes one full drain and returns the result row
 // count) with the testing package's benchmark harness, asserting the count.
+// The forced collection first starts every workload from the same clean GC
+// state, so a measurement is not taxed with (or flattered by) the garbage
+// and pacing left behind by the previous one.
 func run(op string, rows, wantRows int, fn func() (int, error)) (Result, error) {
+	runtime.GC()
 	var innerErr error
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -219,12 +266,15 @@ func (s benchSource) Resolve(table string) (types.Schema, [][]types.Value, error
 // Suite runs every workload at the given input size on both serial engines
 // (batch vs the frozen row reference) and returns the measurements. The
 // scan→filter→project pipeline is the acceptance workload: the batch engine
-// must beat the row engine by ≥2x with fewer allocs/op. With dop > 1
-// (dop <= 0 resolves to GOMAXPROCS, like physical.Options) the
-// pipeline-shaped workloads run a third time on the morsel-parallel engine
-// ("/par" entries) at that worker count — on multi-core hardware
-// scan-filter-project/par is the parallel acceptance workload against
-// scan-filter-project/batch.
+// must beat the row engine by ≥2x with fewer allocs/op. Workloads with a
+// typed columnar fast path run again over prebuilt column vectors ("/typed"
+// entries — same serial operator trees, unboxed kernels); the typed
+// acceptance bar is scan-filter-project/typed at ≥1.5x the boxed /batch
+// rows_per_sec on int64 and float64 columns. With dop > 1 (dop <= 0
+// resolves to GOMAXPROCS, like physical.Options) the pipeline-shaped
+// workloads also run on the morsel-parallel engine ("/par" entries) at that
+// worker count — on multi-core hardware scan-filter-project/par is the
+// parallel acceptance workload against scan-filter-project/batch.
 func Suite(n, dop int) ([]Result, error) {
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
@@ -235,6 +285,11 @@ func Suite(n, dop int) ([]Result, error) {
 		"t": {schema, rows},
 		"u": {uschema, urows},
 	}
+	// Columnar forms, built once outside the timed region — exactly the
+	// cached mirror engine catalogs hand to lowering. "/typed" entries run
+	// the same serial operator trees as "/batch" over these columns.
+	tCols := vector.FromRows(rows, 2)
+	uCols := vector.FromRows(urows, 2)
 	lowerPar := func(plan algebra.Node) (physical.Operator, error) {
 		return physical.LowerOpts(plan, src, physical.Options{DOP: dop})
 	}
@@ -268,7 +323,11 @@ func Suite(n, dop int) ([]Result, error) {
 		{Func: algebra.AggCount, Star: true, Name: "count(*)"},
 	}
 	sortKeys := []algebra.SortKey{{Expr: col(1, "v"), Desc: true}}
+	// "v < n/2" over v = 0..n-1 keeps exactly ⌊n/2⌋ rows; the even-v and
+	// float pipelines keep ⌈n/2⌉ — distinct counts whenever -physrows is
+	// odd, so each workload asserts its own exact cardinality.
 	sfpRows := n / 2
+	halfUp := (n + 1) / 2
 	aggRows := 100
 	if n < 100 {
 		aggRows = n
@@ -299,11 +358,24 @@ func Suite(n, dop int) ([]Result, error) {
 		}
 	}
 
+	// A sparse build side for the selective probe workload: one build key per
+	// 4096 probe rows, so most probe batches contain no match at all. The
+	// typed engine probes such batches straight off the vectors and never
+	// materializes their rows; the boxed engine boxes every probe row first.
+	const sparseStride = 4096
+	wschema, wrows := types.NewSchema("w", "k", "v"), make([][]types.Value, n/sparseStride)
+	for i := range wrows {
+		wrows[i] = []types.Value{types.NewInt(int64(i * sparseStride)), types.NewInt(int64(i))}
+	}
+	wCols := vector.FromRows(wrows, 2)
+	sparseMatches := n / sparseStride
+
 	type workload struct {
 		op    string
 		want  int
 		batch func() (int, error)
 		row   func() (int, error)
+		typed func() (int, error) // nil: no typed fast path to demonstrate
 		par   func() (int, error) // nil: workload has no parallel lowering
 	}
 	workloads := []workload{
@@ -318,10 +390,15 @@ func Suite(n, dop int) ([]Result, error) {
 					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: pred()},
 					Exprs: projExprs()})
 			},
+			func() (int, error) {
+				return drainBatch(physical.NewProject(
+					&physical.Filter{Input: physical.NewColumnarScan("t", schema, rows, tCols), Pred: pred()},
+					projExprs(), []string{"k", "kv"}))
+			},
 			drainPar(&algebra.Project{
 				Input: &algebra.Filter{Input: scanT(), Pred: pred()},
 				Exprs: projExprs(), Names: []string{"k", "kv"}})},
-		{"scan-filter-project-exprheavy", sfpRows,
+		{"scan-filter-project-exprheavy", halfUp,
 			func() (int, error) {
 				return drainBatch(physical.NewProject(
 					&physical.Filter{Input: physical.NewScan("t", schema, rows), Pred: heavyPred()},
@@ -331,6 +408,11 @@ func Suite(n, dop int) ([]Result, error) {
 				return drainRow(&rowref.Project{
 					Input: &rowref.Filter{Input: rowref.NewScan(schema, rows), Pred: heavyPred()},
 					Exprs: projExprs()})
+			},
+			func() (int, error) {
+				return drainBatch(physical.NewProject(
+					&physical.Filter{Input: physical.NewColumnarScan("t", schema, rows, tCols), Pred: heavyPred()},
+					projExprs(), []string{"k", "kv"}))
 			},
 			drainPar(&algebra.Project{
 				Input: &algebra.Filter{Input: scanT(), Pred: heavyPred()},
@@ -346,8 +428,41 @@ func Suite(n, dop int) ([]Result, error) {
 					rowref.NewScan(uschema, urows), rowref.NewScan(uschema, urows),
 					[]int{0}, []int{0}, nil))
 			},
+			func() (int, error) {
+				// Typed build- and probe-key encoding straight off the vectors.
+				return drainBatch(physical.NewHashJoin(
+					physical.NewColumnarScan("u", uschema, urows, uCols),
+					physical.NewColumnarScan("u", uschema, urows, uCols),
+					[]int{0}, []int{0}, nil))
+			},
 			drainPar(&algebra.Join{Left: scanU(), Right: scanU(),
 				EquiL: []int{0}, EquiR: []int{0}})},
+		{"join-probe-sparse", sparseMatches,
+			func() (int, error) {
+				return drainBatch(physical.NewHashJoin(
+					physical.NewProject(physical.NewScan("t", schema, rows),
+						[]algebra.Expr{col(0, "k"), col(1, "v")}, []string{"k", "v"}),
+					physical.NewScan("w", wschema, wrows),
+					[]int{1}, []int{0}, nil))
+			},
+			func() (int, error) {
+				return drainRow(rowref.NewHashJoin(
+					&rowref.Project{Input: rowref.NewScan(schema, rows),
+						Exprs: []algebra.Expr{col(0, "k"), col(1, "v")}},
+					rowref.NewScan(wschema, wrows),
+					[]int{1}, []int{0}, nil))
+			},
+			func() (int, error) {
+				// Column-only probe batches: passthrough projection keeps the
+				// vectors, the probe keys off them, and only the rare
+				// matching batch ever builds rows.
+				return drainBatch(physical.NewHashJoin(
+					physical.NewProject(physical.NewColumnarScan("t", schema, rows, tCols),
+						[]algebra.Expr{col(0, "k"), col(1, "v")}, []string{"k", "v"}),
+					physical.NewColumnarScan("w", wschema, wrows, wCols),
+					[]int{1}, []int{0}, nil))
+			},
+			nil},
 		{"hash-aggregate", aggRows,
 			func() (int, error) {
 				return drainBatch(physical.NewHashAggregate(
@@ -358,6 +473,7 @@ func Suite(n, dop int) ([]Result, error) {
 					Input: rowref.NewScan(schema, rows), GroupBy: groupBy(), Aggs: aggs,
 				})
 			},
+			nil, // group key is an expression, not a bare column: no typed keying yet
 			drainPar(&algebra.Aggregate{Input: scanT(),
 				GroupBy: groupBy(), GroupNames: []string{"g"}, Aggs: aggs})},
 		{"distinct", distinctRows,
@@ -371,6 +487,12 @@ func Suite(n, dop int) ([]Result, error) {
 					Input: rowref.NewScan(schema, rows),
 					Exprs: []algebra.Expr{col(0, "k")}}})
 			},
+			func() (int, error) {
+				// Column passthrough projection, per-vector dedup keying.
+				return drainBatch(&physical.Distinct{Input: physical.NewProject(
+					physical.NewColumnarScan("t", schema, rows, tCols),
+					[]algebra.Expr{col(0, "k")}, []string{"k"})})
+			},
 			nil},
 		{"sort", n,
 			func() (int, error) {
@@ -381,7 +503,7 @@ func Suite(n, dop int) ([]Result, error) {
 				return drainRow(&rowref.Sort{
 					Input: rowref.NewScan(schema, rows), Keys: sortKeys})
 			},
-			nil},
+			nil, nil},
 	}
 	for _, w := range workloads {
 		if err := add(run(w.op+"/batch", n, w.want, w.batch)); err != nil {
@@ -389,6 +511,11 @@ func Suite(n, dop int) ([]Result, error) {
 		}
 		if err := add(run(w.op+"/row", n, w.want, w.row)); err != nil {
 			return nil, err
+		}
+		if w.typed != nil {
+			if err := add(run(w.op+"/typed", n, w.want, w.typed)); err != nil {
+				return nil, err
+			}
 		}
 		if w.par == nil || dop <= 1 {
 			continue
@@ -399,6 +526,45 @@ func Suite(n, dop int) ([]Result, error) {
 		}
 		r.DOP = dop
 		out = append(out, r)
+	}
+
+	// The float64 pipeline runs as its own phase, with its table built only
+	// now: keeping a third n-row table live through every measurement above
+	// inflates GC scan cost for all of them (the boxed engine, whose output
+	// is pointer-bearing Values, suffers most), distorting exactly the
+	// ratios the suite exists to record. v = i/2 against v < n/4 keeps the
+	// first ⌈n/2⌉ rows — the int pipeline's selectivity, modulo the odd-n
+	// boundary row.
+	fschema, frows := floatTable("tf", n, n/10+1)
+	fCols := vector.FromRows(frows, 2)
+	fpred := func() algebra.Expr {
+		return algebra.Bin{Op: algebra.OpLt, L: col(1, "v"),
+			R: algebra.Const{V: types.NewFloat(float64(n) / 4)}}
+	}
+	floatWorkloads := []struct {
+		op string
+		fn func() (int, error)
+	}{
+		{"scan-filter-project-float/batch", func() (int, error) {
+			return drainBatch(physical.NewProject(
+				&physical.Filter{Input: physical.NewScan("tf", fschema, frows), Pred: fpred()},
+				projExprs(), []string{"k", "kv"}))
+		}},
+		{"scan-filter-project-float/row", func() (int, error) {
+			return drainRow(&rowref.Project{
+				Input: &rowref.Filter{Input: rowref.NewScan(fschema, frows), Pred: fpred()},
+				Exprs: projExprs()})
+		}},
+		{"scan-filter-project-float/typed", func() (int, error) {
+			return drainBatch(physical.NewProject(
+				&physical.Filter{Input: physical.NewColumnarScan("tf", fschema, frows, fCols), Pred: fpred()},
+				projExprs(), []string{"k", "kv"}))
+		}},
+	}
+	for _, w := range floatWorkloads {
+		if err := add(run(w.op, n, halfUp, w.fn)); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

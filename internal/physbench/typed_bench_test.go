@@ -1,0 +1,73 @@
+package physbench
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/physical"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// BenchmarkTypedVsBatch pins the typed columnar engine against the boxed
+// batch engine on the acceptance pipeline. The CI bench smoke step runs it
+// with -benchtime=1x; locally, -count with larger -benchtime gives the
+// typed-vs-batch ratio BENCH_physical.json records at full size.
+func BenchmarkTypedVsBatch(b *testing.B) {
+	const n = 300000
+	schema, rows := table("t", n, n/10+1)
+	cols := vector.FromRows(rows, 2)
+	pred := algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 1, Name: "v"},
+		R: algebra.Const{V: types.NewInt(n / 2)}}
+	exprs := []algebra.Expr{algebra.Col{Idx: 0, Name: "k"},
+		algebra.Bin{Op: algebra.OpAdd, L: algebra.Col{Idx: 0, Name: "k"}, R: algebra.Col{Idx: 1, Name: "v"}}}
+	pipeline := func(scan physical.Operator) physical.Operator {
+		return physical.NewProject(&physical.Filter{Input: scan, Pred: pred},
+			exprs, []string{"k", "kv"})
+	}
+	b.Run("ScanFilterProject/Typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(pipeline(physical.NewColumnarScan("t", schema, rows, cols)))
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+	b.Run("ScanFilterProject/Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(pipeline(physical.NewScan("t", schema, rows)))
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+
+	fschema, frows := floatTable("tf", n, n/10+1)
+	fcols := vector.FromRows(frows, 2)
+	fpred := algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 1, Name: "v"},
+		R: algebra.Const{V: types.NewFloat(float64(n) / 4)}}
+	fpipeline := func(scan physical.Operator) physical.Operator {
+		return physical.NewProject(&physical.Filter{Input: scan, Pred: fpred},
+			exprs, []string{"k", "kv"})
+	}
+	b.Run("ScanFilterProjectFloat/Typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(fpipeline(physical.NewColumnarScan("tf", fschema, frows, fcols)))
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+	b.Run("ScanFilterProjectFloat/Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := physical.Drain(fpipeline(physical.NewScan("tf", fschema, frows)))
+			if err != nil || len(out) != n/2 {
+				b.Fatal(len(out), err)
+			}
+		}
+	})
+}

@@ -169,10 +169,17 @@ func (st *aggState) result(aggs []algebra.AggSpec, nGroupCols int) []types.Value
 // group-key and argument kernels, reused evaluation columns, and the
 // canonical-key group lookup. One folder belongs to one goroutine — the
 // kernels it compiles are closures, so parallel workers each build their own.
+//
+// When every group-by expression is a bare column and the batch is columnar,
+// group keys are encoded straight from the vectors (the per-vector-type
+// AppendElemKey fast paths) instead of boxing each key cell through
+// EvalColumn; the group's representative row is still boxed, but only once
+// per distinct group.
 type aggFolder struct {
 	aggs       []algebra.AggSpec
 	groupProgs []*algebra.Compiled
 	argProgs   []*algebra.Compiled
+	groupIdx   []int // column index per group expr when all are bare Cols
 	keyCols    [][]types.Value
 	argCols    [][]types.Value
 	keyBuf     []byte
@@ -187,6 +194,15 @@ func newAggFolder(groupBy []algebra.Expr, aggs []algebra.AggSpec) *aggFolder {
 		keyCols:    make([][]types.Value, len(groupBy)),
 		argCols:    make([][]types.Value, len(aggs)),
 	}
+	f.groupIdx = make([]int, 0, len(groupBy))
+	for _, e := range groupBy {
+		c, isCol := e.(algebra.Col)
+		if !isCol {
+			f.groupIdx = nil
+			break
+		}
+		f.groupIdx = append(f.groupIdx, c.Idx)
+	}
 	for i, a := range aggs {
 		if !a.Star {
 			f.argProgs[i] = algebra.Compile(a.Arg)
@@ -198,26 +214,56 @@ func newAggFolder(groupBy []algebra.Expr, aggs []algebra.AggSpec) *aggFolder {
 // fold absorbs one batch into groups, calling add (in first-seen order) for
 // every group created along the way.
 func (f *aggFolder) fold(b *Batch, groups map[string]*aggState, add func(key string, st *aggState)) {
-	rows := b.Rows()
-	for g, prog := range f.groupProgs {
-		f.keyCols[g] = prog.EvalColumn(rows, f.keyCols[g][:0])
+	n := b.Len()
+	cols := b.Cols()
+	useVec := cols != nil && f.groupIdx != nil && len(f.groupIdx) > 0
+
+	// The aggregate arguments still evaluate through the row kernels; only
+	// batches that need them (any non-COUNT(*) aggregate, or a non-columnar
+	// key path) materialize a row view — a COUNT(*)-only aggregate over a
+	// column-only batch never boxes a cell.
+	var rows [][]types.Value
+	needRows := !useVec
+	for _, prog := range f.argProgs {
+		if prog != nil {
+			needRows = true
+		}
+	}
+	if needRows {
+		rows = b.Rows()
+	}
+
+	if !useVec {
+		for g, prog := range f.groupProgs {
+			f.keyCols[g] = prog.EvalColumn(rows, f.keyCols[g][:0])
+		}
 	}
 	for i, prog := range f.argProgs {
 		if prog != nil {
 			f.argCols[i] = prog.EvalColumn(rows, f.argCols[i][:0])
 		}
 	}
-	for i := range rows {
+	for i := 0; i < n; i++ {
 		f.keyBuf = f.keyBuf[:0]
-		for g := range f.keyCols {
-			f.keyBuf = f.keyCols[g][i].AppendKey(f.keyBuf)
-			f.keyBuf = append(f.keyBuf, '|')
+		if useVec {
+			f.keyBuf = appendVecColsKey(f.keyBuf, cols, i, f.groupIdx)
+		} else {
+			for g := range f.keyCols {
+				f.keyBuf = f.keyCols[g][i].AppendKey(f.keyBuf)
+				f.keyBuf = append(f.keyBuf, '|')
+			}
 		}
 		st, ok := groups[string(f.keyBuf)]
 		if !ok {
-			groupRow := make([]types.Value, len(f.keyCols))
-			for g := range f.keyCols {
-				groupRow[g] = f.keyCols[g][i]
+			groupRow := make([]types.Value, len(f.groupProgs))
+			if useVec {
+				for g, idx := range f.groupIdx {
+					groupRow[g] = cols[idx].Value(i)
+				}
+			} else {
+				for g := range f.keyCols {
+					groupRow[g] = f.keyCols[g][i]
+				}
 			}
 			st = newAggState(groupRow, len(f.aggs))
 			key := string(f.keyBuf)

@@ -1,6 +1,9 @@
 package physical
 
-import "repro/internal/types"
+import (
+	"repro/internal/types"
+	"repro/internal/vector"
+)
 
 // DefaultBatchSize is the number of rows operators aim to put in one batch.
 // It is large enough to amortize per-batch interface calls and small enough
@@ -25,9 +28,22 @@ const DefaultBatchSize = 1024
 // truncate a shared spine in place. Owned spines may be compacted in place
 // by the immediate consumer (selection-vector filtering), which is why
 // Filter and Distinct can often avoid even the pointer copy.
+//
+// A batch may additionally (or exclusively) carry a columnar view: one
+// typed vector per column (internal/vector). Scans emit both views —
+// zero-copy row-spine and zero-copy vector windows of the table's cached
+// columnar form — so boxed consumers pay nothing; typed Filter/Project
+// outputs may carry only columns, and Rows materializes the row view on
+// first demand. The columnar view follows the spine's lifetime rule (valid
+// only until the producer's next Next or Close), while materialized rows
+// follow the row-stability rule: freshly allocated, immortal once handed
+// out. The two views of one batch always describe identical values.
 type Batch struct {
-	rows   [][]types.Value
-	shared bool
+	rows     [][]types.Value
+	shared   bool
+	cols     []vector.Vector
+	colsN    int                    // row count of the columnar view when rows is nil
+	lazyCols func() []vector.Vector // deferred columnar view; built on first Cols
 }
 
 // NewBatch returns an owned, empty batch with the given row capacity.
@@ -36,15 +52,50 @@ func NewBatch(capacity int) *Batch {
 }
 
 // Len reports the number of rows in the batch.
-func (b *Batch) Len() int { return len(b.rows) }
+func (b *Batch) Len() int {
+	if b.rows == nil && b.cols != nil {
+		return b.colsN
+	}
+	return len(b.rows)
+}
 
-// Rows exposes the spine for iteration. Callers must honor the ownership
-// contract documented on Batch: read-only for shared spines, and no use
-// after the producer's next Next call.
-func (b *Batch) Rows() [][]types.Value { return b.rows }
+// Rows exposes the row spine for iteration, materializing it from the
+// columnar view first when the batch is column-only. Callers must honor the
+// ownership contract documented on Batch: read-only for shared spines, and
+// no use after the producer's next Next call. Materialized rows are freshly
+// allocated and therefore obey the engine-wide row-stability rule.
+func (b *Batch) Rows() [][]types.Value {
+	if b.rows == nil && b.cols != nil {
+		b.rows = vector.Materialize(b.cols, b.colsN)
+	}
+	return b.rows
+}
 
-// Row returns the i-th row.
-func (b *Batch) Row(i int) []types.Value { return b.rows[i] }
+// Row returns the i-th row (materializing the row view if needed).
+func (b *Batch) Row(i int) []types.Value { return b.Rows()[i] }
+
+// Cols exposes the columnar view, or nil when the batch is row-only. A
+// deferred view (a typed filter's gather) is built on first call — a
+// consumer that only ever reads rows never pays for it.
+func (b *Batch) Cols() []vector.Vector {
+	if b.cols == nil && b.lazyCols != nil {
+		b.cols, b.lazyCols = b.lazyCols(), nil
+		b.colsN = len(b.rows)
+	}
+	return b.cols
+}
+
+// KeyCols returns the columnar view only when the batch has no row view yet:
+// the cases where keying off the vectors saves the boxed reads. A batch that
+// already carries rows (a dual-view scan batch, a compacted filter output)
+// keys off the spine directly — those reads are plain struct loads and
+// beat per-element vector dispatch.
+func (b *Batch) KeyCols() []vector.Vector {
+	if b.rows != nil {
+		return nil
+	}
+	return b.cols
+}
 
 // Shared reports whether the spine aliases storage owned outside the batch
 // (and therefore must not be reordered or truncated in place).
@@ -52,8 +103,9 @@ func (b *Batch) Shared() bool { return b.shared }
 
 // Reset truncates the batch to zero rows and reclaims spine ownership. If
 // the spine was shared it is dropped rather than truncated, so the aliased
-// storage is never written through.
+// storage is never written through. Any columnar view is dropped.
 func (b *Batch) Reset() {
+	b.cols, b.colsN, b.lazyCols = nil, 0, nil
 	if b.shared {
 		b.rows, b.shared = nil, false
 		return
@@ -65,6 +117,31 @@ func (b *Batch) Reset() {
 // shared. Used by leaf operators to emit zero-copy slices of table storage.
 func (b *Batch) SetShared(rows [][]types.Value) {
 	b.rows, b.shared = rows, true
+	b.cols, b.colsN, b.lazyCols = nil, 0, nil
+}
+
+// SetSharedWithCols is SetShared plus a columnar view of the same rows:
+// the dual-view emission of scans over columnar table storage. Both views
+// alias storage owned elsewhere.
+func (b *Batch) SetSharedWithCols(rows [][]types.Value, cols []vector.Vector) {
+	b.rows, b.shared = rows, true
+	b.cols, b.colsN, b.lazyCols = cols, len(rows), nil
+}
+
+// SetCols makes the batch column-only: n rows described by cols, with the
+// row view materialized lazily on demand. The typed operators emit their
+// outputs this way.
+func (b *Batch) SetCols(cols []vector.Vector, n int) {
+	b.rows, b.shared = nil, false
+	b.cols, b.colsN, b.lazyCols = cols, n, nil
+}
+
+// setLazyColsView attaches a deferred columnar view describing the batch's
+// current rows (a typed filter's gather): built only if a consumer reads
+// Cols before the producer's next Next, skipped entirely for row-only
+// consumers like joins, sorts, and Drain.
+func (b *Batch) setLazyColsView(fn func() []vector.Vector) {
+	b.cols, b.colsN, b.lazyCols = nil, 0, fn
 }
 
 // Append adds a row to an owned batch.
@@ -78,22 +155,27 @@ func (b *Batch) Truncate(n int) { b.rows = b.rows[:n] }
 // applySel narrows in to the rows selected by sel (indices, ascending).
 // Owned spines are compacted in place — the selection-vector fast path —
 // while shared spines are copied into scratch, which the caller must own
-// and reuse across calls. The returned batch holds the selected rows.
+// and reuse across calls. The returned batch holds the selected rows. A
+// columnar view on the input is dropped unless every row was selected (it
+// would describe the pre-selection rows); callers with a freshly gathered
+// view reattach it with setColsView.
 func applySel(in *Batch, sel []int, scratch *Batch) *Batch {
 	if len(sel) == in.Len() {
 		return in
 	}
+	rows := in.Rows()
 	if in.shared {
 		scratch.Reset()
 		for _, i := range sel {
-			scratch.Append(in.rows[i])
+			scratch.Append(rows[i])
 		}
 		return scratch
 	}
 	for out, i := range sel {
-		in.rows[out] = in.rows[i]
+		rows[out] = rows[i]
 	}
 	in.Truncate(len(sel))
+	in.cols, in.colsN, in.lazyCols = nil, 0, nil
 	return in
 }
 

@@ -3,6 +3,7 @@ package physical
 import (
 	"repro/internal/algebra"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // HashJoin executes an equi-join in O(|build| + |probe| + |output|): Open
@@ -27,10 +28,16 @@ type HashJoin struct {
 	keyBuf   []byte
 	probe    *Batch // current probe batch, nil when a new one is needed
 	pi       int    // next probe row index
-	matches  [][]types.Value
-	mi       int
-	out      Batch
-	sl       *slab
+	// Per-probe-batch cached views: probeKeyCols keys off the vectors when
+	// the batch has no row view yet (typed fast path); probeRows is the row
+	// view, resolved lazily in that case — a batch probing with no matches
+	// never materializes it.
+	probeKeyCols []vector.Vector
+	probeRows    [][]types.Value
+	matches      [][]types.Value
+	mi           int
+	out          Batch
+	sl           *slab
 }
 
 // NewHashJoin builds a hash join; key positions are left- and right-relative.
@@ -68,6 +75,8 @@ func (j *HashJoin) Open() error {
 		if b == nil {
 			break
 		}
+		// The build side always needs the row view (buckets retain row
+		// slices), so keys come off the spine directly.
 		for _, row := range b.Rows() {
 			key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiR)
 			j.keyBuf = key
@@ -109,7 +118,12 @@ func (j *HashJoin) Next() (*Batch, error) {
 		if j.probe != nil {
 			for {
 				for j.mi < len(j.matches) {
-					j.emit(j.probe.Row(j.pi-1), j.matches[j.mi])
+					if j.probeRows == nil {
+						// First match of a column-only probe batch: now the
+						// row view is needed for output construction.
+						j.probeRows = j.probe.Rows()
+					}
+					j.emit(j.probeRows[j.pi-1], j.matches[j.mi])
 					j.mi++
 					if j.out.Len() >= DefaultBatchSize {
 						return &j.out, nil
@@ -119,10 +133,16 @@ func (j *HashJoin) Next() (*Batch, error) {
 					j.probe = nil
 					break
 				}
-				row := j.probe.Row(j.pi)
+				pi := j.pi
 				j.pi++
 				j.matches, j.mi = nil, 0
-				key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiL)
+				var key []byte
+				var ok bool
+				if j.probeKeyCols != nil {
+					key, ok = appendVecJoinKey(j.keyBuf[:0], j.probeKeyCols, pi, j.EquiL)
+				} else {
+					key, ok = appendJoinKey(j.keyBuf[:0], j.probeRows[pi], j.EquiL)
+				}
 				j.keyBuf = key
 				if ok {
 					if idx, hit := j.buildIdx[string(key)]; hit {
@@ -142,12 +162,18 @@ func (j *HashJoin) Next() (*Batch, error) {
 			return nil, nil
 		}
 		j.probe, j.pi, j.matches, j.mi = b, 0, nil, 0
+		j.probeKeyCols = b.KeyCols()
+		j.probeRows = nil
+		if j.probeKeyCols == nil {
+			j.probeRows = b.Rows()
+		}
 	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.buildIdx, j.buckets, j.matches, j.probe, j.sl = nil, nil, nil, nil, nil
+	j.probeRows, j.probeKeyCols = nil, nil
 	lerr := j.Left.Close()
 	rerr := j.Right.Close()
 	if lerr != nil {
@@ -166,13 +192,14 @@ type NestedLoopJoin struct {
 	Pred        algebra.Expr // nil accepts all pairs
 	schema      types.Schema
 
-	inner [][]types.Value
-	pred  *algebra.Compiled // compiled Pred, nil when absent
-	probe *Batch
-	pi    int // probe row index currently being expanded
-	ii    int // next inner row for that probe row
-	out   Batch
-	sl    *slab
+	inner     [][]types.Value
+	pred      *algebra.Compiled // compiled Pred, nil when absent
+	probe     *Batch
+	probeRows [][]types.Value // cached row view of the current probe batch
+	pi        int             // probe row index currently being expanded
+	ii        int             // next inner row for that probe row
+	out       Batch
+	sl        *slab
 }
 
 // NewNestedLoopJoin builds a nested-loop join.
@@ -217,7 +244,7 @@ func (j *NestedLoopJoin) Next() (*Batch, error) {
 	for {
 		if j.probe != nil {
 			for j.pi < j.probe.Len() {
-				l := j.probe.Row(j.pi)
+				l := j.probeRows[j.pi]
 				for j.ii < len(j.inner) {
 					row := j.sl.peek()
 					copy(row, l)
@@ -247,13 +274,13 @@ func (j *NestedLoopJoin) Next() (*Batch, error) {
 			}
 			return nil, nil
 		}
-		j.probe, j.pi, j.ii = b, 0, 0
+		j.probe, j.probeRows, j.pi, j.ii = b, b.Rows(), 0, 0
 	}
 }
 
 // Close implements Operator.
 func (j *NestedLoopJoin) Close() error {
-	j.inner, j.probe, j.sl = nil, nil, nil
+	j.inner, j.probe, j.probeRows, j.sl = nil, nil, nil, nil
 	lerr := j.Left.Close()
 	rerr := j.Right.Close()
 	if lerr != nil {

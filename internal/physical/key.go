@@ -1,6 +1,9 @@
 package physical
 
-import "repro/internal/types"
+import (
+	"repro/internal/types"
+	"repro/internal/vector"
+)
 
 // This file is the one place hash keys are built in the physical layer.
 // HashJoin, HashAggregate, and Distinct all key their tables with the
@@ -44,6 +47,42 @@ func appendJoinKey(buf []byte, row []types.Value, idx []int) ([]byte, bool) {
 			return buf, false
 		}
 		buf = row[j].AppendKey(buf)
+		buf = append(buf, '|')
+	}
+	return buf, true
+}
+
+// The appendVec* builders are the columnar twins of the three row builders:
+// the same canonical encoding produced element-at-a-time by the vectors'
+// per-type AppendElemKey fast paths (types.Append*Key over the unboxed
+// payloads), so a columnar batch and its materialized row view always build
+// byte-identical keys.
+
+// appendVecRowKey is appendRowKey over row i of a columnar batch.
+func appendVecRowKey(buf []byte, cols []vector.Vector, i int) []byte {
+	for _, v := range cols {
+		buf = v.AppendElemKey(buf, i)
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// appendVecColsKey is appendColsKey over row i of a columnar batch.
+func appendVecColsKey(buf []byte, cols []vector.Vector, i int, idx []int) []byte {
+	for _, j := range idx {
+		buf = cols[j].AppendElemKey(buf, i)
+		buf = append(buf, '|')
+	}
+	return buf
+}
+
+// appendVecJoinKey is appendJoinKey over row i of a columnar batch.
+func appendVecJoinKey(buf []byte, cols []vector.Vector, i int, idx []int) ([]byte, bool) {
+	for _, j := range idx {
+		if cols[j].Null(i) {
+			return buf, false
+		}
+		buf = cols[j].AppendElemKey(buf, i)
 		buf = append(buf, '|')
 	}
 	return buf, true

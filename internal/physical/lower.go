@@ -53,7 +53,7 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return NewScan(node.Table, schema, rows), nil
+		return NewColumnarScan(node.Table, schema, rows, columnsFor(src, node.Table, len(rows))), nil
 
 	case *algebra.Filter:
 		in, err := lowerNode(node.Input, src, opt)
@@ -246,7 +246,8 @@ func pipelineFor(n algebra.Node, src Source, opt Options) (*pipelineSpec, bool, 
 		if len(rows) < opt.MinParallelRows {
 			return nil, false, nil
 		}
-		ms := &morselSource{rows: rows, size: opt.MorselSize}
+		ms := &morselSource{rows: rows, size: opt.MorselSize,
+			cols: columnsFor(src, node.Table, len(rows))}
 		return &pipelineSpec{
 			src: ms, table: node.Table, schema: schema, preservesCount: true,
 			mk: func() (Operator, *MorselScan) {

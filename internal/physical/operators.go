@@ -3,6 +3,7 @@ package physical
 import (
 	"repro/internal/algebra"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Scan emits the rows of a resolved base table in batches whose spines are
@@ -14,11 +15,17 @@ import (
 // therefore must not mutate result rows of row-preserving plans in place;
 // Limit is the exception and copies, so that LIMIT results are always safe
 // to mutate.
+//
+// When the source also provides columnar table storage (ColumnSource), each
+// batch additionally carries zero-copy vector windows of the table's
+// columns, and the typed operators above run their unboxed loops instead of
+// boxed row kernels; boxed consumers keep reading the row view for free.
 type Scan struct {
 	Table     string
 	BatchSize int // rows per batch; 0 means DefaultBatchSize
 	schema    types.Schema
 	rows      [][]types.Value
+	cols      *vector.Columns // nil: row-only source
 	pos       int
 	out       Batch
 }
@@ -26,6 +33,17 @@ type Scan struct {
 // NewScan builds a scan over pre-resolved rows.
 func NewScan(table string, schema types.Schema, rows [][]types.Value) *Scan {
 	return &Scan{Table: table, schema: schema, rows: rows}
+}
+
+// NewColumnarScan builds a scan that emits dual-view batches: the row spine
+// plus zero-copy windows of cols. A cols whose length disagrees with rows
+// (a stale cache) is ignored.
+func NewColumnarScan(table string, schema types.Schema, rows [][]types.Value, cols *vector.Columns) *Scan {
+	s := NewScan(table, schema, rows)
+	if cols != nil && cols.N == len(rows) {
+		s.cols = cols
+	}
+	return s
 }
 
 // Schema implements Operator.
@@ -50,7 +68,11 @@ func (s *Scan) Next() (*Batch, error) {
 	if end > len(s.rows) {
 		end = len(s.rows)
 	}
-	s.out.SetShared(s.rows[s.pos:end])
+	if s.cols != nil {
+		s.out.SetSharedWithCols(s.rows[s.pos:end], s.cols.Slice(s.pos, end))
+	} else {
+		s.out.SetShared(s.rows[s.pos:end])
+	}
 	s.pos = end
 	return &s.out, nil
 }
@@ -64,13 +86,22 @@ func (s *Scan) Close() error { return nil }
 // reused selection vector: owned batches are compacted in place, shared
 // (scan-aliased) batches are compacted into the filter's own spine — either
 // way no row data moves, only row pointers.
+//
+// Columnar batches take the typed path when the predicate has an unboxed
+// selection kernel: the selection vector is computed straight off the
+// vectors, and the surviving rows' columns are gathered into fresh packed
+// vectors so downstream typed operators (Project's arithmetic, join key
+// encoding) keep their unboxed loops. When the batch also carries a row
+// view it is narrowed as before, so boxed consumers lose nothing.
 type Filter struct {
 	Input Operator
 	Pred  algebra.Expr
 
-	prog    *algebra.Compiled
-	sel     []int
-	scratch Batch
+	prog     *algebra.Compiled
+	sel      []int
+	scratch  Batch
+	colsOut  []vector.Vector
+	colsOnly Batch
 }
 
 // Schema implements Operator.
@@ -82,12 +113,48 @@ func (f *Filter) Open() error {
 	return f.Input.Open()
 }
 
+// gather packs the selected rows' columns into the filter's scratch-reused
+// vectors (the previous batch's storage, whose lifetime has expired).
+func (f *Filter) gather(cols []vector.Vector, sel []int) []vector.Vector {
+	if cap(f.colsOut) < len(cols) {
+		f.colsOut = make([]vector.Vector, len(cols))
+	}
+	gathered := f.colsOut[:len(cols)]
+	for j, v := range cols {
+		gathered[j] = vector.GatherInto(gathered[j], v, sel)
+	}
+	return gathered
+}
+
 // Next implements Operator.
 func (f *Filter) Next() (*Batch, error) {
 	for {
 		b, err := f.Input.Next()
 		if b == nil || err != nil {
 			return nil, err
+		}
+		if cols := b.Cols(); cols != nil {
+			sel, ok := f.prog.SelectTruthyVec(cols, b.Len(), f.sel[:0])
+			if ok {
+				f.sel = sel
+				if len(sel) == 0 {
+					continue
+				}
+				if len(sel) == b.Len() {
+					return b, nil
+				}
+				if b.rows == nil {
+					// Column-only input: stay column-only, materialize never.
+					f.colsOnly.SetCols(f.gather(cols, sel), len(sel))
+					return &f.colsOnly, nil
+				}
+				out := applySel(b, sel, &f.scratch)
+				// The gather runs only if a typed consumer reads Cols before
+				// our next Next; row-only consumers (joins keying off the
+				// spine, sorts, Drain) never pay for it.
+				out.setLazyColsView(func() []vector.Vector { return f.gather(cols, sel) })
+				return out, nil
+			}
 		}
 		f.sel = f.prog.SelectTruthy(b.Rows(), f.sel[:0])
 		if len(f.sel) == 0 {
@@ -106,14 +173,29 @@ func (f *Filter) Close() error { return f.Input.Close() }
 // instead of one per row — filled expression-at-a-time with strided batch
 // evaluation. The slab is not reused, so emitted rows stay valid until
 // Close, as the engine-wide row-stability rule requires.
+//
+// Columnar batches take a typed path when every output expression has an
+// unboxed columnar kernel. A pure passthrough projection (bare columns and
+// constants only) stays column-only — zero work now, and typed consumers
+// (Distinct's dedup keying, join probes) keep their vectors; a consumer
+// that wants rows pays exactly the copy the row path would have made. A
+// computing projection instead fuses typed evaluation with row-slab
+// construction (EvalVecStrided): operands are read unboxed, but the output
+// Values are written once, directly into the slab — no intermediate vector
+// materialization on the way to row consumers like Drain, Sort, and join
+// builds. If any expression lacks a columnar kernel the whole batch falls
+// back to the boxed row kernels, so a batch is never evaluated twice.
 type Project struct {
 	Input  Operator
 	Exprs  []algebra.Expr
 	Names  []string
 	schema types.Schema
 
-	progs []*algebra.Compiled
-	out   Batch
+	progs       []*algebra.Compiled
+	out         Batch
+	colsOut     []vector.Vector
+	passthrough bool // every expr is a bare Col or Const
+	allVec      bool // every expr has a columnar kernel
 }
 
 // NewProject builds a projection operator.
@@ -128,6 +210,17 @@ func (p *Project) Schema() types.Schema { return p.schema }
 // Open implements Operator.
 func (p *Project) Open() error {
 	p.progs = algebra.CompileAll(p.Exprs)
+	p.passthrough, p.allVec = true, true
+	for i, e := range p.Exprs {
+		switch e.(type) {
+		case algebra.Col, algebra.Const:
+		default:
+			p.passthrough = false
+		}
+		if !p.progs[i].CanEvalVec() {
+			p.allVec = false
+		}
+	}
 	return p.Input.Open()
 }
 
@@ -146,6 +239,28 @@ func (p *Project) Next() (*Batch, error) {
 		return nil, err
 	}
 	n, k := b.Len(), len(p.Exprs)
+	if cols := b.Cols(); cols != nil && p.allVec {
+		if p.passthrough {
+			if cap(p.colsOut) < k {
+				p.colsOut = make([]vector.Vector, k)
+			}
+			outCols := p.colsOut[:k]
+			for j, prog := range p.progs {
+				outCols[j], _ = prog.EvalVec(cols, n)
+			}
+			p.out.SetCols(outCols, n)
+			return &p.out, nil
+		}
+		buf := make([]types.Value, n*k)
+		for j, prog := range p.progs {
+			prog.EvalVecStrided(cols, n, buf[j:], k)
+		}
+		p.out.Reset()
+		for i := 0; i < n; i++ {
+			p.out.Append(buf[i*k : (i+1)*k : (i+1)*k])
+		}
+		return &p.out, nil
+	}
 	buf := make([]types.Value, n*k)
 	for j, prog := range p.progs {
 		prog.EvalStrided(b.Rows(), buf[j:], k)
@@ -209,10 +324,11 @@ func (l *Limit) Next() (*Batch, error) {
 	l.emitted += int64(take)
 	width := l.Schema().Arity()
 	buf := make([]types.Value, take*width)
+	rows := b.Rows()
 	l.out.Reset()
 	for i := 0; i < take; i++ {
 		row := buf[i*width : (i+1)*width : (i+1)*width]
-		copy(row, b.Row(i))
+		copy(row, rows[i])
 		l.out.Append(row)
 	}
 	return &l.out, nil
@@ -283,7 +399,9 @@ func (u *UnionAll) Close() error {
 // Distinct keeps the first occurrence of each row, keyed by the shared
 // canonical binary encoding (see key.go). Like Filter it narrows each batch
 // through a selection vector — in place for owned spines, into its own
-// spine for shared ones — so dedup moves row pointers, never row data.
+// spine for shared ones — so dedup moves row pointers, never row data. On
+// columnar batches the keys are encoded straight from the vectors (the
+// per-vector-type AppendElemKey fast paths), skipping the boxed reads.
 type Distinct struct {
 	Input Operator
 	seen  map[string]struct{}
@@ -310,13 +428,24 @@ func (d *Distinct) Next() (*Batch, error) {
 			return nil, err
 		}
 		d.sel = d.sel[:0]
-		for i, row := range b.Rows() {
-			d.keyBuf = appendRowKey(d.keyBuf[:0], row)
-			if _, dup := d.seen[string(d.keyBuf)]; dup {
-				continue
+		if cols := b.KeyCols(); cols != nil {
+			for i, n := 0, b.Len(); i < n; i++ {
+				d.keyBuf = appendVecRowKey(d.keyBuf[:0], cols, i)
+				if _, dup := d.seen[string(d.keyBuf)]; dup {
+					continue
+				}
+				d.seen[string(d.keyBuf)] = struct{}{}
+				d.sel = append(d.sel, i)
 			}
-			d.seen[string(d.keyBuf)] = struct{}{}
-			d.sel = append(d.sel, i)
+		} else {
+			for i, row := range b.Rows() {
+				d.keyBuf = appendRowKey(d.keyBuf[:0], row)
+				if _, dup := d.seen[string(d.keyBuf)]; dup {
+					continue
+				}
+				d.seen[string(d.keyBuf)] = struct{}{}
+				d.sel = append(d.sel, i)
+			}
 		}
 		if len(d.sel) == 0 {
 			continue

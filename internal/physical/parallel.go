@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // DefaultMorselSize is the number of rows handed to a worker per morsel. It
@@ -50,9 +51,12 @@ func (o Options) normalized() Options {
 // table's rows, split into fixed-size morsels claimed by workers with one
 // atomic increment each. Morsel sequence numbers are positions in the
 // original table order; the Gather above uses them to restore deterministic
-// first-seen output order no matter which worker ran which morsel.
+// first-seen output order no matter which worker ran which morsel. cols,
+// when present, is the table's columnar form: read-only like rows, so every
+// worker slices it zero-copy without coordination.
 type morselSource struct {
 	rows [][]types.Value
+	cols *vector.Columns // nil: row-only source
 	size int
 	next atomic.Int64
 }
@@ -128,7 +132,11 @@ func (m *MorselScan) Next() (*Batch, error) {
 	if end > m.hi {
 		end = m.hi
 	}
-	m.out.SetShared(m.src.rows[m.pos:end])
+	if m.src.cols != nil {
+		m.out.SetSharedWithCols(m.src.rows[m.pos:end], m.src.cols.Slice(m.pos, end))
+	} else {
+		m.out.SetShared(m.src.rows[m.pos:end])
+	}
 	m.pos = end
 	return &m.out, nil
 }

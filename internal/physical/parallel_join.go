@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // keyHash is FNV-1a over a canonical key encoding; it only routes keys to
@@ -137,15 +138,19 @@ type HashJoinProbe struct {
 	EquiL    []int
 	Residual algebra.Expr
 
-	schema  types.Schema
-	res     *algebra.Compiled
-	keyBuf  []byte
-	probe   *Batch
-	pi      int
-	matches [][]types.Value
-	mi      int
-	out     Batch
-	sl      *slab
+	schema types.Schema
+	res    *algebra.Compiled
+	keyBuf []byte
+	probe  *Batch
+	pi     int
+	// Per-probe-batch cached views, as in the serial HashJoin: vector keying
+	// only when the batch has no row view yet, rows resolved lazily.
+	probeKeyCols []vector.Vector
+	probeRows    [][]types.Value
+	matches      [][]types.Value
+	mi           int
+	out          Batch
+	sl           *slab
 }
 
 // Schema implements Operator.
@@ -183,7 +188,10 @@ func (j *HashJoinProbe) Next() (*Batch, error) {
 		if j.probe != nil {
 			for {
 				for j.mi < len(j.matches) {
-					j.emit(j.probe.Row(j.pi-1), j.matches[j.mi])
+					if j.probeRows == nil {
+						j.probeRows = j.probe.Rows()
+					}
+					j.emit(j.probeRows[j.pi-1], j.matches[j.mi])
 					j.mi++
 					if j.out.Len() >= DefaultBatchSize {
 						return &j.out, nil
@@ -193,10 +201,16 @@ func (j *HashJoinProbe) Next() (*Batch, error) {
 					j.probe = nil
 					break
 				}
-				row := j.probe.Row(j.pi)
+				pi := j.pi
 				j.pi++
 				j.matches, j.mi = nil, 0
-				key, ok := appendJoinKey(j.keyBuf[:0], row, j.EquiL)
+				var key []byte
+				var ok bool
+				if j.probeKeyCols != nil {
+					key, ok = appendVecJoinKey(j.keyBuf[:0], j.probeKeyCols, pi, j.EquiL)
+				} else {
+					key, ok = appendJoinKey(j.keyBuf[:0], j.probeRows[pi], j.EquiL)
+				}
 				j.keyBuf = key
 				if ok {
 					j.matches = j.Build.lookup(key)
@@ -214,6 +228,11 @@ func (j *HashJoinProbe) Next() (*Batch, error) {
 			return nil, nil
 		}
 		j.probe, j.pi, j.matches, j.mi = b, 0, nil, 0
+		j.probeKeyCols = b.KeyCols()
+		j.probeRows = nil
+		if j.probeKeyCols == nil {
+			j.probeRows = b.Rows()
+		}
 	}
 }
 
@@ -222,5 +241,6 @@ func (j *HashJoinProbe) Next() (*Batch, error) {
 // build() drained it.
 func (j *HashJoinProbe) Close() error {
 	j.matches, j.probe, j.sl = nil, nil, nil
+	j.probeRows, j.probeKeyCols = nil, nil
 	return j.Input.Close()
 }

@@ -14,7 +14,10 @@
 // on both paths at once.
 package physical
 
-import "repro/internal/types"
+import (
+	"repro/internal/types"
+	"repro/internal/vector"
+)
 
 // Operator is a batch-at-a-time iterator over rows. The contract:
 //
@@ -49,6 +52,33 @@ type Source interface {
 	// Resolve returns the schema and backing rows of the named table, or an
 	// error when the table does not exist.
 	Resolve(table string) (types.Schema, [][]types.Value, error)
+}
+
+// ColumnSource is optionally implemented by sources that also hold columnar
+// storage (internal/vector) for their tables. Scans over such sources emit
+// dual-view batches and the typed operator paths engage; sources without it
+// run the boxed row engine unchanged.
+type ColumnSource interface {
+	// ResolveColumns returns the cached columnar form of the named table, or
+	// ok=false when none is available. The result must describe exactly the
+	// rows Resolve returns (lowering discards a columnar form whose length
+	// disagrees, so a stale cache degrades to the row path rather than
+	// corrupting results).
+	ResolveColumns(table string) (cols *vector.Columns, ok bool)
+}
+
+// columnsFor resolves the columnar form of a table when the source provides
+// one that matches the resolved row count.
+func columnsFor(src Source, table string, nRows int) *vector.Columns {
+	cs, ok := src.(ColumnSource)
+	if !ok {
+		return nil
+	}
+	cols, ok := cs.ResolveColumns(table)
+	if !ok || cols == nil || cols.N != nRows {
+		return nil
+	}
+	return cols
 }
 
 // Drain opens op, collects every row, and closes it. The Close error is

@@ -1,6 +1,8 @@
 package types
 
 import (
+	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -72,5 +74,53 @@ func TestAppendKeyMatchesCompare(t *testing.T) {
 		if (a.Compare(b) == 0) != (ka == kb) {
 			t.Fatalf("Compare(%v,%v)=%d but keys %q vs %q", a, b, a.Compare(b), ka, kb)
 		}
+	}
+}
+
+// TestTypedEncodersMatchBoxed pins the per-kind Append*Key fast paths —
+// what the columnar vectors call per element — byte for byte against the
+// boxed Value.AppendKey, on every edge the typed loops could plausibly get
+// wrong: NULL, NaN, infinities, negative zero, and int64↔float64 widening
+// past 2^53 (where a huge int must share its key with the float it
+// collapses to, exactly as Compare treats them as equal).
+func TestTypedEncodersMatchBoxed(t *testing.T) {
+	const big = int64(1) << 53
+	check := func(name string, typed, boxed []byte) {
+		t.Helper()
+		if !bytes.Equal(typed, boxed) {
+			t.Errorf("%s: typed %q != boxed %q", name, typed, boxed)
+		}
+	}
+	check("null", AppendNullKey(nil), Null().AppendKey(nil))
+	for _, b := range []bool{false, true} {
+		check("bool", AppendBoolKey(nil, b), NewBool(b).AppendKey(nil))
+	}
+	ints := []int64{0, 1, -1, 42, big, big + 1, big - 1, -big, -big - 1,
+		math.MaxInt64, math.MinInt64}
+	for _, i := range ints {
+		check("int", AppendIntKey(nil, i), NewInt(i).AppendKey(nil))
+	}
+	floats := []float64{0, math.Copysign(0, -1), 1.5, -2.25, math.NaN(),
+		math.Inf(1), math.Inf(-1), float64(big), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	for _, f := range floats {
+		check("float", AppendFloatKey(nil, f), NewFloat(f).AppendKey(nil))
+	}
+	for _, s := range []string{"", "a", "ab|c", "2:ab", "N", "T", "f3ff"} {
+		check("string", AppendStringKey(nil, s), NewString(s).AppendKey(nil))
+	}
+
+	// The widening contract: a huge int keys identically to the float64 it
+	// widens to, and therefore to any other int widening to the same float.
+	check("2^53 int vs float", AppendIntKey(nil, big), NewFloat(float64(big)).AppendKey(nil))
+	check("2^53+1 collapses", AppendIntKey(nil, big+1), AppendIntKey(nil, big))
+	if NewInt(big).Compare(NewInt(big+1)) != 0 {
+		t.Error("Compare contract changed: 2^53 and 2^53+1 no longer equal after widening")
+	}
+	// -0.0 and +0.0 compare equal but are distinct bit patterns; the
+	// encoding has always kept them distinct (it keys by bits), and the
+	// typed path must reproduce exactly that — not "fix" it.
+	if bytes.Equal(AppendFloatKey(nil, 0), AppendFloatKey(nil, math.Copysign(0, -1))) !=
+		bytes.Equal(NewFloat(0).AppendKey(nil), NewFloat(math.Copysign(0, -1)).AppendKey(nil)) {
+		t.Error("typed and boxed encoders disagree on ±0 distinctness")
 	}
 }

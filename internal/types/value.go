@@ -193,27 +193,60 @@ func (v Value) String() string {
 // numeric encoding is fixed-width-free hex and therefore not
 // self-delimiting — multi-value keys must join encodings with a separator,
 // as Tuple.Key and the physical operators' key builders do.
+//
+// The per-kind Append*Key functions below are the same encoding over raw Go
+// payloads; AppendKey delegates to them, so the typed columnar key builders
+// (which never box a Value) agree with the boxed encoder by construction.
 func (v Value) AppendKey(b []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return append(b, 'N')
+		return AppendNullKey(b)
 	case KindBool:
-		if v.b {
-			return append(b, 'T')
-		}
-		return append(b, 'F')
+		return AppendBoolKey(b, v.b)
 	case KindInt:
-		b = append(b, 'f')
-		return strconv.AppendUint(b, math.Float64bits(float64(v.i)), 16)
+		return AppendIntKey(b, v.i)
 	case KindFloat:
-		b = append(b, 'f')
-		return strconv.AppendUint(b, math.Float64bits(v.f), 16)
+		return AppendFloatKey(b, v.f)
 	case KindString:
-		b = append(b, 's')
-		b = strconv.AppendInt(b, int64(len(v.s)), 10)
-		b = append(b, ':')
-		return append(b, v.s...)
+		return AppendStringKey(b, v.s)
 	default:
 		return append(b, '?')
 	}
+}
+
+// AppendNullKey appends the canonical key encoding of NULL.
+func AppendNullKey(b []byte) []byte { return append(b, 'N') }
+
+// AppendBoolKey appends the canonical key encoding of a boolean payload.
+func AppendBoolKey(b []byte, v bool) []byte {
+	if v {
+		return append(b, 'T')
+	}
+	return append(b, 'F')
+}
+
+// AppendIntKey appends the canonical key encoding of an integer payload.
+// Integers widen to float64 first — exactly as Compare's cross-kind numeric
+// equality does — so an int and the float it equals share one encoding, and
+// two huge ints that collapse to the same float64 (beyond 2^53) collide
+// exactly when Compare orders them equal.
+func AppendIntKey(b []byte, v int64) []byte {
+	return AppendFloatKey(b, float64(v))
+}
+
+// AppendFloatKey appends the canonical key encoding of a float payload: the
+// IEEE-754 bit pattern in hex, so -0 and +0 stay distinct encodings of
+// distinct bit patterns and every NaN payload keys by its own bits.
+func AppendFloatKey(b []byte, v float64) []byte {
+	b = append(b, 'f')
+	return strconv.AppendUint(b, math.Float64bits(v), 16)
+}
+
+// AppendStringKey appends the canonical key encoding of a string payload,
+// length-prefixed so concatenated encodings cannot collide.
+func AppendStringKey(b []byte, v string) []byte {
+	b = append(b, 's')
+	b = strconv.AppendInt(b, int64(len(v)), 10)
+	b = append(b, ':')
+	return append(b, v...)
 }

@@ -1,0 +1,159 @@
+package vector
+
+import "repro/internal/types"
+
+// Columns is a table's column-oriented storage: one vector per attribute,
+// all the same length. It is built once from the row representation and
+// cached; scans slice it zero-copy into per-batch column windows.
+type Columns struct {
+	N    int
+	Vecs []Vector
+}
+
+// Slice returns zero-copy windows [lo, hi) of every column.
+func (c *Columns) Slice(lo, hi int) []Vector {
+	out := make([]Vector, len(c.Vecs))
+	for i, v := range c.Vecs {
+		out[i] = v.Slice(lo, hi)
+	}
+	return out
+}
+
+// FromRows builds the columnar form of a row table. Each column's vector
+// type is inferred from its data: a column whose non-null values are all one
+// kind gets the matching typed vector (nulls recorded in the bitmap); a
+// column mixing kinds — or holding only NULLs — falls back to the boxed
+// ValueVector. Round-tripping through Value(i) reproduces the original
+// values exactly, so columnar execution cannot change results.
+func FromRows(rows [][]types.Value, arity int) *Columns {
+	c := &Columns{N: len(rows), Vecs: make([]Vector, arity)}
+	for j := 0; j < arity; j++ {
+		c.Vecs[j] = columnFromRows(rows, j)
+	}
+	return c
+}
+
+// columnFromRows infers and builds one column.
+func columnFromRows(rows [][]types.Value, j int) Vector {
+	kind := types.KindNull
+	mixed := false
+	for _, r := range rows {
+		k := r[j].Kind()
+		if k == types.KindNull {
+			continue
+		}
+		if kind == types.KindNull {
+			kind = k
+		} else if kind != k {
+			mixed = true
+			break
+		}
+	}
+	if mixed || kind == types.KindNull {
+		vals := make([]types.Value, len(rows))
+		for i, r := range rows {
+			vals[i] = r[j]
+		}
+		return NewValueVector(vals)
+	}
+	var nb *Bitmap
+	markNull := func(i int) {
+		if nb == nil {
+			nb = NewBitmap(len(rows))
+		}
+		nb.Set(i)
+	}
+	switch kind {
+	case types.KindInt:
+		vals := make([]int64, len(rows))
+		for i, r := range rows {
+			if r[j].IsNull() {
+				markNull(i)
+			} else {
+				vals[i] = r[j].Int()
+			}
+		}
+		return NewInt64Vector(vals, nb)
+	case types.KindFloat:
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			if r[j].IsNull() {
+				markNull(i)
+			} else {
+				vals[i] = r[j].Float()
+			}
+		}
+		return NewFloat64Vector(vals, nb)
+	case types.KindString:
+		vals := make([]string, len(rows))
+		for i, r := range rows {
+			if r[j].IsNull() {
+				markNull(i)
+			} else {
+				vals[i] = r[j].Str()
+			}
+		}
+		return NewStringVector(vals, nb)
+	default: // types.KindBool
+		vals := make([]bool, len(rows))
+		for i, r := range rows {
+			if r[j].IsNull() {
+				markNull(i)
+			} else {
+				vals[i] = r[j].Bool()
+			}
+		}
+		return NewBoolVector(vals, nb)
+	}
+}
+
+// Materialize rebuilds n rows from column vectors, carving the row slices
+// out of one value slab (one allocation for the cells, one for the spine).
+// The result never aliases the vectors' storage, so the rows obey the
+// engine-wide stability rule: valid forever, whatever happens to the
+// (possibly scratch-backed) vectors afterwards.
+func Materialize(cols []Vector, n int) [][]types.Value {
+	k := len(cols)
+	rows := make([][]types.Value, n)
+	buf := make([]types.Value, n*k)
+	for j, v := range cols {
+		switch tv := v.(type) {
+		case *Int64Vector:
+			for i, x := range tv.Vals {
+				if !tv.null(i) {
+					buf[i*k+j] = types.NewInt(x)
+				}
+			}
+		case *Float64Vector:
+			for i, x := range tv.Vals {
+				if !tv.null(i) {
+					buf[i*k+j] = types.NewFloat(x)
+				}
+			}
+		case *StringVector:
+			for i, x := range tv.Vals {
+				if !tv.null(i) {
+					buf[i*k+j] = types.NewString(x)
+				}
+			}
+		case *BoolVector:
+			for i, x := range tv.Vals {
+				if !tv.null(i) {
+					buf[i*k+j] = types.NewBool(x)
+				}
+			}
+		case *ValueVector:
+			for i, x := range tv.Vals {
+				buf[i*k+j] = x
+			}
+		default:
+			for i := 0; i < n; i++ {
+				buf[i*k+j] = v.Value(i)
+			}
+		}
+	}
+	for i := range rows {
+		rows[i] = buf[i*k : (i+1)*k : (i+1)*k]
+	}
+	return rows
+}
