@@ -18,7 +18,14 @@
 //	bench update  rerun the suite and rewrite the baseline in place — run it
 //	              after deliberate perf-relevant changes and commit the diff
 //
-// CI runs `bench check` on every PR.
+// With -mem-budget (e.g. "32M", or "auto" for a quarter of the data), the
+// physical run and both gate subcommands additionally measure the
+// out-of-core spill workloads — sort, aggregate, and join at data ≫ budget
+// through the memory-governed spilling engine. Their throughput is
+// disk-bound as well as CPU-bound, so regenerate their baseline entries on
+// an idle machine before trusting a regression verdict.
+//
+// CI runs `bench check -mem-budget 32M` on every PR.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/physbench"
+	"repro/internal/physical"
 )
 
 func main() {
@@ -46,6 +54,7 @@ func main() {
 	physRows := flag.Int("physrows", 1000000, "input rows for the physical operator suite")
 	physOut := flag.String("physout", "BENCH_physical.json", "path for the physical suite's JSON results")
 	dop := flag.Int("dop", 0, "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)")
+	memBudget := flag.String("mem-budget", "", "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip them; 'auto' = a quarter of the data)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -181,6 +190,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if ooc, err := outOfCoreResults(*memBudget, rows); err != nil {
+			fail(err)
+		} else {
+			results = append(results, ooc...)
+		}
 		fmt.Println("Physical operator suite (batch engine vs row-at-a-time reference)")
 		fmt.Print(physbench.Format(results))
 		if err := physbench.WriteJSON(*physOut, results); err != nil {
@@ -190,9 +204,34 @@ func main() {
 	}
 }
 
+// outOfCoreResults runs the spilling workloads when a -mem-budget was
+// asked for: "" skips them, "auto" derives a quarter-of-data budget, any
+// other value parses as a byte size (64M, 2G, plain bytes).
+func outOfCoreResults(budgetFlag string, rows int) ([]physbench.Result, error) {
+	if budgetFlag == "" {
+		return nil, nil
+	}
+	var budget int64
+	if budgetFlag != "auto" {
+		var err error
+		budget, err = physical.ParseByteSize(budgetFlag)
+		if err != nil {
+			return nil, fmt.Errorf("-mem-budget: %w", err)
+		}
+		if budget == 0 {
+			return nil, nil
+		}
+	}
+	return measureOOC(rows, budget)
+}
+
 // measure runs the physical suite; a seam so the gate's flag/IO/verdict
 // paths are testable without ~20s of real measurement per invocation.
-var measure = physbench.Suite
+// measureOOC is the same seam for the out-of-core spill workloads.
+var (
+	measure    = physbench.Suite
+	measureOOC = physbench.OutOfCore
+)
 
 // runGate implements `bench check` and `bench update`: rerun the physical
 // suite and either gate against, or refresh, the committed baseline. check
@@ -204,6 +243,7 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 	baseline := fs.String("baseline", "BENCH_physical.json", "committed baseline path")
 	out := fs.String("out", "", "also write the fresh measurements to this path (check only)")
 	tol := fs.Float64("tolerance", 0.25, "allowed rows_per_sec regression fraction before the gate fails")
+	memBudget := fs.String("mem-budget", "", "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip; 'auto' = a quarter of the data)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -223,6 +263,11 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 	results, err := measure(*physRows, *dop)
 	if err != nil {
 		return err
+	}
+	if ooc, err := outOfCoreResults(*memBudget, *physRows); err != nil {
+		return err
+	} else {
+		results = append(results, ooc...)
 	}
 	if mode == "update" {
 		if err := physbench.WriteJSON(*baseline, results); err != nil {

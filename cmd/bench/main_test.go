@@ -9,12 +9,17 @@ import (
 	"repro/internal/physbench"
 )
 
-// stubSuite replaces the real (seconds-per-entry) measurement suite with
-// canned results scaled by factor, restoring it on cleanup. The gate's flag
-// parsing, baseline IO, comparison, and verdicts all still run for real.
+// stubSuite replaces the real (seconds-per-entry) measurement suites with
+// canned results scaled by factor, restoring them on cleanup. The gate's
+// flag parsing, baseline IO, comparison, and verdicts all still run for
+// real. The out-of-core stub records the budget it was invoked with in
+// oocBudget (0 = never invoked).
+var oocBudget int64
+
 func stubSuite(t *testing.T, factor float64) {
 	t.Helper()
-	orig := measure
+	orig, origOOC := measure, measureOOC
+	oocBudget = 0
 	measure = func(n, dop int) ([]physbench.Result, error) {
 		rs := []physbench.Result{
 			{Op: "scan-filter-project/batch", Rows: n, NsPerOp: 1000, RowsPerSec: 1e7 * factor},
@@ -23,7 +28,13 @@ func stubSuite(t *testing.T, factor float64) {
 		}
 		return rs, nil
 	}
-	t.Cleanup(func() { measure = orig })
+	measureOOC = func(n int, budget int64) ([]physbench.Result, error) {
+		oocBudget = budget
+		return []physbench.Result{
+			{Op: "sort-oocore/spill", Rows: n, NsPerOp: 4000, RowsPerSec: 2.5e6 * factor},
+		}, nil
+	}
+	t.Cleanup(func() { measure, measureOOC = orig, origOOC })
 }
 
 // TestMainSmokeGate is the CI start sanity for the bench CLI's regression
@@ -99,6 +110,54 @@ func TestMainCheckAllSkippedFails(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "compared 0 of") {
 		t.Errorf("report missing skip summary:\n%s", out.String())
+	}
+}
+
+// TestMainGateMemBudget: `bench update -mem-budget` folds the out-of-core
+// entries into the baseline, and a matching `check` compares them; without
+// the flag the spill workloads never run.
+func TestMainGateMemBudget(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+
+	stubSuite(t, 1.0)
+	var out strings.Builder
+	if err := runGate("update", []string{
+		"-physrows", "2000", "-dop", "2", "-mem-budget", "32M",
+		"-baseline", baseline}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if oocBudget != 32<<20 {
+		t.Fatalf("out-of-core suite ran at budget %d, want 32M", oocBudget)
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "sort-oocore/spill") {
+		t.Fatalf("baseline missing the spill entry:\n%s", raw)
+	}
+
+	out.Reset()
+	if err := runGate("check", []string{
+		"-physrows", "2000", "-dop", "2", "-mem-budget", "32M",
+		"-baseline", baseline}, &out); err != nil {
+		t.Fatalf("check with spill entries failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sort-oocore/spill") {
+		t.Errorf("check report missing the spill entry:\n%s", out.String())
+	}
+
+	// Without -mem-budget the spill workloads are skipped entirely and the
+	// stale baseline entry is reported as a skip, not a failure.
+	stubSuite(t, 1.0)
+	out.Reset()
+	if err := runGate("check", []string{
+		"-physrows", "2000", "-dop", "2", "-baseline", baseline}, &out); err != nil {
+		t.Fatalf("check without -mem-budget failed: %v\n%s", err, out.String())
+	}
+	if oocBudget != 0 {
+		t.Errorf("out-of-core suite ran without -mem-budget (budget %d)", oocBudget)
 	}
 }
 

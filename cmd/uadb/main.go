@@ -11,6 +11,10 @@
 // -table set and encoded on the fly. With no -query, queries are read from
 // stdin, one per line (exit with an empty line or EOF). -dop caps the
 // physical engine's parallelism (0 = one worker per CPU, 1 = serial).
+// -mem-budget caps each query's pipeline-breaker working set (e.g. "64M",
+// "2G", or plain bytes; 0 = unlimited): sorts, aggregates, and join builds
+// that exceed the budget spill to temp files and stream back, so one big
+// GROUP BY or join cannot OOM the process.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 
 	"repro/internal/csvio"
 	"repro/internal/engine"
+	"repro/internal/physical"
 	"repro/internal/rewrite"
 )
 
@@ -52,12 +57,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	query := fs.String("query", "", "UA-SQL query; omit to read from stdin")
 	explain := fs.Bool("explain", false, "print the rewritten logical plan instead of executing")
 	dop := fs.Int("dop", 0, "degree of parallelism: 0 = GOMAXPROCS, 1 = serial engine")
+	memBudget := fs.String("mem-budget", "", "per-query memory budget for sorts/aggregates/joins, e.g. 64M or 2G (empty or 0 = unlimited, never spill)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	budget, err := physical.ParseByteSize(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
 	}
 
 	front := rewrite.NewFrontend(engine.NewCatalog())
 	front.DOP = *dop
+	front.MemBudget = budget
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -76,3 +76,27 @@ func TestMainBadTableSpec(t *testing.T) {
 		t.Errorf("want bad -table error, got %v", err)
 	}
 }
+
+// TestMainMemBudget: a query runs under a tiny -mem-budget (smaller than
+// one row's estimate, so the sort genuinely evicts runs through the
+// spilling path) with correct output, and a malformed budget fails with a
+// clear error before any work.
+func TestMainMemBudget(t *testing.T) {
+	csv := writeCSV(t, "t.csv", "id,v\n1,10\n2,20\n3,30\n")
+	var out, errOut strings.Builder
+	err := run([]string{"-mem-budget", "100", "-table", "t=" + csv,
+		"-query", "SELECT t.id FROM t ORDER BY t.v DESC",
+	}, strings.NewReader(""), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(3 rows)") {
+		t.Errorf("budgeted query output missing row count:\n%s", out.String())
+	}
+
+	err = run([]string{"-mem-budget", "lots", "-table", "t=" + csv,
+		"-query", "SELECT t.id FROM t"}, strings.NewReader(""), &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "-mem-budget") {
+		t.Errorf("want -mem-budget parse error, got %v", err)
+	}
+}

@@ -92,3 +92,79 @@ func TestReadErrors(t *testing.T) {
 		t.Error("ragged row should fail")
 	}
 }
+
+// TestHeaderOnlyIsZeroRowTable: a header with no data rows is a valid,
+// empty table — not an error — and survives a write/read round trip.
+func TestHeaderOnlyIsZeroRowTable(t *testing.T) {
+	tb, err := Read("t", strings.NewReader("a,b,c\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema.Arity() != 3 || tb.NumRows() != 0 {
+		t.Fatalf("shape: %v, %d rows", tb.Schema, tb.NumRows())
+	}
+	var buf bytes.Buffer
+	if err := Write(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 || back.Schema.Arity() != 3 {
+		t.Errorf("zero-row round trip: %v, %d rows", back.Schema, back.NumRows())
+	}
+}
+
+// TestQuotedSeparatorsAndQuotes: quoted cells carrying the separator,
+// embedded quotes, and newlines stay one cell, and the round trip
+// re-quotes them correctly.
+func TestQuotedSeparatorsAndQuotes(t *testing.T) {
+	in := "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",plain\n"
+	tb, err := Read("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", tb.NumRows())
+	}
+	if got := tb.Rows[0][0].Str(); got != "a,b" {
+		t.Errorf("quoted separator: %q", got)
+	}
+	if got := tb.Rows[0][1].Str(); got != `he said "hi"` {
+		t.Errorf("escaped quotes: %q", got)
+	}
+	if got := tb.Rows[1][0].Str(); got != "line1\nline2" {
+		t.Errorf("quoted newline: %q", got)
+	}
+	var buf bytes.Buffer
+	if err := Write(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.EqualBag(back) {
+		t.Errorf("quoted round trip changed table:\n%s\nvs\n%s", tb, back)
+	}
+}
+
+// TestWhitespaceAndSpelledNulls: leading whitespace trims, and the NULL
+// spellings are case-insensitive.
+func TestWhitespaceAndSpelledNulls(t *testing.T) {
+	tb, err := Read("t", strings.NewReader("a,b,c\n  7 , NULL ,  True\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tb.Rows[0]
+	if r[0].Kind() != types.KindInt || r[0].Int() != 7 {
+		t.Errorf("trimmed int: %v", r[0])
+	}
+	if !r[1].IsNull() {
+		t.Errorf("NULL spelling: %v", r[1])
+	}
+	if r[2].Kind() != types.KindBool || !r[2].Bool() {
+		t.Errorf("trimmed bool: %v", r[2])
+	}
+}

@@ -1,0 +1,70 @@
+package datagen
+
+import "testing"
+
+// Edge-of-domain specs: the generator must behave at zero rows, zero
+// uncertainty, and a cell rate that the UAttr/URow ratio would push past 1
+// (the clamp), and the realized-fraction reporters must not divide by zero.
+
+func TestGenerateZeroRows(t *testing.T) {
+	d := Generate(Spec{Name: "empty", Rows: 0, Cols: 5, UAttr: 0.1, URow: 0.5, Seed: 1})
+	if d.Ground.NumRows() != 0 || len(d.X.XTuples) != 0 {
+		t.Fatalf("zero-row dataset has rows: ground %d, x %d",
+			d.Ground.NumRows(), len(d.X.XTuples))
+	}
+	_ = d.UncertainRowFraction() // NaN (0/0) is acceptable here; a panic is not
+	if f := d.UncertainCellFraction(); f != 0 {
+		t.Errorf("empty dataset cell fraction = %v, want 0", f)
+	}
+}
+
+func TestGenerateFullyCertain(t *testing.T) {
+	d := Generate(Spec{Name: "certain", Rows: 50, Cols: 4, UAttr: 0, URow: 0, Seed: 2})
+	if f := d.UncertainRowFraction(); f != 0 {
+		t.Errorf("URow 0 produced uncertain rows: %v", f)
+	}
+	if f := d.UncertainCellFraction(); f != 0 {
+		t.Errorf("URow 0 produced uncertain cells: %v", f)
+	}
+	for i, xt := range d.X.XTuples {
+		if len(xt.Alts) != 1 {
+			t.Fatalf("x-tuple %d has %d alternatives, want 1", i, len(xt.Alts))
+		}
+	}
+}
+
+func TestGenerateCellRateClamped(t *testing.T) {
+	// UAttr > URow forces cellRate = UAttr/URow > 1, which must clamp to 1:
+	// every non-id cell of an uncertain row is dirty, and generation
+	// terminates normally.
+	d := Generate(Spec{Name: "clamped", Rows: 80, Cols: 3, UAttr: 0.9, URow: 0.3, Seed: 3})
+	if d.Ground.NumRows() != 80 {
+		t.Fatalf("rows = %d", d.Ground.NumRows())
+	}
+	if f := d.UncertainRowFraction(); f <= 0 {
+		t.Errorf("clamped spec produced no uncertain rows: %v", f)
+	}
+}
+
+func TestGenerateMinimalWidth(t *testing.T) {
+	// Cols = 2 is the smallest meaningful width (id + one payload column);
+	// the dirty-cell fallback (`1 + rng.Intn(Cols-1)`) must stay in range.
+	d := Generate(Spec{Name: "narrow", Rows: 200, Cols: 2, UAttr: 0.05, URow: 0.5, Seed: 4})
+	if d.Schema.Arity() != 2 {
+		t.Fatalf("arity = %d", d.Schema.Arity())
+	}
+	for _, xt := range d.X.XTuples {
+		for _, alt := range xt.Alts {
+			if len(alt.Data) != 2 {
+				t.Fatalf("alternative arity %d", len(alt.Data))
+			}
+		}
+	}
+}
+
+func TestColNameStable(t *testing.T) {
+	s := Spec{Cols: 3}
+	if s.ColName(0) != "a0" || s.ColName(2) != "a2" {
+		t.Errorf("column naming changed: %q %q", s.ColName(0), s.ColName(2))
+	}
+}

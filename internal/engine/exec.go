@@ -23,8 +23,13 @@ func Execute(n algebra.Node, cat *Catalog) (*Table, error) {
 }
 
 // ExecuteOpts is Execute with explicit physical execution options; the zero
-// Options means automatic parallelism (DOP = GOMAXPROCS), Options{DOP: 1}
-// forces the serial engine.
+// Options means automatic parallelism (DOP = GOMAXPROCS) with no memory
+// budget, Options{DOP: 1} forces the serial engine, and a MemBudget caps
+// the query's pipeline-breaker working set — sorts, aggregates, and join
+// builds beyond the budget spill to Options.SpillDir and stream back,
+// byte-identical to in-memory execution. The UA frontend threads its own
+// DOP and MemBudget through here, so out-of-core execution is an engine
+// property shared by deterministic and UA-rewritten queries alike.
 func ExecuteOpts(n algebra.Node, cat *Catalog, opt physical.Options) (*Table, error) {
 	op, err := compile(n, cat, opt)
 	if err != nil {

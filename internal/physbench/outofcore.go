@@ -1,0 +1,81 @@
+package physbench
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/physical"
+)
+
+// OutOfCore measures the memory-governed spilling engine at data ≫ budget:
+// sort, hash aggregate (high group cardinality), and hash join (build side
+// bigger than the budget) over n-row tables, each executed with a fresh
+// governor so every iteration pays the full spill-and-merge cost. budget
+// <= 0 derives the conventional acceptance budget of a quarter of the
+// scanned table's estimated bytes.
+//
+// Results carry "/spill" ops at DOP 1 alongside an in-memory "/batch" twin
+// for the same plan, so the JSON records the out-of-core slowdown factor
+// the same way the suite records batch-vs-row speedups. The "/spill"
+// entries depend on disk throughput as well as CPU, so their baseline (see
+// BENCH_physical.json and `bench update`) is even more hardware-bound than
+// the in-memory entries: regenerate on an idle machine before trusting a
+// regression verdict.
+func OutOfCore(n int, budget int64) ([]Result, error) {
+	schema, rows := table("t", n, n/8+1)
+	uschema, urows := table("u", n, n) // unique keys: 1:1 self join
+	src := benchSource{
+		"t": {schema, rows},
+		"u": {uschema, urows},
+	}
+	if budget <= 0 {
+		budget = physical.RowsMemSize(rows) / 4
+	}
+	col := func(i int, name string) algebra.Expr { return algebra.Col{Idx: i, Name: name} }
+	scanT := func() *algebra.Scan { return &algebra.Scan{Table: "t", TblSchema: schema} }
+	scanU := func() *algebra.Scan { return &algebra.Scan{Table: "u", TblSchema: uschema} }
+
+	aggRows := n/8 + 1
+	if aggRows > n {
+		aggRows = n
+	}
+	workloads := []struct {
+		op   string
+		want int
+		plan algebra.Node
+	}{
+		{"sort-oocore", n, &algebra.Sort{Input: scanT(),
+			Keys: []algebra.SortKey{{Expr: col(1, "v"), Desc: true}}}},
+		{"aggregate-oocore", aggRows, &algebra.Aggregate{Input: scanT(),
+			GroupBy: []algebra.Expr{col(0, "k")}, GroupNames: []string{"k"},
+			Aggs: []algebra.AggSpec{
+				{Func: algebra.AggSum, Arg: col(1, "v"), Name: "sum(v)"},
+				{Func: algebra.AggCount, Star: true, Name: "count(*)"},
+			}}},
+		{"join-oocore", n, &algebra.Join{Left: scanU(), Right: scanU(),
+			EquiL: []int{0}, EquiR: []int{0}}},
+	}
+
+	var out []Result
+	for _, w := range workloads {
+		for _, eng := range []struct {
+			suffix string
+			budget int64
+		}{{"/batch", 0}, {"/spill", budget}} {
+			opt := physical.Options{DOP: 1, MemBudget: eng.budget}
+			fn := func() (int, error) {
+				op, err := physical.LowerOpts(w.plan, src, opt)
+				if err != nil {
+					return 0, err
+				}
+				return drainBatch(op)
+			}
+			r, err := run(w.op+eng.suffix, n, w.want, fn)
+			if err != nil {
+				return nil, fmt.Errorf("physbench out-of-core %s: %w", w.op, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

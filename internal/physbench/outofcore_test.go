@@ -1,0 +1,53 @@
+package physbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOutOfCoreQuick runs the spilling workloads at a toy size: every op
+// must measure (the row-count assertions inside run() hold), produce both
+// the in-memory twin and the /spill entry, and format with the
+// spill-vs-batch ratio line.
+func TestOutOfCoreQuick(t *testing.T) {
+	rs, err := OutOfCore(2000, 4<<10) // 4KB budget: everything spills
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sort-oocore/batch", "sort-oocore/spill",
+		"aggregate-oocore/batch", "aggregate-oocore/spill",
+		"join-oocore/batch", "join-oocore/spill",
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d results, want %d", len(rs), len(want))
+	}
+	for i, r := range rs {
+		if r.Op != want[i] {
+			t.Errorf("result %d: op %q, want %q", i, r.Op, want[i])
+		}
+		if r.RowsPerSec <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Op, r)
+		}
+	}
+	report := Format(rs)
+	if !strings.Contains(report, "spill-vs-batch") {
+		t.Errorf("Format missing the spill ratio lines:\n%s", report)
+	}
+}
+
+// TestOutOfCoreAutoBudget: budget <= 0 derives the quarter-of-data budget
+// instead of running unbudgeted (which would never spill and measure the
+// wrong thing).
+func TestOutOfCoreAutoBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement-backed test skipped in -short")
+	}
+	rs, err := OutOfCore(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+}

@@ -91,6 +91,11 @@ func Format(rs []Result) string {
 				fmt.Fprintf(&sb, "%-28s %.2fx throughput at dop=%d\n",
 					base+" par-vs-batch:", batch.NsPerOp/r.NsPerOp, r.DOP)
 			}
+		case "spill":
+			if batch, ok := byOp[base+"/batch"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput under budget\n",
+					base+" spill-vs-batch:", batch.NsPerOp/r.NsPerOp)
+			}
 		}
 	}
 	return sb.String()

@@ -1,7 +1,11 @@
 package physical
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/algebra"
+	"repro/internal/spill"
 	"repro/internal/types"
 )
 
@@ -14,16 +18,35 @@ import (
 // row). Output rows are freshly allocated, group-by columns first,
 // aggregate columns after, and emitted in shared-spine batches slicing the
 // materialized result.
+//
+// With a memory governor (Mem non-nil), the group table is bounded: each
+// new group Forces its estimated state bytes, and whenever a folded batch
+// pushes the tracked total over budget the whole table — a "generation" of
+// partial states, tagged with their global first-seen sequence numbers —
+// is spilled to hash-partitioned temp files and the memory released.
+// After the input is exhausted, each partition is re-aggregated on its own
+// (partials for one group always land in one partition, so the exact
+// aggState.merge combination applies generation by generation, in input
+// order), recursing with a re-salted hash if a partition alone still
+// exceeds the budget. The final groups are ordered by their first-seen
+// sequence numbers, which restores the in-memory operator's global
+// first-seen output order byte for byte. Only the materialized result rows
+// — the operator's output, which Next hands to the consumer — live outside
+// the budget, exactly as they do on the in-memory path.
 type HashAggregate struct {
 	Input      Operator
 	GroupBy    []algebra.Expr
 	GroupNames []string
 	Aggs       []algebra.AggSpec
+	Mem        *MemGovernor // nil: never spill (today's in-memory behavior)
+	SpillDir   string       // temp dir for spilled partitions; "" means os.TempDir()
 	schema     types.Schema
 
-	out [][]types.Value
-	pos int
-	b   Batch
+	out  [][]types.Value
+	pos  int
+	held int64
+	sp   *spillSet
+	b    Batch
 }
 
 // NewHashAggregate builds a hash aggregate with the output schema of the
@@ -282,9 +305,12 @@ func (f *aggFolder) fold(b *Batch, groups map[string]*aggState, add func(key str
 
 // Open implements Operator: it consumes the input and builds all groups.
 func (h *HashAggregate) Open() error {
-	h.out, h.pos = nil, 0
+	h.out, h.pos, h.held, h.sp = nil, 0, 0, nil
 	if err := h.Input.Open(); err != nil {
 		return err
+	}
+	if h.Mem != nil {
+		return h.openGoverned()
 	}
 	groups := make(map[string]*aggState)
 	var states []*aggState // first-seen order
@@ -312,6 +338,362 @@ func (h *HashAggregate) Open() error {
 	return nil
 }
 
+// SpillPartitions is the fan-out of the aggregate's (and grace join's)
+// partition spilling: enough that one partition's share of a too-big table
+// usually fits the budget after one split, small enough that partition
+// writers and their buffers stay cheap. Exported because it bounds the
+// governor's merge-phase slack: a spilling operator holds at most
+// SpillPartitions+2 concurrent run cursors, each with one resident frame.
+const SpillPartitions = 16
+
+// maxSpillDepth bounds re-salted re-partitioning. Past this depth the data
+// is pathological (e.g. a single group bigger than the budget, which no
+// partitioning can split) and the partition proceeds over budget, tracked
+// as forced slack.
+const maxSpillDepth = 8
+
+// aggPartial is one group's partial state tagged with the global sequence
+// number of its first appearance — the sort key that restores first-seen
+// output order after partitioned re-aggregation.
+type aggPartial struct {
+	key string
+	seq int64
+	st  *aggState
+}
+
+// stateMemSize estimates the resident bytes of one group's map entry and
+// aggregate state.
+func (h *HashAggregate) stateMemSize(key string, st *aggState) int64 {
+	return int64(len(key)) + 96 + RowMemSize(st.groupRow) + int64(len(st.count))*138
+}
+
+// encodePartial renders a partial state as a plain value row for spilling:
+// the first-seen sequence, the group-by values, then per aggregate the
+// exact merge state (count, integer and float sums, float-ness, extrema,
+// seen flag) — everything aggState.merge needs to combine generations.
+func encodePartial(seq int64, st *aggState, nAggs int) []types.Value {
+	row := make([]types.Value, 0, 1+len(st.groupRow)+7*nAggs)
+	row = append(row, types.NewInt(seq))
+	row = append(row, st.groupRow...)
+	for i := 0; i < nAggs; i++ {
+		row = append(row,
+			types.NewInt(st.count[i]),
+			types.NewInt(st.sumI[i]),
+			types.NewFloat(st.sumF[i]),
+			types.NewBool(st.isFloat[i]),
+			st.min[i],
+			st.max[i],
+			types.NewBool(st.seen[i]),
+		)
+	}
+	return row
+}
+
+// decodePartial is the inverse of encodePartial.
+func decodePartial(row []types.Value, nGroup, nAggs int) (int64, *aggState, error) {
+	if len(row) != 1+nGroup+7*nAggs {
+		return 0, nil, fmt.Errorf("physical: corrupt spilled aggregate state (arity %d)", len(row))
+	}
+	if row[0].Kind() != types.KindInt {
+		return 0, nil, fmt.Errorf("physical: corrupt spilled aggregate state")
+	}
+	seq := row[0].Int()
+	st := newAggState(append([]types.Value{}, row[1:1+nGroup]...), nAggs)
+	for i := 0; i < nAggs; i++ {
+		f := row[1+nGroup+7*i:]
+		if f[0].Kind() != types.KindInt || f[1].Kind() != types.KindInt ||
+			f[2].Kind() != types.KindFloat || f[3].Kind() != types.KindBool ||
+			f[6].Kind() != types.KindBool {
+			return 0, nil, fmt.Errorf("physical: corrupt spilled aggregate state")
+		}
+		st.count[i] = f[0].Int()
+		st.sumI[i] = f[1].Int()
+		st.sumF[i] = f[2].Float()
+		st.isFloat[i] = f[3].Bool()
+		st.min[i] = f[4]
+		st.max[i] = f[5]
+		st.seen[i] = f[6].Bool()
+	}
+	return seq, st, nil
+}
+
+// seqRow is a rendered output row tagged with its first-seen sequence.
+type seqRow struct {
+	seq int64
+	row []types.Value
+}
+
+// openGoverned is Open under a memory budget: generation spilling during
+// the fold, partitioned re-aggregation after it.
+func (h *HashAggregate) openGoverned() error {
+	nAggs := len(h.Aggs)
+	groups := make(map[string]*aggState)
+	var gen []aggPartial // live generation, creation (= first-seen) order
+	var genBytes int64
+	var nextSeq int64
+	var parts [SpillPartitions]*spill.Writer
+	spilled := false
+
+	spillGen := func() error {
+		if h.sp == nil {
+			h.sp = newSpillSet(h.SpillDir, h.Mem)
+		}
+		var keyBuf []byte
+		for i := range gen {
+			p := &gen[i]
+			keyBuf = append(keyBuf[:0], p.key...)
+			part := keyHashSalted(keyBuf, 0) % SpillPartitions
+			if parts[part] == nil {
+				w, err := h.sp.newWriter()
+				if err != nil {
+					return err
+				}
+				parts[part] = w
+			}
+			if err := parts[part].Append(encodePartial(p.seq, p.st, nAggs)); err != nil {
+				return err
+			}
+		}
+		gen = gen[:0]
+		groups = make(map[string]*aggState)
+		h.Mem.Release(genBytes)
+		h.held -= genBytes
+		genBytes = 0
+		spilled = true
+		return nil
+	}
+
+	folder := newAggFolder(h.GroupBy, h.Aggs)
+	add := func(key string, st *aggState) {
+		// The group exists either way; Force tracks it and the post-batch
+		// pressure check below spills the generation if this batch pushed
+		// the table over budget.
+		b := h.stateMemSize(key, st)
+		h.Mem.Force(b)
+		h.held += b
+		genBytes += b
+		gen = append(gen, aggPartial{key: key, seq: nextSeq, st: st})
+		nextSeq++
+	}
+	for {
+		b, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		folder.fold(b, groups, add)
+		if h.Mem.Over() {
+			if err := spillGen(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if !spilled {
+		// Never under pressure: exactly the in-memory result.
+		states := gen
+		if len(h.GroupBy) == 0 && len(states) == 0 {
+			states = append(states, aggPartial{st: newAggState(nil, nAggs)})
+		}
+		h.out = make([][]types.Value, 0, len(states))
+		for _, p := range states {
+			h.out = append(h.out, p.st.result(h.Aggs, len(h.GroupBy)))
+		}
+		h.Mem.Release(genBytes)
+		h.held -= genBytes
+		return nil
+	}
+
+	// Flush the live generation too, so every group is on disk, then
+	// re-aggregate partition by partition.
+	if err := spillGen(); err != nil {
+		return err
+	}
+	var results []seqRow
+	for _, w := range parts {
+		if w == nil {
+			continue
+		}
+		run, err := h.sp.finish(w)
+		if err != nil {
+			return err
+		}
+		if err := h.mergePartition(run, 1, &results); err != nil {
+			return err
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].seq < results[j].seq })
+	if len(h.GroupBy) == 0 && len(results) == 0 {
+		results = append(results, seqRow{row: newAggState(nil, nAggs).result(h.Aggs, 0)})
+	}
+	h.out = make([][]types.Value, 0, len(results))
+	for _, r := range results {
+		h.out = append(h.out, r.row)
+	}
+	return nil
+}
+
+// mergePartition re-aggregates one partition file: partial states are
+// merged by group key in file order (= generation order, so aggState.merge
+// combines them exactly as the parallel aggregate's sequence-ordered merge
+// does), tracking each group's minimum first-seen sequence. If the
+// partition alone exceeds the budget, its states — merged so far and
+// still unread — are re-partitioned under a re-salted hash and merged
+// recursively. Rendered rows are appended to out; every consumed temp file
+// is removed eagerly.
+func (h *HashAggregate) mergePartition(run *spill.Run, depth int, out *[]seqRow) error {
+	nGroup, nAggs := len(h.GroupBy), len(h.Aggs)
+	rd, err := h.sp.open(run)
+	if err != nil {
+		return err
+	}
+	var frame [][]types.Value
+	fi := 0
+	var frameHeld int64 // the resident frame, tracked like a merge cursor's
+	nextRow := func() ([]types.Value, error) {
+		for {
+			if fi < len(frame) {
+				r := frame[fi]
+				fi++
+				return r, nil
+			}
+			f, err := rd.Next()
+			h.Mem.Release(frameHeld)
+			h.held -= frameHeld
+			frameHeld = 0
+			if err != nil || f == nil {
+				return nil, err
+			}
+			frameHeld = RowsMemSize(f)
+			h.Mem.Force(frameHeld)
+			h.held += frameHeld
+			frame, fi = f, 0
+		}
+	}
+	entries := make(map[string]int)
+	var order []*aggPartial
+	var bytes int64
+	var keyBuf []byte
+	for {
+		prow, err := nextRow()
+		if err != nil {
+			return err
+		}
+		if prow == nil {
+			break
+		}
+		seq, st, err := decodePartial(prow, nGroup, nAggs)
+		if err != nil {
+			return err
+		}
+		keyBuf = appendRowKey(keyBuf[:0], st.groupRow)
+		if idx, ok := entries[string(keyBuf)]; ok {
+			e := order[idx]
+			e.st.merge(st)
+			if seq < e.seq {
+				e.seq = seq
+			}
+			continue
+		}
+		key := string(keyBuf)
+		b := h.stateMemSize(key, st)
+		if !h.Mem.Reserve(b) {
+			if depth < maxSpillDepth {
+				err := h.repartition(order, bytes, aggPartial{seq: seq, st: st}, nextRow, depth, out)
+				rd.Close()
+				h.Mem.Release(frameHeld)
+				h.held -= frameHeld
+				if err != nil {
+					return err
+				}
+				return run.Remove()
+			}
+			h.Mem.Force(b)
+		}
+		h.held += b
+		e := &aggPartial{key: key, seq: seq, st: st}
+		entries[e.key] = len(order)
+		order = append(order, e)
+		bytes += b
+	}
+	rd.Close()
+	if err := run.Remove(); err != nil {
+		return err
+	}
+	for _, e := range order {
+		*out = append(*out, seqRow{seq: e.seq, row: e.st.result(h.Aggs, nGroup)})
+	}
+	h.Mem.Release(bytes)
+	h.held -= bytes
+	return nil
+}
+
+// repartition splits an over-budget partition into sub-partitions under a
+// re-salted hash: the states merged so far (released from memory), the
+// state that tripped the budget, and the unread remainder of the stream
+// all spill to the sub-files, which are then merged recursively. A group's
+// merged-so-far state is written before its remaining partials, so
+// generation merge order is preserved.
+func (h *HashAggregate) repartition(order []*aggPartial, bytes int64, cur aggPartial,
+	nextRow func() ([]types.Value, error), depth int, out *[]seqRow) error {
+	nAggs := len(h.Aggs)
+	var subs [SpillPartitions]*spill.Writer
+	var keyBuf []byte
+	route := func(seq int64, st *aggState) error {
+		keyBuf = appendRowKey(keyBuf[:0], st.groupRow)
+		p := keyHashSalted(keyBuf, uint64(depth)) % SpillPartitions
+		if subs[p] == nil {
+			w, err := h.sp.newWriter()
+			if err != nil {
+				return err
+			}
+			subs[p] = w
+		}
+		return subs[p].Append(encodePartial(seq, st, nAggs))
+	}
+	for _, e := range order {
+		if err := route(e.seq, e.st); err != nil {
+			return err
+		}
+	}
+	h.Mem.Release(bytes)
+	h.held -= bytes
+	if err := route(cur.seq, cur.st); err != nil {
+		return err
+	}
+	for {
+		prow, err := nextRow()
+		if err != nil {
+			return err
+		}
+		if prow == nil {
+			break
+		}
+		seq, st, err := decodePartial(prow, len(h.GroupBy), nAggs)
+		if err != nil {
+			return err
+		}
+		if err := route(seq, st); err != nil {
+			return err
+		}
+	}
+	for _, w := range subs {
+		if w == nil {
+			continue
+		}
+		run, err := h.sp.finish(w)
+		if err != nil {
+			return err
+		}
+		if err := h.mergePartition(run, depth+1, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RowCountHint implements RowCountHinter: after Open the groups are
 // materialized, so the count is exact.
 func (h *HashAggregate) RowCountHint() (int, bool) { return len(h.out) - h.pos, true }
@@ -330,8 +712,16 @@ func (h *HashAggregate) Next() (*Batch, error) {
 	return &h.b, nil
 }
 
-// Close implements Operator.
+// Close implements Operator: drop the result, release any reservation
+// still held, and remove every spill file.
 func (h *HashAggregate) Close() error {
 	h.out = nil
-	return h.Input.Close()
+	h.Mem.Release(h.held)
+	h.held = 0
+	cerr := h.sp.cleanup()
+	h.sp = nil
+	if err := h.Input.Close(); err != nil {
+		return err
+	}
+	return cerr
 }

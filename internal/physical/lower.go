@@ -88,7 +88,9 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 			return nil, err
 		}
 		if len(node.EquiL) > 0 {
-			return NewHashJoin(l, r, node.EquiL, node.EquiR, node.Residual), nil
+			hj := NewHashJoin(l, r, node.EquiL, node.EquiR, node.Residual)
+			hj.Mem, hj.SpillDir = opt.Gov, opt.SpillDir
+			return hj, nil
 		}
 		return NewNestedLoopJoin(l, r, node.Residual), nil
 
@@ -115,7 +117,9 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		if err := checkAggregate(node, in.Schema().Arity()); err != nil {
 			return nil, err
 		}
-		return NewHashAggregate(in, node.GroupBy, node.GroupNames, node.Aggs), nil
+		ha := NewHashAggregate(in, node.GroupBy, node.GroupNames, node.Aggs)
+		ha.Mem, ha.SpillDir = opt.Gov, opt.SpillDir
+		return ha, nil
 
 	case *algebra.Sort:
 		in, err := lowerNode(node.Input, src, opt)
@@ -127,7 +131,7 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 				return nil, err
 			}
 		}
-		return &Sort{Input: in, Keys: node.Keys}, nil
+		return &Sort{Input: in, Keys: node.Keys, Mem: opt.Gov, SpillDir: opt.SpillDir}, nil
 
 	case *algebra.Limit:
 		in, err := lowerNode(node.Input, src, opt)
@@ -333,6 +337,13 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 		if len(node.EquiL) == 0 {
 			return nil, false, nil
 		}
+		if opt.Gov != nil {
+			// Under a memory budget the join lowers serially so its build
+			// side is governed (grace spilling); declining here still lets
+			// the probe-side Filter/Project pipeline become a Gather when
+			// lowerNode descends into it.
+			return nil, false, nil
+		}
 		spec, ok, err := pipelineFor(node.Left, src, opt)
 		if err != nil || !ok {
 			return nil, false, err
@@ -354,6 +365,11 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 		return g, true, nil
 
 	case *algebra.Aggregate:
+		if opt.Gov != nil {
+			// Same rule as the join: governed aggregation is the serial
+			// spilling operator; its input pipeline still parallelizes.
+			return nil, false, nil
+		}
 		spec, ok, err := pipelineFor(node.Input, src, opt)
 		if err != nil || !ok {
 			return nil, false, err

@@ -17,9 +17,10 @@ import (
 const DefaultMorselSize = 16384
 
 // Options tunes plan lowering. The zero value asks for automatic parallelism
-// (DOP = runtime.GOMAXPROCS) with default morsel sizing; DOP = 1 disables
-// the parallel rewrites entirely and lowers exactly the serial operator tree
-// PR 2 shipped, which is also what Lower (without options) does.
+// (DOP = runtime.GOMAXPROCS) with default morsel sizing and no memory
+// budget; DOP = 1 disables the parallel rewrites entirely and lowers exactly
+// the serial operator tree PR 2 shipped, which is also what Lower (without
+// options) does.
 type Options struct {
 	// DOP is the degree of parallelism: how many workers a parallelized
 	// pipeline runs. <= 0 means runtime.GOMAXPROCS(0); 1 lowers serially.
@@ -31,6 +32,20 @@ type Options struct {
 	// of smaller tables lower serially no matter the DOP. <= 0 means twice
 	// the morsel size (below that there is nothing to balance).
 	MinParallelRows int
+	// MemBudget caps the query's pipeline-breaker working set in bytes
+	// (the -mem-budget flag). <= 0 means unlimited: no governor is built,
+	// lowering produces exactly today's operator tree, and nothing ever
+	// spills. With a budget, sort, hash aggregate, and hash join degrade to
+	// their spilling forms under pressure — and lower serially (their
+	// input pipelines still parallelize), because the parallel breakers'
+	// shared build tables and per-worker partial states are ungoverned.
+	MemBudget int64
+	// SpillDir is where spill runs are written; "" means os.TempDir().
+	SpillDir string
+	// Gov is the query's memory governor. Leave nil: normalization builds
+	// one from MemBudget. Tests pass a pre-built governor to observe the
+	// peak tracked allocation of a single execution.
+	Gov *MemGovernor
 }
 
 // normalized fills the option defaults in.
@@ -43,6 +58,9 @@ func (o Options) normalized() Options {
 	}
 	if o.MinParallelRows <= 0 {
 		o.MinParallelRows = 2 * o.MorselSize
+	}
+	if o.Gov == nil {
+		o.Gov = NewMemGovernor(o.MemBudget) // nil when MemBudget <= 0
 	}
 	return o
 }

@@ -23,6 +23,19 @@ func keyHash(key []byte) uint64 {
 	return h
 }
 
+// keyHashSalted re-mixes keyHash with a salt, so recursive spill
+// partitioning (aggregate generations, grace join sub-partitions) splits a
+// partition's keys differently at every depth — without a new salt, an
+// over-budget partition would re-partition into itself forever.
+func keyHashSalted(key []byte, salt uint64) uint64 {
+	h := keyHash(key)
+	if salt != 0 {
+		h ^= (salt + 1) * 0x9e3779b97f4a7c15
+		h *= 1099511628211
+	}
+	return h
+}
+
 // hashBuild is a hash-join build table shared, read-only, by every probe
 // worker of a parallel join. It is partitioned by key hash so construction
 // parallelizes: one pass computes each build row's partition in parallel

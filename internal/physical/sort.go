@@ -1,17 +1,17 @@
 package physical
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/algebra"
+	"repro/internal/spill"
 	"repro/internal/types"
 )
 
 // DefaultSortRunSize is the number of rows sorted per run before a new run
 // is started. Runs are merged with a loser-tree-style heap, so the operator
-// is external-friendly: spilling a sorted run to disk and streaming it back
-// would slot into runs without touching the merge or the comparator.
+// is external: under memory pressure (Mem) a sorted run is spilled to disk
+// and streamed back frame by frame, slotting into the same k-way merge.
 const DefaultSortRunSize = 1 << 16
 
 // Sort orders the input by the keys. Open consumes the input's batches into
@@ -21,16 +21,39 @@ const DefaultSortRunSize = 1 << 16
 // The sort is stable: within a run sort.SliceStable preserves arrival
 // order, and the merge breaks comparator ties by run index (runs are
 // consecutive chunks of the input).
+//
+// With a memory governor (Mem non-nil, set by lowering when -mem-budget is
+// configured), Open reserves the retained rows' estimated bytes; when a
+// reservation fails, every in-memory run — sorted runs and the growing
+// current run alike — is spilled to a temp file in SpillDir and its memory
+// released, so the operator's working set stays at one run plus the merge
+// cursors' resident frames. Because the final order of a stable sort is
+// fully determined by (key, input position) and run indexes are input
+// chunk positions, spilled and in-memory execution produce byte-identical
+// output regardless of where the run boundaries fall. Rows decoded from a
+// spill file are freshly allocated, so they satisfy the engine-wide
+// row-stability rule like any other emitted row.
 type Sort struct {
-	Input   Operator
-	Keys    []algebra.SortKey
-	RunSize int // 0 means DefaultSortRunSize
+	Input    Operator
+	Keys     []algebra.SortKey
+	RunSize  int          // 0 means DefaultSortRunSize
+	Mem      *MemGovernor // nil: never spill (today's in-memory behavior)
+	SpillDir string       // temp dir for spilled runs; "" means os.TempDir()
 
 	keyProgs []*algebra.Compiled
-	runs     [][][]types.Value
+	runs     []sortRun
 	total    int
+	held     int64 // bytes currently reserved with Mem
 	h        *mergeHeap
+	sp       *spillSet
 	out      Batch
+}
+
+// sortRun is one sorted run: resident rows, or a spill file once evicted.
+type sortRun struct {
+	rows  [][]types.Value
+	run   *spill.Run // non-nil once evicted to disk
+	bytes int64      // reserved estimate while resident
 }
 
 // Schema implements Operator.
@@ -51,10 +74,42 @@ func (s *Sort) less(a, b []types.Value) bool {
 	return false
 }
 
-// Open implements Operator: it consumes the input into sorted runs and
-// prepares the merge.
+// sortRows stable-sorts one run in place.
+func (s *Sort) sortRows(run [][]types.Value) {
+	sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
+}
+
+// spillRun writes an already sorted run to a fresh temp file, releasing its
+// reservation. The file is tracked by the operator's spill set and removed
+// at Close.
+func (s *Sort) spillRun(r *sortRun) error {
+	if s.sp == nil {
+		s.sp = newSpillSet(s.SpillDir, s.Mem)
+	}
+	w, err := s.sp.newWriter()
+	if err != nil {
+		return err
+	}
+	if err := w.AppendAll(r.rows); err != nil {
+		return err
+	}
+	run, err := s.sp.finish(w)
+	if err != nil {
+		return err
+	}
+	r.run = run
+	r.rows = nil
+	s.Mem.Release(r.bytes)
+	s.held -= r.bytes
+	r.bytes = 0
+	return nil
+}
+
+// Open implements Operator: it consumes the input into sorted runs —
+// spilling them under memory pressure — and prepares the merge.
 func (s *Sort) Open() error {
-	s.runs, s.h, s.total = nil, nil, 0
+	s.runs, s.h, s.total, s.held = nil, nil, 0, 0
+	s.sp = nil
 	s.keyProgs = s.keyProgs[:0]
 	for _, k := range s.Keys {
 		s.keyProgs = append(s.keyProgs, algebra.Compile(k.Expr))
@@ -65,16 +120,45 @@ func (s *Sort) Open() error {
 	runSize := s.RunSize
 	if runSize <= 0 {
 		runSize = DefaultSortRunSize
+		if s.Mem != nil {
+			// Governed: let the budget set the run boundaries. Bigger runs
+			// mean fewer spilled runs, and the merge phase holds one
+			// resident frame per spilled run — so run count, not run size,
+			// is what threatens the budget. Stable-sort output is a pure
+			// function of (key, input position), so boundaries are free to
+			// move.
+			runSize = int(^uint(0) >> 1)
+		}
 	}
 	var run [][]types.Value
+	var runBytes int64
 	flush := func() {
 		if len(run) == 0 {
 			return
 		}
-		sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
-		s.runs = append(s.runs, run)
-		s.total += len(run)
-		run = nil
+		s.sortRows(run)
+		s.runs = append(s.runs, sortRun{rows: run, bytes: runBytes})
+		run, runBytes = nil, 0
+	}
+	// spillAll evicts every resident run: the finished ones as they are,
+	// the growing one sorted first. Run order (and therefore merge
+	// tie-breaking) is unaffected — only residency changes.
+	spillAll := func() error {
+		for i := range s.runs {
+			if s.runs[i].rows == nil {
+				continue
+			}
+			if err := s.spillRun(&s.runs[i]); err != nil {
+				return err
+			}
+		}
+		if len(run) > 0 {
+			flush()
+			if err := s.spillRun(&s.runs[len(s.runs)-1]); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for {
 		b, err := s.Input.Next()
@@ -85,23 +169,79 @@ func (s *Sort) Open() error {
 			break
 		}
 		for _, row := range b.Rows() {
+			if s.Mem != nil {
+				// Ungoverned sorts skip the estimator entirely — accounting
+				// must cost nothing when -mem-budget is unset.
+				bytes := RowMemSize(row)
+				if !s.Mem.Reserve(bytes) {
+					if err := spillAll(); err != nil {
+						return err
+					}
+					// After a full spill the budget is free again; a row
+					// larger than the whole budget still proceeds, tracked
+					// as slack.
+					if !s.Mem.Reserve(bytes) {
+						s.Mem.Force(bytes)
+					}
+				}
+				s.held += bytes
+				runBytes += bytes
+			}
 			run = append(run, row)
+			s.total++
 			if len(run) >= runSize {
 				flush()
 			}
 		}
 	}
 	flush()
-	s.h = &mergeHeap{sort: s}
-	for i, r := range s.runs {
-		s.h.items = append(s.h.items, mergeItem{run: i, rows: r})
+	if s.Mem != nil && len(s.runs) > maxMergeFanIn {
+		// Pathological budgets create dataBytes/budget runs; cap the final
+		// merge's fan-in (open files, resident frames) with a cascade.
+		// Resident runs are evicted first so the cascade sees disk runs
+		// only. Order is preserved: the merge of a consecutive prefix of
+		// runs is itself a sorted, stably tie-broken run of that prefix's
+		// input range.
+		for i := range s.runs {
+			if s.runs[i].rows != nil {
+				if err := s.spillRun(&s.runs[i]); err != nil {
+					return err
+				}
+			}
+		}
+		disk := make([]*spill.Run, len(s.runs))
+		for i := range s.runs {
+			disk[i] = s.runs[i].run
+		}
+		disk, err := cascadeRuns(s.sp, s.Mem, disk, s.less)
+		if err != nil {
+			return err
+		}
+		s.runs = s.runs[:0]
+		for _, r := range disk {
+			s.runs = append(s.runs, sortRun{run: r})
+		}
 	}
-	heap.Init(s.h)
+	s.h = &mergeHeap{less: s.less}
+	for i := range s.runs {
+		r := &s.runs[i]
+		it := mergeItem{run: i, rows: r.rows}
+		if r.run != nil {
+			rd, err := s.sp.open(r.run)
+			if err != nil {
+				return err
+			}
+			it.refill = frameCursor(rd, s.Mem)
+		}
+		if err := s.h.add(it); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // RowCountHint implements RowCountHinter: after Open every run is
-// materialized, so the count is exact.
+// materialized (in memory or on disk), so the count is exact.
 func (s *Sort) RowCountHint() (int, bool) { return s.total, true }
 
 // Next implements Operator.
@@ -110,60 +250,25 @@ func (s *Sort) Next() (*Batch, error) {
 		return nil, nil
 	}
 	s.out.Reset()
-	for s.h.Len() > 0 && s.out.Len() < DefaultBatchSize {
-		top := &s.h.items[0]
-		s.out.Append(top.rows[top.pos])
-		top.pos++
-		if top.pos >= len(top.rows) {
-			heap.Pop(s.h)
-		} else {
-			heap.Fix(s.h, 0)
-		}
+	if err := s.h.emit(&s.out, DefaultBatchSize); err != nil {
+		return nil, err
+	}
+	if s.out.Len() == 0 {
+		return nil, nil
 	}
 	return &s.out, nil
 }
 
-// Close implements Operator.
+// Close implements Operator: drop the runs, release the reservation, and
+// remove every spill file — including on early Close mid-merge.
 func (s *Sort) Close() error {
 	s.runs, s.h = nil, nil
-	return s.Input.Close()
-}
-
-// mergeItem is one run's cursor in the k-way merge.
-type mergeItem struct {
-	run  int
-	rows [][]types.Value
-	pos  int
-}
-
-// mergeHeap is a min-heap of run cursors ordered by their current row, with
-// run index as the stability tie-break.
-type mergeHeap struct {
-	sort  *Sort
-	items []mergeItem
-}
-
-func (h *mergeHeap) Len() int { return len(h.items) }
-
-func (h *mergeHeap) Less(i, j int) bool {
-	a, b := &h.items[i], &h.items[j]
-	ra, rb := a.rows[a.pos], b.rows[b.pos]
-	if h.sort.less(ra, rb) {
-		return true
+	s.Mem.Release(s.held)
+	s.held = 0
+	cerr := s.sp.cleanup()
+	s.sp = nil
+	if err := s.Input.Close(); err != nil {
+		return err
 	}
-	if h.sort.less(rb, ra) {
-		return false
-	}
-	return a.run < b.run
-}
-
-func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-
-func (h *mergeHeap) Push(x any) { h.items = append(h.items, x.(mergeItem)) }
-
-func (h *mergeHeap) Pop() any {
-	n := len(h.items)
-	it := h.items[n-1]
-	h.items = h.items[:n-1]
-	return it
+	return cerr
 }

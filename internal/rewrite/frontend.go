@@ -28,6 +28,15 @@ type Frontend struct {
 	// paper's lightweight claim — so parallel speedups apply to UA queries
 	// and deterministic ones alike.
 	DOP int
+	// MemBudget caps each query's pipeline-breaker working set in bytes
+	// (sorts, aggregates, join builds spill to SpillDir under pressure);
+	// <= 0 means unlimited. Like DOP, the knob applies to UA-rewritten and
+	// deterministic queries identically — out-of-core execution is an
+	// engine property, not a rewrite property.
+	MemBudget int64
+	// SpillDir is where spill runs are written; "" means the system temp
+	// directory.
+	SpillDir string
 }
 
 // NewFrontend returns a frontend over the given encoded catalog.
@@ -54,7 +63,8 @@ func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.ExecuteOpts(plan, f.Enc, physical.Options{DOP: f.DOP})
+	return engine.ExecuteOpts(plan, f.Enc, physical.Options{
+		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir})
 }
 
 // Explain parses, resolves annotations, compiles and rewrites the query,

@@ -1,0 +1,342 @@
+package spill
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// gnarlyRows exercises every kind and the encodings' edge cases: NaN
+// payloads, ±0, ints past 2^53, empty and separator-bearing strings, NULLs,
+// and rows of varying arity (including the empty row).
+func gnarlyRows() [][]types.Value {
+	return [][]types.Value{
+		{types.NewInt(0), types.NewInt(-1), types.NewInt(math.MaxInt64), types.NewInt(math.MinInt64)},
+		{types.NewInt(1<<53 + 1), types.NewFloat(float64(1 << 53))},
+		{types.NewFloat(0), types.NewFloat(math.Copysign(0, -1)), types.NewFloat(math.NaN()), types.NewFloat(math.Inf(-1))},
+		{types.NewString(""), types.NewString("a|b,c\nd"), types.NewString(strings.Repeat("x", 3000))},
+		{types.NewBool(true), types.NewBool(false), types.Null()},
+		{},
+		{types.Null()},
+	}
+}
+
+// sameValue is bit-exact equality: kind must match, floats compare by bits
+// (so NaN == NaN and +0 != -0), everything else by payload.
+func sameValue(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindBool:
+		return a.Bool() == b.Bool()
+	case types.KindInt:
+		return a.Int() == b.Int()
+	case types.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case types.KindString:
+		return a.Str() == b.Str()
+	}
+	return false
+}
+
+func mustRoundTrip(t *testing.T, rows [][]types.Value, frameRows int) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.frameRows = frameRows
+	if err := w.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]types.Value
+	for {
+		frame, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if frame == nil {
+			break
+		}
+		got = append(got, frame...)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("round trip: got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d: arity %d, want %d", i, len(got[i]), len(rows[i]))
+		}
+		for j := range rows[i] {
+			if !sameValue(got[i][j], rows[i][j]) {
+				t.Fatalf("row %d col %d: got %v (%s), want %v (%s)",
+					i, j, got[i][j], got[i][j].Kind(), rows[i][j], rows[i][j].Kind())
+			}
+		}
+	}
+	assertNoFiles(t, dir)
+}
+
+func assertNoFiles(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files leaked: %v", names)
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	mustRoundTrip(t, gnarlyRows(), DefaultFrameRows)
+}
+
+func TestRunRoundTripTinyFrames(t *testing.T) {
+	// Frame boundary after every second row: many frames, odd tail.
+	mustRoundTrip(t, gnarlyRows(), 2)
+}
+
+func TestRunRoundTripEmpty(t *testing.T) {
+	// A zero-row run is a zero-byte file and a clean immediate EOF.
+	mustRoundTrip(t, nil, DefaultFrameRows)
+}
+
+func TestRunRoundTripLarge(t *testing.T) {
+	rows := make([][]types.Value, 5000)
+	for i := range rows {
+		rows[i] = []types.Value{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("s%d", i)),
+			types.NewFloat(float64(i) / 4),
+		}
+	}
+	mustRoundTrip(t, rows, DefaultFrameRows)
+}
+
+func TestAbortRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]types.Value{types.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	w.Abort() // idempotent
+	assertNoFiles(t, dir)
+}
+
+func TestRemoveIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]types.Value{types.NewInt(1)})
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatalf("second Remove: %v", err)
+	}
+	assertNoFiles(t, dir)
+}
+
+// writeRun writes rows with small frames and returns the finished run and
+// its directory, for the corruption tests below.
+func writeRun(t *testing.T, rows [][]types.Value) (*Run, string) {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.frameRows = 2
+	if err := w.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run, dir
+}
+
+// readAll drains a run, returning the first error.
+func readAll(run *Run) error {
+	r, err := run.Open()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		frame, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if frame == nil {
+			return nil
+		}
+	}
+}
+
+func TestTruncatedRunIsAnError(t *testing.T) {
+	run, dir := writeRun(t, gnarlyRows())
+	info, err := os.Stat(run.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-payload: the reader must report truncation, not EOF.
+	if err := os.Truncate(run.Path(), info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAll(run); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated run: got %v, want truncation error", err)
+	}
+	// Chop mid-header too.
+	if err := os.Truncate(run.Path(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAll(run); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated header: got %v, want truncation error", err)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoFiles(t, dir)
+}
+
+func TestCorruptedFrameIsAnError(t *testing.T) {
+	run, dir := writeRun(t, gnarlyRows())
+	raw, err := os.ReadFile(run.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the first frame (offset 8 is past the header).
+	raw[9] ^= 0xff
+	if err := os.WriteFile(run.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAll(run); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted frame: got %v, want checksum error", err)
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	assertNoFiles(t, dir)
+}
+
+func TestCorruptedLengthIsAnError(t *testing.T) {
+	run, dir := writeRun(t, gnarlyRows())
+	raw, err := os.ReadFile(run.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge claimed frame length must be rejected before any allocation.
+	raw[3] = 0xff
+	if err := os.WriteFile(run.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAll(run); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Fatalf("corrupt length: got %v, want frame length error", err)
+	}
+	run.Remove()
+	assertNoFiles(t, dir)
+}
+
+// failingWriter fails every write after the first n bytes — the ENOSPC
+// stand-in for the write-error path.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if len(p) <= f.n {
+		f.n -= len(p)
+		return len(p), nil
+	}
+	n := f.n
+	f.n = 0
+	return n, fmt.Errorf("injected: no space left on device")
+}
+
+func TestWriteErrorSurfacesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.frameRows = 1
+	w.out = &failingWriter{n: 4}
+	var werr error
+	for i := 0; i < 10 && werr == nil; i++ {
+		werr = w.Append([]types.Value{types.NewString(strings.Repeat("z", 100))})
+	}
+	if werr == nil || !strings.Contains(werr.Error(), "no space") {
+		t.Fatalf("write error not surfaced: %v", werr)
+	}
+	// The sticky error also fails Finish, which removes the temp file.
+	if _, err := w.Finish(); err == nil {
+		t.Fatal("Finish after write error must fail")
+	}
+	assertNoFiles(t, dir)
+}
+
+func TestFinishFlushErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame fits the Append-time buffer; the failure hits at Finish's
+	// flush instead, which must still surface and remove the file.
+	w.out = &failingWriter{n: 0}
+	if err := w.Append([]types.Value{types.NewInt(1)}); err != nil {
+		t.Fatalf("buffered append must not fail: %v", err)
+	}
+	if _, err := w.Finish(); err == nil || !strings.Contains(err.Error(), "no space") {
+		t.Fatalf("Finish: got %v, want injected write error", err)
+	}
+	assertNoFiles(t, dir)
+}
+
+func TestOpenMissingRun(t *testing.T) {
+	run := &Run{path: filepath.Join(t.TempDir(), "gone.run")}
+	if _, err := run.Open(); err == nil {
+		t.Fatal("opening a missing run must fail")
+	}
+	if err := run.Remove(); err != nil {
+		t.Fatalf("removing a missing run is not an error: %v", err)
+	}
+}

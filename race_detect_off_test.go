@@ -1,0 +1,6 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports that this binary was built with -race.
+const raceEnabled = false

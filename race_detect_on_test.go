@@ -1,0 +1,10 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports that this binary was built with -race. The 1M-row
+// out-of-core acceptance test is a throughput-scale workload, not a
+// concurrency probe — under the race detector's ~10x slowdown it would
+// dominate the CI race job without adding coverage (the randomized spill
+// agreement suite runs under race and exercises every spilling path).
+const raceEnabled = true
