@@ -12,11 +12,19 @@
 //
 // Two subcommands manage that committed baseline as a regression gate:
 //
-//	bench check   rerun the physical suite and compare rows_per_sec against
-//	              the committed BENCH_physical.json; exit 1 if any pipeline
-//	              regressed by more than -tolerance (default 25%)
-//	bench update  rerun the suite and rewrite the baseline in place — run it
-//	              after deliberate perf-relevant changes and commit the diff
+//	bench check    rerun the physical suite and compare rows_per_sec against
+//	               the committed BENCH_physical.json; exit 1 if any pipeline
+//	               regressed by more than -tolerance (default 25%)
+//	bench update   rerun the suite and rewrite the baseline in place — run it
+//	               after deliberate perf-relevant changes and commit the diff
+//	bench summary  no remeasurement: render an already-written results file
+//	               (-baseline, e.g. the check run's -out) as the aligned
+//	               suite table with its speedup footers
+//
+// The suite's "/fused" entries lower the same chain-shaped plans with
+// Options.Fuse and are compared against the "/typed" operator trees they
+// collapse; the fused-vs-typed footer lines in `update` and `summary`
+// output are the throughput claim for the fused pipeline compiler.
 //
 // With -mem-budget (e.g. "32M", or "auto" for a quarter of the data), the
 // physical run and both gate subcommands additionally measure the
@@ -44,6 +52,13 @@ func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && (args[0] == "check" || args[0] == "update") {
 		if err := runGate(args[0], args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "summary" {
+		if err := runSummary(args[1:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -296,5 +311,27 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "benchmark regression gate passed (tolerance %.0f%%, %d/%d entries compared)\n",
 		*tol*100, stats.Compared, stats.Baseline)
+	return nil
+}
+
+// runSummary implements `bench summary`: format a results file that an
+// earlier run already wrote, without remeasuring anything. CI uses it to
+// turn the check run's -out JSON into the human-readable fused-vs-typed
+// artifact.
+func runSummary(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench summary", flag.ContinueOnError)
+	baseline := fs.String("baseline", "BENCH_physical.json", "results file to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("reading results: %w", err)
+	}
+	results, err := physbench.ParseJSON(raw)
+	if err != nil {
+		return fmt.Errorf("parsing results %s: %w", *baseline, err)
+	}
+	fmt.Fprint(stdout, physbench.Format(results))
 	return nil
 }

@@ -161,6 +161,39 @@ func TestMainGateMemBudget(t *testing.T) {
 	}
 }
 
+// TestMainSummary: `bench summary` renders an existing results file as the
+// suite table — including the fused-vs-typed footer CI greps into its
+// artifact — without invoking any measurement.
+func TestMainSummary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.json")
+	rs := []physbench.Result{
+		{Op: "scan-filter-project/batch", Rows: 2000, NsPerOp: 3000, RowsPerSec: 1e7},
+		{Op: "scan-filter-project/typed", Rows: 2000, NsPerOp: 2000, RowsPerSec: 1.5e7},
+		{Op: "scan-filter-project/fused", Rows: 2000, NsPerOp: 1000, RowsPerSec: 3e7},
+	}
+	if err := physbench.WriteJSON(path, rs); err != nil {
+		t.Fatal(err)
+	}
+
+	stubSuite(t, 1.0) // must NOT be consulted: summary only formats
+	var out strings.Builder
+	if err := runSummary([]string{"-baseline", path}, &out); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "scan-filter-project fused-vs-typed: 2.00x") {
+		t.Errorf("summary missing fused-vs-typed footer:\n%s", got)
+	}
+	if oocBudget != 0 {
+		t.Errorf("summary must not measure, but the out-of-core stub ran")
+	}
+
+	if err := runSummary([]string{"-baseline", filepath.Join(dir, "absent.json")}, &out); err == nil {
+		t.Error("summary with a missing file must error")
+	}
+}
+
 // TestMainCheckMissingBaseline: a helpful error pointing at `bench update`,
 // before any measurement is spent.
 func TestMainCheckMissingBaseline(t *testing.T) {

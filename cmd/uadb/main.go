@@ -14,7 +14,10 @@
 // -mem-budget caps each query's pipeline-breaker working set (e.g. "64M",
 // "2G", or plain bytes; 0 = unlimited): sorts, aggregates, and join builds
 // that exceed the budget spill to temp files and stream back, so one big
-// GROUP BY or join cannot OOM the process.
+// GROUP BY or join cannot OOM the process. -fuse compiles each
+// scan→filter→project (and equi-join probe) chain into one fused loop over
+// the columnar storage — an execution strategy switch only: results are
+// byte-identical with and without it.
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	explain := fs.Bool("explain", false, "print the rewritten logical plan instead of executing")
 	dop := fs.Int("dop", 0, "degree of parallelism: 0 = GOMAXPROCS, 1 = serial engine")
 	memBudget := fs.String("mem-budget", "", "per-query memory budget for sorts/aggregates/joins, e.g. 64M or 2G (empty or 0 = unlimited, never spill)")
+	fuse := fs.Bool("fuse", false, "compile scan→filter→project(→probe) chains into fused single-loop pipelines (identical results, faster on columnar tables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +73,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	front := rewrite.NewFrontend(engine.NewCatalog())
 	front.DOP = *dop
 	front.MemBudget = budget
+	front.Fuse = *fuse
 	for _, spec := range tables {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

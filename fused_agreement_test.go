@@ -1,0 +1,223 @@
+package repro_test
+
+// Randomized fused/unfused agreement: with Options.Fuse set, maximal
+// scan→filter→project(→probe) chains collapse into single-loop FusedPipeline
+// operators — and must produce byte-identical results, in identical order, to
+// the unfused operator tree running the same plans against the same catalog.
+// Serially and at every DOP, under unlimited and tight memory budgets, on
+// plain and UA-rewritten plans. This is the acceptance gate for the fusion
+// layer: like typed execution before it, fusion is an optimization, never a
+// semantics change.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/physical"
+	"repro/internal/rewrite"
+	"repro/internal/types"
+)
+
+// fusedBudgets are the memory regimes the fused suite runs under: unlimited,
+// and a budget tight enough to force the governor on for these tables. Under
+// a governor, fused probes must decline (governed joins need the spilling
+// HashJoin) and fall back to the unfused tree — agreement pins that the
+// fallback actually composes.
+func fusedBudgets() []int64 { return []int64{0, 8 << 10} }
+
+func fusedOpts(dop int, budget int64, dir string) physical.Options {
+	return physical.Options{DOP: dop, MorselSize: 64, MinParallelRows: 1,
+		Fuse: true, MemBudget: budget, SpillDir: dir}
+}
+
+func TestFusedUnfusedAgreementRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	dir := t.TempDir()
+	for trial := 0; trial < 120; trial++ {
+		cat := typedAgreementCatalog(rng)
+		g := &planGen{rng: rng, cat: cat}
+		plan, _ := g.gen(1 + rng.Intn(3))
+
+		want := drainOpts(t, plan, cat, physical.Options{DOP: 1}, "unfused serial")
+		for _, dop := range typedDOPs() {
+			for _, budget := range fusedBudgets() {
+				got := drainOpts(t, plan, cat, fusedOpts(dop, budget, dir), "fused")
+				mustMatchRows(t, got, want, "fused vs unfused")
+			}
+		}
+	}
+}
+
+// TestFusedUnfusedAgreementUA runs UA-rewritten plans — trailing certainty
+// column, least() certainty combination at joins — through the fused engine
+// at every DOP and budget against the unfused serial tree. UA projections are
+// computing projections (least(), certainty arithmetic), so rewritten plans
+// exercise the fusion gate's main target.
+func TestFusedUnfusedAgreementUA(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	dir := t.TempDir()
+	for trial := 0; trial < 120; trial++ {
+		det := typedAgreementCatalog(rng)
+		enc := engine.NewCatalog()
+		for _, name := range det.Names() {
+			enc.PutAs(name, rewrite.EncodeDeterministic(det.Get(name)))
+		}
+		g := &planGen{rng: rng, cat: det, raPlus: true}
+		plan, _ := g.gen(1 + rng.Intn(3))
+		ua, err := rewrite.RewriteUA(plan)
+		if err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+
+		want := drainOpts(t, ua, rowSource{enc}, physical.Options{DOP: 1}, "unfused serial UA")
+		for _, dop := range typedDOPs() {
+			for _, budget := range fusedBudgets() {
+				got := drainOpts(t, ua, enc, fusedOpts(dop, budget, dir), "fused UA")
+				mustMatchRows(t, got, want, "fused vs unfused UA")
+			}
+		}
+	}
+}
+
+// fusedTestCatalog builds two small int tables suitable for chain and probe
+// plans: t(k, v) with k = i%7, v = i, and r(k, w) with one row per key 0..6.
+func fusedTestCatalog() *engine.Catalog {
+	tb := engine.NewTable(types.NewSchema("t", "k", "v"))
+	for i := 0; i < 200; i++ {
+		tb.AppendVals(types.NewInt(int64(i%7)), types.NewInt(int64(i)))
+	}
+	rb := engine.NewTable(types.NewSchema("r", "k", "w"))
+	for i := 0; i < 7; i++ {
+		rb.AppendVals(types.NewInt(int64(i)), types.NewInt(int64(i*100)))
+	}
+	cat := engine.NewCatalog()
+	cat.Put(tb)
+	cat.Put(rb)
+	return cat
+}
+
+func fusedChainPlan(cat *engine.Catalog) algebra.Node {
+	sch := cat.Get("t").Schema
+	k := algebra.Col{Idx: 0, Name: "k"}
+	v := algebra.Col{Idx: 1, Name: "v"}
+	return &algebra.Project{
+		Input: &algebra.Filter{
+			Input: &algebra.Scan{Table: "t", TblSchema: sch},
+			Pred: algebra.Bin{Op: algebra.OpLt, L: v,
+				R: algebra.Const{V: types.NewInt(100)}},
+		},
+		Exprs: []algebra.Expr{k, algebra.Bin{Op: algebra.OpAdd, L: k, R: v}},
+		Names: []string{"k", "kv"},
+	}
+}
+
+// TestFusedPathEngages pins that Fuse actually changes the lowered tree: the
+// chain collapses to a single FusedPipeline (serially and inside Gather
+// workers), the probe variant absorbs the join's probe side, Explain renders
+// the collapsed chain as one node, and without Fuse nothing changes.
+func TestFusedPathEngages(t *testing.T) {
+	cat := fusedTestCatalog()
+	plan := fusedChainPlan(cat)
+
+	// Serial: one FusedPipeline, exact Explain rendering.
+	op, err := physical.LowerOpts(plan, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.FusedPipeline); !ok {
+		t.Fatalf("serial fused lowering produced %T, want *FusedPipeline", op)
+	}
+	out, err := engine.ExplainPhysicalOpts(plan, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "FusedPipeline[scan t → filter → project]\n"; out != want {
+		t.Fatalf("fused explain:\n%s\nwant:\n%s", out, want)
+	}
+
+	// Without the flag the tree is untouched — the reference engine remains
+	// the default.
+	op, err = physical.LowerOpts(plan, cat, physical.Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.Project); !ok {
+		t.Fatalf("unfused lowering produced %T, want *Project", op)
+	}
+
+	// Parallel: each Gather worker runs a FusedPipeline over its MorselScan.
+	popt := physical.Options{DOP: 2, MorselSize: 16, MinParallelRows: 1, Fuse: true}
+	op, err = physical.LowerOpts(plan, cat, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := op.(*physical.Gather)
+	if !ok {
+		t.Fatalf("parallel fused lowering produced %T, want *Gather", op)
+	}
+	if _, ok := g.Workers[0].Pipe.(*physical.FusedPipeline); !ok {
+		t.Fatalf("gather worker runs %T, want *FusedPipeline", g.Workers[0].Pipe)
+	}
+
+	// Probe: the chain absorbs the join's probe side and Explain shows the
+	// build subtree beneath it.
+	join := &algebra.Join{Left: fusedChainPlan(cat),
+		Right: &algebra.Scan{Table: "r", TblSchema: cat.Get("r").Schema},
+		EquiL: []int{0}, EquiR: []int{0}}
+	out, err = engine.ExplainPhysicalOpts(join, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FusedPipeline[scan t → filter → project → probe]") ||
+		!strings.Contains(out, "build:") {
+		t.Fatalf("fused probe explain:\n%s", out)
+	}
+
+	// A governed join declines fusion of the probe (spilling needs the real
+	// HashJoin) while the scan-side chain still fuses below it.
+	gopt := physical.Options{DOP: 1, Fuse: true, MemBudget: 8 << 10, SpillDir: t.TempDir()}
+	out, err = engine.ExplainPhysicalOpts(join, cat, gopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "probe]") || !strings.Contains(out, "FusedPipeline[scan t → filter → project]") {
+		t.Fatalf("governed fused explain:\n%s", out)
+	}
+}
+
+// TestFusedFilterOnlyStaysUnfused pins the worthFusing gate: a bare
+// scan→filter chain keeps the typed Filter (which moves row pointers and
+// boxes nothing — fusing it would only add boxing), and a passthrough
+// projection with no predicate likewise stays on the column-only path.
+func TestFusedFilterOnlyStaysUnfused(t *testing.T) {
+	cat := fusedTestCatalog()
+	sch := cat.Get("t").Schema
+	v := algebra.Col{Idx: 1, Name: "v"}
+	filter := &algebra.Filter{
+		Input: &algebra.Scan{Table: "t", TblSchema: sch},
+		Pred:  algebra.Bin{Op: algebra.OpLt, L: v, R: algebra.Const{V: types.NewInt(100)}},
+	}
+	op, err := physical.LowerOpts(filter, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.Filter); !ok {
+		t.Fatalf("filter-only chain lowered to %T, want *Filter", op)
+	}
+
+	passthrough := &algebra.Project{
+		Input: &algebra.Scan{Table: "t", TblSchema: sch},
+		Exprs: []algebra.Expr{algebra.Col{Idx: 0, Name: "k"}},
+		Names: []string{"k"},
+	}
+	op, err = physical.LowerOpts(passthrough, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.Project); !ok {
+		t.Fatalf("passthrough project lowered to %T, want *Project", op)
+	}
+}

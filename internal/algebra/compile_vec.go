@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/types"
@@ -58,18 +59,223 @@ func (c *Compiled) EvalVec(cols []vector.Vector, n int) (_ vector.Vector, ok boo
 // and EvalVecStrided will succeed).
 func (c *Compiled) CanEvalVec() bool { return c.vecEval != nil }
 
+// CanSelectVec reports whether the expression has a columnar selection
+// kernel (SelectTruthyVec will succeed). The fused-pipeline lowering asks
+// before committing a plan to the single-loop executor.
+func (c *Compiled) CanSelectVec() bool { return c.vecSel != nil }
+
+// EvalVecSelStrided is EvalVecStrided restricted to a selection: the
+// expression is evaluated through the unboxed columnar kernel over the whole
+// window (vector arithmetic is element-wise and total — division by zero
+// yields NULL, never a fault — so evaluating rows a filter discarded cannot
+// change the surviving rows' results), and only the selected rows are boxed,
+// the j-th selected row's value landing at dst[j*stride]. This is the
+// projection half of the fused scan→filter→project loop: source columns are
+// read once and output Values are written once, with neither a gather of the
+// surviving rows nor an intermediate batch in between. Returns false (dst
+// untouched) when the expression has no columnar kernel.
+func (c *Compiled) EvalVecSelStrided(cols []vector.Vector, n int, sel []int, dst []types.Value, stride int) bool {
+	if c.vecEval == nil {
+		return false
+	}
+	stridedFromVectorSel(c.vecEval(cols, n), sel, dst, stride)
+	return true
+}
+
 // EvalVecStrided is EvalStrided over a columnar batch: it evaluates through
 // the unboxed columnar kernel and writes the boxed results at dst[i*stride]
 // in one typed loop. Projections headed for row consumers use it to fuse
 // typed evaluation with row-slab construction — the output Values are
-// written exactly once, with no intermediate materialization pass. Returns
+// written exactly once, with no intermediate materialization pass. Simple
+// arithmetic over null-free numeric columns skips even the intermediate
+// result vector: the direct kernel computes and boxes in one loop. Returns
 // false (dst untouched) when the expression has no columnar kernel.
 func (c *Compiled) EvalVecStrided(cols []vector.Vector, n int, dst []types.Value, stride int) bool {
+	if c.vecStrided != nil && c.vecStrided(cols, n, dst, stride) {
+		return true
+	}
 	if c.vecEval == nil {
 		return false
 	}
 	stridedFromVector(c.vecEval(cols, n), n, dst, stride)
 	return true
+}
+
+// stridedArithFn computes an arithmetic node and boxes the results straight
+// into a strided destination, no intermediate result vector. Returns false
+// when this batch's runtime column types don't fit the unboxed loops (the
+// caller then goes through vecEval + stridedFromVector, which is total).
+type stridedArithFn func(cols []vector.Vector, n int, dst []types.Value, stride int) bool
+
+// compileVecStridedArith builds the direct strided kernel for arithmetic
+// whose operands are a bare column or constant — the dominant projection
+// shape. Anything deeper keeps the two-pass vecEval path.
+func compileVecStridedArith(e Expr) stridedArithFn {
+	b, isBin := e.(Bin)
+	if !isBin {
+		return nil
+	}
+	switch b.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+	default:
+		return nil
+	}
+	if !arithLeafOperand(b.L) || !arithLeafOperand(b.R) || !arithHasCol(b) {
+		return nil
+	}
+	op := b.Op
+	return func(cols []vector.Vector, n int, dst []types.Value, stride int) bool {
+		if la, ra, ok := intSides(b.L, b.R, cols); ok {
+			stridedArithInt(op, la, ra, n, dst, stride)
+			return true
+		}
+		if la, ra, ok := floatSides(b.L, b.R, cols); ok {
+			stridedArithFloat(op, la, ra, n, dst, stride)
+			return true
+		}
+		return false
+	}
+}
+
+func arithLeafOperand(e Expr) bool {
+	switch e.(type) {
+	case Col, Const:
+		return true
+	}
+	return false
+}
+
+func arithHasCol(b Bin) bool {
+	_, l := b.L.(Col)
+	_, r := b.R.(Col)
+	return l || r
+}
+
+// intStrideSide reads one operand of the direct int loop: a null-free int64
+// column (vals non-nil) or an int constant.
+type intStrideSide struct {
+	vals   []int64
+	scalar int64
+}
+
+func (s intStrideSide) at(i int) int64 {
+	if s.vals != nil {
+		return s.vals[i]
+	}
+	return s.scalar
+}
+
+type floatStrideSide struct {
+	vals   []float64
+	ints   []int64 // int column widening into a float loop
+	scalar float64
+}
+
+func (s floatStrideSide) at(i int) float64 {
+	if s.vals != nil {
+		return s.vals[i]
+	}
+	if s.ints != nil {
+		return float64(s.ints[i])
+	}
+	return s.scalar
+}
+
+func intSideOf(e Expr, cols []vector.Vector) (intStrideSide, bool) {
+	switch o := e.(type) {
+	case Col:
+		if v, ok := cols[o.Idx].(*vector.Int64Vector); ok && !v.AnyNull() {
+			return intStrideSide{vals: v.Vals}, true
+		}
+	case Const:
+		if o.V.Kind() == types.KindInt {
+			return intStrideSide{scalar: o.V.Int()}, true
+		}
+	}
+	return intStrideSide{}, false
+}
+
+func intSides(l, r Expr, cols []vector.Vector) (la, ra intStrideSide, ok bool) {
+	if la, ok = intSideOf(l, cols); !ok {
+		return la, ra, false
+	}
+	ra, ok = intSideOf(r, cols)
+	return la, ra, ok
+}
+
+func floatSideOf(e Expr, cols []vector.Vector) (floatStrideSide, bool) {
+	switch o := e.(type) {
+	case Col:
+		switch v := cols[o.Idx].(type) {
+		case *vector.Float64Vector:
+			if !v.AnyNull() {
+				return floatStrideSide{vals: v.Vals}, true
+			}
+		case *vector.Int64Vector:
+			if !v.AnyNull() {
+				return floatStrideSide{ints: v.Vals}, true
+			}
+		}
+	case Const:
+		if o.V.IsNumeric() {
+			return floatStrideSide{scalar: o.V.Float()}, true
+		}
+	}
+	return floatStrideSide{}, false
+}
+
+func floatSides(l, r Expr, cols []vector.Vector) (la, ra floatStrideSide, ok bool) {
+	if la, ok = floatSideOf(l, cols); !ok {
+		return la, ra, false
+	}
+	ra, ok = floatSideOf(r, cols)
+	return la, ra, ok
+}
+
+// stridedArithInt mirrors vecArithInt + stridedFromVector in one pass; the
+// div/mod zero cases box through evalArithInt, so NULL results match the
+// interpreter bit for bit.
+func stridedArithInt(op BinOp, l, r intStrideSide, n int, dst []types.Value, stride int) {
+	switch op {
+	case OpAdd:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewInt(l.at(i) + r.at(i))
+		}
+	case OpSub:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewInt(l.at(i) - r.at(i))
+		}
+	case OpMul:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewInt(l.at(i) * r.at(i))
+		}
+	default: // OpDiv, OpMod
+		for i := 0; i < n; i++ {
+			dst[i*stride] = evalArithInt(op, l.at(i), r.at(i))
+		}
+	}
+}
+
+// stridedArithFloat mirrors vecArithFloat + stridedFromVector in one pass.
+func stridedArithFloat(op BinOp, l, r floatStrideSide, n int, dst []types.Value, stride int) {
+	switch op {
+	case OpAdd:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewFloat(l.at(i) + r.at(i))
+		}
+	case OpSub:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewFloat(l.at(i) - r.at(i))
+		}
+	case OpMul:
+		for i := 0; i < n; i++ {
+			dst[i*stride] = types.NewFloat(l.at(i) * r.at(i))
+		}
+	default: // OpDiv, OpMod
+		for i := 0; i < n; i++ {
+			dst[i*stride] = evalArithFloat(op, l.at(i), r.at(i))
+		}
+	}
 }
 
 // stridedFromVector boxes a result vector into a strided row-major slab,
@@ -127,6 +333,67 @@ func stridedFromVector(v vector.Vector, n int, dst []types.Value, stride int) {
 	default:
 		for i := 0; i < n; i++ {
 			dst[i*stride] = v.Value(i)
+		}
+	}
+}
+
+// stridedFromVectorSel boxes the selected rows of a result vector into a
+// strided row-major slab: one concrete loop per vector type, exactly the
+// boxing rules of stridedFromVector (NULL slots stay the zero Value) applied
+// at sel's positions only.
+func stridedFromVectorSel(v vector.Vector, sel []int, dst []types.Value, stride int) {
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		if !tv.AnyNull() {
+			for j, i := range sel {
+				dst[j*stride] = types.NewInt(tv.Vals[i])
+			}
+			return
+		}
+		for j, i := range sel {
+			if tv.Null(i) {
+				dst[j*stride] = types.Null()
+			} else {
+				dst[j*stride] = types.NewInt(tv.Vals[i])
+			}
+		}
+	case *vector.Float64Vector:
+		if !tv.AnyNull() {
+			for j, i := range sel {
+				dst[j*stride] = types.NewFloat(tv.Vals[i])
+			}
+			return
+		}
+		for j, i := range sel {
+			if tv.Null(i) {
+				dst[j*stride] = types.Null()
+			} else {
+				dst[j*stride] = types.NewFloat(tv.Vals[i])
+			}
+		}
+	case *vector.StringVector:
+		for j, i := range sel {
+			if tv.Null(i) {
+				dst[j*stride] = types.Null()
+			} else {
+				dst[j*stride] = types.NewString(tv.Vals[i])
+			}
+		}
+	case *vector.BoolVector:
+		for j, i := range sel {
+			if tv.Null(i) {
+				dst[j*stride] = types.Null()
+			} else {
+				dst[j*stride] = types.NewBool(tv.Vals[i])
+			}
+		}
+	case *vector.ValueVector:
+		for j, i := range sel {
+			dst[j*stride] = tv.Vals[i]
+		}
+	default:
+		for j, i := range sel {
+			dst[j*stride] = v.Value(i)
 		}
 	}
 }
@@ -199,6 +466,106 @@ func compileVecSelector(e Expr) vecSelFn {
 			return selVecVec(l.eval(cols, n), r.eval(cols, n), onLt, onEq, onGt, sel)
 		}
 	}
+}
+
+// rangeSelFn answers a comparison selection as one contiguous row range
+// [lo, hi) instead of an index list. ok=false means the range form does not
+// apply to this batch (column not marked ascending, kinds mismatch, Ne) and
+// the caller must use the scan kernel.
+type rangeSelFn func(cols []vector.Vector, n int) (lo, hi int, ok bool)
+
+// SelectRangeVec answers the compiled predicate's selection over a columnar
+// batch as one contiguous range, exploiting an ascending column's ordering
+// (vector.Int64Vector.Asc): rows satisfying col cmp const form a contiguous
+// zone of a sorted column, found by binary search instead of an O(n) scan
+// with an O(n) selection vector. ok=false — no range kernel for the
+// expression shape, or none for this batch — means nothing; callers fall
+// back to SelectTruthyVec, which is always semantically identical.
+func (c *Compiled) SelectRangeVec(cols []vector.Vector, n int) (lo, hi int, ok bool) {
+	if c.vecRange == nil {
+		return 0, 0, false
+	}
+	return c.vecRange(cols, n)
+}
+
+// compileVecRange builds the range-selection kernel for col cmp const (and
+// const cmp col, flipped) predicates. Shapes with arithmetic around the
+// column are left to the scan kernel: arithmetic does not in general
+// preserve the column's ordering.
+func compileVecRange(e Expr) rangeSelFn {
+	b, isBin := e.(Bin)
+	if !isBin {
+		return nil
+	}
+	switch b.Op {
+	case OpEq, OpLt, OpLe, OpGt, OpGe:
+		// Ne selects two ranges; no single-range form.
+	default:
+		return nil
+	}
+	onLt, onEq, onGt := cmpFlags(b.Op)
+	if col, isCol := b.L.(Col); isCol {
+		if con, isConst := b.R.(Const); isConst {
+			cv := con.V
+			return func(cols []vector.Vector, n int) (int, int, bool) {
+				return selRangeConst(cols[col.Idx], cv, n, onLt, onEq, onGt)
+			}
+		}
+	}
+	if con, isConst := b.L.(Const); isConst {
+		if col, isCol := b.R.(Col); isCol {
+			cv := con.V
+			return func(cols []vector.Vector, n int) (int, int, bool) {
+				return selRangeConst(cols[col.Idx], cv, n, onGt, onEq, onLt)
+			}
+		}
+	}
+	return nil
+}
+
+// selRangeConst resolves v cmp cv over an ascending column by binary search.
+// An ascending column splits into three consecutive zones — rows comparing
+// below, equal to, and above the constant — located by two searches; the
+// comparison arms are exactly selVecConst's, so every boundary case (NaN
+// constant landing in the equal zone, int widening past 2^53, ±Inf) yields
+// the identical row set.
+func selRangeConst(v vector.Vector, cv types.Value, n int, onLt, onEq, onGt bool) (int, int, bool) {
+	if cv.IsNull() {
+		return 0, 0, true // NULL constant selects nothing (3VL)
+	}
+	var lo, hi int
+	switch tv := v.(type) {
+	case *vector.Int64Vector:
+		if !tv.Asc || !cv.IsNumeric() {
+			return 0, 0, false
+		}
+		cvf := cv.Float()
+		lo = sort.Search(n, func(i int) bool { return !(float64(tv.Vals[i]) < cvf) })
+		hi = lo + sort.Search(n-lo, func(i int) bool { return float64(tv.Vals[lo+i]) > cvf })
+	case *vector.Float64Vector:
+		if !tv.Asc || !cv.IsNumeric() {
+			return 0, 0, false
+		}
+		cvf := cv.Float()
+		lo = sort.Search(n, func(i int) bool { return !(tv.Vals[i] < cvf) })
+		hi = lo + sort.Search(n-lo, func(i int) bool { return tv.Vals[lo+i] > cvf })
+	default:
+		return 0, 0, false
+	}
+	// Zones: [0,lo) below, [lo,hi) equal, [hi,n) above.
+	switch {
+	case onLt && !onEq && !onGt: // <
+		return 0, lo, true
+	case onLt && onEq && !onGt: // <=
+		return 0, hi, true
+	case !onLt && onEq && !onGt: // =
+		return lo, hi, true
+	case !onLt && onEq && onGt: // >=
+		return lo, n, true
+	case !onLt && !onEq && onGt: // >
+		return hi, n, true
+	}
+	return 0, 0, false
 }
 
 // selVecConst selects the rows where v cmp cv holds, with a dedicated

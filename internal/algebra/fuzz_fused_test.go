@@ -1,0 +1,144 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// FuzzFusedVsUnfused is the fusion twin of FuzzCompileVsEval: it replays the
+// exact kernel sequence a FusedPipeline window runs — SelectTruthyVec per
+// predicate, ascending intersection of the survivor sets, then
+// EvalVecSelStrided of every projection at the surviving positions into one
+// strided row buffer — and requires byte-identical results (kind plus
+// canonical key encoding) to interpreted row-at-a-time filtering and
+// evaluation. NULL propagation through 3VL predicates, div/mod-by-zero,
+// NaN comparison arms, and int→float widening past 2^53 all flow through
+// the same decoded value pool the kernel fuzzer uses.
+func FuzzFusedVsUnfused(f *testing.F) {
+	f.Add([]byte{0x01, 0x22, 0x13, 0x05, 0x40, 0x41, 0x42})
+	f.Add([]byte{0x02, 0x30, 0x00, 0xff, 0x7f, 0x12, 0x99, 0x01, 0x02, 0x03})
+	f.Add([]byte("fused-window-agreement"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := decoder{data: data}
+		const arity = 3
+		nPreds := int(d.byte()) % 3
+		preds := make([]Expr, nPreds)
+		for i := range preds {
+			preds[i] = d.expr(arity, 2)
+		}
+		nProjs := 1 + int(d.byte())%3
+		projs := make([]Expr, nProjs)
+		for i := range projs {
+			projs[i] = d.expr(arity, 3)
+		}
+		nRows := 1 + int(d.byte())%24
+		rows := make([][]types.Value, nRows)
+		for i := range rows {
+			row := make([]types.Value, arity)
+			for j := range row {
+				row[j] = d.value()
+			}
+			rows[i] = row
+		}
+
+		predProgs := make([]*Compiled, nPreds)
+		for i, p := range preds {
+			predProgs[i] = Compile(p)
+			if !predProgs[i].CanSelectVec() {
+				return // fused lowering would decline this chain
+			}
+		}
+		projProgs := make([]*Compiled, nProjs)
+		for i, p := range projs {
+			projProgs[i] = Compile(p)
+			if !projProgs[i].CanEvalVec() {
+				return
+			}
+		}
+
+		// Row-at-a-time reference: sequential filters, interpreted Eval.
+		var wantSel []int
+		for i, row := range rows {
+			keep := true
+			for _, p := range preds {
+				if !Truthy(p.Eval(row)) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				wantSel = append(wantSel, i)
+			}
+		}
+
+		// Fused window: per-predicate vector selection, intersected.
+		cols := vector.FromRows(rows, arity).Slice(0, nRows)
+		var sel []int
+		for i, prog := range predProgs {
+			s, ok := prog.SelectTruthyVec(cols, nRows, nil)
+			if !ok {
+				t.Fatalf("pred %s: CanSelectVec true but SelectTruthyVec declined", preds[i])
+			}
+			if i == 0 {
+				sel = s
+			} else {
+				sel = intersectSorted(sel, s)
+			}
+		}
+		if nPreds == 0 {
+			sel = make([]int, nRows)
+			for i := range sel {
+				sel[i] = i
+			}
+		}
+		if !equalSel(sel, wantSel) {
+			t.Fatalf("preds %v: fused sel %v, want %v", preds, sel, wantSel)
+		}
+		if len(sel) == 0 {
+			return // the pipeline skips empty windows before projecting
+		}
+
+		// Projection at the surviving positions, strided like the pipeline's
+		// output buffer; full windows take the stride path sel-free windows use.
+		buf := make([]types.Value, len(sel)*nProjs)
+		for j, prog := range projProgs {
+			var ok bool
+			if len(sel) == nRows {
+				ok = prog.EvalVecStrided(cols, nRows, buf[j:], nProjs)
+			} else {
+				ok = prog.EvalVecSelStrided(cols, nRows, sel, buf[j:], nProjs)
+			}
+			if !ok {
+				t.Fatalf("proj %s: CanEvalVec true but strided eval declined", projs[j])
+			}
+		}
+		for r, i := range sel {
+			for j, p := range projs {
+				want, got := p.Eval(rows[i]), buf[r*nProjs+j]
+				if !sameValueFuzz(want, got) {
+					t.Fatalf("proj %s row %d: Eval=%v fused=%v", p, i, want, got)
+				}
+			}
+		}
+	})
+}
+
+// intersectSorted returns the values present in both ascending slices.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j == len(b) {
+			break
+		}
+		if b[j] == x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

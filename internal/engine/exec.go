@@ -66,7 +66,14 @@ func compile(n algebra.Node, cat *Catalog, opt physical.Options) (physical.Opera
 // tests and EXPLAIN output both use it. It compiles with the same default
 // options as Execute, so parallelized plans show their Gather pipelines.
 func ExplainPhysical(n algebra.Node, cat *Catalog) (string, error) {
-	op, err := compile(n, cat, physical.Options{})
+	return ExplainPhysicalOpts(n, cat, physical.Options{})
+}
+
+// ExplainPhysicalOpts is ExplainPhysical under explicit execution options —
+// the tree ExecuteOpts would run. With Options.Fuse set, fused chains render
+// as a single FusedPipeline node listing the collapsed operators.
+func ExplainPhysicalOpts(n algebra.Node, cat *Catalog, opt physical.Options) (string, error) {
+	op, err := compile(n, cat, opt)
 	if err != nil {
 		return "", err
 	}

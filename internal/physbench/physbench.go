@@ -96,6 +96,12 @@ func Format(rs []Result) string {
 				fmt.Fprintf(&sb, "%-28s %.2fx throughput under budget\n",
 					base+" spill-vs-batch:", batch.NsPerOp/r.NsPerOp)
 			}
+		case "fused":
+			if typed, ok := byOp[base+"/typed"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
+					base+" fused-vs-typed:", typed.NsPerOp/r.NsPerOp,
+					r.AllocsPerOp-typed.AllocsPerOp)
+			}
 		}
 	}
 	return sb.String()
@@ -268,6 +274,18 @@ func (s benchSource) Resolve(table string) (types.Schema, [][]types.Value, error
 	return t.schema, t.rows, nil
 }
 
+// benchColSource is benchSource plus prebuilt columnar mirrors — the
+// physical.ColumnSource the typed scan and fused lowering paths need.
+type benchColSource struct {
+	benchSource
+	cols map[string]*vector.Columns
+}
+
+func (s benchColSource) ResolveColumns(table string) (*vector.Columns, bool) {
+	c, ok := s.cols[table]
+	return c, ok
+}
+
 // Suite runs every workload at the given input size on both serial engines
 // (batch vs the frozen row reference) and returns the measurements. The
 // scan→filter→project pipeline is the acceptance workload: the batch engine
@@ -279,7 +297,10 @@ func (s benchSource) Resolve(table string) (types.Schema, [][]types.Value, error
 // resolves to GOMAXPROCS, like physical.Options) the pipeline-shaped
 // workloads also run on the morsel-parallel engine ("/par" entries) at that
 // worker count — on multi-core hardware scan-filter-project/par is the
-// parallel acceptance workload against scan-filter-project/batch.
+// parallel acceptance workload against scan-filter-project/batch. The
+// chain-shaped workloads run once more lowered with Options.Fuse ("/fused"
+// entries): one compiled loop per pipeline instead of an operator tree,
+// measured against the /typed entries they collapse.
 func Suite(n, dop int) ([]Result, error) {
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
@@ -373,6 +394,10 @@ func Suite(n, dop int) ([]Result, error) {
 		wrows[i] = []types.Value{types.NewInt(int64(i * sparseStride)), types.NewInt(int64(i))}
 	}
 	wCols := vector.FromRows(wrows, 2)
+	src["w"] = struct {
+		schema types.Schema
+		rows   [][]types.Value
+	}{wschema, wrows}
 	sparseMatches := n / sparseStride
 
 	type workload struct {
@@ -533,6 +558,69 @@ func Suite(n, dop int) ([]Result, error) {
 		out = append(out, r)
 	}
 
+	// Fused single-loop pipelines ("/fused"): the same logical plans lowered
+	// with Options.Fuse, collapsing each scan→filter→project chain — and the
+	// filtered sparse join's probe side — into one specialized loop over the
+	// typed vectors, with no intermediate batch materialization. The fused
+	// acceptance bar is scan-filter-project/fused at ≥2x the /typed
+	// rows_per_sec and the expr-heavy variant at ≥1.5x.
+	colSrc := benchColSource{benchSource: src, cols: map[string]*vector.Columns{
+		"t": tCols, "u": uCols, "w": wCols,
+	}}
+	lowerOptsDrain := func(plan algebra.Node, opt physical.Options) func() (int, error) {
+		return func() (int, error) {
+			op, err := physical.LowerOpts(plan, colSrc, opt)
+			if err != nil {
+				return 0, err
+			}
+			return drainBatch(op)
+		}
+	}
+	lowerFusedDrain := func(plan algebra.Node) func() (int, error) {
+		return lowerOptsDrain(plan, physical.Options{DOP: 1, Fuse: true})
+	}
+	// The fused probe workload keeps a filter under the join: a passthrough
+	// probe chain declines fusion (the typed HashJoin already probes straight
+	// off the vectors — fusing adds nothing there), so the filtered variant
+	// is where the fused probe path engages. Its /typed twin lowers the same
+	// plan without Fuse, so the pair differs in execution strategy only.
+	filteredProbePlan := func() algebra.Node {
+		return &algebra.Join{
+			Left: &algebra.Project{
+				Input: &algebra.Filter{Input: scanT(), Pred: pred()},
+				Exprs: []algebra.Expr{col(0, "k"), col(1, "v")},
+				Names: []string{"k", "v"}},
+			Right: &algebra.Scan{Table: "w", TblSchema: wschema},
+			EquiL: []int{1}, EquiR: []int{0}}
+	}
+	filteredMatches := sparseMatches
+	if m := (sfpRows + sparseStride - 1) / sparseStride; m < filteredMatches {
+		filteredMatches = m
+	}
+	fusedWorkloads := []struct {
+		op   string
+		want int
+		fn   func() (int, error)
+	}{
+		{"scan-filter-project/fused", sfpRows,
+			lowerFusedDrain(&algebra.Project{
+				Input: &algebra.Filter{Input: scanT(), Pred: pred()},
+				Exprs: projExprs(), Names: []string{"k", "kv"}})},
+		{"scan-filter-project-exprheavy/fused", halfUp,
+			lowerFusedDrain(&algebra.Project{
+				Input: &algebra.Filter{Input: scanT(), Pred: heavyPred()},
+				Exprs: projExprs(), Names: []string{"k", "kv"}})},
+		{"join-probe-sparse-filtered/typed", filteredMatches,
+			lowerOptsDrain(filteredProbePlan(), physical.Options{DOP: 1})},
+		{"join-probe-sparse-filtered/fused", filteredMatches,
+			lowerFusedDrain(filteredProbePlan())},
+	}
+	for _, w := range fusedWorkloads {
+		if err := add(run(w.op, n, w.want, w.fn)); err != nil {
+			return nil, err
+		}
+	}
+
 	// The float64 pipeline runs as its own phase, with its table built only
 	// now: keeping a third n-row table live through every measurement above
 	// inflates GC scan cost for all of them (the boxed engine, whose output
@@ -542,6 +630,11 @@ func Suite(n, dop int) ([]Result, error) {
 	// boundary row.
 	fschema, frows := floatTable("tf", n, n/10+1)
 	fCols := vector.FromRows(frows, 2)
+	src["tf"] = struct {
+		schema types.Schema
+		rows   [][]types.Value
+	}{fschema, frows}
+	colSrc.cols["tf"] = fCols
 	fpred := func() algebra.Expr {
 		return algebra.Bin{Op: algebra.OpLt, L: col(1, "v"),
 			R: algebra.Const{V: types.NewFloat(float64(n) / 4)}}
@@ -565,6 +658,11 @@ func Suite(n, dop int) ([]Result, error) {
 				&physical.Filter{Input: physical.NewColumnarScan("tf", fschema, frows, fCols), Pred: fpred()},
 				projExprs(), []string{"k", "kv"}))
 		}},
+		{"scan-filter-project-float/fused",
+			lowerFusedDrain(&algebra.Project{
+				Input: &algebra.Filter{
+					Input: &algebra.Scan{Table: "tf", TblSchema: fschema}, Pred: fpred()},
+				Exprs: projExprs(), Names: []string{"k", "kv"}})},
 	}
 	for _, w := range floatWorkloads {
 		if err := add(run(w.op, n, halfUp, w.fn)); err != nil {

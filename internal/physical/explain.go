@@ -77,6 +77,15 @@ func explain(sb *strings.Builder, op Operator, depth int) {
 	case *Distinct:
 		sb.WriteString("Distinct\n")
 		explain(sb, o.Input, depth+1)
+	case *FusedPipeline:
+		// One node for the whole collapsed chain; a probe stage also shows
+		// the join's build subtree, like HashJoinProbe does.
+		fmt.Fprintf(sb, "FusedPipeline[%s]\n", strings.Join(o.Ops, " → "))
+		if o.Probe != nil {
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			sb.WriteString("build:\n")
+			explain(sb, o.Probe.Build.Input, depth+2)
+		}
 	case *Gather:
 		// All workers run identical pipeline copies; print worker 0's.
 		fmt.Fprintf(sb, "Gather[dop=%d, morsel=%d]\n", o.DOP(), o.MorselSize())

@@ -56,6 +56,13 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		return NewColumnarScan(node.Table, schema, rows, columnsFor(src, node.Table, len(rows))), nil
 
 	case *algebra.Filter:
+		if opt.Fuse {
+			if fp, ok, err := lowerFusedPipeline(n, src); err != nil {
+				return nil, err
+			} else if ok {
+				return fp, nil
+			}
+		}
 		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
@@ -66,6 +73,13 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		return &Filter{Input: in, Pred: node.Pred}, nil
 
 	case *algebra.Project:
+		if opt.Fuse {
+			if fp, ok, err := lowerFusedPipeline(n, src); err != nil {
+				return nil, err
+			} else if ok {
+				return fp, nil
+			}
+		}
 		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
@@ -76,6 +90,13 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		return NewProject(in, node.Exprs, node.Names), nil
 
 	case *algebra.Join:
+		if opt.Fuse {
+			if fp, ok, err := lowerFusedProbe(node, src, opt); err != nil {
+				return nil, err
+			} else if ok {
+				return fp, nil
+			}
+		}
 		l, err := lowerNode(node.Left, src, opt)
 		if err != nil {
 			return nil, err
@@ -303,7 +324,7 @@ func pipelineFor(n algebra.Node, src Source, opt Options) (*pipelineSpec, bool, 
 // wrap (optional) stacking a per-worker operator — the join probe — on top
 // of each pipeline copy.
 func newGather(spec *pipelineSpec, opt Options, schema types.Schema,
-	wrap func(Operator) Operator, prepare func() error, hintOK bool) *Gather {
+	wrap func(Operator) Operator, prepare func() error, hintOK, capOK bool) *Gather {
 	workers := make([]*Exchange, opt.DOP)
 	for i := range workers {
 		pipe, scan := spec.mk()
@@ -313,7 +334,7 @@ func newGather(spec *pipelineSpec, opt Options, schema types.Schema,
 		workers[i] = &Exchange{Pipe: pipe, Scan: scan}
 	}
 	return &Gather{Workers: workers, src: spec.src, schema: schema,
-		prepare: prepare, hintOK: hintOK}
+		prepare: prepare, hintOK: hintOK, capOK: capOK}
 }
 
 // lowerParallel rewrites eligible subtrees to morsel-driven parallel
@@ -321,6 +342,20 @@ func newGather(spec *pipelineSpec, opt Options, schema types.Schema,
 func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, error) {
 	switch node := n.(type) {
 	case *algebra.Filter, *algebra.Project:
+		// A fused chain replaces the worker pipelines outright; chains that
+		// don't fuse (shape, kernels, or not worth it) parallelize unfused.
+		if opt.Fuse {
+			spec, ok, err := fusedPipelineSpec(n, src, opt, false)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				// Filter/Project output never exceeds the scan, so the scan
+				// size caps the gathered result.
+				g := newGather(spec, opt, spec.schema, nil, nil, spec.preservesCount, true)
+				return g, true, nil
+			}
+		}
 		spec, ok, err := pipelineFor(n, src, opt)
 		if err != nil || !ok {
 			return nil, false, err
@@ -330,7 +365,7 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 			// the serial zero-copy Scan is strictly better.
 			return nil, false, nil
 		}
-		g := newGather(spec, opt, spec.schema, nil, nil, spec.preservesCount)
+		g := newGather(spec, opt, spec.schema, nil, nil, spec.preservesCount, true)
 		return g, true, nil
 
 	case *algebra.Join:
@@ -343,6 +378,36 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 			// the probe-side Filter/Project pipeline become a Gather when
 			// lowerNode descends into it.
 			return nil, false, nil
+		}
+		if opt.Fuse {
+			// Fused probe workers: the probe chain's key and payload columns
+			// are read straight off each worker's morsel windows; the shared
+			// build table is constructed once by the Gather's prepare step.
+			spec, ok, err := fusedPipelineSpec(node.Left, src, opt, true)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				right, err := lowerNode(node.Right, src, opt)
+				if err != nil {
+					return nil, false, err
+				}
+				if err := checkJoin(node, spec.schema.Arity(), right.Schema().Arity()); err != nil {
+					return nil, false, err
+				}
+				build := &hashBuild{Input: right, Keys: node.EquiR, dop: opt.DOP}
+				schema := spec.schema.Concat(right.Schema())
+				wrap := func(pipe Operator) Operator {
+					fp := pipe.(*FusedPipeline)
+					fp.Probe = &FusedProbe{Build: build, EquiL: node.EquiL,
+						Residual: node.Residual}
+					fp.Ops = append(fp.Ops[:len(fp.Ops):len(fp.Ops)], "probe")
+					fp.schema = schema
+					return fp
+				}
+				g := newGather(spec, opt, schema, wrap, build.build, false, false)
+				return g, true, nil
+			}
 		}
 		spec, ok, err := pipelineFor(node.Left, src, opt)
 		if err != nil || !ok {
@@ -361,7 +426,7 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 			return &HashJoinProbe{Input: pipe, Build: build,
 				EquiL: node.EquiL, Residual: node.Residual, schema: schema}
 		}
-		g := newGather(spec, opt, schema, wrap, build.build, false)
+		g := newGather(spec, opt, schema, wrap, build.build, false, false)
 		return g, true, nil
 
 	case *algebra.Aggregate:

@@ -46,6 +46,15 @@ type Options struct {
 	// one from MemBudget. Tests pass a pre-built governor to observe the
 	// peak tracked allocation of a single execution.
 	Gov *MemGovernor
+	// Fuse turns on fused pipeline compilation: maximal Scan→Filter→Project
+	// chains (and equi-join probe sides) whose composed expressions all have
+	// columnar kernels lower to a single-loop FusedPipeline instead of the
+	// operator chain (see fused.go). Off by default: the unfused tree is the
+	// reference engine, and fusion is pinned byte-identical to it by the
+	// agreement harnesses. Fusion composes with DOP (fused kernels run
+	// inside morsel workers) and with MemBudget (fused pipelines are not
+	// pipeline breakers; governed joins simply decline the fused probe).
+	Fuse bool
 }
 
 // normalized fills the option defaults in.
@@ -246,6 +255,7 @@ type Gather struct {
 	schema   types.Schema
 	prepare  func() error // optional shared setup (join build) before workers start
 	hintOK   bool         // pipeline preserves scan cardinality → hint len(rows)
+	capOK    bool         // pipeline never exceeds scan cardinality → cap len(rows)
 	started  bool
 	quit     chan struct{}
 	ch       chan morselPacket
@@ -301,6 +311,17 @@ func (g *Gather) Open() error {
 // hint so Drain keeps its single-allocation result path above a Gather.
 func (g *Gather) RowCountHint() (int, bool) {
 	if !g.hintOK {
+		return 0, false
+	}
+	return len(g.src.rows), true
+}
+
+// RowCountCap implements RowCapHinter for pipelines that can only shrink the
+// scan (Filter/Project chains, fused or not): the scan size bounds the
+// gathered result, so Drain can pre-size its spine. Join gathers can expand
+// and cap nothing.
+func (g *Gather) RowCountCap() (int, bool) {
+	if !g.capOK {
 		return 0, false
 	}
 	return len(g.src.rows), true

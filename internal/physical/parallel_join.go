@@ -130,8 +130,14 @@ func (hb *hashBuild) build() error {
 
 // lookup returns the bucket of build rows matching the encoded key, in the
 // deterministic build order. Read-only; safe for concurrent probe workers.
+// A single-partition table (serial build) skips the FNV routing hash — the
+// partition map's own hash is the only per-key hashing the probe loop pays,
+// same as the serial HashJoin's buildIdx.
 func (hb *hashBuild) lookup(key []byte) [][]types.Value {
-	part := &hb.parts[keyHash(key)%uint64(len(hb.parts))]
+	part := &hb.parts[0]
+	if len(hb.parts) > 1 {
+		part = &hb.parts[keyHash(key)%uint64(len(hb.parts))]
+	}
 	if idx, ok := part.idx[string(key)]; ok {
 		return part.buckets[idx]
 	}

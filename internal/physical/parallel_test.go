@@ -438,7 +438,7 @@ func TestGatherErrorPropagation(t *testing.T) {
 	}
 	g := newGather(spec, parOpts(2).normalized(), spec.schema, func(pipe Operator) Operator {
 		return &HashJoinProbe{Input: pipe, Build: build, EquiL: []int{0}, schema: spec.schema}
-	}, build.build, false)
+	}, build.build, false, false)
 	if err := g.Open(); err == nil {
 		g.Close()
 		t.Error("build failure must surface from Gather.Open")

@@ -46,6 +46,30 @@ type RowCountHinter interface {
 	RowCountHint() (int, bool)
 }
 
+// RowCapHinter is optionally implemented by operators that know, after Open,
+// an upper bound on their total output — a fused or filtered pipeline over a
+// base-table scan, whose selectivity is unknown but whose output can never
+// exceed the scan. Drain uses the cap to pre-size its result spine when no
+// exact hint exists; that trades at most the same ≤2x terminal slack that
+// append-doubling growth would leave for the elimination of every
+// intermediate spine copy. Unlike RowCountHint, the value is a bound, not a
+// promise.
+type RowCapHinter interface {
+	// RowCountCap reports an upper bound on the remaining row count, and
+	// whether one is known. Valid only between Open and the first Next.
+	RowCountCap() (int, bool)
+}
+
+// rowsDrainer is optionally implemented by operators that can produce their
+// entire output in one shot more cheaply than batch-at-a-time iteration — a
+// serial fused pipeline over a whole-table window, which can size its output
+// buffer and result spine exactly instead of appending through a batch.
+// Drain calls it once right after Open; handled=false falls back to the
+// normal Next loop.
+type rowsDrainer interface {
+	drainRows() (rows [][]types.Value, handled bool, err error)
+}
+
 // Source resolves table names at lowering time, so one logical plan can run
 // against different databases (deterministic vs UA-encoded).
 type Source interface {
@@ -90,10 +114,30 @@ func Drain(op Operator) ([][]types.Value, error) {
 		op.Close()
 		return nil, err
 	}
+	if d, ok := op.(rowsDrainer); ok {
+		rows, handled, err := d.drainRows()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if handled {
+			if cerr := op.Close(); cerr != nil {
+				return nil, cerr
+			}
+			return rows, nil
+		}
+	}
 	var rows [][]types.Value
 	if h, ok := op.(RowCountHinter); ok {
 		if n, known := h.RowCountHint(); known {
 			rows = make([][]types.Value, 0, n)
+		}
+	}
+	if rows == nil {
+		if h, ok := op.(RowCapHinter); ok {
+			if n, known := h.RowCountCap(); known {
+				rows = make([][]types.Value, 0, n)
+			}
 		}
 	}
 	for {

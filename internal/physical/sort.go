@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/algebra"
@@ -59,11 +60,12 @@ type sortRun struct {
 // Schema implements Operator.
 func (s *Sort) Schema() types.Schema { return s.Input.Schema() }
 
-// less orders rows by the compiled sort keys.
+// less orders rows by the compiled sort keys, under sortCompare's total
+// order rather than raw Value.Compare.
 func (s *Sort) less(a, b []types.Value) bool {
 	for i, k := range s.Keys {
 		prog := s.keyProgs[i]
-		c := prog.Eval(a).Compare(prog.Eval(b))
+		c := sortCompare(prog.Eval(a), prog.Eval(b))
 		if c != 0 {
 			if k.Desc {
 				return c > 0
@@ -72,6 +74,27 @@ func (s *Sort) less(a, b []types.Value) bool {
 		}
 	}
 	return false
+}
+
+// sortCompare is Value.Compare strengthened to a total order for sorting:
+// NaN keys sort after every other numeric (SQL's NaN-greatest convention).
+// Raw Compare reports NaN equal to every numeric — not transitive (NaN = 1,
+// NaN = 2, but 1 < 2) — and a stable sort over an inconsistent comparator
+// makes output depend on where run boundaries fall, which would break the
+// spilled/in-memory byte-identity contract. Predicate evaluation keeps raw
+// Compare; only ordering is strengthened.
+func sortCompare(a, b types.Value) int {
+	if an, bn := isNaNKey(a), isNaNKey(b); an != bn && a.IsNumeric() && b.IsNumeric() {
+		if an {
+			return 1
+		}
+		return -1
+	}
+	return a.Compare(b)
+}
+
+func isNaNKey(v types.Value) bool {
+	return v.Kind() == types.KindFloat && math.IsNaN(v.Float())
 }
 
 // sortRows stable-sorts one run in place.

@@ -37,6 +37,11 @@ type Frontend struct {
 	// SpillDir is where spill runs are written; "" means the system temp
 	// directory.
 	SpillDir string
+	// Fuse turns on fused pipeline compilation: maximal scan→filter→project
+	// (→probe) chains lower to single-loop operators over the typed vectors.
+	// Off runs today's operator tree; results are identical either way — the
+	// knob selects an execution strategy, not semantics.
+	Fuse bool
 }
 
 // NewFrontend returns a frontend over the given encoded catalog.
@@ -64,7 +69,7 @@ func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 		return nil, err
 	}
 	return engine.ExecuteOpts(plan, f.Enc, physical.Options{
-		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir})
+		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir, Fuse: f.Fuse})
 }
 
 // Explain parses, resolves annotations, compiles and rewrites the query,

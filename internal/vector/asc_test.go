@@ -1,0 +1,209 @@
+package vector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func intCol(vals ...any) []Vector {
+	rows := make([][]types.Value, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			rows[i] = []types.Value{types.NewInt(int64(x))}
+		case float64:
+			rows[i] = []types.Value{types.NewFloat(x)}
+		case nil:
+			rows[i] = []types.Value{types.Null()}
+		}
+	}
+	return FromRows(rows, 1).Vecs
+}
+
+// TestAscDetection pins when FromRows marks a column ascending: null-free
+// non-decreasing values only, and for floats additionally NaN-free — the
+// marking licenses binary search, which every one of those exceptions would
+// silently break.
+func TestAscDetection(t *testing.T) {
+	asc := func(v Vector) bool {
+		switch tv := v.(type) {
+		case *Int64Vector:
+			return tv.Asc
+		case *Float64Vector:
+			return tv.Asc
+		}
+		return false
+	}
+
+	if !asc(intCol(1, 1, 2, 5)[0]) {
+		t.Error("non-decreasing int column (with duplicates) must be marked ascending")
+	}
+	if !asc(intCol(7)[0]) {
+		t.Error("a single-element int column is trivially ascending")
+	}
+	if _, boxed := intCol()[0].(*ValueVector); !boxed {
+		t.Error("an empty column has no kind to infer and stays boxed")
+	}
+	if asc(intCol(2, 1)[0]) {
+		t.Error("descending column must not be marked ascending")
+	}
+	if asc(intCol(1, nil, 2)[0]) {
+		t.Error("null-bearing column must not be marked ascending")
+	}
+	if !asc(intCol(-1.5, 0.0, 2.25)[0]) {
+		t.Error("non-decreasing float column must be marked ascending")
+	}
+	if asc(intCol(0.0, math.NaN(), 2.0)[0]) {
+		t.Error("NaN-bearing float column must not be marked ascending")
+	}
+	if asc(intCol(0.0, math.NaN())[0]) {
+		t.Error("trailing NaN must not be marked ascending")
+	}
+	if !asc(intCol(math.Inf(-1), 0.0, math.Inf(1))[0]) {
+		t.Error("infinities in order are still ascending")
+	}
+}
+
+// TestAscSlicePreservedGatherNot: slicing a window of an ascending column
+// stays ascending (a contiguous window of a sorted column is sorted);
+// gathering by an arbitrary selection must drop the marking (the selection
+// can reorder).
+func TestAscSlicePreservedGatherNot(t *testing.T) {
+	iv := intCol(1, 2, 3, 4)[0]
+	if sl, ok := iv.Slice(1, 3).(*Int64Vector); !ok || !sl.Asc {
+		t.Error("int Slice must preserve the ascending marking")
+	}
+	if g, ok := iv.Gather([]int{3, 0}).(*Int64Vector); !ok || g.Asc {
+		t.Error("int Gather must not claim ascending order")
+	}
+	fv := intCol(1.0, 2.0, 3.0)[0]
+	if sl, ok := fv.Slice(0, 2).(*Float64Vector); !ok || !sl.Asc {
+		t.Error("float Slice must preserve the ascending marking")
+	}
+	if g, ok := fv.Gather([]int{2, 1}).(*Float64Vector); !ok || g.Asc {
+		t.Error("float Gather must not claim ascending order")
+	}
+}
+
+// TestVectorKindAndAnyNull covers the Kind/AnyNull surface of every typed
+// vector, with and without bitmaps, and through zero-copy slices.
+func TestVectorKindAndAnyNull(t *testing.T) {
+	nb := NewBitmap(3)
+	nb.Set(1)
+	cases := []struct {
+		v    Vector
+		kind types.Kind
+	}{
+		{NewInt64Vector([]int64{1, 0, 3}, nb), types.KindInt},
+		{NewFloat64Vector([]float64{1, 0, 3}, nb), types.KindFloat},
+		{NewStringVector([]string{"a", "", "c"}, nb), types.KindString},
+		{NewBoolVector([]bool{true, false, true}, nb), types.KindBool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%T.Kind() = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if !c.v.Null(1) || c.v.Null(0) {
+			t.Errorf("%T: bitmap nulls misread", c.v)
+		}
+		if !c.v.Value(1).IsNull() {
+			t.Errorf("%T: Value at a null slot must be NULL", c.v)
+		}
+		// A window past the null is all-valid; one covering it is not.
+		head := c.v.Slice(2, 3)
+		if head.Null(0) {
+			t.Errorf("%T: sliced window misaligned its bitmap offset", c.v)
+		}
+	}
+	if NewInt64Vector([]int64{1}, nil).AnyNull() {
+		t.Error("nil-bitmap vector reports nulls")
+	}
+	if !NewFloat64Vector([]float64{1, 2, 3}, nb).AnyNull() {
+		t.Error("bitmap null not reported by AnyNull")
+	}
+}
+
+// TestGatherInto covers the reuse path (same concrete type, enough
+// capacity), the fallback allocation, and null propagation through gathers,
+// for each typed vector.
+func TestGatherInto(t *testing.T) {
+	nb := NewBitmap(4)
+	nb.Set(2)
+	sel := []int{3, 2, 0}
+
+	check := func(name string, src Vector, prev Vector) {
+		t.Helper()
+		out := GatherInto(prev, src, sel)
+		if out.Len() != len(sel) {
+			t.Fatalf("%s: gathered %d, want %d", name, out.Len(), len(sel))
+		}
+		for di, si := range sel {
+			w, g := src.Value(si), out.Value(di)
+			if w.Kind() != g.Kind() || string(w.AppendKey(nil)) != string(g.AppendKey(nil)) {
+				t.Fatalf("%s: out[%d] = %v, want %v", name, di, g, w)
+			}
+		}
+	}
+
+	iv := NewInt64Vector([]int64{10, 11, 12, 13}, nb)
+	check("int fresh", iv, nil)
+	check("int reuse", iv, NewInt64Vector(make([]int64, 8), nil))
+	check("int type-mismatch", iv, NewFloat64Vector(make([]float64, 8), nil))
+
+	fv := NewFloat64Vector([]float64{0.5, 1.5, 2.5, 3.5}, nb)
+	check("float fresh", fv, nil)
+	check("float reuse", fv, NewFloat64Vector(make([]float64, 8), nil))
+
+	sv := NewStringVector([]string{"a", "b", "c", "d"}, nb)
+	check("string fresh", sv, nil)
+	check("string reuse", sv, NewStringVector(make([]string, 8), nil))
+
+	bv := NewBoolVector([]bool{true, false, true, false}, nb)
+	check("bool fresh", bv, nil)
+	check("bool reuse", bv, NewBoolVector(make([]bool, 8), nil))
+
+	vv := NewValueVector([]types.Value{types.NewInt(1), types.NewString("x"), types.Null(), types.NewBool(true)})
+	check("boxed fresh", vv, nil)
+	check("boxed reuse", vv, NewValueVector(make([]types.Value, 8)))
+
+	// Empty selection: every path must return a zero-length vector.
+	if out := GatherInto(nil, iv, nil); out.Len() != 0 {
+		t.Errorf("empty selection gathered %d elements", out.Len())
+	}
+}
+
+// TestMaterializeEdges: all-NULL columns (boxed fallback), empty tables,
+// and row stability after the source vectors are overwritten.
+func TestMaterializeEdges(t *testing.T) {
+	if rows := Materialize(FromRows(nil, 2).Slice(0, 0), 0); len(rows) != 0 {
+		t.Errorf("materializing an empty table produced %d rows", len(rows))
+	}
+
+	src := [][]types.Value{
+		{types.Null(), types.NewInt(1), types.NewBool(true)},
+		{types.Null(), types.Null(), types.NewBool(false)},
+	}
+	cols := FromRows(src, 3)
+	if _, ok := cols.Vecs[0].(*ValueVector); !ok {
+		t.Fatalf("all-NULL column must fall back to the boxed vector, got %T", cols.Vecs[0])
+	}
+	vecs := cols.Slice(0, 2)
+	rows := Materialize(vecs, 2)
+	for i := range src {
+		for j := range src[i] {
+			w, g := src[i][j], rows[i][j]
+			if w.Kind() != g.Kind() || string(w.AppendKey(nil)) != string(g.AppendKey(nil)) {
+				t.Fatalf("row %d col %d: %v, want %v", i, j, g, w)
+			}
+		}
+	}
+	// Stability: scribbling over the source vectors must not reach the rows.
+	if bv, ok := vecs[2].(*BoolVector); ok {
+		bv.Vals[0] = false
+	}
+	if !rows[0][2].Bool() {
+		t.Error("materialized rows alias vector storage")
+	}
+}

@@ -73,7 +73,9 @@ func columnFromRows(rows [][]types.Value, j int) Vector {
 				vals[i] = r[j].Int()
 			}
 		}
-		return NewInt64Vector(vals, nb)
+		v := NewInt64Vector(vals, nb)
+		v.Asc = nb == nil && intsAsc(vals)
+		return v
 	case types.KindFloat:
 		vals := make([]float64, len(rows))
 		for i, r := range rows {
@@ -83,7 +85,9 @@ func columnFromRows(rows [][]types.Value, j int) Vector {
 				vals[i] = r[j].Float()
 			}
 		}
-		return NewFloat64Vector(vals, nb)
+		v := NewFloat64Vector(vals, nb)
+		v.Asc = nb == nil && floatsAsc(vals)
+		return v
 	case types.KindString:
 		vals := make([]string, len(rows))
 		for i, r := range rows {
@@ -105,6 +109,28 @@ func columnFromRows(rows [][]types.Value, j int) Vector {
 		}
 		return NewBoolVector(vals, nb)
 	}
+}
+
+// intsAsc reports whether vals is non-decreasing.
+func intsAsc(vals []int64) bool {
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] > vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// floatsAsc reports whether vals is non-decreasing under IEEE <=, which is
+// false for any comparison involving NaN — so a true result also certifies
+// the column NaN-free.
+func floatsAsc(vals []float64) bool {
+	for i := 1; i < len(vals); i++ {
+		if !(vals[i-1] <= vals[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Materialize rebuilds n rows from column vectors, carving the row slices

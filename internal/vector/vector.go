@@ -112,6 +112,12 @@ func (n nulls) gatherNulls(sel []int) nulls {
 // Int64Vector is a column of integers.
 type Int64Vector struct {
 	Vals []int64
+	// Asc records that the column is null-free and non-decreasing — an
+	// ordering property detected once at column build time. It is advisory:
+	// false makes no claim, true lets comparison kernels answer range
+	// predicates by binary search instead of a full scan. Slicing preserves
+	// it (a window of a sorted run is sorted); rebuilding vectors does not.
+	Asc bool
 	nulls
 }
 
@@ -143,7 +149,7 @@ func (v *Int64Vector) Value(i int) types.Value {
 
 // Slice implements Vector.
 func (v *Int64Vector) Slice(lo, hi int) Vector {
-	return &Int64Vector{Vals: v.Vals[lo:hi], nulls: nulls{bm: v.bm, off: v.off + lo}}
+	return &Int64Vector{Vals: v.Vals[lo:hi], Asc: v.Asc, nulls: nulls{bm: v.bm, off: v.off + lo}}
 }
 
 // AppendElemKey implements Vector.
@@ -166,6 +172,11 @@ func (v *Int64Vector) Gather(sel []int) Vector {
 // Float64Vector is a column of floats.
 type Float64Vector struct {
 	Vals []float64
+	// Asc records that the column is null-free, NaN-free and non-decreasing;
+	// see Int64Vector.Asc. (Detection compares adjacent elements, and every
+	// comparison against NaN is false, so a column containing NaN can never
+	// be marked ascending.)
+	Asc bool
 	nulls
 }
 
@@ -196,7 +207,7 @@ func (v *Float64Vector) Value(i int) types.Value {
 
 // Slice implements Vector.
 func (v *Float64Vector) Slice(lo, hi int) Vector {
-	return &Float64Vector{Vals: v.Vals[lo:hi], nulls: nulls{bm: v.bm, off: v.off + lo}}
+	return &Float64Vector{Vals: v.Vals[lo:hi], Asc: v.Asc, nulls: nulls{bm: v.bm, off: v.off + lo}}
 }
 
 // AppendElemKey implements Vector.
