@@ -17,7 +17,9 @@
 // GROUP BY or join cannot OOM the process. -fuse compiles each
 // scan→filter→project (and equi-join probe) chain into one fused loop over
 // the columnar storage — an execution strategy switch only: results are
-// byte-identical with and without it.
+// byte-identical with and without it. -csv streams results as CSV in engine
+// order, straight from the columnar result sink when the plan produces one
+// (no boxed result rows at all).
 package main
 
 import (
@@ -62,6 +64,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	dop := fs.Int("dop", 0, "degree of parallelism: 0 = GOMAXPROCS, 1 = serial engine")
 	memBudget := fs.String("mem-budget", "", "per-query memory budget for sorts/aggregates/joins, e.g. 64M or 2G (empty or 0 = unlimited, never spill)")
 	fuse := fs.Bool("fuse", false, "compile scan→filter→project(→probe) chains into fused single-loop pipelines (identical results, faster on columnar tables)")
+	csvOut := fs.Bool("csv", false, "stream results as CSV (unsorted engine order, straight from the columnar result sink when the plan allows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,7 +101,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return nil
 	}
 	if *query != "" {
-		runQuery(front, *query, stdout, stderr)
+		runQuery(front, *query, *csvOut, stdout, stderr)
 		return nil
 	}
 	sc := bufio.NewScanner(stdin)
@@ -113,11 +116,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if line == "" {
 			return nil
 		}
-		runQuery(front, line, stdout, stderr)
+		runQuery(front, line, *csvOut, stdout, stderr)
 	}
 }
 
-func runQuery(front *rewrite.Frontend, q string, stdout, stderr io.Writer) {
+func runQuery(front *rewrite.Frontend, q string, csvOut bool, stdout, stderr io.Writer) {
+	if csvOut {
+		// CSV mode streams straight from the columnar result sink: when the
+		// plan produces vectors, no result row is ever boxed on the way out.
+		res, err := front.RunColumns(q)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return
+		}
+		if err := csvio.WriteResult(res, stdout); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+		}
+		return
+	}
 	res, err := front.Run(q)
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)

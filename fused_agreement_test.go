@@ -10,6 +10,8 @@ package repro_test
 // semantics change.
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -185,6 +187,158 @@ func TestFusedPathEngages(t *testing.T) {
 	}
 	if strings.Contains(out, "probe]") || !strings.Contains(out, "FusedPipeline[scan t → filter → project]") {
 		t.Fatalf("governed fused explain:\n%s", out)
+	}
+}
+
+// fusedAggPlan is an aggregate over the fusable chain: grouped by the
+// chain's first output, summing its computed one.
+func fusedAggPlan(cat *engine.Catalog) *algebra.Aggregate {
+	return &algebra.Aggregate{
+		Input:      fusedChainPlan(cat),
+		GroupBy:    []algebra.Expr{algebra.Col{Idx: 0, Name: "k"}},
+		GroupNames: []string{"g"},
+		Aggs: []algebra.AggSpec{
+			{Func: algebra.AggCount, Star: true, Name: "n"},
+			{Func: algebra.AggSum, Arg: algebra.Col{Idx: 1, Name: "kv"}, Name: "s"},
+		},
+	}
+}
+
+// TestFusedAggEngages pins that Fuse carries past the pipeline breaker: an
+// ungoverned aggregate over a fusable chain lowers to one FusedAggregate
+// (ParallelFusedAggregate at DOP > 1), Explain renders the collapsed chain
+// including the aggregate, a memory budget declines fusion back to the
+// governed spilling HashAggregate, and without Fuse nothing changes.
+func TestFusedAggEngages(t *testing.T) {
+	cat := fusedTestCatalog()
+
+	// Serial: the whole chain, breaker included, is one operator. A bare
+	// scan-aggregate fuses too — there is no worth gate past the breaker.
+	op, err := physical.LowerOpts(fusedAggPlan(cat), cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.FusedAggregate); !ok {
+		t.Fatalf("serial fused aggregate lowering produced %T, want *FusedAggregate", op)
+	}
+	bare := &algebra.Aggregate{
+		Input:   &algebra.Scan{Table: "t", TblSchema: cat.Get("t").Schema},
+		GroupBy: []algebra.Expr{algebra.Col{Idx: 0, Name: "k"}}, GroupNames: []string{"g"},
+		Aggs: []algebra.AggSpec{{Func: algebra.AggCount, Star: true, Name: "n"}},
+	}
+	out, err := engine.ExplainPhysicalOpts(bare, cat, physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimizer prunes the scan through an inserted projection before
+	// lowering, so the collapsed chain shows it.
+	if want := "FusedAggregate[scan t → project → aggregate; by k#0; count(*)]\n"; out != want {
+		t.Fatalf("fused aggregate explain:\n%s\nwant:\n%s", out, want)
+	}
+
+	// Parallel: morsel workers fold windows straight off the shared source.
+	popt := physical.Options{DOP: 2, MorselSize: 16, MinParallelRows: 1, Fuse: true}
+	op, err = physical.LowerOpts(fusedAggPlan(cat), cat, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfa, ok := op.(*physical.ParallelFusedAggregate)
+	if !ok {
+		t.Fatalf("parallel fused aggregate lowering produced %T, want *ParallelFusedAggregate", op)
+	}
+	if pfa.DOP() != 2 {
+		t.Fatalf("parallel fused aggregate DOP %d, want 2", pfa.DOP())
+	}
+
+	// Governed: aggregation must stay the serial spilling HashAggregate; the
+	// chain below it still fuses.
+	gopt := physical.Options{DOP: 1, Fuse: true, MemBudget: 8 << 10, SpillDir: t.TempDir()}
+	gout, err := engine.ExplainPhysicalOpts(fusedAggPlan(cat), cat, gopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gout, "HashAggregate[") ||
+		!strings.Contains(gout, "FusedPipeline[scan t → filter → project]") {
+		t.Fatalf("governed fused aggregate explain:\n%s", gout)
+	}
+
+	// Without the flag the tree is untouched.
+	op, err = physical.LowerOpts(fusedAggPlan(cat), cat, physical.Options{DOP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := op.(*physical.HashAggregate); !ok {
+		t.Fatalf("unfused aggregate lowering produced %T, want *HashAggregate", op)
+	}
+}
+
+// TestFusedAggDirectedParity runs the fused aggregate against the serial
+// HashAggregate on the inputs that stress its unboxed accumulation arms:
+// NaN and ±0 floats (Compare's NaN never replaces an extremum), integers
+// past 2^53 (min/max widen through float64 with ties keeping the incumbent,
+// exactly like Compare), NULL-riddled columns (skipped by every aggregate
+// but COUNT(*)), strings and booleans (counted, min/maxed through the boxed
+// arm), mixed-kind columns, a global aggregate over an empty selection (one
+// row out), and a grouped aggregate over an empty selection (zero rows out).
+func TestFusedAggDirectedParity(t *testing.T) {
+	const big = int64(1) << 53
+	mk := func() *engine.Catalog {
+		tb := engine.NewTable(types.NewSchema("d", "k", "i", "f", "s"))
+		floats := []float64{math.NaN(), math.Inf(1), math.Copysign(0, -1), 0, 1.5, -2.25, math.NaN()}
+		ints := []int64{big, big + 1, -big - 1, 0, -1, 3, big}
+		for r := 0; r < 60; r++ {
+			row := []types.Value{
+				types.NewInt(int64(r % 3)),
+				types.NewInt(ints[r%len(ints)]),
+				types.NewFloat(floats[r%len(floats)]),
+				types.NewString(string(rune('a' + r%4))),
+			}
+			if r%7 == 0 {
+				row[1] = types.Null()
+			}
+			if r%5 == 0 {
+				row[2] = types.Null()
+			}
+			tb.Append(row)
+		}
+		cat := engine.NewCatalog()
+		cat.Put(tb)
+		return cat
+	}
+	scan := func(cat *engine.Catalog) algebra.Node {
+		return &algebra.Scan{Table: "d", TblSchema: cat.Get("d").Schema}
+	}
+	aggsAll := []algebra.AggSpec{
+		{Func: algebra.AggCount, Star: true, Name: "n"},
+		{Func: algebra.AggCount, Arg: algebra.Col{Idx: 1, Name: "i"}, Name: "ni"},
+		{Func: algebra.AggSum, Arg: algebra.Col{Idx: 1, Name: "i"}, Name: "si"},
+		{Func: algebra.AggSum, Arg: algebra.Col{Idx: 2, Name: "f"}, Name: "sf"},
+		{Func: algebra.AggAvg, Arg: algebra.Col{Idx: 2, Name: "f"}, Name: "af"},
+		{Func: algebra.AggMin, Arg: algebra.Col{Idx: 1, Name: "i"}, Name: "mi"},
+		{Func: algebra.AggMax, Arg: algebra.Col{Idx: 1, Name: "i"}, Name: "xi"},
+		{Func: algebra.AggMin, Arg: algebra.Col{Idx: 2, Name: "f"}, Name: "mf"},
+		{Func: algebra.AggMax, Arg: algebra.Col{Idx: 2, Name: "f"}, Name: "xf"},
+		{Func: algebra.AggMin, Arg: algebra.Col{Idx: 3, Name: "s"}, Name: "ms"},
+		{Func: algebra.AggMax, Arg: algebra.Col{Idx: 3, Name: "s"}, Name: "xs"},
+	}
+	never := algebra.Bin{Op: algebra.OpLt, L: algebra.Col{Idx: 1, Name: "i"},
+		R: algebra.Const{V: types.NewInt(-big * 2)}}
+	plans := []algebra.Node{
+		&algebra.Aggregate{Input: scan(mk()), GroupBy: []algebra.Expr{algebra.Col{Idx: 0, Name: "k"}},
+			GroupNames: []string{"g"}, Aggs: aggsAll},
+		&algebra.Aggregate{Input: scan(mk()), Aggs: aggsAll},
+		&algebra.Aggregate{Input: &algebra.Filter{Input: scan(mk()), Pred: never}, Aggs: aggsAll},
+		&algebra.Aggregate{Input: &algebra.Filter{Input: scan(mk()), Pred: never},
+			GroupBy:    []algebra.Expr{algebra.Col{Idx: 0, Name: "k"}},
+			GroupNames: []string{"g"}, Aggs: aggsAll},
+	}
+	cat := mk()
+	for pi, plan := range plans {
+		want := drainOpts(t, plan, cat, physical.Options{DOP: 1}, "serial HashAggregate")
+		for _, dop := range typedDOPs() {
+			got := drainOpts(t, plan, cat, fusedOpts(dop, 0, ""), "fused aggregate")
+			mustMatchRows(t, got, want, fmt.Sprintf("plan %d dop %d: fused vs serial aggregate", pi, dop))
+		}
 	}
 }
 

@@ -55,6 +55,21 @@ func (c *Compiled) EvalVec(cols []vector.Vector, n int) (_ vector.Vector, ok boo
 	return c.vecEval(cols, n), true
 }
 
+// EvalVecSel is EvalVec restricted to a selection: the expression is
+// evaluated through the unboxed columnar kernel over the whole window (the
+// kernels are element-wise and total, so evaluating rows a filter discarded
+// cannot change the surviving rows' results) and the selected rows are
+// gathered into a fresh unboxed vector — no cell is ever boxed. This is the
+// projection half of a fused chain draining to a columnar result sink under
+// a scattered selection. Returns false when the expression has no columnar
+// kernel.
+func (c *Compiled) EvalVecSel(cols []vector.Vector, n int, sel []int) (_ vector.Vector, ok bool) {
+	if c.vecEval == nil {
+		return nil, false
+	}
+	return c.vecEval(cols, n).Gather(sel), true
+}
+
 // CanEvalVec reports whether the expression has a columnar kernel (EvalVec
 // and EvalVecStrided will succeed).
 func (c *Compiled) CanEvalVec() bool { return c.vecEval != nil }
@@ -955,10 +970,14 @@ func resolveNumericSide(o vecOperand, v vector.Vector, intOnly bool) (arithSide,
 	}
 }
 
-// arithScratch is one arithmetic kernel's reusable output storage.
+// arithScratch is one arithmetic kernel's reusable output storage. The
+// vector headers are reused too (Reset), under the same lifetime rule as the
+// element storage: the kernel's result is valid until its next invocation.
 type arithScratch struct {
 	i64 []int64
 	f64 []float64
+	iv  *vector.Int64Vector
+	fv  *vector.Float64Vector
 }
 
 func (s *arithScratch) ints(n int) []int64 {
@@ -973,6 +992,22 @@ func (s *arithScratch) floats(n int) []float64 {
 		s.f64 = make([]float64, n)
 	}
 	return s.f64[:n]
+}
+
+func (s *arithScratch) intVec(vals []int64, nb *vector.Bitmap) *vector.Int64Vector {
+	if s.iv == nil {
+		s.iv = &vector.Int64Vector{}
+	}
+	s.iv.Reset(vals, nb)
+	return s.iv
+}
+
+func (s *arithScratch) floatVec(vals []float64, nb *vector.Bitmap) *vector.Float64Vector {
+	if s.fv == nil {
+		s.fv = &vector.Float64Vector{}
+	}
+	s.fv.Reset(vals, nb)
+	return s.fv
 }
 
 // vecArith evaluates one arithmetic node over a columnar batch. The int/int
@@ -1086,7 +1121,7 @@ func vecArithInt(op BinOp, l, r arithSide, n int, scratch *arithScratch) vector.
 			out[i] = a % b
 		}
 	}
-	return vector.NewInt64Vector(out, nulls)
+	return scratch.intVec(out, nulls)
 }
 
 // vecArithFloat is the float64 arithmetic loop (integer operands widen).
@@ -1126,7 +1161,7 @@ func vecArithFloat(op BinOp, l, r arithSide, n int, scratch *arithScratch) vecto
 			out[i] = math.Mod(a, b)
 		}
 	}
-	return vector.NewFloat64Vector(out, nulls)
+	return scratch.floatVec(out, nulls)
 }
 
 // vecLeastGreatest evaluates least/greatest over a columnar batch. When

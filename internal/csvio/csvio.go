@@ -12,7 +12,9 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/physical"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Load reads a CSV file (first row = attribute names) into a table named
@@ -98,6 +100,72 @@ func Write(t *engine.Table, w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteResult streams a columnar query result as CSV straight from its
+// vectors — per-kind cell rendering with no boxed Value in between — falling
+// back to the row path for row-backed results. The bytes are identical to
+// Write over the materialized rows: the typed arms mirror Value.String
+// exactly (strconv.FormatInt; FormatFloat 'g' -1; "true"/"false"; raw
+// strings) and NULLs become empty cells either way.
+func WriteResult(res *physical.Result, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(res.Schema.Attrs); err != nil {
+		return err
+	}
+	cols := res.Cols()
+	if cols == nil {
+		for _, row := range res.Rows() {
+			rec := make([]string, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					rec[i] = ""
+				} else {
+					rec[i] = v.String()
+				}
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+	rec := make([]string, len(cols.Vecs))
+	for i := 0; i < cols.N; i++ {
+		for j, vec := range cols.Vecs {
+			rec[j] = renderCell(vec, i)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// renderCell renders one vector element as Write would render the boxed
+// Value: "" for NULL, Value.String otherwise, with unboxed fast paths for
+// the typed vectors.
+func renderCell(vec vector.Vector, i int) string {
+	if vec.Null(i) {
+		return ""
+	}
+	switch tv := vec.(type) {
+	case *vector.Int64Vector:
+		return strconv.FormatInt(tv.Vals[i], 10)
+	case *vector.Float64Vector:
+		return strconv.FormatFloat(tv.Vals[i], 'g', -1, 64)
+	case *vector.StringVector:
+		return tv.Vals[i]
+	case *vector.BoolVector:
+		if tv.Vals[i] {
+			return "true"
+		}
+		return "false"
+	default:
+		return vec.Value(i).String()
+	}
 }
 
 // Save writes the table to a file.

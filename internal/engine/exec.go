@@ -44,6 +44,22 @@ func ExecuteOpts(n algebra.Node, cat *Catalog, opt physical.Options) (*Table, er
 	return out, nil
 }
 
+// ExecuteColumns is ExecuteOpts with a columnar result sink: when the
+// lowered plan's root can emit its output as column vectors (a passthrough
+// columnar scan, a serial fused chain), the result stays unboxed end to end
+// and boxed rows exist only if the caller materializes them via Result.Rows.
+// Plans without a columnar root drain through the normal row path and come
+// back row-backed — the call is total, only the representation differs. The
+// materialized rows are byte-identical to ExecuteOpts output (pinned by the
+// columnar agreement harness).
+func ExecuteColumns(n algebra.Node, cat *Catalog, opt physical.Options) (*physical.Result, error) {
+	op, err := compile(n, cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return physical.DrainColumns(op)
+}
+
 // compile validates, optimizes, and lowers a logical plan. Plans whose scan
 // schemas were not compiled in (arity 0 — some programmatic plans rely on
 // pure runtime resolution) skip the optimizer, whose rewrites need static

@@ -116,6 +116,78 @@ func TestFormatAndJSON(t *testing.T) {
 	}
 }
 
+// TestFormatFusedFooters pins the pipeline-breaker comparison lines: the
+// fused aggregate renders a fusedagg-vs-batch footer (CI greps that literal)
+// next to fused-vs-typed, and the columnar sink renders its allocation ratio
+// against the fused row drain.
+func TestFormatFusedFooters(t *testing.T) {
+	rs := []Result{
+		{Op: "hash-aggregate/batch", Rows: 1000, NsPerOp: 200, AllocsPerOp: 1100, RowsPerSec: 5e6},
+		{Op: "hash-aggregate/typed", Rows: 1000, NsPerOp: 180, AllocsPerOp: 4000, RowsPerSec: 5.5e6},
+		{Op: "hash-aggregate/fused", Rows: 1000, NsPerOp: 100, AllocsPerOp: 1150, RowsPerSec: 1e7},
+		{Op: "scan-filter-project/fused", Rows: 1000, NsPerOp: 100, AllocsPerOp: 74, RowsPerSec: 1e7},
+		{Op: "scan-filter-project/fusedcol", Rows: 1000, NsPerOp: 4, AllocsPerOp: 3, RowsPerSec: 2.5e8},
+	}
+	s := Format(rs)
+	for _, frag := range []string{
+		"hash-aggregate fusedagg-vs-batch:",
+		"2.00x throughput, +50 allocs/op", // fused agg vs batch: 200/100, 1150-1100
+		"hash-aggregate fused-vs-typed:",
+		"scan-filter-project fusedcol-vs-fused:",
+		"25.00x throughput, 24.7x fewer allocs/op", // 100/4, 74/3
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("format missing %q:\n%s", frag, s)
+		}
+	}
+	// A zero-alloc columnar sink must not divide by zero.
+	rs[4].AllocsPerOp = 0
+	if s := Format(rs); !strings.Contains(s, "fusedcol-vs-fused") {
+		t.Errorf("zero-alloc fusedcol lost its footer:\n%s", s)
+	}
+}
+
+// TestCheckAllocGate pins the allocation half of the gate: allocs/op and
+// bytes/op regress only past BOTH the absolute slack and the relative
+// tolerance, so tiny-baseline jitter (3 → 5 allocs) passes while a re-boxed
+// sink (74 → 500074) fails even when throughput stays inside tolerance.
+func TestCheckAllocGate(t *testing.T) {
+	base := []Result{
+		{Op: "sink/fusedcol", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 3, BytesPerOp: 144},
+		{Op: "pipe/fused", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 74, BytesPerOp: 60 << 20},
+		{Op: "fat/batch", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 1000, BytesPerOp: 1 << 20},
+	}
+	cur := []Result{
+		// +2 allocs: 66% relative but inside the absolute slack — noise.
+		{Op: "sink/fusedcol", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 5, BytesPerOp: 200},
+		// Re-boxed sink: throughput fine, allocs and bytes exploded.
+		{Op: "pipe/fused", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 500074, BytesPerOp: 120 << 20},
+		// +20% allocs: past the slack but inside the 25% tolerance.
+		{Op: "fat/batch", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 1200, BytesPerOp: 1 << 20},
+	}
+	report, regressed, stats := Check(base, cur, 0.25)
+	if stats.Compared != 3 {
+		t.Fatalf("compared %d, want 3", stats.Compared)
+	}
+	if len(regressed) != 2 {
+		t.Fatalf("want pipe/fused regressed on allocs and bytes, got %v", regressed)
+	}
+	for _, frag := range []string{"pipe/fused: 74 -> 500074 allocs/op", "bytes/op"} {
+		if !strings.Contains(strings.Join(regressed, "\n"), frag) {
+			t.Errorf("regressions missing %q: %v", frag, regressed)
+		}
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Errorf("report missing REGRESSED verdict:\n%s", report)
+	}
+	// Fewer allocs than baseline never fails.
+	if _, reg, _ := Check(base[1:2], []Result{
+		{Op: "pipe/fused", Rows: 1000, RowsPerSec: 100, AllocsPerOp: 3, BytesPerOp: 144},
+	}, 0.25); len(reg) != 0 {
+		t.Errorf("alloc improvement must pass, got %v", reg)
+	}
+}
+
 // TestCheck pins the regression gate's comparison semantics: within
 // tolerance passes, beyond it fails, faster never fails, and op/row-count
 // mismatches are reported but skipped.

@@ -102,6 +102,24 @@ func Format(rs []Result) string {
 					base+" fused-vs-typed:", typed.NsPerOp/r.NsPerOp,
 					r.AllocsPerOp-typed.AllocsPerOp)
 			}
+			// The fused aggregate's headline comparison is against the boxed
+			// batch operator tree it replaces; CI greps this literal.
+			if batch, ok := byOp[base+"/batch"]; ok && base == "hash-aggregate" {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %+d allocs/op\n",
+					base+" fusedagg-vs-batch:", batch.NsPerOp/r.NsPerOp,
+					r.AllocsPerOp-batch.AllocsPerOp)
+			}
+		case "fusedcol":
+			// The columnar result sink against the same fused loop draining
+			// boxed rows: the allocation ratio is the sink's whole point.
+			if fused, ok := byOp[base+"/fused"]; ok {
+				allocs := float64(fused.AllocsPerOp)
+				if r.AllocsPerOp > 0 {
+					allocs /= float64(r.AllocsPerOp)
+				}
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %.1fx fewer allocs/op\n",
+					base+" fusedcol-vs-fused:", fused.NsPerOp/r.NsPerOp, allocs)
+			}
 		}
 	}
 	return sb.String()
@@ -121,15 +139,35 @@ type CheckStats struct {
 // nothing was comparable.
 func (s CheckStats) AllSkipped() bool { return s.Baseline > 0 && s.Compared == 0 }
 
+// Allocation slack for Check: an entry only regresses on allocs/bytes when it
+// exceeds the baseline by BOTH the absolute slack and the relative tolerance.
+// The absolute floor keeps tiny baselines honest — a 3-alloc fused sink
+// drifting to 5 is 66% "worse" but meaningless noise, while a 74-alloc
+// pipeline quietly doubling is exactly what the gate exists to catch.
+const (
+	allocSlack = 16
+	byteSlack  = 1 << 20
+)
+
+// allocRegressed reports a meaningful allocation regression: more than slack
+// above the baseline absolutely AND more than the tolerated fraction above it
+// relatively.
+func allocRegressed(base, cur int64, tol float64, slack int64) bool {
+	return cur > base+slack && float64(cur) > float64(base)*(1+tol)
+}
+
 // Check compares current results against a committed baseline: every op
 // present in both (at the same input size) must keep its rows_per_sec within
 // the tolerated fraction of the baseline — tol 0.25 fails any pipeline more
-// than 25% slower than its recorded throughput. It returns a human-readable
-// comparison, the list of regressed ops (empty = gate passes), and the
-// skip accounting. Ops missing from either side, or measured at a different
-// size, are reported and counted but never fail the gate here, so baselines
-// and suites can evolve independently; the caller decides what an entirely
-// skipped baseline means.
+// than 25% slower than its recorded throughput — and must not grow its
+// allocs/op or bytes/op past both the tolerance and the absolute slack
+// (allocSlack/byteSlack), so the columnar sink's near-zero allocation floor
+// is held by the same gate that holds throughput. It returns a
+// human-readable comparison, the list of regressed ops (empty = gate
+// passes), and the skip accounting. Ops missing from either side, or
+// measured at a different size, are reported and counted but never fail the
+// gate here, so baselines and suites can evolve independently; the caller
+// decides what an entirely skipped baseline means.
 func Check(baseline, current []Result, tol float64) (report string, regressed []string, stats CheckStats) {
 	var sb strings.Builder
 	curByOp := map[string]Result{}
@@ -171,6 +209,16 @@ func Check(baseline, current []Result, tol float64) (report string, regressed []
 			verdict = "REGRESSED"
 			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f rows/sec (%.2fx, floor %.2fx)",
 				b.Op, b.RowsPerSec, c.RowsPerSec, ratio, 1-tol))
+		}
+		if allocRegressed(b.AllocsPerOp, c.AllocsPerOp, tol, allocSlack) {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %d -> %d allocs/op (slack %d, tol %.0f%%)",
+				b.Op, b.AllocsPerOp, c.AllocsPerOp, int64(allocSlack), tol*100))
+		}
+		if allocRegressed(b.BytesPerOp, c.BytesPerOp, tol, byteSlack) {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s: %d -> %d bytes/op (slack %d, tol %.0f%%)",
+				b.Op, b.BytesPerOp, c.BytesPerOp, int64(byteSlack), tol*100))
 		}
 		fmt.Fprintf(&sb, "%-34s %14.0f %14.0f %7.2fx %s\n",
 			b.Op, b.RowsPerSec, c.RowsPerSec, ratio, verdict)
@@ -300,7 +348,12 @@ func (s benchColSource) ResolveColumns(table string) (*vector.Columns, bool) {
 // parallel acceptance workload against scan-filter-project/batch. The
 // chain-shaped workloads run once more lowered with Options.Fuse ("/fused"
 // entries): one compiled loop per pipeline instead of an operator tree,
-// measured against the /typed entries they collapse.
+// measured against the /typed entries they collapse. Two entries measure the
+// pipeline-breaker work: hash-aggregate/fused is the fused aggregation
+// lowering (bar: ≥1.5x hash-aggregate/batch rows_per_sec), and
+// scan-filter-project/fusedcol is the pre-lowered fused chain drained
+// through the columnar result sink (bar: ≥10x fewer allocs/op than the
+// /fused row drain).
 func Suite(n, dop int) ([]Result, error) {
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
@@ -503,7 +556,15 @@ func Suite(n, dop int) ([]Result, error) {
 					Input: rowref.NewScan(schema, rows), GroupBy: groupBy(), Aggs: aggs,
 				})
 			},
-			nil, // group key is an expression, not a bare column: no typed keying yet
+			func() (int, error) {
+				// Columnar scan feeding the same boxed fold. The group key is
+				// an expression, not a bare column, so the aggregate's typed
+				// keying cannot engage — this entry isolates what the scan
+				// alone buys, and is the /fused entry's operator-tree twin.
+				return drainBatch(physical.NewHashAggregate(
+					physical.NewColumnarScan("t", schema, rows, tCols),
+					groupBy(), []string{"g"}, aggs))
+			},
 			drainPar(&algebra.Aggregate{Input: scanT(),
 				GroupBy: groupBy(), GroupNames: []string{"g"}, Aggs: aggs})},
 		{"distinct", distinctRows,
@@ -597,6 +658,21 @@ func Suite(n, dop int) ([]Result, error) {
 	if m := (sfpRows + sparseStride - 1) / sparseStride; m < filteredMatches {
 		filteredMatches = m
 	}
+	// The columnar-sink workload ("/fusedcol") drains the same fused
+	// scan→filter→project loop through DrainColumns instead of the boxed row
+	// sink. The plan is lowered once outside the timed region — the sink's
+	// client shape is a prepared plan re-executed per query, and lowering per
+	// iteration would measure plan construction, not the sink — so each
+	// iteration is Open → vector windows → Close with no per-row boxing. Its
+	// steady-state allocs/op against the /fused row drain is the sink's
+	// acceptance measurement (≥10x fewer allocs/op at 1M rows).
+	fusedColOp, err := physical.LowerOpts(&algebra.Project{
+		Input: &algebra.Filter{Input: scanT(), Pred: pred()},
+		Exprs: projExprs(), Names: []string{"k", "kv"}}, colSrc,
+		physical.Options{DOP: 1, Fuse: true})
+	if err != nil {
+		return nil, err
+	}
 	fusedWorkloads := []struct {
 		op   string
 		want int
@@ -610,10 +686,25 @@ func Suite(n, dop int) ([]Result, error) {
 			lowerFusedDrain(&algebra.Project{
 				Input: &algebra.Filter{Input: scanT(), Pred: heavyPred()},
 				Exprs: projExprs(), Names: []string{"k", "kv"}})},
+		{"scan-filter-project/fusedcol", sfpRows,
+			func() (int, error) {
+				res, err := physical.DrainColumns(fusedColOp)
+				if err != nil {
+					return 0, err
+				}
+				return res.NumRows(), nil
+			}},
 		{"join-probe-sparse-filtered/typed", filteredMatches,
 			lowerOptsDrain(filteredProbePlan(), physical.Options{DOP: 1})},
 		{"join-probe-sparse-filtered/fused", filteredMatches,
 			lowerFusedDrain(filteredProbePlan())},
+		// The fused aggregate collapses the whole grouped plan — scan, the
+		// pruning projection, group-key and argument kernels, and the
+		// accumulators — into one fold per window, with unboxed int/float
+		// absorption. Its bar is ≥1.5x hash-aggregate/batch rows_per_sec.
+		{"hash-aggregate/fused", aggRows,
+			lowerFusedDrain(&algebra.Aggregate{Input: scanT(),
+				GroupBy: groupBy(), GroupNames: []string{"g"}, Aggs: aggs})},
 	}
 	for _, w := range fusedWorkloads {
 		if err := add(run(w.op, n, w.want, w.fn)); err != nil {

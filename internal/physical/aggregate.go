@@ -327,15 +327,23 @@ func (h *HashAggregate) Open() error {
 			states = append(states, st)
 		})
 	}
-	// A global aggregate over an empty input still emits one row.
-	if len(h.GroupBy) == 0 && len(states) == 0 {
-		states = append(states, newAggState(nil, len(h.Aggs)))
-	}
-	h.out = make([][]types.Value, 0, len(states))
-	for _, st := range states {
-		h.out = append(h.out, st.result(h.Aggs, len(h.GroupBy)))
-	}
+	h.out = finishAggStates(states, len(h.GroupBy) == 0, h.Aggs, len(h.GroupBy))
 	return nil
+}
+
+// finishAggStates renders final group states (in first-seen order) into
+// output rows — the shared tail of every aggregate operator. global applies
+// the empty-input rule: a global aggregate (no GROUP BY) over an empty input
+// still emits one row.
+func finishAggStates(states []*aggState, global bool, aggs []algebra.AggSpec, nGroupCols int) [][]types.Value {
+	if global && len(states) == 0 {
+		states = append(states, newAggState(nil, len(aggs)))
+	}
+	out := make([][]types.Value, 0, len(states))
+	for _, st := range states {
+		out = append(out, st.result(aggs, nGroupCols))
+	}
+	return out
 }
 
 // SpillPartitions is the fan-out of the aggregate's (and grace join's)

@@ -3,6 +3,8 @@ package physical
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/algebra"
 )
 
 // Explain renders a physical operator tree as an indented plan, one operator
@@ -102,6 +104,12 @@ func explain(sb *strings.Builder, op Operator, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth+1))
 		sb.WriteString("build:\n")
 		explain(sb, o.Build.Input, depth+2)
+	case *FusedAggregate:
+		fmt.Fprintf(sb, "FusedAggregate[%s; by %s; %s]\n",
+			strings.Join(o.Ops, " → "), exprList(o.GroupBy), aggList(o.Aggs))
+	case *ParallelFusedAggregate:
+		fmt.Fprintf(sb, "ParallelFusedAggregate[dop=%d; %s; by %s; %s]\n",
+			o.DOP(), strings.Join(o.Ops, " → "), exprList(o.GroupBy), aggList(o.Aggs))
 	case *ParallelHashAggregate:
 		keys := make([]string, len(o.GroupBy))
 		for i, e := range o.GroupBy {
@@ -117,4 +125,23 @@ func explain(sb *strings.Builder, op Operator, depth int) {
 	default:
 		fmt.Fprintf(sb, "%T\n", op)
 	}
+}
+
+// exprList renders expressions comma-joined, as the aggregate nodes print
+// their group-by keys.
+func exprList(exprs []algebra.Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// aggList renders aggregate specs comma-joined.
+func aggList(aggs []algebra.AggSpec) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
 }

@@ -131,6 +131,16 @@ func lowerNode(n algebra.Node, src Source, opt Options) (Operator, error) {
 		return &UnionAll{Left: l, Right: r}, nil
 
 	case *algebra.Aggregate:
+		if opt.Fuse && opt.Gov == nil {
+			// Ungoverned aggregates over a fusable chain fold straight off
+			// the column vectors; under a memory budget the governed
+			// (spilling) HashAggregate runs instead, like the fused probe.
+			if fa, ok, err := lowerFusedAggregate(node, src); err != nil {
+				return nil, err
+			} else if ok {
+				return fa, nil
+			}
+		}
 		in, err := lowerNode(node.Input, src, opt)
 		if err != nil {
 			return nil, err
@@ -434,6 +444,16 @@ func lowerParallel(n algebra.Node, src Source, opt Options) (Operator, bool, err
 			// Same rule as the join: governed aggregation is the serial
 			// spilling operator; its input pipeline still parallelizes.
 			return nil, false, nil
+		}
+		if opt.Fuse {
+			// Fused aggregate workers fold morsel windows straight off the
+			// shared columnar source; a too-small table declines here and
+			// the serial fused hook in lowerNode catches it.
+			if pfa, ok, err := lowerParallelFusedAggregate(node, src, opt); err != nil {
+				return nil, false, err
+			} else if ok {
+				return pfa, true, nil
+			}
 		}
 		spec, ok, err := pipelineFor(node.Input, src, opt)
 		if err != nil || !ok {

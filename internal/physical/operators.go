@@ -80,6 +80,18 @@ func (s *Scan) Next() (*Batch, error) {
 // Close implements Operator.
 func (s *Scan) Close() error { return nil }
 
+// drainColumns implements colsDrainer: a columnar scan at the root of a plan
+// hands its whole table over as one zero-copy columnar result — no batches,
+// no row spine, no boxing. The columns alias table storage; Result documents
+// the read-only rule.
+func (s *Scan) drainColumns() (*vector.Columns, bool, error) {
+	if s.cols == nil || s.pos != 0 {
+		return nil, false, nil
+	}
+	s.pos = len(s.rows)
+	return s.cols, true, nil
+}
+
 // Filter keeps the input rows whose predicate evaluates to TRUE (SQL
 // three-valued logic: UNKNOWN rows are dropped). The predicate is compiled
 // to a closure kernel at Open; each input batch is then narrowed through a
@@ -101,6 +113,7 @@ type Filter struct {
 	sel      []int
 	scratch  Batch
 	colsOut  []vector.Vector
+	colsWin  []vector.Vector // zero-copy window headers; never gathered into
 	colsOnly Batch
 }
 
@@ -126,6 +139,24 @@ func (f *Filter) gather(cols []vector.Vector, sel []int) []vector.Vector {
 	return gathered
 }
 
+// sliceWin builds zero-copy [lo, hi) windows of the input columns — the
+// dense-selection fast path. The headers live in their own scratch slice,
+// separate from colsOut: GatherInto reuses whatever storage sits in colsOut
+// as its destination, and a zero-copy slice there would alias table storage
+// and be written through. Slicing also preserves Asc sortedness (Gather
+// drops it), so range predicates downstream of a dense filter keep their
+// binary-search form.
+func (f *Filter) sliceWin(cols []vector.Vector, lo, hi int) []vector.Vector {
+	if cap(f.colsWin) < len(cols) {
+		f.colsWin = make([]vector.Vector, len(cols))
+	}
+	win := f.colsWin[:len(cols)]
+	for j, v := range cols {
+		win[j] = v.Slice(lo, hi)
+	}
+	return win
+}
+
 // Next implements Operator.
 func (f *Filter) Next() (*Batch, error) {
 	for {
@@ -143,16 +174,28 @@ func (f *Filter) Next() (*Batch, error) {
 				if len(sel) == b.Len() {
 					return b, nil
 				}
+				// A selection that landed on one contiguous run degenerates to
+				// zero-copy slicing: no gather, and Asc survives.
+				dense := sel[len(sel)-1]-sel[0] == len(sel)-1
 				if b.rows == nil {
 					// Column-only input: stay column-only, materialize never.
-					f.colsOnly.SetCols(f.gather(cols, sel), len(sel))
+					if dense {
+						f.colsOnly.SetCols(f.sliceWin(cols, sel[0], sel[0]+len(sel)), len(sel))
+					} else {
+						f.colsOnly.SetCols(f.gather(cols, sel), len(sel))
+					}
 					return &f.colsOnly, nil
 				}
 				out := applySel(b, sel, &f.scratch)
-				// The gather runs only if a typed consumer reads Cols before
-				// our next Next; row-only consumers (joins keying off the
-				// spine, sorts, Drain) never pay for it.
-				out.setLazyColsView(func() []vector.Vector { return f.gather(cols, sel) })
+				// The gather (or slice) runs only if a typed consumer reads
+				// Cols before our next Next; row-only consumers (joins keying
+				// off the spine, sorts, Drain) never pay for it.
+				if dense {
+					lo, hi := sel[0], sel[0]+len(sel)
+					out.setLazyColsView(func() []vector.Vector { return f.sliceWin(cols, lo, hi) })
+				} else {
+					out.setLazyColsView(func() []vector.Vector { return f.gather(cols, sel) })
+				}
 				return out, nil
 			}
 		}

@@ -137,9 +137,20 @@ func (h *ParallelHashAggregate) Open() error {
 	if firstErr != nil {
 		return firstErr
 	}
+	states := mergeSeqPartials(bySeq, h.src.nMorsels())
+	h.out = finishAggStates(states, len(h.GroupBy) == 0, h.Aggs, len(h.GroupBy))
+	return nil
+}
+
+// mergeSeqPartials merges per-morsel partial states in morsel sequence
+// order — the step that makes parallel aggregation a pure function of the
+// input and restores the serial engine's global first-seen group order: a
+// group's position is decided by the first morsel (in table order) that
+// contains it. Shared by ParallelHashAggregate and ParallelFusedAggregate.
+func mergeSeqPartials(bySeq map[int][]partialGroup, nMorsels int) []*aggState {
 	global := make(map[string]*aggState)
-	var states []*aggState // global first-seen order = seq-order of first appearance
-	for seq := 0; seq < h.src.nMorsels(); seq++ {
+	var states []*aggState
+	for seq := 0; seq < nMorsels; seq++ {
 		for _, pg := range bySeq[seq] {
 			if st, ok := global[pg.key]; ok {
 				st.merge(pg.st)
@@ -149,15 +160,7 @@ func (h *ParallelHashAggregate) Open() error {
 			states = append(states, pg.st)
 		}
 	}
-	// A global aggregate over an empty input still emits one row.
-	if len(h.GroupBy) == 0 && len(states) == 0 {
-		states = append(states, newAggState(nil, len(h.Aggs)))
-	}
-	h.out = make([][]types.Value, 0, len(states))
-	for _, st := range states {
-		h.out = append(h.out, st.result(h.Aggs, len(h.GroupBy)))
-	}
-	return nil
+	return states
 }
 
 // RowCountHint implements RowCountHinter: after Open the groups are

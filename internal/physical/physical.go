@@ -114,6 +114,12 @@ func Drain(op Operator) ([][]types.Value, error) {
 		op.Close()
 		return nil, err
 	}
+	return drainOpened(op)
+}
+
+// drainOpened collects every row from an already-opened operator and closes
+// it — the shared back half of Drain and the row fallback of DrainColumns.
+func drainOpened(op Operator) ([][]types.Value, error) {
 	if d, ok := op.(rowsDrainer); ok {
 		rows, handled, err := d.drainRows()
 		if err != nil {

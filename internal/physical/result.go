@@ -1,0 +1,103 @@
+package physical
+
+import (
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Result is a drained query result that keeps its columnar form when the
+// plan produced one: a schema plus either column vectors (zero per-row
+// boxing on the way out of the engine) or boxed rows (the classic Drain
+// shape, for plans with no columnar output path). Row access is lazy — the
+// first Rows call materializes boxed rows from the vectors and caches them —
+// so a consumer that streams straight from columns (CSV output, vector-aware
+// clients) never pays for boxing at all.
+//
+// Ownership: columnar results may alias table storage and compiled-kernel
+// scratch, so the columns are valid only until the producing operator is
+// re-executed (Open/Drain on the same lowered plan invalidates them); rows
+// returned by Rows are materialized copies and obey the engine-wide
+// row-stability rule instead (stable forever, but possibly aliasing table
+// cells — do not mutate in place). Plans lowered fresh per query, as the
+// engine does, never observe the reuse.
+type Result struct {
+	Schema types.Schema
+
+	cols     *vector.Columns
+	rows     [][]types.Value
+	haveRows bool
+}
+
+// NewColumnarResult wraps column vectors as a result.
+func NewColumnarResult(schema types.Schema, cols *vector.Columns) *Result {
+	return &Result{Schema: schema, cols: cols}
+}
+
+// NewRowResult wraps boxed rows as a result.
+func NewRowResult(schema types.Schema, rows [][]types.Value) *Result {
+	return &Result{Schema: schema, rows: rows, haveRows: true}
+}
+
+// NumRows reports the result's row count without materializing anything.
+func (r *Result) NumRows() int {
+	if r.cols != nil {
+		return r.cols.N
+	}
+	return len(r.rows)
+}
+
+// Cols returns the columnar form, or nil for a row-backed result.
+func (r *Result) Cols() *vector.Columns { return r.cols }
+
+// Rows returns the result as boxed rows, materializing (and caching) them
+// from the columns on first call. Row-backed results return their rows
+// as-is, so Drain-equivalent consumers see byte-identical data either way.
+func (r *Result) Rows() [][]types.Value {
+	if !r.haveRows {
+		r.rows = vector.Materialize(r.cols.Vecs, r.cols.N)
+		r.haveRows = true
+	}
+	return r.rows
+}
+
+// colsDrainer is optionally implemented by operators that can produce their
+// entire output as column vectors with no per-row boxing — a passthrough
+// columnar scan, or a serial fused pipeline whose projection kernels emit
+// vectors. DrainColumns calls it once right after Open; handled=false falls
+// back to the boxed row drain.
+type colsDrainer interface {
+	drainColumns() (cols *vector.Columns, handled bool, err error)
+}
+
+// DrainColumns is Drain with a columnar result sink: when the root operator
+// can emit its whole output as vectors, no output row is ever boxed — the
+// boxed [][]types.Value sink (and its alloc-zeroing + GC-marking cost, the
+// structural floor of row draining at scale) disappears, and boxed Values
+// exist only if the caller materializes via Result.Rows. Operators without a
+// columnar output path drain through the normal row loop and return a
+// row-backed Result, so the call is total: every plan drains, only the
+// representation differs.
+func DrainColumns(op Operator) (*Result, error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	if d, ok := op.(colsDrainer); ok {
+		cols, handled, err := d.drainColumns()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if handled {
+			if cerr := op.Close(); cerr != nil {
+				return nil, cerr
+			}
+			return NewColumnarResult(op.Schema(), cols), nil
+		}
+	}
+	rows, err := drainOpened(op)
+	if err != nil {
+		return nil, err
+	}
+	return NewRowResult(op.Schema(), rows), nil
+}

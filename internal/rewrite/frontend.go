@@ -72,6 +72,27 @@ func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir, Fuse: f.Fuse})
 }
 
+// RunColumns is Run with a columnar result sink: the same parse → rewrite →
+// execute path, but the result stays in column vectors when the lowered plan
+// can produce them (engine.ExecuteColumns), so consumers that stream output
+// — the CLIs' CSV writers — never box a row. Materializing the result is
+// byte-identical to Run.
+func (f *Frontend) RunColumns(query string) (*physical.Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.resolveAnnotations(stmt); err != nil {
+		return nil, err
+	}
+	plan, err := f.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecuteColumns(plan, f.Enc, physical.Options{
+		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir, Fuse: f.Fuse})
+}
+
 // Explain parses, resolves annotations, compiles and rewrites the query,
 // returning the rewritten logical plan's textual form without executing it.
 func (f *Frontend) Explain(query string) (string, error) {

@@ -127,6 +127,14 @@ func NewInt64Vector(vals []int64, nb *Bitmap) *Int64Vector {
 	return &Int64Vector{Vals: vals, nulls: nulls{bm: nb}}
 }
 
+// Reset repoints the vector at new storage, clearing Asc and any slice
+// offset. It lets kernel scratch reuse one header allocation across
+// invocations; the reset vector obeys the same lifetime rule as the storage
+// it wraps (valid until the owner's next invocation).
+func (v *Int64Vector) Reset(vals []int64, nb *Bitmap) {
+	*v = Int64Vector{Vals: vals, nulls: nulls{bm: nb}}
+}
+
 // Len implements Vector.
 func (v *Int64Vector) Len() int { return len(v.Vals) }
 
@@ -183,6 +191,11 @@ type Float64Vector struct {
 // NewFloat64Vector wraps vals with an optional null bitmap.
 func NewFloat64Vector(vals []float64, nb *Bitmap) *Float64Vector {
 	return &Float64Vector{Vals: vals, nulls: nulls{bm: nb}}
+}
+
+// Reset repoints the vector at new storage; see Int64Vector.Reset.
+func (v *Float64Vector) Reset(vals []float64, nb *Bitmap) {
+	*v = Float64Vector{Vals: vals, nulls: nulls{bm: nb}}
 }
 
 // Len implements Vector.
