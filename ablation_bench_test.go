@@ -49,7 +49,7 @@ func BenchmarkAblationJoinHash(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Execute(plan, cat); err != nil {
+		if _, err := execPlanTbl(plan, cat); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +68,7 @@ func BenchmarkAblationJoinNestedLoop(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Execute(plan, cat); err != nil {
+		if _, err := execPlanTbl(plan, cat); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -177,7 +177,7 @@ func BenchmarkAblationEngineEval(b *testing.B) {
 	q := pdbench.Queries()[0].SQL
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.NewPlanner(det).Run(q); err != nil {
+		if _, err := execSQLTbl(det, q); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -207,7 +207,7 @@ func TestBatchRowAgreementRandomized(t *testing.T) {
 
 		// The optimizer path (engine.Execute) must agree as a bag — plan
 		// normalization may reorder, but never change, the result.
-		res, err := engine.Execute(plan, cat)
+		res, err := execPlanTbl(plan, cat)
 		if err != nil {
 			t.Fatalf("execute: %v", err)
 		}

@@ -73,14 +73,14 @@ func BenchmarkFig11PDBench(b *testing.B) {
 		q := q
 		b.Run(q.Name+"/Det", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.NewPlanner(env.detCat).Run(q.SQL); err != nil {
+				if _, err := execSQLTbl(env.detCat, q.SQL); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(q.Name+"/UADB", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := env.front.Run(q.SQL); err != nil {
+				if _, err := frontQueryTbl(env.front, q.SQL); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -114,7 +114,7 @@ func BenchmarkFig12ResultSizes(b *testing.B) {
 	q := pdbench.Queries()[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		uaRes, err := env.front.Run(q.SQL)
+		uaRes, err := frontQueryTbl(env.front, q.SQL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func BenchmarkFig13CertainFraction(b *testing.B) {
 	q := pdbench.Queries()[1]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := env.front.Run(q.SQL)
+		res, err := frontQueryTbl(env.front, q.SQL)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkFig14Scaling(b *testing.B) {
 		q := pdbench.Queries()[0]
 		b.Run(bname("SF", sf), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := env.front.Run(q.SQL); err != nil {
+				if _, err := frontQueryTbl(env.front, q.SQL); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -207,14 +207,14 @@ func BenchmarkFig17RealQueries(b *testing.B) {
 		q := q
 		b.Run(q.Name+"/Det", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.NewPlanner(detCat).Run(q.SQL); err != nil {
+				if _, err := execSQLTbl(detCat, q.SQL); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(q.Name+"/UADB", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := front.Run(q.SQL); err != nil {
+				if _, err := frontQueryTbl(front, q.SQL); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -231,7 +231,7 @@ func BenchmarkFig18Utility(b *testing.B) {
 	nulledCat := engine.NewCatalog()
 	nulledCat.Put(ud.Nulled)
 	query := "SELECT a0, a1, a2 FROM t WHERE a3 = 'c3_v0'"
-	truth, err := engine.NewPlanner(groundCat).Run(query)
+	truth, err := execSQLTbl(groundCat, query)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func BenchmarkJoinHashVsNestedLoop(b *testing.B) {
 		cat, plan := joinBenchCatalog(n)
 		b.Run("Hash/n="+types.NewInt(int64(n)).String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := engine.Execute(plan, cat)
+				res, err := execPlanTbl(plan, cat)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -397,9 +397,8 @@ func BenchmarkUAOverheadMicro(b *testing.B) {
 	}
 	const q = "SELECT l.v, r.v FROM l, r WHERE l.k = r.k AND l.v < 9000"
 	b.Run("Deterministic", func(b *testing.B) {
-		p := engine.NewPlanner(det)
 		for i := 0; i < b.N; i++ {
-			if _, err := p.Run(q); err != nil {
+			if _, err := execSQLTbl(det, q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -407,7 +406,7 @@ func BenchmarkUAOverheadMicro(b *testing.B) {
 	b.Run("UAEncoded", func(b *testing.B) {
 		front := rewrite.NewFrontend(enc)
 		for i := 0; i < b.N; i++ {
-			if _, err := front.Run(q); err != nil {
+			if _, err := frontQueryTbl(front, q); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -43,6 +43,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/physbench"
 	"repro/internal/physical"
@@ -68,8 +69,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink all workloads for a fast smoke run")
 	physRows := flag.Int("physrows", 1000000, "input rows for the physical operator suite")
 	physOut := flag.String("physout", "BENCH_physical.json", "path for the physical suite's JSON results")
-	dop := flag.Int("dop", 0, "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)")
-	memBudget := flag.String("mem-budget", "", "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip them; 'auto' = a quarter of the data)")
+	exec := benchExecFlags(flag.CommandLine, "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip them; 'auto' = a quarter of the data)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -201,11 +201,11 @@ func main() {
 		if *quick {
 			rows = 10000
 		}
-		results, err := physbench.Suite(rows, *dop)
+		results, err := physbench.Suite(rows, exec.DOP())
 		if err != nil {
 			fail(err)
 		}
-		if ooc, err := outOfCoreResults(*memBudget, rows); err != nil {
+		if ooc, err := outOfCoreResults(exec.MemBudgetRaw(), rows); err != nil {
 			fail(err)
 		} else {
 			results = append(results, ooc...)
@@ -217,6 +217,17 @@ func main() {
 		}
 		fmt.Println("wrote", *physOut)
 	}
+}
+
+// benchExecFlags registers the shared -dop / -mem-budget flags with the
+// suite's usage semantics (per-entry DOP gating; "auto" budgets) on the
+// given flag set.
+func benchExecFlags(fs *flag.FlagSet, budgetUsage string) *cliutil.ExecFlags {
+	return cliutil.ExecFlagSpec{
+		DOPUsage:    "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)",
+		BudgetUsage: budgetUsage,
+		NoFuse:      true,
+	}.Register(fs)
 }
 
 // outOfCoreResults runs the spilling workloads when a -mem-budget was
@@ -254,11 +265,11 @@ var (
 func runGate(mode string, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench "+mode, flag.ContinueOnError)
 	physRows := fs.Int("physrows", 1000000, "input rows for the physical operator suite (must match the baseline's)")
-	dop := fs.Int("dop", 0, "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)")
+
 	baseline := fs.String("baseline", "BENCH_physical.json", "committed baseline path")
 	out := fs.String("out", "", "also write the fresh measurements to this path (check only)")
 	tol := fs.Float64("tolerance", 0.25, "allowed rows_per_sec regression fraction before the gate fails")
-	memBudget := fs.String("mem-budget", "", "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip; 'auto' = a quarter of the data)")
+	exec := benchExecFlags(fs, "also run the out-of-core spill workloads at this budget, e.g. 32M (empty = skip; 'auto' = a quarter of the data)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,11 +286,11 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 		}
 	}
 
-	results, err := measure(*physRows, *dop)
+	results, err := measure(*physRows, exec.DOP())
 	if err != nil {
 		return err
 	}
-	if ooc, err := outOfCoreResults(*memBudget, *physRows); err != nil {
+	if ooc, err := outOfCoreResults(exec.MemBudgetRaw(), *physRows); err != nil {
 		return err
 	} else {
 		results = append(results, ooc...)

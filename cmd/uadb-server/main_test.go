@@ -1,0 +1,93 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// TestServerSmoke is the binary's end-to-end sanity: start the server with
+// a CSV table and a global budget, query it over TCP, then SIGTERM it and
+// expect a clean exit with no spill files left behind.
+func TestServerSmoke(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(csv, []byte("id,v\n1,10\n2,20\n3,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spillDir := t.TempDir()
+
+	// Reserve an ephemeral port, free it, and hand it to the server. The
+	// tiny reuse race is acceptable for a smoke test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-listen", addr,
+			"-table", "t=" + csv,
+			"-mem-budget", "1M",
+			"-query-budget", "64K",
+			"-spill-dir", spillDir,
+		})
+	}()
+
+	var c *client.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err = client.Dial(addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res, err := c.Query("SELECT t.id FROM t WHERE t.v > 15 ORDER BY t.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Budget != 1<<20 {
+		t.Fatalf("global budget = %d, want 1MiB", stats.Budget)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("server exited with %v, want clean shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files left after shutdown", len(ents))
+	}
+}

@@ -20,29 +20,25 @@
 // byte-identical with and without it. -csv streams results as CSV in engine
 // order, straight from the columnar result sink when the plan produces one
 // (no boxed result rows at all).
+//
+// For a long-lived multi-session surface over the same engine, see
+// cmd/uadb-server.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/csvio"
 	"repro/internal/engine"
-	"repro/internal/physical"
 	"repro/internal/rewrite"
 )
-
-type tableFlags []string
-
-func (t *tableFlags) String() string { return strings.Join(*t, ",") }
-func (t *tableFlags) Set(v string) error {
-	*t = append(*t, v)
-	return nil
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
@@ -57,39 +53,17 @@ func main() {
 // return.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("uadb", flag.ContinueOnError)
-	var tables tableFlags
-	fs.Var(&tables, "table", "name=path.csv (repeatable)")
+	tables := cliutil.RegisterTables(fs)
+	exec := cliutil.RegisterExec(fs)
 	query := fs.String("query", "", "UA-SQL query; omit to read from stdin")
 	explain := fs.Bool("explain", false, "print the rewritten logical plan instead of executing")
-	dop := fs.Int("dop", 0, "degree of parallelism: 0 = GOMAXPROCS, 1 = serial engine")
-	memBudget := fs.String("mem-budget", "", "per-query memory budget for sorts/aggregates/joins, e.g. 64M or 2G (empty or 0 = unlimited, never spill)")
-	fuse := fs.Bool("fuse", false, "compile scan→filter→project(→probe) chains into fused single-loop pipelines (identical results, faster on columnar tables)")
 	csvOut := fs.Bool("csv", false, "stream results as CSV (unsorted engine order, straight from the columnar result sink when the plan allows)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	budget, err := physical.ParseByteSize(*memBudget)
+	front, err := cliutil.NewFrontend(*tables, exec)
 	if err != nil {
-		return fmt.Errorf("-mem-budget: %w", err)
-	}
-
-	front := rewrite.NewFrontend(engine.NewCatalog())
-	front.DOP = *dop
-	front.MemBudget = budget
-	front.Fuse = *fuse
-	for _, spec := range tables {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			return fmt.Errorf("bad -table %q, want name=path.csv", spec)
-		}
-		t, err := csvio.Load(name, path)
-		if err != nil {
-			return err
-		}
-		// Register raw (for model annotations) and deterministic-encoded
-		// (for direct references).
-		front.Raw.Put(t)
-		front.Enc.Put(rewrite.EncodeDeterministic(t))
+		return err
 	}
 
 	if *explain && *query != "" {
@@ -121,24 +95,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 func runQuery(front *rewrite.Frontend, q string, csvOut bool, stdout, stderr io.Writer) {
+	res, err := front.Query(context.Background(), q, front.Opts)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return
+	}
 	if csvOut {
 		// CSV mode streams straight from the columnar result sink: when the
 		// plan produces vectors, no result row is ever boxed on the way out.
-		res, err := front.RunColumns(q)
-		if err != nil {
-			fmt.Fprintln(stderr, "error:", err)
-			return
-		}
 		if err := csvio.WriteResult(res, stdout); err != nil {
 			fmt.Fprintln(stderr, "error:", err)
 		}
 		return
 	}
-	res, err := front.Run(q)
-	if err != nil {
-		fmt.Fprintln(stderr, "error:", err)
-		return
-	}
-	fmt.Fprint(stdout, res)
-	fmt.Fprintf(stdout, "(%d rows)\n", res.NumRows())
+	tbl := engine.ResultTable(res)
+	fmt.Fprint(stdout, tbl)
+	fmt.Fprintf(stdout, "(%d rows)\n", tbl.NumRows())
 }

@@ -5,12 +5,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/kdb"
+	"repro/internal/physical"
 	"repro/internal/rewrite"
 	"repro/internal/semiring"
 	"repro/internal/uadb"
@@ -25,21 +27,29 @@ func main() {
 		uaDB.Put(uadb.FromXDB(x))
 	}
 	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
-	det := engine.NewPlanner(rewrite.DetCatalog(uaDB))
+	detCat := rewrite.DetCatalog(uaDB)
+	det := engine.NewPlanner(detCat)
+	detSess := engine.NewSession(detCat, physical.Options{})
 
 	for _, q := range datagen.RealQueries() {
 		start := time.Now()
-		detRes, err := det.Run(q.SQL)
+		detPlan, err := det.PlanSQL(q.SQL)
 		if err != nil {
 			panic(err)
 		}
+		dres, err := detSess.Execute(context.Background(), detPlan)
+		if err != nil {
+			panic(err)
+		}
+		detRes := engine.ResultTable(dres)
 		detTime := time.Since(start)
 
 		start = time.Now()
-		uaRes, err := front.Run(q.SQL)
+		ures, err := front.Query(context.Background(), q.SQL, front.Opts)
 		if err != nil {
 			panic(err)
 		}
+		uaRes := engine.ResultTable(ures)
 		uaTime := time.Since(start)
 
 		certain := 0

@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
 	"repro/internal/kdb"
 	"repro/internal/models"
+	"repro/internal/physical"
 	"repro/internal/rewrite"
 	"repro/internal/semiring"
 	"repro/internal/types"
@@ -55,25 +57,32 @@ func main() {
 	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
 
 	// The spatial join of Example 1.
-	res, err := front.Run(`
+	qres, err := front.Query(context.Background(), `
 		SELECT a.id, l.locale, l.state
 		FROM addr a, loc l
 		WHERE a.lat >= l.lat1 AND a.lat <= l.lat2
-		  AND a.lon >= l.lon1 AND a.lon <= l.lon2`)
+		  AND a.lon >= l.lon1 AND a.lon <= l.lon2`, front.Opts)
 	if err != nil {
 		panic(err)
 	}
+	res := engine.ResultTable(qres)
 
 	fmt.Println("UA-DB answer (Figure 3d): id, locale, state, certain?")
 	printLabeled(res)
 
 	// Compare with the deterministic best-guess answer (no labels) and the
 	// certain answers (via world enumeration — exponential, for reference).
-	det, err := engine.NewPlanner(rewrite.DetCatalog(uaDB)).Run(
+	detCat := rewrite.DetCatalog(uaDB)
+	detPlan, err := engine.NewPlanner(detCat).PlanSQL(
 		"SELECT a.id, l.locale, l.state FROM addr a, loc l WHERE a.lat >= l.lat1 AND a.lat <= l.lat2 AND a.lon >= l.lon1 AND a.lon <= l.lon2")
 	if err != nil {
 		panic(err)
 	}
+	detRes, err := engine.NewSession(detCat, physical.Options{}).Execute(context.Background(), detPlan)
+	if err != nil {
+		panic(err)
+	}
+	det := engine.ResultTable(detRes)
 	fmt.Printf("\nBest-guess query processing returns %d rows with no uncertainty information.\n", det.NumRows())
 	fmt.Println("The UA-DB returns the same rows plus a certainty label, at the same cost.")
 }

@@ -32,7 +32,7 @@ func TestCrossSystemConsistency(t *testing.T) {
 	linDB, blocks := maybms.BuildDB(w.Tables)
 
 	for _, q := range pdbench.Queries() {
-		uaRes, err := front.Run(q.SQL)
+		uaRes, err := frontQueryTbl(front, q.SQL)
 		if err != nil {
 			t.Fatalf("%s UA: %v", q.Name, err)
 		}
@@ -96,7 +96,7 @@ func TestUAFrontendAgreesWithKRelationSemantics(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s direct: %v", q.Name, err)
 		}
-		res, err := front.Run(q.SQL)
+		res, err := frontQueryTbl(front, q.SQL)
 		if err != nil {
 			t.Fatalf("%s SQL: %v", q.Name, err)
 		}

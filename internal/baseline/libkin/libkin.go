@@ -14,8 +14,11 @@
 package libkin
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/models"
+	"repro/internal/physical"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -34,11 +37,15 @@ func Run(cat *engine.Catalog, query string) (*engine.Table, error) {
 
 // RunStmt is Run over a parsed statement.
 func RunStmt(cat *engine.Catalog, stmt *sql.SelectStmt) (*engine.Table, error) {
-	res, err := engine.NewPlanner(cat).RunStmt(stmt)
+	plan, err := engine.NewPlanner(cat).Plan(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return StripNullRows(res), nil
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return StripNullRows(engine.ResultTable(res)), nil
 }
 
 // CoddFromXDB converts an x-relation into a Codd table: each x-tuple

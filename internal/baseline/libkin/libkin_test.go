@@ -1,11 +1,26 @@
 package libkin
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/physical"
 	"repro/internal/types"
 )
+
+// runDet plans and runs a SQL string against cat via engine.Session.
+func runDet(cat *engine.Catalog, query string) (*engine.Table, error) {
+	plan, err := engine.NewPlanner(cat).PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
 
 func iv(v int64) types.Value  { return types.NewInt(v) }
 func sv(v string) types.Value { return types.NewString(v) }
@@ -96,7 +111,7 @@ func TestCSoundAgainstCompletions(t *testing.T) {
 			s.AppendVals(sv("LA"), sv("CA"))
 			s.AppendVals(c2, sv("TX"))
 			cat.Put(s)
-			res, err := engine.NewPlanner(cat).Run(query)
+			res, err := runDet(cat, query)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -10,10 +10,12 @@
 package mcdb
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/engine"
 	"repro/internal/models"
+	"repro/internal/physical"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -103,10 +105,15 @@ func Run(xdbs map[string]*models.XRelation, query string, n int, seed int64) (*R
 	res := &Result{Samples: n, Count: make(map[string]int), Tuple: make(map[string]types.Tuple)}
 	for i := 0; i < n; i++ {
 		cat := SampleWorld(xdbs, rng)
-		tbl, err := engine.NewPlanner(cat).RunStmt(stmt)
+		plan, err := engine.NewPlanner(cat).Plan(stmt)
 		if err != nil {
 			return nil, err
 		}
+		qres, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+		if err != nil {
+			return nil, err
+		}
+		tbl := engine.ResultTable(qres)
 		res.Schema = tbl.Schema
 		seen := make(map[string]bool, len(tbl.Rows))
 		for _, row := range tbl.Rows {

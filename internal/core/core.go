@@ -19,11 +19,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
 	"repro/internal/kdb"
 	"repro/internal/models"
+	"repro/internal/physical"
 	"repro/internal/rewrite"
 	"repro/internal/semiring"
 	"repro/internal/types"
@@ -119,10 +121,11 @@ func (r *Result) CertainCount() int {
 // join, UNION ALL, plus ORDER BY/LIMIT for presentation). The result is
 // c-sound: every row marked certain appears in every possible world.
 func (db *DB) Query(sql string) (*Result, error) {
-	tbl, err := db.front.Run(sql)
+	qres, err := db.front.Query(context.Background(), sql, db.front.Opts)
 	if err != nil {
 		return nil, err
 	}
+	tbl := engine.ResultTable(qres)
 	n := tbl.Schema.Arity()
 	if n < 1 {
 		return nil, fmt.Errorf("core: result has no certainty column")
@@ -141,7 +144,16 @@ func (db *DB) Query(sql string) (*Result, error) {
 // labels), for comparison and for callers that only need the classic
 // behaviour.
 func (db *DB) BestGuess(sql string) (*engine.Table, error) {
-	return engine.NewPlanner(rewrite.DetCatalog(db.ua)).Run(sql)
+	cat := rewrite.DetCatalog(db.ua)
+	plan, err := engine.NewPlanner(cat).PlanSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
 }
 
 // Relation exposes the underlying UA-relation of a registered table (nil if

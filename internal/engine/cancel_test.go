@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/physical"
+	"repro/internal/types"
+)
+
+// spillSortFixture builds a catalog and a sort plan big enough to spill
+// under a 4KiB budget.
+func spillSortFixture(rows int) (*Catalog, algebra.Node) {
+	tb := NewTable(types.NewSchema("t", "k", "v"))
+	for i := 0; i < rows; i++ {
+		tb.AppendVals(types.NewInt(int64((i*7919)%100003)), types.NewInt(int64(i)))
+	}
+	cat := NewCatalog()
+	cat.Put(tb)
+	plan := &algebra.Sort{
+		Input: &algebra.Scan{Table: "t", TblSchema: tb.Schema},
+		Keys:  []algebra.SortKey{{Expr: algebra.Col{Idx: 0}}, {Expr: algebra.Col{Idx: 1}}},
+	}
+	return cat, plan
+}
+
+// TestExecuteCancelledBeforeStart: a context that is already dead yields
+// context.Canceled without touching the spill directory.
+func TestExecuteCancelledBeforeStart(t *testing.T) {
+	cat, plan := spillSortFixture(1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	_, err := NewSession(cat, physical.Options{DOP: 1, MemBudget: 4 << 10, SpillDir: dir}).
+		Execute(ctx, plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files written by a cancelled query", len(ents))
+	}
+}
+
+// TestExecuteCancelledMidSpill cancels a spilling sort while it runs. The
+// query must abort with context.Canceled (not hang, not return a partial
+// result), the governor must drain back to zero — a leaked reservation
+// here would poison a server-wide ledger forever — and the spill
+// directory must be empty again.
+func TestExecuteCancelledMidSpill(t *testing.T) {
+	cat, plan := spillSortFixture(50000)
+	gov := physical.NewMemGovernor(4 << 10)
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let the query get under way — with a 4KiB budget over 50k rows it
+		// spends nearly all its time spilling runs — then pull the plug.
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	res, err := NewSession(cat, physical.Options{DOP: 1, Gov: gov, SpillDir: dir}).
+		Execute(ctx, plan)
+	if err == nil {
+		// The race is legal: a fast machine may finish before the cancel
+		// lands. Then the result must at least be complete and the run
+		// proves nothing about cancellation — rerun with an earlier cancel.
+		if res.NumRows() != 50000 {
+			t.Fatalf("uncancelled run returned %d rows, want 50000", res.NumRows())
+		}
+		t.Skip("query finished before cancellation landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := gov.InUse(); got != 0 {
+		t.Fatalf("governor still holds %d bytes after cancelled query", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files leaked by cancelled query", len(ents))
+	}
+}
+
+// TestExecuteTimeoutMidSpill is the deadline flavor: the error must be
+// context.DeadlineExceeded and cleanup identical.
+func TestExecuteTimeoutMidSpill(t *testing.T) {
+	cat, plan := spillSortFixture(50000)
+	gov := physical.NewMemGovernor(4 << 10)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, err := NewSession(cat, physical.Options{DOP: 1, Gov: gov, SpillDir: dir}).
+		Execute(ctx, plan)
+	if err == nil {
+		t.Skip("query finished before the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if got := gov.InUse(); got != 0 {
+		t.Fatalf("governor still holds %d bytes after timed-out query", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files leaked by timed-out query", len(ents))
+	}
+}

@@ -35,7 +35,7 @@ func fixtureCatalog() *Catalog {
 
 func run(t *testing.T, cat *Catalog, q string) *Table {
 	t.Helper()
-	res, err := NewPlanner(cat).Run(q)
+	res, err := testRunSQL(cat, q)
 	if err != nil {
 		t.Fatalf("query %q: %v", q, err)
 	}
@@ -309,7 +309,7 @@ func TestScalarFunctions(t *testing.T) {
 
 func TestAmbiguousColumn(t *testing.T) {
 	cat := fixtureCatalog()
-	_, err := NewPlanner(cat).Run("SELECT id FROM users a, users b")
+	_, err := testRunSQL(cat, "SELECT id FROM users a, users b")
 	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
 		t.Errorf("expected ambiguity error, got %v", err)
 	}
@@ -317,7 +317,6 @@ func TestAmbiguousColumn(t *testing.T) {
 
 func TestPlannerErrors(t *testing.T) {
 	cat := fixtureCatalog()
-	p := NewPlanner(cat)
 	for _, q := range []string{
 		"SELECT x FROM users",
 		"SELECT name FROM missing",
@@ -327,7 +326,7 @@ func TestPlannerErrors(t *testing.T) {
 		"SELECT * FROM users GROUP BY city",
 		"SELECT * FROM users IS TI WITH PROBABILITY (p)",
 	} {
-		if _, err := p.Run(q); err == nil {
+		if _, err := testRunSQL(cat, q); err == nil {
 			t.Errorf("query %q: expected error", q)
 		}
 	}

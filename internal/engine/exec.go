@@ -1,63 +1,107 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/algebra"
 	"repro/internal/physical"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
 
+// Session is the engine's one execution entrypoint: a catalog plus the
+// physical execution options every query through it runs under. One-shot
+// callers build a throwaway Session per query (NewSession is two field
+// assignments); long-lived callers — the query server — hold one per client
+// session and thread a per-query context and admission-granted governor
+// through Opt.
+//
+// Execute evaluates a logical plan: the physical optimizer normalizes it
+// (predicate pushdown, equi-join extraction, projection pruning), lowering
+// puts it onto the batch-at-a-time operator tree of internal/physical —
+// morsel-parallel where the plan and table sizes allow — and the result
+// comes back as a *physical.Result: columnar when the plan's root can emit
+// vectors, row-backed otherwise, with boxed rows materialized lazily on the
+// first Result.Rows call either way. Scans resolve table names at lowering
+// time, so the same plan can run against different catalogs (the
+// deterministic and the UA-encoded database) — the symmetry the UA-DB
+// overhead experiments rely on.
+//
+// Cancellation: Execute binds ctx to the query's memory governor (spill
+// paths poll it, so a governed query aborts mid-eviction) and checks it
+// between output batches while draining. Result rows may alias catalog
+// storage when the plan preserves rows end to end; callers must not mutate
+// them in place — the contract the catalog's own tables carry.
+type Session struct {
+	// Cat is the catalog queries resolve tables against.
+	Cat *Catalog
+	// Opt are the physical execution options: the zero value means
+	// automatic parallelism (DOP = GOMAXPROCS), no memory budget, no
+	// fusion. With Opt.Gov set (the server's admission grant), that
+	// governor — not a per-query one built from MemBudget — caps the
+	// query's pipeline-breaker working set.
+	Opt physical.Options
+}
+
+// NewSession returns a session executing against cat under opt.
+func NewSession(cat *Catalog, opt physical.Options) *Session {
+	return &Session{Cat: cat, Opt: opt}
+}
+
+// Execute runs one logical plan to completion under the session's options
+// and ctx. See Session for the full contract.
+func (s *Session) Execute(ctx context.Context, n algebra.Node) (*physical.Result, error) {
+	opt := s.Opt
+	if opt.Gov == nil {
+		opt.Gov = physical.NewMemGovernor(opt.MemBudget)
+	}
+	opt.Gov.Bind(ctx)
+	op, err := compile(n, s.Cat, opt)
+	if err != nil {
+		return nil, err
+	}
+	return physical.DrainColumnsContext(ctx, op)
+}
+
+// ResultTable adapts a *physical.Result to the engine's *Table (schema plus
+// materialized rows) — the shape the table-valued helpers (EqualBag,
+// SortRows, String) and the pre-Session callers work with. Materialization
+// is the result's own lazy-cached one.
+func ResultTable(res *physical.Result) *Table {
+	out := NewTable(res.Schema)
+	out.Rows = res.Rows()
+	return out
+}
+
 // Execute evaluates a logical plan against the catalog and materializes the
-// result. The plan is normalized by the physical optimizer (predicate
-// pushdown, equi-join extraction, projection pruning), lowered onto the
-// batch-at-a-time operator tree of internal/physical — morsel-parallel where
-// the plan and table sizes allow, up to runtime.GOMAXPROCS workers — and
-// drained. Scans resolve table names at lowering time, so the same plan can
-// run against different catalogs (e.g. the deterministic and the UA-encoded
-// database) — the symmetry the UA-DB overhead experiments rely on.
-// Result rows may alias catalog storage when the plan preserves rows end to
-// end (a bare scan or filter); callers must not mutate them in place, the
-// same contract the catalog's own tables carry. LIMIT results are copies.
+// result.
+//
+// Deprecated: use NewSession(cat, physical.Options{}).Execute with a
+// context (and ResultTable if a *Table is needed). Kept as a thin wrapper
+// for external callers only.
 func Execute(n algebra.Node, cat *Catalog) (*Table, error) {
 	return ExecuteOpts(n, cat, physical.Options{})
 }
 
-// ExecuteOpts is Execute with explicit physical execution options; the zero
-// Options means automatic parallelism (DOP = GOMAXPROCS) with no memory
-// budget, Options{DOP: 1} forces the serial engine, and a MemBudget caps
-// the query's pipeline-breaker working set — sorts, aggregates, and join
-// builds beyond the budget spill to Options.SpillDir and stream back,
-// byte-identical to in-memory execution. The UA frontend threads its own
-// DOP and MemBudget through here, so out-of-core execution is an engine
-// property shared by deterministic and UA-rewritten queries alike.
+// ExecuteOpts is Execute with explicit physical execution options.
+//
+// Deprecated: use NewSession(cat, opt).Execute with a context (and
+// ResultTable if a *Table is needed). Kept as a thin wrapper for external
+// callers only.
 func ExecuteOpts(n algebra.Node, cat *Catalog, opt physical.Options) (*Table, error) {
-	op, err := compile(n, cat, opt)
+	res, err := NewSession(cat, opt).Execute(context.Background(), n)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := physical.Drain(op)
-	if err != nil {
-		return nil, err
-	}
-	out := NewTable(op.Schema())
-	out.Rows = rows
-	return out, nil
+	return ResultTable(res), nil
 }
 
-// ExecuteColumns is ExecuteOpts with a columnar result sink: when the
-// lowered plan's root can emit its output as column vectors (a passthrough
-// columnar scan, a serial fused chain), the result stays unboxed end to end
-// and boxed rows exist only if the caller materializes them via Result.Rows.
-// Plans without a columnar root drain through the normal row path and come
-// back row-backed — the call is total, only the representation differs. The
-// materialized rows are byte-identical to ExecuteOpts output (pinned by the
-// columnar agreement harness).
+// ExecuteColumns is ExecuteOpts with a columnar result sink.
+//
+// Deprecated: use NewSession(cat, opt).Execute with a context — it is the
+// same call. Kept as a thin wrapper for external callers only.
 func ExecuteColumns(n algebra.Node, cat *Catalog, opt physical.Options) (*physical.Result, error) {
-	op, err := compile(n, cat, opt)
-	if err != nil {
-		return nil, err
-	}
-	return physical.DrainColumns(op)
+	return NewSession(cat, opt).Execute(context.Background(), n)
 }
 
 // compile validates, optimizes, and lowers a logical plan. Plans whose scan

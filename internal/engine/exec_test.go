@@ -67,7 +67,7 @@ func TestLimitDoesNotAliasSource(t *testing.T) {
 		Input: &algebra.Scan{Table: "t", TblSchema: src.Schema},
 		N:     2,
 	}
-	out, err := Execute(plan, cat)
+	out, err := testExecute(plan, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestExecuteSchemaMismatch(t *testing.T) {
 	shrunk := NewTable(types.NewSchema("users", "id", "name"))
 	shrunk.AppendVals(iv(1), sv("x"))
 	other.Put(shrunk)
-	if _, err := Execute(plan, other); err == nil {
+	if _, err := testExecute(plan, other); err == nil {
 		t.Error("expected a schema-mismatch execution error")
 	}
 }
@@ -141,7 +141,7 @@ func TestHashAndNestedLoopAgree(t *testing.T) {
 			t.Fatalf("optimizer did not extract the equi key:\n%s", s)
 		}
 
-		hashRes, err := Execute(plan, cat)
+		hashRes, err := testExecute(plan, cat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func TestMalformedPlanErrorsNotPanics(t *testing.T) {
 		Input: &algebra.Scan{Table: "users", TblSchema: users.Schema},
 		Pred:  algebra.Col{Idx: 99, Name: "ghost"},
 	}
-	if _, err := Execute(bad, cat); err == nil || !strings.Contains(err.Error(), "references column 99") {
+	if _, err := testExecute(bad, cat); err == nil || !strings.Contains(err.Error(), "references column 99") {
 		t.Errorf("err = %v, want column-range validation error", err)
 	}
 	if _, err := ExplainPhysical(bad, cat); err == nil {
@@ -190,7 +190,7 @@ func TestRuntimeResolvedScanSchemas(t *testing.T) {
 			L: algebra.Col{Idx: 2, Name: "age"},
 			R: algebra.Const{V: iv(26)}},
 	}
-	res, err := Execute(plan, cat)
+	res, err := testExecute(plan, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestRuntimeResolvedScanSchemas(t *testing.T) {
 			L: algebra.Col{Idx: 0, Name: "id"},
 			R: algebra.Col{Idx: 5, Name: "uid"}},
 	}
-	res, err = Execute(join, cat)
+	res, err = testExecute(join, cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,11 +278,11 @@ func TestExecuteOptsParallelAgreement(t *testing.T) {
 	}
 	par := physical.Options{DOP: 4, MorselSize: 32, MinParallelRows: 1}
 
-	want, err := ExecuteOpts(plan, cat, physical.Options{DOP: 1})
+	want, err := testExecuteOpts(plan, cat, physical.Options{DOP: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := ExecuteOpts(plan, cat, par)
+	got, err := testExecuteOpts(plan, cat, par)
 	if err != nil {
 		t.Fatal(err)
 	}

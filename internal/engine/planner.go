@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/physical"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -69,22 +71,45 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (algebra.Node, error) {
 	return node, err
 }
 
-// Run plans and executes a SQL string.
-func (p *Planner) Run(query string) (*Table, error) {
+// PlanSQL parses and compiles a SQL string without executing it.
+func (p *Planner) PlanSQL(query string) (algebra.Node, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunStmt(stmt)
+	return p.Plan(stmt)
+}
+
+// Run plans and executes a SQL string.
+//
+// Deprecated: plan with PlanSQL and execute through Session.Execute with a
+// context. Kept as a thin wrapper for external callers only.
+func (p *Planner) Run(query string) (*Table, error) {
+	plan, err := p.PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := NewSession(p.cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return ResultTable(res), nil
 }
 
 // RunStmt plans and executes a parsed statement.
+//
+// Deprecated: plan with Plan and execute through Session.Execute with a
+// context. Kept as a thin wrapper for external callers only.
 func (p *Planner) RunStmt(stmt *sql.SelectStmt) (*Table, error) {
 	plan, err := p.Plan(stmt)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(plan, p.cat)
+	res, err := NewSession(p.cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return ResultTable(res), nil
 }
 
 func (p *Planner) planSelect(stmt *sql.SelectStmt) (algebra.Node, *scope, error) {

@@ -66,7 +66,7 @@ func TestOrderByAliasAndInputColumn(t *testing.T) {
 		t.Errorf("order by projected-away column: %v", res.Rows)
 	}
 	// Mixing both kinds is rejected with a clear error.
-	_, err := NewPlanner(cat).Run("SELECT name AS n FROM users ORDER BY n, age")
+	_, err := testRunSQL(cat, "SELECT name AS n FROM users ORDER BY n, age")
 	if err == nil || !strings.Contains(err.Error(), "ORDER BY") {
 		t.Errorf("expected mixed ORDER BY error, got %v", err)
 	}
@@ -74,10 +74,10 @@ func TestOrderByAliasAndInputColumn(t *testing.T) {
 
 func TestHavingUnknownColumn(t *testing.T) {
 	cat := fixtureCatalog()
-	if _, err := NewPlanner(cat).Run("SELECT city FROM users GROUP BY city HAVING zzz > 1"); err == nil {
+	if _, err := testRunSQL(cat, "SELECT city FROM users GROUP BY city HAVING zzz > 1"); err == nil {
 		t.Error("expected HAVING resolution error")
 	}
-	if _, err := NewPlanner(cat).Run("SELECT city FROM users GROUP BY zzz"); err == nil {
+	if _, err := testRunSQL(cat, "SELECT city FROM users GROUP BY zzz"); err == nil {
 		t.Error("expected GROUP BY resolution error")
 	}
 }
@@ -104,7 +104,7 @@ func TestQualifiedStarExpansion(t *testing.T) {
 func TestSubqueryAliasScoping(t *testing.T) {
 	cat := fixtureCatalog()
 	// The inner alias u is not visible outside; the outer alias q is.
-	if _, err := NewPlanner(cat).Run(
+	if _, err := testRunSQL(cat,
 		"SELECT u.name FROM (SELECT name FROM users u) q"); err == nil {
 		t.Error("inner alias must not leak")
 	}

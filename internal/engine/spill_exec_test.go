@@ -26,12 +26,12 @@ func TestExecuteOptsMemBudget(t *testing.T) {
 			{Expr: algebra.Col{Idx: 0}}, {Expr: algebra.Col{Idx: 1}, Desc: true}},
 	}
 
-	want, err := ExecuteOpts(plan, cat, physical.Options{DOP: 1})
+	want, err := testExecuteOpts(plan, cat, physical.Options{DOP: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	got, err := ExecuteOpts(plan, cat, physical.Options{
+	got, err := testExecuteOpts(plan, cat, physical.Options{
 		DOP: 1, MemBudget: 4 << 10, SpillDir: dir})
 	if err != nil {
 		t.Fatal(err)

@@ -131,8 +131,13 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// Catalog is a named collection of tables.
+// Catalog is a named collection of tables. Registration and lookup are
+// safe for concurrent use — the query server resolves annotated tables
+// (which register freshly encoded tables mid-query) from many sessions at
+// once — but a *Table's rows must still not be mutated concurrently with
+// queries reading it.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -141,22 +146,30 @@ func NewCatalog() *Catalog { return &Catalog{tables: make(map[string]*Table)} }
 
 // Put registers a table under its schema name.
 func (c *Catalog) Put(t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tables[strings.ToLower(t.Schema.Name)] = t
 }
 
 // PutAs registers a table under an explicit name.
 func (c *Catalog) PutAs(name string, t *Table) {
 	t.Schema.Name = name
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.tables[strings.ToLower(name)] = t
 }
 
 // Get returns the named table or nil.
 func (c *Catalog) Get(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.tables[strings.ToLower(name)]
 }
 
 // Names returns the sorted table names.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)

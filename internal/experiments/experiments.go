@@ -8,10 +8,46 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/physical"
+	"repro/internal/rewrite"
 )
+
+// execPlan runs a compiled logical plan through the engine's one execution
+// entrypoint and materializes the table shape the experiment code works
+// with.
+func execPlan(plan algebra.Node, cat *engine.Catalog) (*engine.Table, error) {
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
+
+// execSQL plans and runs a deterministic SQL string against cat.
+func execSQL(cat *engine.Catalog, query string) (*engine.Table, error) {
+	plan, err := engine.NewPlanner(cat).PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return execPlan(plan, cat)
+}
+
+// frontQuery runs a UA-SQL query through the frontend's one execution
+// entrypoint, materialized.
+func frontQuery(front *rewrite.Frontend, query string) (*engine.Table, error) {
+	res, err := front.Query(context.Background(), query, front.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
 
 // Report is one experiment's formatted output.
 type Report struct {

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/baseline/ctexact"
 	"repro/internal/cond"
-	"repro/internal/engine"
 	"repro/internal/kdb"
 	"repro/internal/models"
 	"repro/internal/rewrite"
@@ -91,7 +90,7 @@ func Fig10(cfg Fig10Config) (*Report, []Fig10Point) {
 			if err != nil {
 				continue
 			}
-			uaRes, err := engine.Execute(uaPlan, encCat)
+			uaRes, err := execPlan(uaPlan, encCat)
 			if err == nil {
 				uaTotal[ops] += time.Since(start)
 				uaTuples[ops] += uaRes.NumRows()

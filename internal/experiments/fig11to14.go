@@ -69,7 +69,7 @@ func pdbenchSystems(w *pdbench.Workload, q pdbench.Query, mcdbSamples int, seed 
 	var detRes *engine.Table
 	d, err := timeIt(func() error {
 		var e error
-		detRes, e = engine.NewPlanner(detCat).Run(q.SQL)
+		detRes, e = execSQL(detCat, q.SQL)
 		return e
 	})
 	if err != nil {
@@ -83,7 +83,7 @@ func pdbenchSystems(w *pdbench.Workload, q pdbench.Query, mcdbSamples int, seed 
 	var uaRes *engine.Table
 	d, err = timeIt(func() error {
 		var e error
-		uaRes, e = front.Run(q.SQL)
+		uaRes, e = frontQuery(front, q.SQL)
 		return e
 	})
 	if err != nil {

@@ -135,7 +135,7 @@ func Fig17(nRows int, uRow float64, seed int64) (*Report, []Fig17Row, error) {
 		for i := 0; i < reps; i++ {
 			d, err := timeIt(func() error {
 				var e error
-				detRes, e = engine.NewPlanner(detCat).Run(q.SQL)
+				detRes, e = execSQL(detCat, q.SQL)
 				return e
 			})
 			if err != nil {
@@ -144,7 +144,7 @@ func Fig17(nRows int, uRow float64, seed int64) (*Report, []Fig17Row, error) {
 			detT += d
 			d, err = timeIt(func() error {
 				var e error
-				uaRes, e = front.Run(q.SQL)
+				uaRes, e = frontQuery(front, q.SQL)
 				return e
 			})
 			if err != nil {

@@ -67,7 +67,7 @@ func Fig18(cfg Fig18Config) (*Report, []Fig18Point, error) {
 
 			groundCat := engine.NewCatalog()
 			groundCat.Put(bg.Ground)
-			truth, err := engine.NewPlanner(groundCat).Run(query)
+			truth, err := execSQL(groundCat, query)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -105,5 +105,5 @@ func Fig18(cfg Fig18Config) (*Report, []Fig18Point, error) {
 func runOnBGW(x *models.XRelation, query string) (*engine.Table, error) {
 	cat := engine.NewCatalog()
 	cat.Put(rewrite.TableFromRelation(models.BestGuessXDB(x)))
-	return engine.NewPlanner(cat).Run(query)
+	return execSQL(cat, query)
 }

@@ -286,5 +286,5 @@ func mbMisclassification(confs []maybms.ResultTuple, truth *kdb.Relation[int64])
 }
 
 func engineExecute(plan algebra.Node, cat *engine.Catalog) (*engine.Table, error) {
-	return engine.Execute(plan, cat)
+	return execPlan(plan, cat)
 }

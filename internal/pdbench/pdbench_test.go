@@ -1,14 +1,38 @@
 package pdbench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/kdb"
+	"repro/internal/physical"
 	"repro/internal/rewrite"
 	"repro/internal/semiring"
 	"repro/internal/uadb"
 )
+
+// runDet plans and runs a SQL string against cat via engine.Session.
+func runDet(cat *engine.Catalog, query string) (*engine.Table, error) {
+	plan, err := engine.NewPlanner(cat).PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
+
+// runFront runs a UA-SQL query through the frontend, materialized.
+func runFront(front *rewrite.Frontend, query string) (*engine.Table, error) {
+	res, err := front.Query(context.Background(), query, front.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
 
 func TestGenerateDeterministic(t *testing.T) {
 	cfg := Config{SF: 0.01, Uncertainty: 0.05, Seed: 42}
@@ -83,11 +107,11 @@ func TestQueriesRunOnAllPaths(t *testing.T) {
 	detCat := rewrite.DetCatalog(uaDB)
 	front := rewrite.NewFrontend(rewrite.EncodeUADatabase(uaDB))
 	for _, q := range Queries() {
-		detRes, err := engine.NewPlanner(detCat).Run(q.SQL)
+		detRes, err := runDet(detCat, q.SQL)
 		if err != nil {
 			t.Fatalf("%s SQL on engine: %v", q.Name, err)
 		}
-		uaRes, err := front.Run(q.SQL)
+		uaRes, err := runFront(front, q.SQL)
 		if err != nil {
 			t.Fatalf("%s SQL on UA frontend: %v", q.Name, err)
 		}

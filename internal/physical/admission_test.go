@@ -1,0 +1,291 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionImmediateGrant: queries that fit are granted without
+// queueing, grants roll up into the shared ledger, Release returns budget.
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := NewAdmission(100)
+	g1, err := a.Acquire(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := a.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Granted(); got != 100 {
+		t.Fatalf("granted = %d, want 100", got)
+	}
+	if g1.Gov() == nil || g1.Gov().Budget() != 40 {
+		t.Fatalf("grant governor budget = %v, want 40", g1.Gov().Budget())
+	}
+	// The grant's governor enforces its slice and reports into the ledger.
+	if !g1.Gov().Reserve(30) {
+		t.Fatal("reserve within slice refused")
+	}
+	if g1.Gov().Reserve(20) {
+		t.Fatal("reserve beyond slice allowed")
+	}
+	if got := a.InUse(); got != 30 {
+		t.Fatalf("ledger in-use = %d, want 30", got)
+	}
+	g1.Gov().Release(30)
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("ledger in-use after release = %d, want 0", got)
+	}
+	g1.Release()
+	g2.Release()
+	if got := a.Granted(); got != 0 {
+		t.Fatalf("granted after release = %d, want 0", got)
+	}
+	if adm, _ := a.Stats(); adm != 2 {
+		t.Fatalf("admitted = %d, want 2", adm)
+	}
+}
+
+// TestAdmissionClamp: asks above the budget are clamped to it, asks below
+// one byte are raised to it.
+func TestAdmissionClamp(t *testing.T) {
+	a := NewAdmission(50)
+	g, err := a.Acquire(context.Background(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bytes() != 50 {
+		t.Fatalf("oversized ask granted %d, want the whole budget 50", g.Bytes())
+	}
+	g.Release()
+	g, err = a.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bytes() != 1 {
+		t.Fatalf("zero ask granted %d, want 1", g.Bytes())
+	}
+	g.Release()
+}
+
+// TestAdmissionFIFO pins the no-bypass property of strict FIFO: while a
+// big request is blocked at the queue head, a later small request that
+// WOULD fit right now must not be served around it.
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(100)
+	hold, err := a.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bigServed := make(chan *Grant, 1)
+	go func() {
+		g, err := a.Acquire(context.Background(), 80) // 60+80 > 100: blocks
+		if err != nil {
+			t.Error(err)
+		}
+		bigServed <- g
+	}()
+	waitFor(t, func() bool { return a.QueueLen() == 1 })
+
+	smallServed := make(chan *Grant, 1)
+	go func() {
+		g, err := a.Acquire(context.Background(), 10) // 60+10 <= 100: would fit
+		if err != nil {
+			t.Error(err)
+		}
+		smallServed <- g
+	}()
+	waitFor(t, func() bool { return a.QueueLen() == 2 })
+
+	// The small request fits the remaining budget but must stay queued
+	// behind the blocked head.
+	select {
+	case <-smallServed:
+		t.Fatal("small request bypassed the blocked queue head")
+	case <-bigServed:
+		t.Fatal("big request served beyond the budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Head unblocks; both fit (80 + 10 <= 100) and are served in order.
+	hold.Release()
+	big := <-bigServed
+	small := <-smallServed
+	if got := a.Granted(); got != 90 {
+		t.Fatalf("granted = %d, want 90", got)
+	}
+	if _, queued := a.Stats(); queued != 2 {
+		t.Fatalf("queuedEver = %d, want 2", queued)
+	}
+	big.Release()
+	small.Release()
+	if got := a.Granted(); got != 0 {
+		t.Fatalf("granted after all releases = %d, want 0", got)
+	}
+}
+
+// TestAdmissionTimeout: a queued query whose context expires leaves the
+// queue with an error and without leaking budget, and its departure
+// unblocks waiters behind it.
+func TestAdmissionTimeout(t *testing.T) {
+	a := NewAdmission(100)
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, 50); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out acquire returned %v, want deadline exceeded", err)
+	}
+	if got := a.QueueLen(); got != 0 {
+		t.Fatalf("queue length after timeout = %d, want 0", got)
+	}
+	hold.Release()
+	g, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+// TestAdmissionCancelQueuedUnblocksSuccessor: cancelling the queue head
+// must not leave successors stuck behind its corpse.
+func TestAdmissionCancelQueuedUnblocksSuccessor(t *testing.T) {
+	a := NewAdmission(100)
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(headCtx, 100)
+		headErr <- err
+	}()
+	waitFor(t, func() bool { return a.QueueLen() == 1 })
+	got := make(chan *Grant, 1)
+	go func() {
+		g, err := a.Acquire(context.Background(), 10)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- g
+	}()
+	waitFor(t, func() bool { return a.QueueLen() == 2 })
+
+	cancelHead()
+	if err := <-headErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled head returned %v, want context.Canceled", err)
+	}
+	// The successor is still blocked — strict FIFO, budget exhausted — but
+	// only on real demand, not on the abandoned head.
+	hold.Release()
+	select {
+	case g := <-got:
+		g.Release()
+	case <-time.After(time.Second):
+		t.Fatal("successor still blocked after the abandoned head was compacted")
+	}
+}
+
+// TestAdmissionReleaseIdempotent: double release must not double-credit
+// the budget.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(100)
+	g, err := a.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	g.Release()
+	if got := a.Granted(); got != 0 {
+		t.Fatalf("granted = %d after double release, want 0", got)
+	}
+	// A second acquire-release cycle still balances.
+	g2, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Release()
+	if got := a.Granted(); got != 0 {
+		t.Fatalf("granted = %d, want 0", got)
+	}
+}
+
+// TestAdmissionNil: a nil controller is the unlimited convention end to
+// end.
+func TestAdmissionNil(t *testing.T) {
+	var a *Admission
+	g, err := a.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Gov() != nil {
+		t.Fatal("nil admission produced a governor")
+	}
+	g.Release() // must not panic
+	if a.Budget() != 0 || a.Granted() != 0 || a.QueueLen() != 0 || a.InUse() != 0 || a.Peak() != 0 {
+		t.Fatal("nil admission reported non-zero stats")
+	}
+}
+
+// TestAdmissionGrantRaceWithCancel: hammer concurrent acquires against
+// releases and cancellations; afterwards the budget must balance to zero.
+// Run with -race this doubles as the controller's data-race check.
+func TestAdmissionGrantRaceWithCancel(t *testing.T) {
+	a := NewAdmission(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx := context.Background()
+				if i%3 == 0 {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(j%5)*time.Millisecond)
+					defer cancel()
+				}
+				g, err := a.Acquire(ctx, int64(1+(i*7+j)%40))
+				if err != nil {
+					continue
+				}
+				gov := g.Gov()
+				if gov.Reserve(1) {
+					gov.Release(1)
+				}
+				g.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := a.Granted(); got != 0 {
+		t.Fatalf("granted after all goroutines exited = %d, want 0", got)
+	}
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("ledger in-use after all goroutines exited = %d, want 0", got)
+	}
+	if a.Peak() > a.Budget() {
+		t.Fatalf("ledger peak %d exceeded global budget %d with no forced slack in play",
+			a.Peak(), a.Budget())
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -443,6 +443,11 @@ func (h *HashAggregate) openGoverned() error {
 	spilled := false
 
 	spillGen := func() error {
+		// A cancelled query aborts before paying the eviction I/O; Close
+		// releases the reservations and removes any spill files.
+		if err := h.Mem.Err(); err != nil {
+			return err
+		}
 		if h.sp == nil {
 			h.sp = newSpillSet(h.SpillDir, h.Mem)
 		}

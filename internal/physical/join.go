@@ -181,6 +181,11 @@ func (j *HashJoin) openGoverned() error {
 
 	// spillPart evicts one partition's resident rows to its file.
 	spillPart := func(p *gracePart) error {
+		// A cancelled query aborts before paying the eviction I/O; Close
+		// releases the reservations and removes any spill files.
+		if err := j.Mem.Err(); err != nil {
+			return err
+		}
 		if p.bw == nil {
 			if j.sp == nil {
 				j.sp = newSpillSet(j.SpillDir, j.Mem)

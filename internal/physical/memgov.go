@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -31,6 +32,18 @@ type MemGovernor struct {
 	budget int64
 	used   atomic.Int64
 	peak   atomic.Int64
+
+	// parent, when set, receives every byte this governor tracks as a
+	// forced (never-refused) reservation: the child's budget is the
+	// enforcement, the parent is the server-wide ledger. See
+	// NewChildGovernor.
+	parent *MemGovernor
+
+	// ctx, when set via Bind, makes Err report the query's cancellation.
+	// Spill paths poll it before long disk work, so a cancelled query
+	// aborts mid-spill instead of finishing the eviction it no longer
+	// needs.
+	ctx context.Context
 }
 
 // NewMemGovernor returns a governor enforcing a budget of b bytes. b <= 0
@@ -41,6 +54,42 @@ func NewMemGovernor(b int64) *MemGovernor {
 		return nil
 	}
 	return &MemGovernor{budget: b}
+}
+
+// NewChildGovernor returns a governor enforcing budget b whose every
+// tracked byte also rolls up into parent as a forced reservation — the
+// shape the server's admission control hands to each admitted query: the
+// child's budget (the admission grant) is what refuses growth, while the
+// parent aggregates true usage across all concurrent queries so its Peak
+// is the server-wide high-water mark. A nil parent degrades to
+// NewMemGovernor.
+func NewChildGovernor(parent *MemGovernor, b int64) *MemGovernor {
+	if b <= 0 {
+		return nil
+	}
+	return &MemGovernor{budget: b, parent: parent}
+}
+
+// Bind attaches a context to the governor: Err (polled by the spill paths)
+// reports ctx's cancellation from then on. Safe on a nil governor (no-op).
+// Bind is not synchronized with concurrent Reserve traffic — call it before
+// execution starts, as engine.Session does.
+func (g *MemGovernor) Bind(ctx context.Context) {
+	if g == nil || ctx == nil {
+		return
+	}
+	g.ctx = ctx
+}
+
+// Err reports the bound context's cancellation or deadline error, nil on an
+// unbound or nil governor. Spilling operators poll it at eviction
+// boundaries — the points where a query is about to pay disk I/O that a
+// cancelled client will never read.
+func (g *MemGovernor) Err() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Err()
 }
 
 // Budget reports the configured budget in bytes (0 on a nil governor).
@@ -81,6 +130,7 @@ func (g *MemGovernor) Reserve(n int64) bool {
 		}
 		if g.used.CompareAndSwap(u, u+n) {
 			g.bumpPeak(u + n)
+			g.parent.Force(n)
 			return true
 		}
 	}
@@ -94,6 +144,7 @@ func (g *MemGovernor) Force(n int64) {
 		return
 	}
 	g.bumpPeak(g.used.Add(n))
+	g.parent.Force(n)
 }
 
 // Release returns n reserved bytes.
@@ -102,6 +153,7 @@ func (g *MemGovernor) Release(n int64) {
 		return
 	}
 	g.used.Add(-n)
+	g.parent.Release(n)
 }
 
 // Over reports whether the tracked usage currently exceeds the budget —

@@ -15,6 +15,8 @@
 package physical
 
 import (
+	"context"
+
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -110,16 +112,33 @@ func columnsFor(src Source, table string, nRows int) *vector.Columns {
 // by the caller; the rows obey the engine-wide stability rule (stable, but
 // possibly aliasing table storage — do not mutate in place).
 func Drain(op Operator) ([][]types.Value, error) {
+	return DrainContext(context.Background(), op)
+}
+
+// DrainContext is Drain under a cancellation context: the drain loop checks
+// ctx between batches and before any one-shot whole-output drain, so a
+// cancelled or timed-out query stops producing within one batch of the
+// signal and returns ctx's error with the operator closed and its resources
+// (spill files, governed reservations) released. Cancellation inside a
+// pipeline breaker's materialization is the governor's job — engine.Session
+// binds the same ctx to the query's MemGovernor, whose Err the spill paths
+// poll — so between the two checks a query under a budget is cancellable
+// both mid-spill and mid-stream.
+func DrainContext(ctx context.Context, op Operator) ([][]types.Value, error) {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return nil, err
 	}
-	return drainOpened(op)
+	return drainOpened(ctx, op)
 }
 
 // drainOpened collects every row from an already-opened operator and closes
 // it — the shared back half of Drain and the row fallback of DrainColumns.
-func drainOpened(op Operator) ([][]types.Value, error) {
+func drainOpened(ctx context.Context, op Operator) ([][]types.Value, error) {
+	if err := ctx.Err(); err != nil {
+		op.Close()
+		return nil, err
+	}
 	if d, ok := op.(rowsDrainer); ok {
 		rows, handled, err := d.drainRows()
 		if err != nil {
@@ -147,6 +166,10 @@ func drainOpened(op Operator) ([][]types.Value, error) {
 		}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			op.Close()
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			op.Close()

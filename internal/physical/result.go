@@ -1,6 +1,8 @@
 package physical
 
 import (
+	"context"
+
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -78,7 +80,18 @@ type colsDrainer interface {
 // row-backed Result, so the call is total: every plan drains, only the
 // representation differs.
 func DrainColumns(op Operator) (*Result, error) {
+	return DrainColumnsContext(context.Background(), op)
+}
+
+// DrainColumnsContext is DrainColumns under a cancellation context, with the
+// same batch-granularity checks as DrainContext (and the same division of
+// labor with the governor-bound ctx for mid-spill cancellation).
+func DrainColumnsContext(ctx context.Context, op Operator) (*Result, error) {
 	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		op.Close()
 		return nil, err
 	}
@@ -95,7 +108,7 @@ func DrainColumns(op Operator) (*Result, error) {
 			return NewColumnarResult(op.Schema(), cols), nil
 		}
 	}
-	rows, err := drainOpened(op)
+	rows, err := drainOpened(ctx, op)
 	if err != nil {
 		return nil, err
 	}

@@ -167,6 +167,11 @@ func (s *Sort) Open() error {
 	// the growing one sorted first. Run order (and therefore merge
 	// tie-breaking) is unaffected — only residency changes.
 	spillAll := func() error {
+		// A cancelled query aborts before paying the eviction I/O; Close
+		// releases the reservations and removes any spill files.
+		if err := s.Mem.Err(); err != nil {
+			return err
+		}
 		for i := range s.runs {
 			if s.runs[i].rows == nil {
 				continue

@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,45 @@ import (
 	"repro/internal/uadb"
 )
 
+// QueryOpts is the one execution-option struct of the SQL surface: CLI
+// flags, server session options, and test harnesses all reduce to it, and
+// Frontend.Query is its only consumer — so every way of running a UA-SQL
+// query shares one code path into the engine.
+type QueryOpts struct {
+	// DOP caps the physical engine's degree of parallelism: 0 means
+	// automatic (GOMAXPROCS), 1 forces the serial engine. The UA rewrite
+	// rides the same engine either way — the paper's lightweight claim —
+	// so parallel speedups apply to UA queries and deterministic ones
+	// alike.
+	DOP int
+	// MemBudget caps the query's pipeline-breaker working set in bytes
+	// (sorts, aggregates, join builds spill to SpillDir under pressure);
+	// <= 0 means unlimited. The knob applies to UA-rewritten and
+	// deterministic queries identically — out-of-core execution is an
+	// engine property, not a rewrite property.
+	MemBudget int64
+	// SpillDir is where spill runs are written; "" means the system temp
+	// directory.
+	SpillDir string
+	// Fuse turns on fused pipeline compilation: maximal scan→filter→project
+	// (→probe, →aggregate) chains lower to single-loop operators over the
+	// typed vectors. Results are identical either way — the knob selects an
+	// execution strategy, not semantics.
+	Fuse bool
+	// Gov, when set, is a pre-built memory governor — the query server's
+	// admission grant — used instead of a per-query governor derived from
+	// MemBudget. One-shot callers leave it nil.
+	Gov *physical.MemGovernor
+}
+
+// physical converts the options to the engine layer's form.
+func (o QueryOpts) physical() physical.Options {
+	return physical.Options{
+		DOP: o.DOP, MemBudget: o.MemBudget, SpillDir: o.SpillDir,
+		Fuse: o.Fuse, Gov: o.Gov,
+	}
+}
+
 // Frontend is the SQL middleware: it accepts queries over UA-encoded tables
 // (and over raw tables annotated with IS TI / IS X / IS CTABLE), compiles
 // them against the logical schemas, rewrites the plan with RewriteUA, and
@@ -22,26 +62,14 @@ type Frontend struct {
 	Enc *engine.Catalog
 	// Raw holds un-encoded inputs referenced with model annotations.
 	Raw *engine.Catalog
-	// DOP caps the physical engine's degree of parallelism for queries run
-	// through this frontend: 0 means automatic (GOMAXPROCS), 1 forces the
-	// serial engine. The UA rewrite rides the same engine either way — the
-	// paper's lightweight claim — so parallel speedups apply to UA queries
-	// and deterministic ones alike.
-	DOP int
-	// MemBudget caps each query's pipeline-breaker working set in bytes
-	// (sorts, aggregates, join builds spill to SpillDir under pressure);
-	// <= 0 means unlimited. Like DOP, the knob applies to UA-rewritten and
-	// deterministic queries identically — out-of-core execution is an
-	// engine property, not a rewrite property.
-	MemBudget int64
-	// SpillDir is where spill runs are written; "" means the system temp
-	// directory.
-	SpillDir string
-	// Fuse turns on fused pipeline compilation: maximal scan→filter→project
-	// (→probe) chains lower to single-loop operators over the typed vectors.
-	// Off runs today's operator tree; results are identical either way — the
-	// knob selects an execution strategy, not semantics.
-	Fuse bool
+	// Opts are the frontend's default execution options, used when Query is
+	// called with a zero QueryOpts by callers that configure the frontend
+	// once (the CLIs) rather than per query (the server).
+	Opts QueryOpts
+
+	// plans, when enabled, caches rewritten logical plans keyed on
+	// normalized SQL. See EnablePlanCache.
+	plans *planCache
 }
 
 // NewFrontend returns a frontend over the given encoded catalog.
@@ -49,17 +77,121 @@ func NewFrontend(enc *engine.Catalog) *Frontend {
 	return &Frontend{Enc: enc, Raw: engine.NewCatalog()}
 }
 
-// Run parses, rewrites, and executes a UA-SQL query. The result carries the
-// user columns plus the trailing certainty column.
-func (f *Frontend) Run(query string) (*engine.Table, error) {
+// Query is the frontend's one execution entrypoint: parse → resolve model
+// annotations → plan → UA-rewrite → execute, under ctx for cancellation and
+// opt for execution strategy (a zero opt falls back to f.Opts). The result
+// carries the user columns plus the trailing certainty column, columnar
+// when the plan's root produces vectors and row-backed otherwise, rows
+// materialized lazily — the *physical.Result contract shared with
+// engine.Session. When the plan cache is enabled, annotation-free queries
+// hit it keyed on their normalized SQL text and skip parse+plan+rewrite
+// entirely.
+func (f *Frontend) Query(ctx context.Context, query string, opt QueryOpts) (*physical.Result, error) {
+	if opt == (QueryOpts{}) {
+		opt = f.Opts
+	}
+	plan, err := f.PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSession(f.Enc, opt.physical()).Execute(ctx, plan)
+}
+
+// PlanSQL compiles a UA-SQL string to its rewritten logical plan: parse,
+// model-annotation resolution, deterministic planning, UA rewrite — the
+// whole frontend except execution. With the plan cache enabled,
+// annotation-free statements are served from (and added to) the cache;
+// annotated statements always re-plan, because resolving an annotation
+// encodes a fresh table into the catalog as a side effect.
+func (f *Frontend) PlanSQL(query string) (algebraNode, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return f.RunStmt(stmt)
+	if hasModelAnnotations(stmt) {
+		// Bypass the cache entirely — no lookup, no stats — so annotated
+		// traffic cannot masquerade as cache misses.
+		if err := f.resolveAnnotations(stmt); err != nil {
+			return nil, err
+		}
+		return f.Plan(stmt)
+	}
+	var key string
+	if f.plans != nil {
+		key = NormalizeSQL(query)
+		if plan, ok := f.plans.get(key); ok {
+			return plan, nil
+		}
+	}
+	plan, err := f.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if f.plans != nil {
+		f.plans.put(key, plan)
+	}
+	return plan, nil
+}
+
+// EnablePlanCache turns on the frontend's rewritten-plan cache with space
+// for n plans (n <= 0 picks a default). Safe to call once before concurrent
+// use; cached plans are immutable (the optimizer never mutates its input)
+// and shared by concurrent executions. The server enables it; one-shot CLIs
+// don't bother.
+func (f *Frontend) EnablePlanCache(n int) {
+	f.plans = newPlanCache(n)
+}
+
+// PlanCacheStats reports cache hits and misses (zeros when disabled).
+func (f *Frontend) PlanCacheStats() (hits, misses int64) {
+	if f.plans == nil {
+		return 0, 0
+	}
+	return f.plans.stats()
+}
+
+// hasModelAnnotations reports whether any primary in the statement (unions
+// and subqueries included) carries an IS TI / IS X / IS CTABLE annotation.
+func hasModelAnnotations(stmt *sql.SelectStmt) bool {
+	for s := stmt; s != nil; s = s.Union {
+		for i := range s.From {
+			if primaryAnnotated(&s.From[i].Primary) {
+				return true
+			}
+			for j := range s.From[i].Joins {
+				if primaryAnnotated(&s.From[i].Joins[j].Right) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func primaryAnnotated(prim *sql.Primary) bool {
+	if prim.Subquery != nil {
+		return hasModelAnnotations(prim.Subquery)
+	}
+	return prim.Model != nil
+}
+
+// Run parses, rewrites, and executes a UA-SQL query.
+//
+// Deprecated: use Query with a context — it is the same path with an
+// explicit QueryOpts and a lazily materialized result. Kept as a thin
+// wrapper for external callers only.
+func (f *Frontend) Run(query string) (*engine.Table, error) {
+	res, err := f.Query(context.Background(), query, f.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
 }
 
 // RunStmt is Run over a pre-parsed statement.
+//
+// Deprecated: use Query with a context. Kept as a thin wrapper for external
+// callers only.
 func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 	if err := f.resolveAnnotations(stmt); err != nil {
 		return nil, err
@@ -68,29 +200,19 @@ func (f *Frontend) RunStmt(stmt *sql.SelectStmt) (*engine.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return engine.ExecuteOpts(plan, f.Enc, physical.Options{
-		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir, Fuse: f.Fuse})
+	res, err := engine.NewSession(f.Enc, f.Opts.physical()).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
 }
 
-// RunColumns is Run with a columnar result sink: the same parse → rewrite →
-// execute path, but the result stays in column vectors when the lowered plan
-// can produce them (engine.ExecuteColumns), so consumers that stream output
-// — the CLIs' CSV writers — never box a row. Materializing the result is
-// byte-identical to Run.
+// RunColumns is Run with a columnar result sink.
+//
+// Deprecated: use Query with a context — it already returns the columnar
+// *physical.Result. Kept as a thin wrapper for external callers only.
 func (f *Frontend) RunColumns(query string) (*physical.Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	if err := f.resolveAnnotations(stmt); err != nil {
-		return nil, err
-	}
-	plan, err := f.Plan(stmt)
-	if err != nil {
-		return nil, err
-	}
-	return engine.ExecuteColumns(plan, f.Enc, physical.Options{
-		DOP: f.DOP, MemBudget: f.MemBudget, SpillDir: f.SpillDir, Fuse: f.Fuse})
+	return f.Query(context.Background(), query, f.Opts)
 }
 
 // Explain parses, resolves annotations, compiles and rewrites the query,

@@ -1,0 +1,130 @@
+package rewrite
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// DefaultPlanCacheSize is the plan-cache capacity EnablePlanCache picks for
+// n <= 0.
+const DefaultPlanCacheSize = 256
+
+// planCache is a bounded LRU of rewritten logical plans keyed on normalized
+// SQL. Plans are stored after the UA rewrite and before physical
+// optimization/lowering, the last point at which they are shared-safe: the
+// physical optimizer documents that it never mutates its input, so any
+// number of concurrent executions may lower one cached plan.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*list.Element
+	lru   *list.List // front = most recent; values are *planEntry
+
+	hits   int64
+	misses int64
+}
+
+type planEntry struct {
+	key  string
+	plan algebraNode
+}
+
+func newPlanCache(n int) *planCache {
+	if n <= 0 {
+		n = DefaultPlanCacheSize
+	}
+	return &planCache{cap: n, items: make(map[string]*list.Element), lru: list.New()}
+}
+
+func (c *planCache) get(key string) (algebraNode, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+func (c *planCache) put(key string, plan algebraNode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.lru.PushFront(&planEntry{key: key, plan: plan})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.items, el.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// NormalizeSQL is the plan-cache key function: it upper-cases and
+// whitespace-collapses everything outside quoted literals and strips
+// trailing semicolons, so the same statement written with different
+// spacing, line breaks, or keyword case shares one cache slot. Quoted
+// string literals ('...' and "...", with doubled-quote escapes) pass
+// through byte-for-byte — value semantics are case-sensitive even though
+// identifier resolution is not. The function is deliberately syntax-blind:
+// it never fails, and two statements that normalize equal would parse and
+// plan identically.
+func NormalizeSQL(q string) string {
+	var sb strings.Builder
+	sb.Grow(len(q))
+	pendingSpace := false
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == '\'' || c == '"':
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			quote := c
+			sb.WriteByte(c)
+			i++
+			for i < len(q) {
+				sb.WriteByte(q[i])
+				if q[i] == quote {
+					// A doubled quote is an escaped quote: stay inside.
+					if i+1 < len(q) && q[i+1] == quote {
+						sb.WriteByte(q[i+1])
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			i++
+		default:
+			if pendingSpace && sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			pendingSpace = false
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return strings.TrimRight(sb.String(), "; ")
+}

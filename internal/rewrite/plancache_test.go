@@ -1,0 +1,115 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{"SELECT a FROM r", "select  a\n from\tr", true},
+		{"SELECT a FROM r", "SELECT a FROM r;", true},
+		{"SELECT a FROM r", "SELECT a FROM r ; ", true},
+		{"SELECT a FROM r WHERE x = 'Lit'", "select a from r where x = 'Lit'", true},
+		// Quoted literals keep their case and spacing.
+		{"SELECT a FROM r WHERE x = 'Lit'", "SELECT a FROM r WHERE x = 'lit'", false},
+		{"SELECT a FROM r WHERE x = 'a  b'", "SELECT a FROM r WHERE x = 'a b'", false},
+		// Doubled-quote escapes stay inside the literal.
+		{"SELECT a FROM r WHERE x = 'it''s'", "select a from r where x = 'it''s'", true},
+		{"SELECT a FROM r", "SELECT b FROM r", false},
+	}
+	for _, c := range cases {
+		na, nb := NormalizeSQL(c.a), NormalizeSQL(c.b)
+		if (na == nb) != c.same {
+			t.Errorf("NormalizeSQL(%q)=%q vs NormalizeSQL(%q)=%q: same=%v, want %v",
+				c.a, na, c.b, nb, na == nb, c.same)
+		}
+	}
+}
+
+// cacheFrontend builds a frontend with one encoded table and one raw table
+// for annotated statements.
+func cacheFrontend() *Frontend {
+	front := NewFrontend(engine.NewCatalog())
+	r := engine.NewTable(types.NewSchema("r", "a", "b"))
+	r.AppendVals(iv(1), iv(10))
+	r.AppendVals(iv(2), iv(20))
+	front.Enc.Put(EncodeDeterministic(r))
+	s := engine.NewTable(types.NewSchema("s", "id", "p"))
+	s.AppendVals(iv(1), types.NewFloat(0.9))
+	front.Raw.Put(s)
+	return front
+}
+
+// TestPlanCacheHit: the same query replans once, spelling variants share
+// the entry, and cached plans execute correctly.
+func TestPlanCacheHit(t *testing.T) {
+	front := cacheFrontend()
+	front.EnablePlanCache(8)
+	for i := 0; i < 3; i++ {
+		res, err := runFront(front, "SELECT a FROM r WHERE b > 15")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("run %d: rows = %d, want 1", i, res.NumRows())
+		}
+	}
+	if _, err := runFront(front, "select  a from r\nwhere b > 15"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := front.PlanCacheStats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (one distinct plan)", misses)
+	}
+	if hits != 3 {
+		t.Errorf("hits = %d, want 3", hits)
+	}
+}
+
+// TestPlanCacheAnnotatedBypass: model-annotated statements re-plan every
+// time (annotation resolution mutates the statement and registers encoded
+// tables) and never enter the cache.
+func TestPlanCacheAnnotatedBypass(t *testing.T) {
+	front := cacheFrontend()
+	front.EnablePlanCache(8)
+	const q = "SELECT id FROM s IS TI WITH PROBABILITY (p)"
+	for i := 0; i < 2; i++ {
+		res, err := runFront(front, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("run %d: rows = %d, want 1", i, res.NumRows())
+		}
+	}
+	hits, misses := front.PlanCacheStats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("annotated statements touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestPlanCacheEviction: the LRU keeps its capacity and evicted entries
+// simply replan.
+func TestPlanCacheEviction(t *testing.T) {
+	front := cacheFrontend()
+	front.EnablePlanCache(1)
+	if _, err := runFront(front, "SELECT a FROM r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runFront(front, "SELECT b FROM r"); err != nil { // evicts the first
+		t.Fatal(err)
+	}
+	if _, err := runFront(front, "SELECT a FROM r"); err != nil { // replans
+		t.Fatal(err)
+	}
+	hits, misses := front.PlanCacheStats()
+	if hits != 0 || misses != 3 {
+		t.Errorf("hits=%d misses=%d, want 0/3 with capacity 1", hits, misses)
+	}
+}

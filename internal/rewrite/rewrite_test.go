@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -9,10 +10,35 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kdb"
 	"repro/internal/models"
+	"repro/internal/physical"
 	"repro/internal/semiring"
 	"repro/internal/types"
 	"repro/internal/uadb"
 )
+
+// runFront drives the frontend through its single non-deprecated entrypoint
+// and materializes the table shape the assertions compare.
+func runFront(front *Frontend, query string) (*engine.Table, error) {
+	res, err := front.Query(context.Background(), query, front.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
+
+// runDet plans and runs a deterministic SQL string against cat via
+// engine.Session.
+func runDet(cat *engine.Catalog, query string) (*engine.Table, error) {
+	plan, err := engine.NewPlanner(cat).PlanSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.NewSession(cat, physical.Options{}).Execute(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return engine.ResultTable(res), nil
+}
 
 func iv(v int64) types.Value  { return types.NewInt(v) }
 func sv(v string) types.Value { return types.NewString(v) }
@@ -55,7 +81,7 @@ func TestPaperExampleQuery(t *testing.T) {
 	front := NewFrontend(EncodeUADatabase(db))
 	// The spatial join of Example 1 (contains() spelled out as range
 	// predicates; boundary-inclusive).
-	res, err := front.Run(`
+	res, err := runFront(front, `
 		SELECT a.id, l.locale, l.state
 		FROM addr a, loc l
 		WHERE a.lat >= l.lat1 AND a.lat <= l.lat2
@@ -195,7 +221,7 @@ func TestRewritingCorrectness(t *testing.T) {
 		}
 
 		front := NewFrontend(EncodeUADatabase(db))
-		res, err := front.Run(sqlText)
+		res, err := runFront(front, sqlText)
 		if err != nil {
 			t.Fatalf("query %q: %v", sqlText, err)
 		}
@@ -229,7 +255,7 @@ func relEqual(a, b *uadb.Relation[int64]) bool {
 func TestRewriteJoinKeepsPositionsAndC(t *testing.T) {
 	db := randomUADB(rand.New(rand.NewSource(7)))
 	front := NewFrontend(EncodeUADatabase(db))
-	res, err := front.Run("SELECT r.a, r.b, s.c, s.d FROM r, s WHERE r.b = s.c")
+	res, err := runFront(front, "SELECT r.a, r.b, s.c, s.d FROM r, s WHERE r.b = s.c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,10 +277,10 @@ func TestRewriteJoinKeepsPositionsAndC(t *testing.T) {
 func TestRewriteRejectsNonRAPlus(t *testing.T) {
 	db := randomUADB(rand.New(rand.NewSource(8)))
 	front := NewFrontend(EncodeUADatabase(db))
-	if _, err := front.Run("SELECT DISTINCT a FROM r"); err == nil {
+	if _, err := runFront(front, "SELECT DISTINCT a FROM r"); err == nil {
 		t.Error("DISTINCT must be rejected")
 	}
-	if _, err := front.Run("SELECT count(*) FROM r"); err == nil {
+	if _, err := runFront(front, "SELECT count(*) FROM r"); err == nil {
 		t.Error("aggregation must be rejected")
 	}
 }
@@ -262,7 +288,7 @@ func TestRewriteRejectsNonRAPlus(t *testing.T) {
 func TestRewritePassesSortLimit(t *testing.T) {
 	db := randomUADB(rand.New(rand.NewSource(9)))
 	front := NewFrontend(EncodeUADatabase(db))
-	res, err := front.Run("SELECT a, b FROM r ORDER BY a DESC LIMIT 2")
+	res, err := runFront(front, "SELECT a, b FROM r ORDER BY a DESC LIMIT 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +400,7 @@ func TestModelAnnotationEndToEnd(t *testing.T) {
 	raw.AppendVals(iv(2), types.NewFloat(21.0), types.NewFloat(0.8))
 	raw.AppendVals(iv(3), types.NewFloat(19.0), types.NewFloat(0.2))
 	front.Raw.Put(raw)
-	res, err := front.Run("SELECT id, temp FROM sensors IS TI WITH PROBABILITY (p) WHERE temp > 20")
+	res, err := runFront(front, "SELECT id, temp FROM sensors IS TI WITH PROBABILITY (p) WHERE temp > 20")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,13 +456,13 @@ func TestDetCatalog(t *testing.T) {
 
 func TestFrontendErrors(t *testing.T) {
 	front := NewFrontend(engine.NewCatalog())
-	if _, err := front.Run("SELECT * FROM missing"); err == nil {
+	if _, err := runFront(front, "SELECT * FROM missing"); err == nil {
 		t.Error("unknown table")
 	}
-	if _, err := front.Run("SELECT * FROM missing IS TI WITH PROBABILITY (p)"); err == nil {
+	if _, err := runFront(front, "SELECT * FROM missing IS TI WITH PROBABILITY (p)"); err == nil {
 		t.Error("unknown raw table")
 	}
-	if _, err := front.Run("not sql"); err == nil {
+	if _, err := runFront(front, "not sql"); err == nil {
 		t.Error("parse error")
 	}
 }
@@ -452,11 +478,11 @@ func TestRewrittenMatchesDeterministicShape(t *testing.T) {
 		_, sqlText := randomRAQuery(rng, rng.Intn(3)+1)
 
 		front := NewFrontend(EncodeUADatabase(db))
-		uaRes, err := front.Run(sqlText)
+		uaRes, err := runFront(front, sqlText)
 		if err != nil {
 			t.Fatal(err)
 		}
-		detRes, err := engine.NewPlanner(DetCatalog(db)).Run(sqlText)
+		detRes, err := runDet(DetCatalog(db), sqlText)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,183 @@
+// Package client is the Go client for the UA-DB query server
+// (internal/server): one TCP connection is one session, and any number of
+// requests may be in flight at once — the client matches responses to
+// requests by id, so concurrent goroutines can share a connection the same
+// way concurrent queries share a server session.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// Result is a decoded query result.
+type Result struct {
+	Schema []string
+	Rows   [][]types.Value
+}
+
+// Client is one session with the server. Methods are safe for concurrent
+// use.
+type Client struct {
+	conn net.Conn
+
+	wmu    sync.Mutex // serializes request frames
+	mu     sync.Mutex // guards nextID, pending, readErr
+	nextID uint64
+	// pending maps an in-flight request id to the channel its response is
+	// delivered on (buffered, capacity 1).
+	pending map[uint64]chan server.Response
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan server.Response{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the one reader of the connection: it dispatches each
+// response frame to the request waiting on its id. On read failure every
+// pending and future request fails with the error.
+func (c *Client) readLoop() {
+	for {
+		var resp server.Response
+		if err := server.ReadFrame(c.conn, &resp); err != nil {
+			c.mu.Lock()
+			if c.readErr == nil {
+				c.readErr = fmt.Errorf("client: connection lost: %w", err)
+			}
+			for id, ch := range c.pending {
+				delete(c.pending, id)
+				ch <- server.Response{ID: id, Error: c.readErr.Error()}
+			}
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// roundTrip sends one request and waits for its response.
+func (c *Client) roundTrip(req server.Request) (server.Response, error) {
+	ch := make(chan server.Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return server.Response{}, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := server.WriteFrame(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return server.Response{}, fmt.Errorf("client: send: %w", err)
+	}
+
+	resp := <-ch
+	if resp.Error != "" {
+		return resp, errors.New(resp.Error)
+	}
+	if !resp.OK {
+		return resp, errors.New("client: server rejected request")
+	}
+	return resp, nil
+}
+
+// Set updates the session's execution options; nil fields keep their
+// current values.
+func (c *Client) Set(opts server.SessionOpts) error {
+	_, err := c.roundTrip(server.Request{Op: "set", Opts: &opts})
+	return err
+}
+
+// Query executes one UA-SQL statement and decodes the result.
+func (c *Client) Query(sql string) (*Result, error) {
+	resp, err := c.roundTrip(server.Request{Op: "query", SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Prepare names a statement for later Exec calls; the SQL is validated
+// server-side now.
+func (c *Client) Prepare(name, sql string) error {
+	_, err := c.roundTrip(server.Request{Op: "prepare", Name: name, SQL: sql})
+	return err
+}
+
+// Exec runs a statement prepared earlier in this session.
+func (c *Client) Exec(name string) (*Result, error) {
+	resp, err := c.roundTrip(server.Request{Op: "exec", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp)
+}
+
+// Stats snapshots the server's counters.
+func (c *Client) Stats() (*server.Stats, error) {
+	resp, err := c.roundTrip(server.Request{Op: "stats"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("client: stats response carried no stats")
+	}
+	return resp.Stats, nil
+}
+
+// Ping round-trips a no-op request.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(server.Request{Op: "ping"})
+	return err
+}
+
+// Close ends the session: a best-effort close handshake, then the
+// connection drops. In-flight queries on this session are aborted
+// server-side.
+func (c *Client) Close() error {
+	c.roundTrip(server.Request{Op: "close"}) // best-effort; the conn close below is authoritative
+	err := c.conn.Close()
+	<-c.done // reader exits once the conn is closed
+	return err
+}
+
+func decodeResult(resp server.Response) (*Result, error) {
+	rows, err := server.DecodeRows(resp.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: resp.Schema, Rows: rows}, nil
+}

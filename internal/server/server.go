@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/physical"
+	"repro/internal/rewrite"
+)
+
+// Config sets up a Server.
+type Config struct {
+	// Front is the shared frontend: its catalogs are the server's session
+	// catalog (every session sees the same tables) and its Opts are the
+	// session defaults a client inherits until it sends a set.
+	Front *rewrite.Frontend
+	// GlobalBudget is the server-wide memory budget in bytes shared by all
+	// concurrent queries through admission control; <= 0 means unlimited
+	// (no admission, per-query budgets only).
+	GlobalBudget int64
+	// QueryBudget is the default per-query admission ask when a session
+	// has not set its own mem_budget; 0 defaults to GlobalBudget/4 (so
+	// four default queries run concurrently before the fifth queues).
+	// Ignored when GlobalBudget is unlimited.
+	QueryBudget int64
+	// SpillDir is where governed queries spill; "" means the system temp
+	// directory.
+	SpillDir string
+	// PlanCache is the shared plan-cache capacity in entries; 0 uses
+	// rewrite.DefaultPlanCacheSize, negative disables caching.
+	PlanCache int
+}
+
+// Server is the UA-DB query server. See the package comment for the wire
+// protocol and New for construction.
+type Server struct {
+	front       *rewrite.Frontend
+	admission   *physical.Admission
+	queryBudget int64
+	spillDir    string
+
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	sessions atomic.Int64 // live connections
+	queries  atomic.Int64 // cumulative executed queries
+}
+
+// New builds a server over cfg. The frontend's plan cache is enabled so
+// every session shares one prepared-plan cache keyed on normalized SQL.
+func New(cfg Config) *Server {
+	qb := cfg.QueryBudget
+	if cfg.GlobalBudget > 0 {
+		if qb <= 0 {
+			qb = cfg.GlobalBudget / 4
+		}
+		if qb < 1 {
+			qb = 1
+		}
+	}
+	if cfg.PlanCache >= 0 {
+		n := cfg.PlanCache
+		if n == 0 {
+			n = rewrite.DefaultPlanCacheSize
+		}
+		cfg.Front.EnablePlanCache(n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		front:       cfg.Front,
+		admission:   physical.NewAdmission(cfg.GlobalBudget),
+		queryBudget: qb,
+		spillDir:    cfg.SpillDir,
+		baseCtx:     ctx,
+		abort:       cancel,
+		conns:       map[net.Conn]struct{}{},
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or a fatal
+// listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// shutdown-initiated close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+// Addr reports the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting connections and waits for live sessions to
+// drain. If ctx expires first, in-flight queries are aborted (their grants
+// release, their spill files are cleaned by operator Close) and
+// connections are closed; Shutdown then waits for the handlers to unwind
+// and returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	s.abort() // cancel every in-flight query
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// Close is Shutdown with no grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// session is one connection's mutable state: execution options and named
+// statements. Options resolve lazily so a set mid-session applies to the
+// next query, not running ones.
+type session struct {
+	mu        sync.Mutex
+	dop       int
+	fuse      bool
+	memBudget int64 // per-query ask in bytes; 0 = server default
+	timeoutMS int64
+	prepared  map[string]string // name -> SQL
+}
+
+func (s *Server) newSession() *session {
+	return &session{
+		dop:      s.front.Opts.DOP,
+		fuse:     s.front.Opts.Fuse,
+		prepared: map[string]string{},
+	}
+}
+
+// apply folds a set request into the session.
+func (sess *session) apply(o *SessionOpts) error {
+	if o == nil {
+		return nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if o.DOP != nil {
+		sess.dop = *o.DOP
+	}
+	if o.Fuse != nil {
+		sess.fuse = *o.Fuse
+	}
+	if o.MemBudget != nil {
+		b, err := physical.ParseByteSize(*o.MemBudget)
+		if err != nil {
+			return fmt.Errorf("mem_budget: %w", err)
+		}
+		sess.memBudget = b
+	}
+	if o.TimeoutMS != nil {
+		sess.timeoutMS = *o.TimeoutMS
+	}
+	return nil
+}
+
+// handleConn owns one connection: a read loop that dispatches each request
+// to its own goroutine, a shared write lock serializing response frames,
+// and a connection context whose cancellation — disconnect or server
+// shutdown — aborts every in-flight query so admission grants are never
+// leaked by a vanished client.
+func (s *Server) handleConn(conn net.Conn) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	sess := s.newSession()
+	s.sessions.Add(1)
+	var wmu sync.Mutex
+	var inflight sync.WaitGroup
+
+	respond := func(resp Response) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		WriteFrame(conn, resp) // a dead conn also fails the read loop; nothing to do here
+	}
+
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			break
+		}
+		if req.Op == "close" {
+			respond(Response{ID: req.ID, OK: true})
+			break
+		}
+		inflight.Add(1)
+		go func(req Request) {
+			defer inflight.Done()
+			respond(s.handle(ctx, sess, req))
+		}(req)
+	}
+
+	cancel() // abort in-flight queries; queued ones fall out of admission
+	inflight.Wait()
+	conn.Close()
+	s.sessions.Add(-1)
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// handle executes one request and builds its response.
+func (s *Server) handle(ctx context.Context, sess *session, req Request) Response {
+	fail := func(err error) Response {
+		return Response{ID: req.ID, Error: err.Error()}
+	}
+	switch req.Op {
+	case "hello", "stats":
+		return Response{ID: req.ID, OK: true, Stats: s.stats()}
+	case "ping":
+		return Response{ID: req.ID, OK: true}
+	case "set":
+		if err := sess.apply(req.Opts); err != nil {
+			return fail(err)
+		}
+		return Response{ID: req.ID, OK: true}
+	case "prepare":
+		if req.Name == "" {
+			return fail(errors.New("prepare: empty statement name"))
+		}
+		// Validate now so exec cannot fail on syntax; the plan itself is
+		// cached by the shared normalized-SQL plan cache, not the session.
+		if _, err := s.front.PlanSQL(req.SQL); err != nil {
+			return fail(err)
+		}
+		sess.mu.Lock()
+		sess.prepared[req.Name] = req.SQL
+		sess.mu.Unlock()
+		return Response{ID: req.ID, OK: true}
+	case "exec":
+		sess.mu.Lock()
+		sqlText, ok := sess.prepared[req.Name]
+		sess.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("exec: no prepared statement %q", req.Name))
+		}
+		return s.runQuery(ctx, sess, req.ID, sqlText)
+	case "query":
+		return s.runQuery(ctx, sess, req.ID, req.SQL)
+	}
+	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// runQuery executes one SQL statement under the session's options and the
+// server's admission control, and encodes the result.
+func (s *Server) runQuery(ctx context.Context, sess *session, id uint64, sqlText string) Response {
+	sess.mu.Lock()
+	dop, fuse, ask, timeoutMS := sess.dop, sess.fuse, sess.memBudget, sess.timeoutMS
+	sess.mu.Unlock()
+
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, msDuration(timeoutMS))
+		defer cancel()
+	}
+
+	opt := rewrite.QueryOpts{DOP: dop, Fuse: fuse, SpillDir: s.spillDir}
+	if s.admission != nil {
+		if ask <= 0 {
+			ask = s.queryBudget
+		}
+		grant, err := s.admission.Acquire(ctx, ask)
+		if err != nil {
+			return Response{ID: id, Error: err.Error()}
+		}
+		defer grant.Release()
+		opt.Gov = grant.Gov()
+	} else {
+		opt.MemBudget = ask
+	}
+
+	res, err := s.front.Query(ctx, sqlText, opt)
+	if err != nil {
+		return Response{ID: id, Error: err.Error()}
+	}
+	s.queries.Add(1)
+	rows, err := EncodeRows(res.Rows())
+	if err != nil {
+		return Response{ID: id, Error: err.Error()}
+	}
+	return Response{ID: id, OK: true, Schema: res.Schema.Attrs, Rows: rows}
+}
+
+func msDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }
+
+// stats snapshots the server counters.
+func (s *Server) stats() *Stats {
+	hits, misses := s.front.PlanCacheStats()
+	admitted, queued := s.admission.Stats()
+	return &Stats{
+		Sessions:    s.sessions.Load(),
+		Queries:     s.queries.Load(),
+		Budget:      s.admission.Budget(),
+		Granted:     s.admission.Granted(),
+		PeakGranted: s.admission.PeakGranted(),
+		InUse:       s.admission.InUse(),
+		Peak:        s.admission.Peak(),
+		QueueLen:    s.admission.QueueLen(),
+		Admitted:    admitted,
+		Queued:      queued,
+		PlanHits:    hits,
+		PlanMisses:  misses,
+	}
+}
