@@ -210,6 +210,11 @@ func main() {
 		} else {
 			results = append(results, ooc...)
 		}
+		if srvRes, err := measureServer(rows); err != nil {
+			fail(err)
+		} else {
+			results = append(results, srvRes...)
+		}
 		fmt.Println("Physical operator suite (batch engine vs row-at-a-time reference)")
 		fmt.Print(physbench.Format(results))
 		if err := physbench.WriteJSON(*physOut, results); err != nil {
@@ -253,10 +258,12 @@ func outOfCoreResults(budgetFlag string, rows int) ([]physbench.Result, error) {
 
 // measure runs the physical suite; a seam so the gate's flag/IO/verdict
 // paths are testable without ~20s of real measurement per invocation.
-// measureOOC is the same seam for the out-of-core spill workloads.
+// measureOOC is the same seam for the out-of-core spill workloads, and
+// measureServer for the wire-protocol round-trip pair.
 var (
-	measure    = physbench.Suite
-	measureOOC = physbench.OutOfCore
+	measure       = physbench.Suite
+	measureOOC    = physbench.OutOfCore
+	measureServer = physbench.ServerRoundTrip
 )
 
 // runGate implements `bench check` and `bench update`: rerun the physical
@@ -294,6 +301,11 @@ func runGate(mode string, args []string, stdout io.Writer) error {
 		return err
 	} else {
 		results = append(results, ooc...)
+	}
+	if srvRes, err := measureServer(*physRows); err != nil {
+		return err
+	} else {
+		results = append(results, srvRes...)
 	}
 	if mode == "update" {
 		if err := physbench.WriteJSON(*baseline, results); err != nil {

@@ -18,8 +18,14 @@ var oocBudget int64
 
 func stubSuite(t *testing.T, factor float64) {
 	t.Helper()
-	orig, origOOC := measure, measureOOC
+	orig, origOOC, origSrv := measure, measureOOC, measureServer
 	oocBudget = 0
+	measureServer = func(n int) ([]physbench.Result, error) {
+		return []physbench.Result{
+			{Op: "server-roundtrip/json", Rows: n, NsPerOp: 9000, RowsPerSec: 1e6 * factor},
+			{Op: "server-roundtrip/colbin", Rows: n, NsPerOp: 2000, RowsPerSec: 4.5e6 * factor},
+		}, nil
+	}
 	measure = func(n, dop int) ([]physbench.Result, error) {
 		rs := []physbench.Result{
 			{Op: "scan-filter-project/batch", Rows: n, NsPerOp: 1000, RowsPerSec: 1e7 * factor},
@@ -34,7 +40,7 @@ func stubSuite(t *testing.T, factor float64) {
 			{Op: "sort-oocore/spill", Rows: n, NsPerOp: 4000, RowsPerSec: 2.5e6 * factor},
 		}, nil
 	}
-	t.Cleanup(func() { measure, measureOOC = orig, origOOC })
+	t.Cleanup(func() { measure, measureOOC, measureServer = orig, origOOC, origSrv })
 }
 
 // TestMainSmokeGate is the CI start sanity for the bench CLI's regression

@@ -1,7 +1,12 @@
 // Command uadb-server is the UA-DB middleware as a long-lived multi-session
 // query server. It loads CSV tables once, then serves UA-SQL over TCP with
-// the wire protocol of internal/server (4-byte length-prefixed JSON frames):
-// each connection is a session with its own execution options (set op) and
+// the wire protocol of internal/server (4-byte length-prefixed frames,
+// protocol version 2): clients that negotiate the "colbin" encoding in
+// their hello receive query results as chunked binary column frames —
+// header, CRC-checked column chunks, trailer — while JSON-only clients
+// (or those that send no hello at all) get the v1 single-frame JSON
+// responses unchanged. Each connection is a session with its own execution
+// options (set op) and
 // prepared statements, all sessions share one catalog and one plan cache,
 // and -mem-budget is a server-wide memory budget — concurrent queries are
 // admission-controlled so the sum of their grants never exceeds it, queueing

@@ -58,8 +58,8 @@ func TestServerSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	if len(res.Rows()) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows()))
 	}
 	stats, err := c.Stats()
 	if err != nil {

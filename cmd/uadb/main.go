@@ -21,6 +21,12 @@
 // order, straight from the columnar result sink when the plan produces one
 // (no boxed result rows at all).
 //
+// With -connect host:port the tool runs the same query loop against a
+// running uadb-server instead of loading tables locally: the client
+// negotiates the binary columnar result encoding (falling back to JSON
+// against older servers), -dop / -mem-budget / -fuse become session
+// options, and -csv streams straight off the decoded wire columns.
+//
 // For a long-lived multi-session surface over the same engine, see
 // cmd/uadb-server.
 package main
@@ -38,6 +44,9 @@ import (
 	"repro/internal/csvio"
 	"repro/internal/engine"
 	"repro/internal/rewrite"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/types"
 )
 
 func main() {
@@ -58,8 +67,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	query := fs.String("query", "", "UA-SQL query; omit to read from stdin")
 	explain := fs.Bool("explain", false, "print the rewritten logical plan instead of executing")
 	csvOut := fs.Bool("csv", false, "stream results as CSV (unsorted engine order, straight from the columnar result sink when the plan allows)")
+	connect := fs.String("connect", "", "query a running uadb-server at this address instead of loading tables locally (results arrive as binary column chunks when the server speaks them)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *connect != "" {
+		return runRemote(*connect, *tables, exec, *query, *explain, *csvOut, stdin, stdout, stderr)
 	}
 	front, err := cliutil.NewFrontend(*tables, exec)
 	if err != nil {
@@ -92,6 +105,81 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		runQuery(front, line, *csvOut, stdout, stderr)
 	}
+}
+
+// runRemote is the -connect mode: the same query loop, but over a running
+// uadb-server. The client negotiates the binary columnar encoding, so CSV
+// output streams straight off the decoded wire columns — a JSON-only server
+// downgrades transparently and the bytes out are identical.
+func runRemote(addr string, tables cliutil.TableFlags, exec *cliutil.ExecFlags, query string, explain, csvOut bool, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(tables) > 0 {
+		return fmt.Errorf("-table loads local CSVs and cannot be combined with -connect (the server owns the catalog)")
+	}
+	if explain {
+		return fmt.Errorf("-explain runs locally and cannot be combined with -connect")
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var opts server.SessionOpts
+	if dop := exec.DOP(); dop != 0 {
+		opts.DOP = &dop
+	}
+	if fuse := exec.Fuse(); fuse {
+		opts.Fuse = &fuse
+	}
+	if mb := exec.MemBudgetRaw(); mb != "" {
+		opts.MemBudget = &mb
+	}
+	if opts != (server.SessionOpts{}) {
+		if err := c.Set(opts); err != nil {
+			return err
+		}
+	}
+
+	if query != "" {
+		remoteQuery(c, query, csvOut, stdout, stderr)
+		return nil
+	}
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintf(stdout, "uadb> connected to %s (%s results), empty line to quit\n", addr, c.Encoding())
+	for {
+		fmt.Fprint(stdout, "uadb> ")
+		if !sc.Scan() {
+			return nil
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			return nil
+		}
+		remoteQuery(c, line, csvOut, stdout, stderr)
+	}
+}
+
+func remoteQuery(c *client.Client, q string, csvOut bool, stdout, stderr io.Writer) {
+	res, err := c.Query(q)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return
+	}
+	if csvOut {
+		// Columns() is the decoded wire chunks themselves on a colbin
+		// session; no result row is boxed on the way to the CSV writer.
+		if err := csvio.WriteColumns(res.Schema, res.Columns(), stdout); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+		}
+		return
+	}
+	tbl := engine.NewTable(types.NewSchema("", res.Schema...))
+	for _, row := range res.Rows() {
+		tbl.Append(row)
+	}
+	fmt.Fprint(stdout, tbl)
+	fmt.Fprintf(stdout, "(%d rows)\n", tbl.NumRows())
 }
 
 func runQuery(front *rewrite.Frontend, q string, csvOut bool, stdout, stderr io.Writer) {

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/rewrite"
+	"repro/internal/server"
+	"repro/internal/types"
 )
 
 // writeCSV drops a small table for the CLI to load.
@@ -98,5 +104,56 @@ func TestMainMemBudget(t *testing.T) {
 		"-query", "SELECT t.id FROM t"}, strings.NewReader(""), &out, &errOut)
 	if err == nil || !strings.Contains(err.Error(), "-mem-budget") {
 		t.Errorf("want -mem-budget parse error, got %v", err)
+	}
+}
+
+// TestMainRemoteConnect: -connect runs the query loop against a live
+// uadb-server, CSV output streams off the decoded wire columns, and the
+// bytes match the local -csv path over the same data.
+func TestMainRemoteConnect(t *testing.T) {
+	front := rewrite.NewFrontend(engine.NewCatalog())
+	tbl := engine.NewTable(types.NewSchema("t", "id", "v"))
+	for i := 1; i <= 3; i++ {
+		tbl.AppendVals(types.NewInt(int64(i)), types.NewInt(int64(i*10)))
+	}
+	front.Enc.Put(rewrite.EncodeDeterministic(tbl))
+	srv := server.New(server.Config{Front: front})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	const q = "SELECT t.id FROM t WHERE t.v > 15 ORDER BY t.id"
+	var out, errOut strings.Builder
+	if err := run([]string{"-connect", addr, "-csv", "-query", q},
+		strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	want := "id,__cert\n2,1\n3,1\n"
+	if out.String() != want {
+		t.Errorf("remote CSV = %q, want %q", out.String(), want)
+	}
+
+	// The stdin loop and the table rendering work remotely too.
+	out.Reset()
+	if err := run([]string{"-connect", addr},
+		strings.NewReader(q+"\n\n"), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 rows)") {
+		t.Errorf("remote stdin output missing row count:\n%s", out.String())
+	}
+
+	// Local-only flags are rejected up front with a clear error.
+	if err := run([]string{"-connect", addr, "-table", "t=x.csv", "-query", q},
+		strings.NewReader(""), &out, &errOut); err == nil || !strings.Contains(err.Error(), "-table") {
+		t.Errorf("want -table/-connect conflict error, got %v", err)
+	}
+	if err := run([]string{"-connect", addr, "-explain", "-query", q},
+		strings.NewReader(""), &out, &errOut); err == nil || !strings.Contains(err.Error(), "-explain") {
+		t.Errorf("want -explain/-connect conflict error, got %v", err)
 	}
 }

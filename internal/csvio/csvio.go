@@ -131,6 +131,22 @@ func WriteResult(res *physical.Result, w io.Writer) error {
 		cw.Flush()
 		return cw.Error()
 	}
+	return writeColumnRecords(cw, cols)
+}
+
+// WriteColumns streams a set of result columns as CSV — header row, then
+// one record per row rendered straight off the vectors. It is the common
+// tail of WriteResult and of the remote client path, where the wire decoder
+// hands over vector.Columns without a physical.Result around them.
+func WriteColumns(attrs []string, cols *vector.Columns, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(attrs); err != nil {
+		return err
+	}
+	return writeColumnRecords(cw, cols)
+}
+
+func writeColumnRecords(cw *csv.Writer, cols *vector.Columns) error {
 	rec := make([]string, len(cols.Vecs))
 	for i := 0; i < cols.N; i++ {
 		for j, vec := range cols.Vecs {

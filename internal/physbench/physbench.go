@@ -120,6 +120,13 @@ func Format(rs []Result) string {
 				fmt.Fprintf(&sb, "%-28s %.2fx throughput, %.1fx fewer allocs/op\n",
 					base+" fusedcol-vs-fused:", fused.NsPerOp/r.NsPerOp, allocs)
 			}
+		case "colbin":
+			// The binary columnar wire encoding against the JSON result
+			// frames on the same server round trip; CI greps this literal.
+			if js, ok := byOp[base+"/json"]; ok {
+				fmt.Fprintf(&sb, "%-28s %.2fx throughput\n",
+					base+" colbin-vs-json:", js.NsPerOp/r.NsPerOp)
+			}
 		}
 	}
 	return sb.String()

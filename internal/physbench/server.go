@@ -1,0 +1,138 @@
+package physbench
+
+import (
+	"fmt"
+	"math"
+	"net"
+
+	"repro/internal/engine"
+	"repro/internal/rewrite"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/types"
+)
+
+// ServerRoundTrip measures the wire protocol end to end: an in-process
+// uadb-server on a localhost listener, one session per encoding, and a
+// scan-filter-project query whose result is half the table — so the
+// measurement is dominated by result transfer, which is exactly what the
+// binary columnar encoding exists to speed up. Both sessions run the same
+// serial plan over the same catalog; the only variable is the result
+// encoding ("server-roundtrip/json" vs "server-roundtrip/colbin").
+//
+// Before timing, both encodings' results are materialized and compared
+// bit-exactly (kinds and payload bits, NaN included) — a throughput number
+// for a wire format that changes bytes would be meaningless.
+func ServerRoundTrip(n int) ([]Result, error) {
+	front := rewrite.NewFrontend(engine.NewCatalog())
+	tbl := engine.NewTable(types.NewSchema("t", "k", "v"))
+	domain := n/10 + 1
+	for i := 0; i < n; i++ {
+		tbl.AppendVals(types.NewInt(int64(i%domain)), types.NewInt(int64(i)))
+	}
+	front.Enc.Put(rewrite.EncodeDeterministic(tbl))
+
+	srv := server.New(server.Config{Front: front})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// v = i is unique, so the predicate admits exactly n/2 rows; the UA
+	// rewrite appends the certainty column, making three columns of output.
+	q := fmt.Sprintf("SELECT k, k + v AS kv FROM t WHERE v < %d", n/2)
+	wantRows := n / 2
+
+	dials := []struct {
+		enc  string
+		dial func(string) (*client.Client, error)
+	}{
+		{server.EncodingJSON, client.DialJSON},
+		{server.EncodingColBin, client.Dial},
+	}
+	clients := make(map[string]*client.Client, len(dials))
+	materialized := map[string][][]types.Value{}
+	for _, d := range dials {
+		c, err := d.dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		if got := c.Encoding(); got != d.enc {
+			return nil, fmt.Errorf("server-roundtrip: client negotiated %q, want %q", got, d.enc)
+		}
+		dop := 1
+		if err := c.Set(server.SessionOpts{DOP: &dop}); err != nil {
+			return nil, err
+		}
+		clients[d.enc] = c
+
+		// Warm the plan cache and materialize for the byte-identity check.
+		res, err := c.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("server-roundtrip %s: %w", d.enc, err)
+		}
+		materialized[d.enc] = res.Rows()
+	}
+	if err := sameRows(materialized[server.EncodingJSON], materialized[server.EncodingColBin]); err != nil {
+		return nil, fmt.Errorf("server-roundtrip: json and colbin results differ: %w", err)
+	}
+	if got := len(materialized[server.EncodingJSON]); got != wantRows {
+		return nil, fmt.Errorf("server-roundtrip: %d result rows, want %d", got, wantRows)
+	}
+
+	var results []Result
+	for _, d := range dials {
+		c := clients[d.enc]
+		r, err := run("server-roundtrip/"+d.enc, n, wantRows, func() (int, error) {
+			res, err := c.Query(q)
+			if err != nil {
+				return 0, err
+			}
+			return res.NumRows(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// sameRows compares two materialized results cell for cell with exact kind
+// and payload-bit identity.
+func sameRows(a, b [][]types.Value) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d rows vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return fmt.Errorf("row %d: %d cols vs %d cols", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			if x.Kind() != y.Kind() {
+				return fmt.Errorf("row %d col %d: kind %s vs %s", i, j, x.Kind(), y.Kind())
+			}
+			same := true
+			switch x.Kind() {
+			case types.KindNull:
+			case types.KindInt:
+				same = x.Int() == y.Int()
+			case types.KindFloat:
+				same = math.Float64bits(x.Float()) == math.Float64bits(y.Float())
+			case types.KindString:
+				same = x.Str() == y.Str()
+			default:
+				same = x.Bool() == y.Bool()
+			}
+			if !same {
+				return fmt.Errorf("row %d col %d: %v vs %v", i, j, x, y)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package physbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServerRoundTripQuick runs the wire-protocol pair at a toy size: both
+// encodings must measure against a live localhost server, the pre-timing
+// byte-identity check must hold, and Format must emit the colbin-vs-json
+// ratio line CI greps for. The 3x throughput claim itself is asserted by
+// the bench job at the full 1M-row size, not here — a toy result set is
+// execution-dominated, not transfer-dominated.
+func TestServerRoundTripQuick(t *testing.T) {
+	rs, err := ServerRoundTrip(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"server-roundtrip/json", "server-roundtrip/colbin"}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d results, want %d", len(rs), len(want))
+	}
+	for i, r := range rs {
+		if r.Op != want[i] {
+			t.Errorf("result %d: op %q, want %q", i, r.Op, want[i])
+		}
+		if r.RowsPerSec <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Op, r)
+		}
+	}
+	report := Format(rs)
+	if !strings.Contains(report, "colbin-vs-json:") {
+		t.Errorf("Format missing the colbin-vs-json ratio line:\n%s", report)
+	}
+}

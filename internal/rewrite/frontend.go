@@ -87,14 +87,24 @@ func NewFrontend(enc *engine.Catalog) *Frontend {
 // hit it keyed on their normalized SQL text and skip parse+plan+rewrite
 // entirely.
 func (f *Frontend) Query(ctx context.Context, query string, opt QueryOpts) (*physical.Result, error) {
+	res, _, err := f.QueryCached(ctx, query, opt)
+	return res, err
+}
+
+// QueryCached is Query with plan-cache observability: it also reports
+// whether the rewritten plan came from the shared plan cache — the
+// per-query bit the server's streaming result header carries. Annotated
+// or cache-disabled queries always report false.
+func (f *Frontend) QueryCached(ctx context.Context, query string, opt QueryOpts) (*physical.Result, bool, error) {
 	if opt == (QueryOpts{}) {
 		opt = f.Opts
 	}
-	plan, err := f.PlanSQL(query)
+	plan, hit, err := f.planSQL(query)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return engine.NewSession(f.Enc, opt.physical()).Execute(ctx, plan)
+	res, err := engine.NewSession(f.Enc, opt.physical()).Execute(ctx, plan)
+	return res, hit, err
 }
 
 // PlanSQL compiles a UA-SQL string to its rewritten logical plan: parse,
@@ -104,33 +114,40 @@ func (f *Frontend) Query(ctx context.Context, query string, opt QueryOpts) (*phy
 // annotated statements always re-plan, because resolving an annotation
 // encodes a fresh table into the catalog as a side effect.
 func (f *Frontend) PlanSQL(query string) (algebraNode, error) {
+	plan, _, err := f.planSQL(query)
+	return plan, err
+}
+
+// planSQL is PlanSQL plus a cache-hit flag.
+func (f *Frontend) planSQL(query string) (algebraNode, bool, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if hasModelAnnotations(stmt) {
 		// Bypass the cache entirely — no lookup, no stats — so annotated
 		// traffic cannot masquerade as cache misses.
 		if err := f.resolveAnnotations(stmt); err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return f.Plan(stmt)
+		plan, err := f.Plan(stmt)
+		return plan, false, err
 	}
 	var key string
 	if f.plans != nil {
 		key = NormalizeSQL(query)
 		if plan, ok := f.plans.get(key); ok {
-			return plan, nil
+			return plan, true, nil
 		}
 	}
 	plan, err := f.Plan(stmt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if f.plans != nil {
 		f.plans.put(key, plan)
 	}
-	return plan, nil
+	return plan, false, nil
 }
 
 // EnablePlanCache turns on the frontend's rewritten-plan cache with space

@@ -3,9 +3,16 @@
 // requests may be in flight at once — the client matches responses to
 // requests by id, so concurrent goroutines can share a connection the same
 // way concurrent queries share a server session.
+//
+// Dial negotiates the binary columnar result encoding (protocol v2): query
+// results stream back as binary column chunks, reassembled into
+// vector.Columns and exposed through Result both as columns (no boxing)
+// and as lazily materialized rows. DialJSON skips negotiation for the v1
+// JSON-only protocol; results are byte-identical either way.
 package client
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -13,12 +20,72 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
-// Result is a decoded query result.
+// Result is a decoded query result. It holds the result columnar when the
+// session negotiated the binary encoding and row-backed otherwise; the
+// other form is derived lazily and cached. A Result is not safe for
+// concurrent use until fully materialized.
 type Result struct {
 	Schema []string
-	Rows   [][]types.Value
+	// CacheHit reports whether the server served the plan from its shared
+	// plan cache (chunked streams only; JSON results leave it false).
+	CacheHit bool
+
+	cols *vector.Columns
+	rows [][]types.Value
+	// haveRows distinguishes "rows not yet materialized" from a cached
+	// empty row set.
+	haveRows bool
+}
+
+// Columns returns the result as column vectors, building them from rows
+// (kind-inferred, value-exact) for a JSON-encoded result.
+func (r *Result) Columns() *vector.Columns {
+	if r.cols == nil {
+		r.cols = vector.FromRows(r.rows, len(r.Schema))
+	}
+	return r.cols
+}
+
+// Rows returns the result as boxed rows, materializing (and caching) them
+// from the columns on first call.
+func (r *Result) Rows() [][]types.Value {
+	if !r.haveRows {
+		r.rows = vector.Materialize(r.cols.Vecs, r.cols.N)
+		r.haveRows = true
+	}
+	return r.rows
+}
+
+// NumRows reports the row count without materializing anything.
+func (r *Result) NumRows() int {
+	if r.cols != nil {
+		return r.cols.N
+	}
+	return len(r.rows)
+}
+
+// call is one in-flight request: its delivery channel plus, for chunked
+// results, the reassembly state. The state fields are touched only by the
+// read loop (the single reader) between registration and delivery.
+type call struct {
+	ch chan outcome
+
+	streaming bool
+	schema    []string
+	cacheHit  bool
+	chunks    [][]vector.Vector
+	rows      int
+	nextSeq   uint64
+}
+
+// outcome is what a call resolves to: the final response frame, plus the
+// assembled result for chunked streams.
+type outcome struct {
+	resp server.Response
+	res  *Result
 }
 
 // Client is one session with the server. Methods are safe for concurrent
@@ -27,71 +94,217 @@ type Client struct {
 	conn net.Conn
 
 	wmu    sync.Mutex // serializes request frames
-	mu     sync.Mutex // guards nextID, pending, readErr
+	mu     sync.Mutex // guards nextID, pending, readErr, encoding
 	nextID uint64
-	// pending maps an in-flight request id to the channel its response is
-	// delivered on (buffered, capacity 1).
-	pending map[uint64]chan server.Response
-	readErr error
-	done    chan struct{}
+	// pending maps an in-flight request id to its call state.
+	pending  map[uint64]*call
+	readErr  error
+	encoding string
+	done     chan struct{}
 }
 
-// Dial connects to a server at addr ("host:port").
+// Dial connects to a server at addr ("host:port") and negotiates the
+// binary columnar result encoding. If the server only speaks JSON the
+// session downgrades cleanly; results are identical either way.
 func Dial(addr string) (*Client, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.roundTrip(server.Request{
+		Op:        "hello",
+		Proto:     server.ProtoVersion,
+		Encodings: []string{server.EncodingColBin},
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	enc := out.resp.Encoding
+	if enc == "" {
+		enc = server.EncodingJSON
+	}
+	c.mu.Lock()
+	c.encoding = enc
+	c.mu.Unlock()
+	return c, nil
+}
+
+// DialJSON connects without a hello handshake — the v1 protocol exactly as
+// a pre-versioning client speaks it. Results arrive as single JSON frames.
+func DialJSON(addr string) (*Client, error) {
+	return dial(addr)
+}
+
+func dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		conn:    conn,
-		pending: map[uint64]chan server.Response{},
-		done:    make(chan struct{}),
+		conn:     conn,
+		pending:  map[uint64]*call{},
+		encoding: server.EncodingJSON,
+		done:     make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
-// readLoop is the one reader of the connection: it dispatches each
-// response frame to the request waiting on its id. On read failure every
-// pending and future request fails with the error.
+// Encoding reports the session's negotiated result encoding.
+func (c *Client) Encoding() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.encoding
+}
+
+// readLoop is the one reader of the connection: it dispatches each frame —
+// JSON response or binary column chunk — to the request waiting on its id.
+// On read failure or protocol corruption every pending and future request
+// fails with the error; corruption also drops the connection, because a
+// stream that has lost framing discipline cannot be resynchronized.
 func (c *Client) readLoop() {
 	for {
-		var resp server.Response
-		if err := server.ReadFrame(c.conn, &resp); err != nil {
-			c.mu.Lock()
-			if c.readErr == nil {
-				c.readErr = fmt.Errorf("client: connection lost: %w", err)
-			}
-			for id, ch := range c.pending {
-				delete(c.pending, id)
-				ch <- server.Response{ID: id, Error: c.readErr.Error()}
-			}
-			c.mu.Unlock()
-			close(c.done)
+		payload, err := server.ReadRawFrame(c.conn)
+		if err != nil {
+			c.failAll(fmt.Errorf("client: connection lost: %w", err), false)
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[resp.ID]
-		delete(c.pending, resp.ID)
-		c.mu.Unlock()
-		if ok {
-			ch <- resp
+		if len(payload) > 0 && payload[0] == server.ColMagic {
+			if err := c.handleChunk(payload); err != nil {
+				c.failAll(err, true)
+				return
+			}
+			continue
+		}
+		var resp server.Response
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			c.failAll(fmt.Errorf("client: bad response frame: %w", err), true)
+			return
+		}
+		if err := c.handleResponse(resp); err != nil {
+			c.failAll(err, true)
+			return
 		}
 	}
 }
 
-// roundTrip sends one request and waits for its response.
-func (c *Client) roundTrip(req server.Request) (server.Response, error) {
-	ch := make(chan server.Response, 1)
+// handleChunk folds one binary chunk frame into its query's reassembly
+// state. Any protocol defect is returned as a fatal error.
+func (c *Client) handleChunk(payload []byte) error {
+	id, seq, nrows, cols, err := server.DecodeColChunk(payload)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	c.mu.Lock()
+	p := c.pending[id]
+	c.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("client: chunk for unknown request %d", id)
+	}
+	if !p.streaming {
+		return fmt.Errorf("client: chunk before result header (request %d)", id)
+	}
+	if seq != p.nextSeq {
+		return fmt.Errorf("client: chunk %d out of order (want %d)", seq, p.nextSeq)
+	}
+	if len(cols) != len(p.schema) {
+		return fmt.Errorf("client: chunk has %d columns, schema has %d", len(cols), len(p.schema))
+	}
+	p.nextSeq++
+	p.chunks = append(p.chunks, cols)
+	p.rows += nrows
+	return nil
+}
+
+// handleResponse dispatches one JSON frame: a streaming header arms its
+// call's reassembly state, a trailer assembles and delivers the columns,
+// anything else delivers directly.
+func (c *Client) handleResponse(resp server.Response) error {
+	c.mu.Lock()
+	p := c.pending[resp.ID]
+	if p != nil && !resp.Chunked {
+		delete(c.pending, resp.ID)
+	}
+	c.mu.Unlock()
+	if p == nil {
+		return nil // response to an abandoned request; drop it
+	}
+	if resp.Chunked {
+		p.streaming = true
+		p.schema = resp.Schema
+		p.cacheHit = resp.CacheHit
+		return nil
+	}
+	if p.streaming && resp.Final && resp.Error == "" {
+		res, err := assemble(p, resp)
+		if err != nil {
+			resp.OK = false
+			resp.Error = err.Error()
+			p.ch <- outcome{resp: resp}
+			return nil
+		}
+		p.ch <- outcome{resp: resp, res: res}
+		return nil
+	}
+	p.ch <- outcome{resp: resp}
+	return nil
+}
+
+// assemble stitches a completed chunk stream into one columnar Result,
+// cross-checking the trailer's totals.
+func assemble(p *call, trailer server.Response) (*Result, error) {
+	if int64(p.rows) != trailer.RowCount {
+		return nil, fmt.Errorf("client: stream carried %d rows, trailer says %d", p.rows, trailer.RowCount)
+	}
+	if len(p.chunks) != trailer.Chunks {
+		return nil, fmt.Errorf("client: stream carried %d chunks, trailer says %d", len(p.chunks), trailer.Chunks)
+	}
+	vecs := make([]vector.Vector, len(p.schema))
+	parts := make([]vector.Vector, len(p.chunks))
+	for j := range vecs {
+		for i, ch := range p.chunks {
+			parts[i] = ch[j]
+		}
+		vecs[j] = vector.Concat(parts)
+	}
+	return &Result{
+		Schema:   p.schema,
+		CacheHit: p.cacheHit,
+		cols:     &vector.Columns{N: p.rows, Vecs: vecs},
+	}, nil
+}
+
+// failAll fails every pending and future request. Corrupt streams (fatal)
+// also drop the connection; a plain read error means it is already dead.
+func (c *Client) failAll(err error, fatal bool) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, p := range c.pending {
+		delete(c.pending, id)
+		p.ch <- outcome{resp: server.Response{ID: id, Error: c.readErr.Error()}}
+	}
+	c.mu.Unlock()
+	if fatal {
+		c.conn.Close()
+	}
+	close(c.done)
+}
+
+// roundTrip sends one request and waits for its outcome.
+func (c *Client) roundTrip(req server.Request) (outcome, error) {
+	p := &call{ch: make(chan outcome, 1)}
 	c.mu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
 		c.mu.Unlock()
-		return server.Response{}, err
+		return outcome{}, err
 	}
 	c.nextID++
 	req.ID = c.nextID
-	c.pending[req.ID] = ch
+	c.pending[req.ID] = p
 	c.mu.Unlock()
 
 	c.wmu.Lock()
@@ -101,17 +314,17 @@ func (c *Client) roundTrip(req server.Request) (server.Response, error) {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return server.Response{}, fmt.Errorf("client: send: %w", err)
+		return outcome{}, fmt.Errorf("client: send: %w", err)
 	}
 
-	resp := <-ch
-	if resp.Error != "" {
-		return resp, errors.New(resp.Error)
+	out := <-p.ch
+	if out.resp.Error != "" {
+		return out, errors.New(out.resp.Error)
 	}
-	if !resp.OK {
-		return resp, errors.New("client: server rejected request")
+	if !out.resp.OK {
+		return out, errors.New("client: server rejected request")
 	}
-	return resp, nil
+	return out, nil
 }
 
 // Set updates the session's execution options; nil fields keep their
@@ -123,11 +336,11 @@ func (c *Client) Set(opts server.SessionOpts) error {
 
 // Query executes one UA-SQL statement and decodes the result.
 func (c *Client) Query(sql string) (*Result, error) {
-	resp, err := c.roundTrip(server.Request{Op: "query", SQL: sql})
+	out, err := c.roundTrip(server.Request{Op: "query", SQL: sql})
 	if err != nil {
 		return nil, err
 	}
-	return decodeResult(resp)
+	return decodeResult(out)
 }
 
 // Prepare names a statement for later Exec calls; the SQL is validated
@@ -139,23 +352,23 @@ func (c *Client) Prepare(name, sql string) error {
 
 // Exec runs a statement prepared earlier in this session.
 func (c *Client) Exec(name string) (*Result, error) {
-	resp, err := c.roundTrip(server.Request{Op: "exec", Name: name})
+	out, err := c.roundTrip(server.Request{Op: "exec", Name: name})
 	if err != nil {
 		return nil, err
 	}
-	return decodeResult(resp)
+	return decodeResult(out)
 }
 
 // Stats snapshots the server's counters.
 func (c *Client) Stats() (*server.Stats, error) {
-	resp, err := c.roundTrip(server.Request{Op: "stats"})
+	out, err := c.roundTrip(server.Request{Op: "stats"})
 	if err != nil {
 		return nil, err
 	}
-	if resp.Stats == nil {
+	if out.resp.Stats == nil {
 		return nil, errors.New("client: stats response carried no stats")
 	}
-	return resp.Stats, nil
+	return out.resp.Stats, nil
 }
 
 // Ping round-trips a no-op request.
@@ -174,10 +387,15 @@ func (c *Client) Close() error {
 	return err
 }
 
-func decodeResult(resp server.Response) (*Result, error) {
-	rows, err := server.DecodeRows(resp.Rows)
+// decodeResult builds a Result from a completed outcome: the assembled
+// columns of a chunked stream, or the decoded rows of a JSON response.
+func decodeResult(out outcome) (*Result, error) {
+	if out.res != nil {
+		return out.res, nil
+	}
+	rows, err := server.DecodeRows(out.resp.Rows)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: resp.Schema, Rows: rows}, nil
+	return &Result{Schema: out.resp.Schema, rows: rows, haveRows: true}, nil
 }

@@ -1,0 +1,390 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/types"
+)
+
+// rawSession opens a bare wire connection for protocol-level tests that
+// the Go client would paper over.
+func rawSession(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func writeReq(t *testing.T, conn net.Conn, req server.Request) {
+	t.Helper()
+	if err := server.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readResp(t *testing.T, conn net.Conn) server.Response {
+	t.Helper()
+	var resp server.Response
+	if err := server.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestProtocolVersionNegotiation pins the hello handshake: explicit
+// rejection of future versions, encoding selection gated on the agreed
+// version, and a session that keeps working (as JSON) after a failed or
+// absent handshake.
+func TestProtocolVersionNegotiation(t *testing.T) {
+	_, addr := startServer(t, server.Config{Front: testFrontend(50)})
+	conn := rawSession(t, addr)
+
+	// A future protocol version must fail loudly at the handshake, naming
+	// the server's ceiling, instead of obscurely mid-stream.
+	writeReq(t, conn, server.Request{ID: 1, Op: "hello", Proto: 99, Encodings: []string{server.EncodingColBin}})
+	resp := readResp(t, conn)
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("future version accepted: %+v", resp)
+	}
+	if !strings.Contains(resp.Error, "99") || !strings.Contains(resp.Error, "2") {
+		t.Errorf("version error %q names neither version", resp.Error)
+	}
+	if resp.Proto != server.ProtoVersion {
+		t.Errorf("error frame Proto = %d, want the server ceiling %d", resp.Proto, server.ProtoVersion)
+	}
+
+	// The connection survives the rejected hello and still speaks v1 JSON.
+	writeReq(t, conn, server.Request{ID: 2, Op: "query", SQL: "SELECT id FROM big WHERE v = 3 ORDER BY id"})
+	if resp = readResp(t, conn); !resp.OK || resp.Chunked || len(resp.Rows) == 0 {
+		t.Fatalf("post-rejection query: %+v", resp)
+	}
+
+	// v2 + colbin negotiates the binary encoding.
+	writeReq(t, conn, server.Request{ID: 3, Op: "hello", Proto: 2, Encodings: []string{server.EncodingColBin}})
+	if resp = readResp(t, conn); !resp.OK || resp.Encoding != server.EncodingColBin || resp.Proto != 2 {
+		t.Fatalf("v2 hello: %+v", resp)
+	}
+	if resp.Stats == nil {
+		t.Error("hello response dropped the stats snapshot")
+	}
+
+	// v2 with no offered encodings stays JSON.
+	writeReq(t, conn, server.Request{ID: 4, Op: "hello", Proto: 2})
+	if resp = readResp(t, conn); !resp.OK || resp.Encoding != server.EncodingJSON {
+		t.Fatalf("v2 hello without encodings: %+v", resp)
+	}
+
+	// v1 cannot negotiate colbin even if it asks — the encoding is a v2
+	// feature, and an unknown encoding name is skipped, not an error.
+	writeReq(t, conn, server.Request{ID: 5, Op: "hello", Proto: 1, Encodings: []string{"zstd-frames", server.EncodingColBin}})
+	if resp = readResp(t, conn); !resp.OK || resp.Encoding != server.EncodingJSON {
+		t.Fatalf("v1 hello with colbin: %+v", resp)
+	}
+}
+
+// valuesBitEqual is the strict cross-encoding comparator: identical kind
+// and identical payload bits per cell. (rowsKey canonicalizes ints through
+// the float key encoder, so it alone cannot distinguish 2^53 from 2^53+1.)
+func valuesBitEqual(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindInt:
+		return a.Int() == b.Int()
+	case types.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case types.KindString:
+		return a.Str() == b.Str()
+	default:
+		return a.Bool() == b.Bool()
+	}
+}
+
+// TestProtocolCompatMatrix runs the new server against both client
+// generations: a JSON-only peer (no hello at all — the v1 wire exactly)
+// and a negotiating colbin peer, asserting both match the serial one-shot
+// reference and each other bit for bit.
+func TestProtocolCompatMatrix(t *testing.T) {
+	const rows = 5000
+	want := referenceResults(t, rows)
+	_, addr := startServer(t, server.Config{Front: testFrontend(rows)})
+
+	jsonC, err := client.DialJSON(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonC.Close()
+	colC, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer colC.Close()
+
+	if enc := jsonC.Encoding(); enc != server.EncodingJSON {
+		t.Fatalf("JSON-only client negotiated %q", enc)
+	}
+	if enc := colC.Encoding(); enc != server.EncodingColBin {
+		t.Fatalf("colbin client negotiated %q", enc)
+	}
+
+	for _, q := range testQueries {
+		jr, err := jsonC.Query(q)
+		if err != nil {
+			t.Fatalf("json %q: %v", q, err)
+		}
+		cr, err := colC.Query(q)
+		if err != nil {
+			t.Fatalf("colbin %q: %v", q, err)
+		}
+		if got := rowsKey(jr.Schema, jr.Rows()); got != want[q] {
+			t.Errorf("json result for %q differs from one-shot run", q)
+		}
+		if got := rowsKey(cr.Schema, cr.Rows()); got != want[q] {
+			t.Errorf("colbin result for %q differs from one-shot run", q)
+		}
+		jrows, crows := jr.Rows(), cr.Rows()
+		if len(jrows) != len(crows) {
+			t.Fatalf("%q: %d rows via json, %d via colbin", q, len(jrows), len(crows))
+		}
+		for i := range jrows {
+			for j := range jrows[i] {
+				if !valuesBitEqual(jrows[i][j], crows[i][j]) {
+					t.Fatalf("%q row %d col %d: json %v, colbin %v", q, i, j, jrows[i][j], crows[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestMidStreamDisconnectDrains: a client that reads the stream header and
+// vanishes must not leak its admission grant or its spill files — the
+// write failure aborts streaming and the deferred release runs.
+func TestMidStreamDisconnectDrains(t *testing.T) {
+	spillDir := t.TempDir()
+	_, addr := startServer(t, server.Config{
+		Front:        testFrontend(120000),
+		GlobalBudget: 1 << 20,
+		SpillDir:     spillDir,
+	})
+
+	conn := rawSession(t, addr)
+	writeReq(t, conn, server.Request{ID: 1, Op: "hello", Proto: server.ProtoVersion, Encodings: []string{server.EncodingColBin}})
+	if resp := readResp(t, conn); resp.Encoding != server.EncodingColBin {
+		t.Fatalf("negotiation failed: %+v", resp)
+	}
+	budget := "64K"
+	writeReq(t, conn, server.Request{ID: 2, Op: "set", Opts: &server.SessionOpts{MemBudget: &budget}})
+	if resp := readResp(t, conn); !resp.OK {
+		t.Fatalf("set failed: %+v", resp)
+	}
+	writeReq(t, conn, server.Request{ID: 3, Op: "query", SQL: "SELECT k, id, v FROM big ORDER BY k, id"})
+	// Read only the header frame — the spilling sort has finished and the
+	// server is now streaming chunks — then hang up without draining them.
+	if resp := readResp(t, conn); !resp.Chunked {
+		t.Fatalf("expected a stream header, got %+v", resp)
+	}
+	conn.Close()
+
+	watcher, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+	waitForStats(t, watcher, func(s *server.Stats) bool { return s.Granted == 0 && s.InUse == 0 })
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ents, err := os.ReadDir(spillDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spill dir still holds %d entries after disconnect", len(ents))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// corruptingProxy relays one client connection to backend, passing every
+// server->client frame through corrupt. A nil return from corrupt drops
+// the connection mid-frame (the truncation case).
+func corruptingProxy(t *testing.T, backend string, corrupt func([]byte) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", backend)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		go func() {
+			io.Copy(up, conn) // client -> server passes through untouched
+			up.Close()
+		}()
+		for {
+			payload, err := server.ReadRawFrame(up)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			if mutated := corrupt(payload); mutated == nil {
+				// Truncation: write a frame header promising more bytes
+				// than follow, then drop the connection.
+				hdr := []byte{0, 0, 0, byte(len(payload))}
+				conn.Write(hdr)
+				conn.Write(payload[:len(payload)/2])
+				conn.Close()
+				return
+			} else if err := server.WriteRawFrame(conn, mutated); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestChunkCorruptionFailsCleanly: a flipped CRC byte or a truncated chunk
+// surfaces as a prompt, clean protocol error — no hang, no wrong result —
+// and the server side drains its admission grant.
+func TestChunkCorruptionFailsCleanly(t *testing.T) {
+	_, addr := startServer(t, server.Config{
+		Front:        testFrontend(20000),
+		GlobalBudget: 1 << 20,
+		SpillDir:     t.TempDir(),
+	})
+	const q = "SELECT k, id, v FROM big ORDER BY k, id"
+
+	t.Run("flipped CRC byte", func(t *testing.T) {
+		flipped := false
+		proxy := corruptingProxy(t, addr, func(p []byte) []byte {
+			if !flipped && len(p) > 0 && p[0] == server.ColMagic {
+				flipped = true
+				q := append([]byte(nil), p...)
+				q[9] ^= 0xFF // low CRC byte
+				return q
+			}
+			return p
+		})
+		c, err := client.Dial(proxy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_, err = c.Query(q)
+		if err == nil {
+			t.Fatal("corrupt chunk produced a result")
+		}
+		if !strings.Contains(err.Error(), "CRC") {
+			t.Errorf("err = %v, want a CRC mismatch", err)
+		}
+		if !flipped {
+			t.Error("no chunk frame ever crossed the proxy; test is vacuous")
+		}
+	})
+
+	t.Run("truncated chunk", func(t *testing.T) {
+		cut := false
+		proxy := corruptingProxy(t, addr, func(p []byte) []byte {
+			if !cut && len(p) > 0 && p[0] == server.ColMagic {
+				cut = true
+				return nil
+			}
+			return p
+		})
+		c, err := client.Dial(proxy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		_, err = c.Query(q)
+		if err == nil {
+			t.Fatal("truncated stream produced a result")
+		}
+		if !cut {
+			t.Error("no chunk frame ever crossed the proxy; test is vacuous")
+		}
+	})
+
+	watcher, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+	waitForStats(t, watcher, func(s *server.Stats) bool { return s.Granted == 0 && s.InUse == 0 })
+}
+
+// TestStreamTrailerTotals pins the stream's bookkeeping frames end to end
+// on the raw wire: header schema, ascending chunk sequence, trailer row
+// and chunk counts that match what actually crossed the connection.
+func TestStreamTrailerTotals(t *testing.T) {
+	_, addr := startServer(t, server.Config{Front: testFrontend(3000)})
+	conn := rawSession(t, addr)
+	writeReq(t, conn, server.Request{ID: 1, Op: "hello", Proto: 2, Encodings: []string{server.EncodingColBin}})
+	readResp(t, conn)
+	writeReq(t, conn, server.Request{ID: 2, Op: "query", SQL: "SELECT k, id, v FROM big ORDER BY k, id"})
+
+	header := readResp(t, conn)
+	if !header.Chunked || header.Final || len(header.Schema) != 4 {
+		t.Fatalf("header = %+v", header)
+	}
+	var rows, chunks int
+	for {
+		payload, err := server.ReadRawFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[0] != server.ColMagic {
+			var trailer server.Response
+			if err := json.Unmarshal(payload, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			if !trailer.Final || !trailer.OK {
+				t.Fatalf("trailer = %+v", trailer)
+			}
+			if trailer.RowCount != int64(rows) || trailer.Chunks != chunks {
+				t.Fatalf("trailer says %d rows / %d chunks, stream carried %d / %d",
+					trailer.RowCount, trailer.Chunks, rows, chunks)
+			}
+			if rows != 3000 {
+				t.Fatalf("stream carried %d rows, want 3000", rows)
+			}
+			return
+		}
+		id, seq, n, cols, err := server.DecodeColChunk(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 2 || seq != uint64(chunks) || len(cols) != 4 {
+			t.Fatalf("chunk id/seq/cols = %d/%d/%d", id, seq, len(cols))
+		}
+		rows += n
+		chunks++
+	}
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// columnsFromBytes deterministically derives a column set from raw fuzz
+// input: a row count, then per column a kind, a null pattern, and payload
+// bytes. The mapping is total — every input produces some column set — so
+// the fuzzer freely explores kind mixes, null layouts, NaN payloads, and
+// extreme int64s across chunk encode/decode.
+func columnsFromBytes(data []byte) []vector.Vector {
+	take := func(n int) []byte {
+		if n > len(data) {
+			n = len(data)
+		}
+		b := data[:n]
+		data = data[n:]
+		return b
+	}
+	pad := func(b []byte, n int) []byte {
+		for len(b) < n {
+			b = append(b, 0)
+		}
+		return b
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	nrows := int(take(1)[0]) % 97
+	var cols []vector.Vector
+	for len(data) > 0 && len(cols) < 6 {
+		kind := pad(take(1), 1)[0] % 5
+		nullEvery := int(pad(take(1), 1)[0])
+		var nb *vector.Bitmap
+		null := func(i int) bool {
+			if nullEvery == 0 || i%nullEvery != 0 {
+				return false
+			}
+			if nb == nil {
+				nb = vector.NewBitmap(nrows)
+			}
+			nb.Set(i)
+			return true
+		}
+		switch kind {
+		case 0:
+			vals := make([]int64, nrows)
+			for i := range vals {
+				if !null(i) {
+					vals[i] = int64(binary.LittleEndian.Uint64(pad(take(8), 8)))
+				}
+			}
+			cols = append(cols, vector.NewInt64Vector(vals, nb))
+		case 1:
+			vals := make([]float64, nrows)
+			for i := range vals {
+				if !null(i) {
+					vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(pad(take(8), 8)))
+				}
+			}
+			cols = append(cols, vector.NewFloat64Vector(vals, nb))
+		case 2:
+			vals := make([]string, nrows)
+			for i := range vals {
+				if !null(i) {
+					n := int(pad(take(1), 1)[0]) % 31
+					vals[i] = string(take(n))
+				}
+			}
+			cols = append(cols, vector.NewStringVector(vals, nb))
+		case 3:
+			vals := make([]bool, nrows)
+			for i := range vals {
+				if !null(i) {
+					vals[i] = pad(take(1), 1)[0]&1 == 1
+				}
+			}
+			cols = append(cols, vector.NewBoolVector(vals, nb))
+		default: // boxed: every cell carries its own kind
+			vals := make([]types.Value, nrows)
+			for i := range vals {
+				switch pad(take(1), 1)[0] % 5 {
+				case 0:
+					vals[i] = types.Null()
+				case 1:
+					vals[i] = types.NewBool(pad(take(1), 1)[0]&1 == 1)
+				case 2:
+					vals[i] = types.NewInt(int64(binary.LittleEndian.Uint64(pad(take(8), 8))))
+				case 3:
+					vals[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(pad(take(8), 8))))
+				default:
+					n := int(pad(take(1), 1)[0]) % 15
+					vals[i] = types.NewString(string(take(n)))
+				}
+			}
+			cols = append(cols, vector.NewValueVector(vals))
+		}
+	}
+	return cols
+}
+
+// bitEqual is exact value identity: same kind, same payload bits (every
+// NaN payload is itself; +0 and -0 differ; int64 precision is full).
+func bitEqual(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindInt:
+		return a.Int() == b.Int()
+	case types.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case types.KindString:
+		return a.Str() == b.Str()
+	default:
+		return a.Bool() == b.Bool()
+	}
+}
+
+// FuzzWireColumnarRoundTrip is the wire twin of FuzzSpillRunRoundTrip:
+// any column set the engine can produce must survive chunk encode → decode
+// bit-identically — kinds, null positions, NaN payloads, ±0, 2^53-range
+// int64s, string bytes. A lossy wire encoding would make binary results
+// diverge from the JSON path, which the protocol forbids.
+func FuzzWireColumnarRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 1, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf8, 0x7f}) // NaN payload bits
+	f.Add([]byte{4, 2, 3, 'h', 'i', 0, 'y', 'o'})
+	f.Add([]byte{9, 4, 0, 2, 0, 0, 0, 0, 0, 0, 0x20, 0, 3}) // boxed 2^53
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols := columnsFromBytes(data)
+		if len(cols) == 0 {
+			return
+		}
+		id := uint64(len(data))
+		payload := EncodeColChunk(id, 1, cols)
+		gotID, seq, nrows, got, err := DecodeColChunk(payload)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded chunk: %v", err)
+		}
+		if gotID != id || seq != 1 {
+			t.Fatalf("id/seq = %d/%d, want %d/1", gotID, seq, id)
+		}
+		if nrows != cols[0].Len() || len(got) != len(cols) {
+			t.Fatalf("shape %dx%d -> %dx%d", cols[0].Len(), len(cols), nrows, len(got))
+		}
+		for j, want := range cols {
+			for i := 0; i < nrows; i++ {
+				if want.Null(i) != got[j].Null(i) {
+					t.Fatalf("col %d row %d: null %v -> %v", j, i, want.Null(i), got[j].Null(i))
+				}
+				if !bitEqual(want.Value(i), got[j].Value(i)) {
+					t.Fatalf("col %d row %d: %v (%s) -> %v (%s)",
+						j, i, want.Value(i), want.Value(i).Kind(), got[j].Value(i), got[j].Value(i).Kind())
+				}
+			}
+		}
+	})
+}

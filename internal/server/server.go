@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/physical"
 	"repro/internal/rewrite"
+	"repro/internal/vector"
 )
 
 // Config sets up a Server.
@@ -187,15 +189,16 @@ func (s *Server) Close() error {
 	return err
 }
 
-// session is one connection's mutable state: execution options and named
-// statements. Options resolve lazily so a set mid-session applies to the
-// next query, not running ones.
+// session is one connection's mutable state: execution options, the
+// negotiated result encoding, and named statements. Options resolve lazily
+// so a set mid-session applies to the next query, not running ones.
 type session struct {
 	mu        sync.Mutex
 	dop       int
 	fuse      bool
 	memBudget int64 // per-query ask in bytes; 0 = server default
 	timeoutMS int64
+	encoding  string            // negotiated result encoding; "" = json
 	prepared  map[string]string // name -> SQL
 }
 
@@ -203,8 +206,30 @@ func (s *Server) newSession() *session {
 	return &session{
 		dop:      s.front.Opts.DOP,
 		fuse:     s.front.Opts.Fuse,
+		encoding: EncodingJSON,
 		prepared: map[string]string{},
 	}
+}
+
+// frameWriter serializes a connection's outbound frames: JSON responses
+// and binary column chunks share one write lock, so frames from
+// concurrent queries interleave whole, never torn. Ordering within one
+// query holds because that query's frames are written by one goroutine.
+type frameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (fw *frameWriter) writeJSON(v any) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return WriteFrame(fw.w, v)
+}
+
+func (fw *frameWriter) writeRaw(payload []byte) error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return WriteRawFrame(fw.w, payload)
 }
 
 // apply folds a set request into the session.
@@ -242,14 +267,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	sess := s.newSession()
 	s.sessions.Add(1)
-	var wmu sync.Mutex
+	fw := &frameWriter{w: conn} // a dead conn also fails the read loop; write errors need no handling here
 	var inflight sync.WaitGroup
-
-	respond := func(resp Response) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		WriteFrame(conn, resp) // a dead conn also fails the read loop; nothing to do here
-	}
 
 	for {
 		var req Request
@@ -257,13 +276,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			break
 		}
 		if req.Op == "close" {
-			respond(Response{ID: req.ID, OK: true})
+			fw.writeJSON(Response{ID: req.ID, OK: true})
 			break
 		}
 		inflight.Add(1)
 		go func(req Request) {
 			defer inflight.Done()
-			respond(s.handle(ctx, sess, req))
+			s.handle(ctx, sess, fw, req)
 		}(req)
 	}
 
@@ -277,53 +296,101 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.wg.Done()
 }
 
-// handle executes one request and builds its response.
-func (s *Server) handle(ctx context.Context, sess *session, req Request) Response {
-	fail := func(err error) Response {
-		return Response{ID: req.ID, Error: err.Error()}
+// handle executes one request and writes its response frame(s).
+func (s *Server) handle(ctx context.Context, sess *session, fw *frameWriter, req Request) {
+	fail := func(err error) {
+		fw.writeJSON(Response{ID: req.ID, Error: err.Error()})
 	}
 	switch req.Op {
-	case "hello", "stats":
-		return Response{ID: req.ID, OK: true, Stats: s.stats()}
+	case "hello":
+		s.hello(sess, fw, req)
+	case "stats":
+		fw.writeJSON(Response{ID: req.ID, OK: true, Stats: s.stats()})
 	case "ping":
-		return Response{ID: req.ID, OK: true}
+		fw.writeJSON(Response{ID: req.ID, OK: true})
 	case "set":
 		if err := sess.apply(req.Opts); err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
-		return Response{ID: req.ID, OK: true}
+		fw.writeJSON(Response{ID: req.ID, OK: true})
 	case "prepare":
 		if req.Name == "" {
-			return fail(errors.New("prepare: empty statement name"))
+			fail(errors.New("prepare: empty statement name"))
+			return
 		}
 		// Validate now so exec cannot fail on syntax; the plan itself is
 		// cached by the shared normalized-SQL plan cache, not the session.
 		if _, err := s.front.PlanSQL(req.SQL); err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		sess.mu.Lock()
 		sess.prepared[req.Name] = req.SQL
 		sess.mu.Unlock()
-		return Response{ID: req.ID, OK: true}
+		fw.writeJSON(Response{ID: req.ID, OK: true})
 	case "exec":
 		sess.mu.Lock()
 		sqlText, ok := sess.prepared[req.Name]
 		sess.mu.Unlock()
 		if !ok {
-			return fail(fmt.Errorf("exec: no prepared statement %q", req.Name))
+			fail(fmt.Errorf("exec: no prepared statement %q", req.Name))
+			return
 		}
-		return s.runQuery(ctx, sess, req.ID, sqlText)
+		s.runQuery(ctx, sess, fw, req.ID, sqlText)
 	case "query":
-		return s.runQuery(ctx, sess, req.ID, req.SQL)
+		s.runQuery(ctx, sess, fw, req.ID, req.SQL)
+	default:
+		fail(fmt.Errorf("unknown op %q", req.Op))
 	}
-	return fail(fmt.Errorf("unknown op %q", req.Op))
+}
+
+// hello negotiates the protocol version and result encoding. An absent
+// Proto is version 1 (every pre-versioning client); a version beyond what
+// the server speaks gets an explicit error naming the server's ceiling, so
+// a future peer fails at the handshake instead of obscurely mid-stream.
+// The encoding is the client's first listed one the server speaks under
+// the agreed version; unknown entries are skipped and no match means
+// "json", so negotiation only ever downgrades, never errors.
+func (s *Server) hello(sess *session, fw *frameWriter, req Request) {
+	proto := req.Proto
+	if proto == 0 {
+		proto = 1
+	}
+	if proto > ProtoVersion {
+		fw.writeJSON(Response{
+			ID:    req.ID,
+			Proto: ProtoVersion,
+			Error: fmt.Sprintf("unsupported protocol version %d (server speaks up to %d)", proto, ProtoVersion),
+		})
+		return
+	}
+	enc := EncodingJSON
+	if proto >= 2 {
+		for _, e := range req.Encodings {
+			if e == EncodingColBin {
+				enc = EncodingColBin
+				break
+			}
+			if e == EncodingJSON {
+				break
+			}
+		}
+	}
+	sess.mu.Lock()
+	sess.encoding = enc
+	sess.mu.Unlock()
+	fw.writeJSON(Response{ID: req.ID, OK: true, Stats: s.stats(), Proto: proto, Encoding: enc})
 }
 
 // runQuery executes one SQL statement under the session's options and the
-// server's admission control, and encodes the result.
-func (s *Server) runQuery(ctx context.Context, sess *session, id uint64, sqlText string) Response {
+// server's admission control, and writes the result in the session's
+// negotiated encoding: one JSON response frame, or a chunked binary
+// column stream.
+func (s *Server) runQuery(ctx context.Context, sess *session, fw *frameWriter, id uint64, sqlText string) {
 	sess.mu.Lock()
 	dop, fuse, ask, timeoutMS := sess.dop, sess.fuse, sess.memBudget, sess.timeoutMS
+	encoding := sess.encoding
 	sess.mu.Unlock()
 
 	if timeoutMS > 0 {
@@ -339,7 +406,8 @@ func (s *Server) runQuery(ctx context.Context, sess *session, id uint64, sqlText
 		}
 		grant, err := s.admission.Acquire(ctx, ask)
 		if err != nil {
-			return Response{ID: id, Error: err.Error()}
+			fw.writeJSON(Response{ID: id, Error: err.Error()})
+			return
 		}
 		defer grant.Release()
 		opt.Gov = grant.Gov()
@@ -347,16 +415,67 @@ func (s *Server) runQuery(ctx context.Context, sess *session, id uint64, sqlText
 		opt.MemBudget = ask
 	}
 
-	res, err := s.front.Query(ctx, sqlText, opt)
+	res, cacheHit, err := s.front.QueryCached(ctx, sqlText, opt)
 	if err != nil {
-		return Response{ID: id, Error: err.Error()}
+		fw.writeJSON(Response{ID: id, Error: err.Error()})
+		return
 	}
 	s.queries.Add(1)
+
+	if encoding == EncodingColBin {
+		s.streamResult(ctx, fw, id, res, cacheHit)
+		return
+	}
 	rows, err := EncodeRows(res.Rows())
 	if err != nil {
-		return Response{ID: id, Error: err.Error()}
+		fw.writeJSON(Response{ID: id, Error: err.Error()})
+		return
 	}
-	return Response{ID: id, OK: true, Schema: res.Schema.Attrs, Rows: rows}
+	fw.writeJSON(Response{ID: id, OK: true, Schema: res.Schema.Attrs, Rows: rows})
+}
+
+// streamResult writes one query result as a chunked binary column stream:
+// a JSON header frame carrying the schema and plan metadata, windowed
+// binary chunk frames sliced zero-copy off the result vectors (row-backed
+// results columnarize first — FromRows round-trips values exactly), and a
+// JSON trailer frame with the totals. The admission grant is held by the
+// caller until streaming finishes, so the result's memory is accounted for
+// as long as it is being read.
+func (s *Server) streamResult(ctx context.Context, fw *frameWriter, id uint64, res *physical.Result, cacheHit bool) {
+	var vecs []vector.Vector
+	n := res.NumRows()
+	if cols := res.Cols(); cols != nil {
+		vecs = cols.Vecs
+	} else {
+		vecs = vector.FromRows(res.Rows(), len(res.Schema.Attrs)).Vecs
+	}
+	if err := fw.writeJSON(Response{
+		ID: id, OK: true, Chunked: true,
+		Schema: res.Schema.Attrs, Encoding: EncodingColBin, CacheHit: cacheHit,
+	}); err != nil {
+		return
+	}
+	chunks := 0
+	for lo := 0; lo < n; {
+		if err := ctx.Err(); err != nil {
+			fw.writeJSON(Response{ID: id, Final: true, Error: err.Error()})
+			return
+		}
+		rows := chunkRows(vecs, n, lo)
+		window := make([]vector.Vector, len(vecs))
+		for j, v := range vecs {
+			window[j] = v.Slice(lo, lo+rows)
+		}
+		if err := fw.writeRaw(EncodeColChunk(id, uint64(chunks), window)); err != nil {
+			// A frame-size error (one row beyond MaxFrame) leaves the conn
+			// alive: tell the client. A dead conn fails this write too.
+			fw.writeJSON(Response{ID: id, Final: true, Error: err.Error()})
+			return
+		}
+		chunks++
+		lo += rows
+	}
+	fw.writeJSON(Response{ID: id, OK: true, Final: true, RowCount: int64(n), Chunks: chunks})
 }
 
 func msDuration(ms int64) time.Duration { return time.Duration(ms) * time.Millisecond }

@@ -173,7 +173,7 @@ func TestServerConcurrentSessionsAgree(t *testing.T) {
 						errs <- fmt.Errorf("session %d query %d: %w", s, qi, err)
 						continue
 					}
-					if got := rowsKey(res.Schema, res.Rows); got != want[q] {
+					if got := rowsKey(res.Schema, res.Rows()); got != want[q] {
 						errs <- fmt.Errorf("session %d: result for %q differs from one-shot run", s, q)
 					}
 				}
@@ -267,7 +267,7 @@ func TestServerSessionOps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rowsKey(got.Schema, got.Rows) != rowsKey(direct.Schema, direct.Rows) {
+	if rowsKey(got.Schema, got.Rows()) != rowsKey(direct.Schema, direct.Rows()) {
 		t.Error("exec of prepared statement differs from direct query")
 	}
 	stats, err := c.Stats()

@@ -39,6 +39,26 @@ import (
 // prefix cannot make the server allocate unbounded memory.
 const MaxFrame = 64 << 20
 
+// ProtoVersion is the wire protocol version this package speaks. Version 1
+// is the original JSON-only protocol (clients that send no version at all
+// are treated as v1); version 2 adds the negotiated binary columnar result
+// encoding and chunked streaming. A hello carrying a higher version than
+// the server speaks gets an explicit error response naming both versions —
+// never an obscure mid-stream failure.
+const ProtoVersion = 2
+
+// Result encodings a session can negotiate in hello.
+const (
+	// EncodingJSON is the v1 result shape: one response frame carrying
+	// tagged-JSON rows. Always available; the default when no hello is sent
+	// or no common encoding exists.
+	EncodingJSON = "json"
+	// EncodingColBin is the binary columnar encoding: a header frame, then
+	// chunked binary column frames (see wirecol.go), then a trailer frame.
+	// Requires proto >= 2.
+	EncodingColBin = "colbin"
+)
+
 // WriteFrame marshals v and writes it as one length-prefixed frame.
 func WriteFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)
@@ -74,6 +94,40 @@ func ReadFrame(r io.Reader, v any) error {
 	return json.Unmarshal(payload, v)
 }
 
+// WriteRawFrame writes pre-encoded payload bytes as one length-prefixed
+// frame — the write path for binary chunk frames, which are already bytes.
+func WriteRawFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadRawFrame reads one length-prefixed frame and returns its payload
+// bytes undecoded, so a reader can dispatch on the first byte (JSON frames
+// start with '{', binary chunk frames with ColMagic).
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
 // Request is one client message.
 type Request struct {
 	ID uint64 `json:"id"`
@@ -87,6 +141,13 @@ type Request struct {
 	// Opts carries session-option updates (set); nil fields keep the
 	// session's current value.
 	Opts *SessionOpts `json:"opts,omitempty"`
+	// Proto is the client's protocol version (hello). 0 — the field absent,
+	// as every pre-versioning client sends — means version 1.
+	Proto int `json:"proto,omitempty"`
+	// Encodings lists the result encodings the client can decode (hello),
+	// in preference order. The server picks the first one it speaks;
+	// absent or unrecognized entries fall back to "json".
+	Encodings []string `json:"encodings,omitempty"`
 }
 
 // SessionOpts are the per-session execution options. Pointer fields
@@ -117,6 +178,24 @@ type Response struct {
 	Rows   [][]json.RawMessage `json:"rows,omitempty"`
 	// Stats carries the server counters (hello, stats).
 	Stats *Stats `json:"stats,omitempty"`
+	// Proto and Encoding report the negotiated protocol version and result
+	// encoding (hello response; Proto also rides the version-mismatch
+	// error so the client learns what the server speaks).
+	Proto    int    `json:"proto,omitempty"`
+	Encoding string `json:"encoding,omitempty"`
+	// Chunked marks a streaming result's header frame: Schema is present,
+	// rows follow as binary chunk frames, and a trailer frame with Final
+	// set ends the result.
+	Chunked bool `json:"chunked,omitempty"`
+	// Final marks a streaming result's trailer frame: RowCount and Chunks
+	// summarize the stream on success, Error reports a mid-stream failure
+	// (rows already sent must be discarded).
+	Final    bool  `json:"final,omitempty"`
+	RowCount int64 `json:"row_count,omitempty"`
+	Chunks   int   `json:"chunks,omitempty"`
+	// CacheHit reports whether the query's rewritten plan came from the
+	// shared plan cache (streaming header frames).
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // Stats is the server-wide counter snapshot.

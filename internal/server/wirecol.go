@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Binary column-chunk frames. After a session negotiates the "colbin"
+// encoding (hello, proto >= 2), query results stream as a JSON header
+// frame, then zero or more binary chunk frames, then a JSON trailer frame.
+// Chunk frames share the connection's 4-byte big-endian length prefix with
+// JSON frames and are distinguished by their first payload byte: JSON
+// frames always start with '{', chunk frames with ColMagic (0xC1, never a
+// valid JSON or UTF-8 first byte).
+//
+// Chunk payload layout (after the length prefix):
+//
+//	offset 0:  ColMagic (1 byte)
+//	offset 1:  request id (8 bytes little-endian) — responses multiplex on
+//	           one connection, so every frame must self-identify
+//	offset 9:  CRC32 (IEEE) of the id and the body (4 bytes little-endian),
+//	           the same check the spill run format uses
+//	offset 13: body
+//
+// body = uvarint chunk sequence number (0-based, per query)
+//
+//	| uvarint row count | uvarint column count
+//	| that many column encodings (vector.AppendVector layout)
+const ColMagic = 0xC1
+
+// colChunkHdr is the fixed prefix before the CRC-protected body.
+const colChunkHdr = 1 + 8 + 4
+
+// WireChunkBytes is the target payload size of one column chunk. Chunks
+// are cut so the encoded bytes land near this size — small enough that the
+// server never materializes a giant frame and the client decodes
+// incrementally, large enough that per-frame overhead vanishes at scale.
+const WireChunkBytes = 1 << 20
+
+// WireChunkRows caps a chunk's row count even when rows are tiny, bounding
+// the decoder's per-chunk allocation spike.
+const WireChunkRows = 64 << 10
+
+// EncodeColChunk renders one chunk frame payload: seq is the 0-based chunk
+// index within the query, cols are same-length column windows.
+func EncodeColChunk(id uint64, seq uint64, cols []vector.Vector) []byte {
+	n := 0
+	if len(cols) > 0 {
+		n = cols[0].Len()
+	}
+	body := make([]byte, 0, colChunkHdr+16+len(cols)*(1+1+8*n))
+	body = append(body, make([]byte, colChunkHdr)...)
+	body = binary.AppendUvarint(body, seq)
+	body = binary.AppendUvarint(body, uint64(n))
+	body = binary.AppendUvarint(body, uint64(len(cols)))
+	for _, v := range cols {
+		body = vector.AppendVector(body, v)
+	}
+	body[0] = ColMagic
+	binary.LittleEndian.PutUint64(body[1:9], id)
+	binary.LittleEndian.PutUint32(body[9:13], chunkCRC(body))
+	return body
+}
+
+// chunkCRC covers the request id and the body — everything after the magic
+// except the CRC field itself — so a flipped bit anywhere in the frame is
+// caught at decode, not by downstream bookkeeping.
+func chunkCRC(payload []byte) uint32 {
+	crc := crc32.Update(0, crc32.IEEETable, payload[1:9])
+	return crc32.Update(crc, crc32.IEEETable, payload[colChunkHdr:])
+}
+
+// DecodeColChunk parses one chunk frame payload. Any structural defect —
+// bad magic, truncation, CRC mismatch, trailing garbage — is an error;
+// chunk corruption must surface as a protocol error, never a wrong result.
+func DecodeColChunk(payload []byte) (id uint64, seq uint64, nrows int, cols []vector.Vector, err error) {
+	if len(payload) < colChunkHdr {
+		return 0, 0, 0, nil, fmt.Errorf("server: chunk frame of %d bytes is shorter than its header", len(payload))
+	}
+	if payload[0] != ColMagic {
+		return 0, 0, 0, nil, fmt.Errorf("server: chunk frame has bad magic 0x%02x", payload[0])
+	}
+	id = binary.LittleEndian.Uint64(payload[1:9])
+	wantCRC := binary.LittleEndian.Uint32(payload[9:13])
+	body := payload[colChunkHdr:]
+	if got := chunkCRC(payload); got != wantCRC {
+		return 0, 0, 0, nil, fmt.Errorf("server: chunk CRC mismatch (got %08x, frame says %08x)", got, wantCRC)
+	}
+	seq, k := binary.Uvarint(body)
+	if k <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("server: bad chunk sequence varint")
+	}
+	body = body[k:]
+	rows64, k := binary.Uvarint(body)
+	if k <= 0 || rows64 > WireChunkRows {
+		return 0, 0, 0, nil, fmt.Errorf("server: bad chunk row count")
+	}
+	body = body[k:]
+	ncols64, k := binary.Uvarint(body)
+	if k <= 0 || ncols64 > uint64(len(body)) {
+		return 0, 0, 0, nil, fmt.Errorf("server: bad chunk column count")
+	}
+	body = body[k:]
+	nrows = int(rows64)
+	cols = make([]vector.Vector, ncols64)
+	for j := range cols {
+		cols[j], body, err = vector.DecodeVector(body, nrows)
+		if err != nil {
+			return 0, 0, 0, nil, fmt.Errorf("server: chunk column %d: %w", j, err)
+		}
+	}
+	if len(body) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("server: chunk frame has %d trailing bytes", len(body))
+	}
+	return id, seq, nrows, cols, nil
+}
+
+// chunkRows picks the next chunk's row count starting at row lo: as many
+// rows as fit the WireChunkBytes target, capped at WireChunkRows.
+// Fixed-width columns cost a constant per row; string and boxed columns
+// are walked row by row so one megabyte of strings cuts as small a chunk
+// as one megabyte of ints.
+func chunkRows(cols []vector.Vector, n, lo int) int {
+	fixed := 0
+	var walked []vector.Vector
+	for _, v := range cols {
+		switch v.(type) {
+		case *vector.Int64Vector, *vector.Float64Vector:
+			fixed += 8
+		case *vector.BoolVector:
+			fixed++ // 1 bit, charged as a byte to keep the estimate integral
+		default:
+			walked = append(walked, v)
+		}
+	}
+	max := n - lo
+	if max > WireChunkRows {
+		max = WireChunkRows
+	}
+	if len(walked) == 0 {
+		if fixed == 0 {
+			return max
+		}
+		rows := WireChunkBytes / fixed
+		if rows < 1 {
+			rows = 1
+		}
+		if rows > max {
+			rows = max
+		}
+		return rows
+	}
+	bytes := 0
+	for i := 0; i < max; i++ {
+		bytes += fixed
+		for _, v := range walked {
+			bytes += 4 // string offset / boxed tag overhead
+			if sv, ok := v.(*vector.StringVector); ok {
+				if !sv.Null(lo + i) {
+					bytes += len(sv.Vals[lo+i])
+				}
+			} else if v.Kind() == types.KindNull { // boxed fallback
+				cell := v.Value(lo + i)
+				if cell.Kind() == types.KindString {
+					bytes += len(cell.Str())
+				} else {
+					bytes += 9
+				}
+			}
+		}
+		if bytes >= WireChunkBytes {
+			return i + 1
+		}
+	}
+	return max
+}

@@ -1,0 +1,375 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/spill"
+	"repro/internal/types"
+)
+
+// Wire encoding of one column, used by the server's binary columnar result
+// protocol (internal/server). The layout follows the spill codec's
+// discipline — little-endian fixed-width spines, uvarint-free fixed
+// offsets, the same per-cell kind tags for the boxed fallback — so there is
+// one binary vocabulary for values at rest and values on the wire.
+//
+// A column is encoded as:
+//
+//	tag (1 byte): 'I' int64, 'F' float64, 'S' string, 'B' bool, 'V' boxed
+//
+// For the typed tags a null-presence byte follows (0 = no nulls, 1 = a
+// packed null bitmap of ceil(n/8) bytes follows, bit i of byte i/8 set —
+// LSB first — meaning element i is NULL), then the payload:
+//
+//	'I': n x 8 bytes, little-endian two's-complement int64
+//	'F': n x 8 bytes, little-endian IEEE-754 bits (NaN payloads survive)
+//	'S': (n+1) x 4 bytes little-endian uint32 offsets into a string arena
+//	     (offset[0] = 0, element i is arena[offset[i]:offset[i+1]]),
+//	     then the arena bytes
+//	'B': ceil(n/8) bytes of packed value bits, LSB first
+//
+// NULL slots encode as zero payload (0 bits, empty arena entry) so the
+// bytes are a pure function of the column's values — never of garbage left
+// in masked slots.
+//
+// 'V' carries n self-describing cells in the spill codec's tagged value
+// encoding (spill.AppendValue); boxed columns need no separate bitmap
+// because null is a cell tag. The element count n is not part of the
+// column encoding — the enclosing chunk frame carries it once for all
+// columns.
+
+// AppendVector appends the wire encoding of v to buf and returns the
+// extended buffer. It is total over Vector: any implementation beyond the
+// typed four is boxed cell by cell through the 'V' arm.
+func AppendVector(buf []byte, v Vector) []byte {
+	n := v.Len()
+	switch tv := v.(type) {
+	case *Int64Vector:
+		buf = append(buf, 'I')
+		buf = appendNullBitmap(buf, v)
+		for i := 0; i < n; i++ {
+			x := tv.Vals[i]
+			if tv.null(i) {
+				x = 0
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+		}
+		return buf
+	case *Float64Vector:
+		buf = append(buf, 'F')
+		buf = appendNullBitmap(buf, v)
+		for i := 0; i < n; i++ {
+			var bits uint64
+			if !tv.null(i) {
+				bits = math.Float64bits(tv.Vals[i])
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, bits)
+		}
+		return buf
+	case *StringVector:
+		buf = append(buf, 'S')
+		buf = appendNullBitmap(buf, v)
+		off := uint32(0)
+		buf = binary.LittleEndian.AppendUint32(buf, off)
+		for i := 0; i < n; i++ {
+			if !tv.null(i) {
+				off += uint32(len(tv.Vals[i]))
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, off)
+		}
+		for i := 0; i < n; i++ {
+			if !tv.null(i) {
+				buf = append(buf, tv.Vals[i]...)
+			}
+		}
+		return buf
+	case *BoolVector:
+		buf = append(buf, 'B')
+		buf = appendNullBitmap(buf, v)
+		bits := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if !tv.null(i) && tv.Vals[i] {
+				bits[i/8] |= 1 << (uint(i) % 8)
+			}
+		}
+		return append(buf, bits...)
+	default:
+		buf = append(buf, 'V')
+		for i := 0; i < n; i++ {
+			buf = spill.AppendValue(buf, tv.Value(i))
+		}
+		return buf
+	}
+}
+
+// appendNullBitmap appends the null-presence byte and, when any element is
+// null, the packed bitmap.
+func appendNullBitmap(buf []byte, v Vector) []byte {
+	packed := PackedNulls(v)
+	if packed == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return append(buf, packed...)
+}
+
+// PackedNulls renders v's null positions as a packed LSB-first bitmap of
+// ceil(Len/8) bytes (bit i set = element i NULL), or nil when the column
+// holds no nulls. It works on sliced vectors — positions are relative to
+// the slice, not the parent bitmap.
+func PackedNulls(v Vector) []byte {
+	n := v.Len()
+	var packed []byte
+	for i := 0; i < n; i++ {
+		if v.Null(i) {
+			if packed == nil {
+				packed = make([]byte, (n+7)/8)
+			}
+			packed[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return packed
+}
+
+// BitmapFromPacked rebuilds a null Bitmap for n elements from a packed
+// LSB-first byte form. A nil or all-zero input yields a nil bitmap (the
+// canonical "no nulls").
+func BitmapFromPacked(packed []byte, n int) *Bitmap {
+	var bm *Bitmap
+	for i := 0; i < n; i++ {
+		if i/8 < len(packed) && packed[i/8]&(1<<(uint(i)%8)) != 0 {
+			if bm == nil {
+				bm = NewBitmap(n)
+			}
+			bm.Set(i)
+		}
+	}
+	return bm
+}
+
+// DecodeVector decodes one column of n elements from b, returning the
+// vector and the remaining bytes. Every length is bounds-checked so a
+// truncated or corrupt input yields an error, never a panic or an
+// over-read.
+func DecodeVector(b []byte, n int) (Vector, []byte, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("vector: negative element count %d", n)
+	}
+	if len(b) < 1 {
+		return nil, nil, fmt.Errorf("vector: truncated column (no tag)")
+	}
+	tag := b[0]
+	b = b[1:]
+	if tag == 'V' {
+		vals := make([]types.Value, n)
+		var err error
+		for i := 0; i < n; i++ {
+			vals[i], b, err = spill.DecodeValue(b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("vector: boxed cell %d: %w", i, err)
+			}
+		}
+		return NewValueVector(vals), b, nil
+	}
+
+	var nb *Bitmap
+	switch tag {
+	case 'I', 'F', 'S', 'B':
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("vector: truncated column (no null flag)")
+		}
+		flag := b[0]
+		b = b[1:]
+		switch flag {
+		case 0:
+		case 1:
+			nbytes := (n + 7) / 8
+			if len(b) < nbytes {
+				return nil, nil, fmt.Errorf("vector: truncated null bitmap (%d of %d bytes)", len(b), nbytes)
+			}
+			nb = BitmapFromPacked(b[:nbytes], n)
+			b = b[nbytes:]
+		default:
+			return nil, nil, fmt.Errorf("vector: bad null flag %d", flag)
+		}
+	default:
+		return nil, nil, fmt.Errorf("vector: unknown column tag %q", tag)
+	}
+
+	switch tag {
+	case 'I':
+		if len(b) < 8*n {
+			return nil, nil, fmt.Errorf("vector: truncated int64 spine (%d of %d bytes)", len(b), 8*n)
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		return NewInt64Vector(vals, nb), b[8*n:], nil
+	case 'F':
+		if len(b) < 8*n {
+			return nil, nil, fmt.Errorf("vector: truncated float64 spine (%d of %d bytes)", len(b), 8*n)
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		return NewFloat64Vector(vals, nb), b[8*n:], nil
+	case 'S':
+		need := 4 * (n + 1)
+		if len(b) < need {
+			return nil, nil, fmt.Errorf("vector: truncated string offsets (%d of %d bytes)", len(b), need)
+		}
+		offs := make([]uint32, n+1)
+		for i := range offs {
+			offs[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+		b = b[need:]
+		total := offs[n]
+		if offs[0] != 0 {
+			return nil, nil, fmt.Errorf("vector: string arena does not start at 0")
+		}
+		if uint64(total) > uint64(len(b)) {
+			return nil, nil, fmt.Errorf("vector: truncated string arena (%d of %d bytes)", len(b), total)
+		}
+		arena := string(b[:total]) // one copy; elements are substrings of it
+		vals := make([]string, n)
+		for i := range vals {
+			lo, hi := offs[i], offs[i+1]
+			if lo > hi || hi > total {
+				return nil, nil, fmt.Errorf("vector: bad string offsets [%d,%d) of %d", lo, hi, total)
+			}
+			vals[i] = arena[lo:hi]
+		}
+		return NewStringVector(vals, nb), b[total:], nil
+	default: // 'B'
+		nbytes := (n + 7) / 8
+		if len(b) < nbytes {
+			return nil, nil, fmt.Errorf("vector: truncated bool bits (%d of %d bytes)", len(b), nbytes)
+		}
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = b[i/8]&(1<<(uint(i)%8)) != 0
+		}
+		return NewBoolVector(vals, nb), b[nbytes:], nil
+	}
+}
+
+// Concat stitches decoded column chunks back into one vector. Chunks of one
+// typed kind concatenate unboxed (bitmaps rebuilt at the combined offsets);
+// a mix of concrete types — possible when some chunk of a column decoded
+// boxed — falls back to a boxed ValueVector, which still reproduces every
+// value exactly. An empty parts list yields an empty boxed vector.
+func Concat(parts []Vector) Vector {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	total := 0
+	uniform := true
+	for _, p := range parts {
+		total += p.Len()
+	}
+	for i := 1; i < len(parts); i++ {
+		if concreteKind(parts[i]) != concreteKind(parts[0]) {
+			uniform = false
+			break
+		}
+	}
+	if len(parts) == 0 || !uniform {
+		return concatBoxed(parts, total)
+	}
+	switch parts[0].(type) {
+	case *Int64Vector:
+		vals := make([]int64, 0, total)
+		var nb *Bitmap
+		at := 0
+		for _, p := range parts {
+			tv := p.(*Int64Vector)
+			vals = append(vals, tv.Vals...)
+			nb = copyNulls(nb, p, at, total)
+			at += p.Len()
+		}
+		return NewInt64Vector(vals, nb)
+	case *Float64Vector:
+		vals := make([]float64, 0, total)
+		var nb *Bitmap
+		at := 0
+		for _, p := range parts {
+			tv := p.(*Float64Vector)
+			vals = append(vals, tv.Vals...)
+			nb = copyNulls(nb, p, at, total)
+			at += p.Len()
+		}
+		return NewFloat64Vector(vals, nb)
+	case *StringVector:
+		vals := make([]string, 0, total)
+		var nb *Bitmap
+		at := 0
+		for _, p := range parts {
+			tv := p.(*StringVector)
+			vals = append(vals, tv.Vals...)
+			nb = copyNulls(nb, p, at, total)
+			at += p.Len()
+		}
+		return NewStringVector(vals, nb)
+	case *BoolVector:
+		vals := make([]bool, 0, total)
+		var nb *Bitmap
+		at := 0
+		for _, p := range parts {
+			tv := p.(*BoolVector)
+			vals = append(vals, tv.Vals...)
+			nb = copyNulls(nb, p, at, total)
+			at += p.Len()
+		}
+		return NewBoolVector(vals, nb)
+	default:
+		return concatBoxed(parts, total)
+	}
+}
+
+// concreteKind distinguishes the concrete vector types for Concat's
+// uniformity check.
+func concreteKind(v Vector) byte {
+	switch v.(type) {
+	case *Int64Vector:
+		return 'I'
+	case *Float64Vector:
+		return 'F'
+	case *StringVector:
+		return 'S'
+	case *BoolVector:
+		return 'B'
+	default:
+		return 'V'
+	}
+}
+
+// copyNulls folds part p's nulls into a combined bitmap starting at element
+// offset at.
+func copyNulls(nb *Bitmap, p Vector, at, total int) *Bitmap {
+	n := p.Len()
+	for i := 0; i < n; i++ {
+		if p.Null(i) {
+			if nb == nil {
+				nb = NewBitmap(total)
+			}
+			nb.Set(at + i)
+		}
+	}
+	return nb
+}
+
+// concatBoxed concatenates any vector mix cell by cell.
+func concatBoxed(parts []Vector, total int) Vector {
+	vals := make([]types.Value, 0, total)
+	for _, p := range parts {
+		n := p.Len()
+		for i := 0; i < n; i++ {
+			vals = append(vals, p.Value(i))
+		}
+	}
+	return NewValueVector(vals)
+}

@@ -1,0 +1,223 @@
+package vector
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// sameWireValue is bit-exact value equality: same kind, same payload bits
+// (NaN == NaN; +0 and -0 differ).
+func sameWireValue(a, b types.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case types.KindNull:
+		return true
+	case types.KindInt:
+		return a.Int() == b.Int()
+	case types.KindFloat:
+		return math.Float64bits(a.Float()) == math.Float64bits(b.Float())
+	case types.KindString:
+		return a.Str() == b.Str()
+	default:
+		return a.Bool() == b.Bool()
+	}
+}
+
+// roundTrip encodes v, decodes it, and compares every element bit-exactly.
+func roundTrip(t *testing.T, name string, v Vector) Vector {
+	t.Helper()
+	buf := AppendVector(nil, v)
+	got, rest, err := DecodeVector(buf, v.Len())
+	if err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%s: %d bytes left over", name, len(rest))
+	}
+	if got.Len() != v.Len() {
+		t.Fatalf("%s: len %d -> %d", name, v.Len(), got.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if v.Null(i) != got.Null(i) {
+			t.Fatalf("%s: element %d null %v -> %v", name, i, v.Null(i), got.Null(i))
+		}
+		if !sameWireValue(v.Value(i), got.Value(i)) {
+			t.Fatalf("%s: element %d %v -> %v", name, i, v.Value(i), got.Value(i))
+		}
+	}
+	return got
+}
+
+func TestWireVectorRoundTrip(t *testing.T) {
+	intNulls := NewBitmap(6)
+	intNulls.Set(2)
+	floatNulls := NewBitmap(8)
+	floatNulls.Set(0)
+	floatNulls.Set(7)
+	strNulls := NewBitmap(5)
+	strNulls.Set(1)
+	boolNulls := NewBitmap(11)
+	boolNulls.Set(10)
+
+	vecs := map[string]Vector{
+		"int64": NewInt64Vector(
+			[]int64{0, 1, -1, math.MaxInt64, math.MinInt64, 1 << 53}, nil),
+		"int64-nulls": NewInt64Vector(
+			[]int64{5, 6, 0xDEAD, 8, 9, 10}, intNulls), // garbage in the null slot must not leak
+		"float64": NewFloat64Vector(
+			[]float64{0, math.Copysign(0, -1), 1.5, -2.25, math.NaN(), math.Inf(1), math.Inf(-1), 5e-324}, nil),
+		"float64-nulls": NewFloat64Vector(
+			[]float64{math.NaN(), 1, 2, 3, 4, 5, 6, math.Inf(-1)}, floatNulls),
+		"string": NewStringVector(
+			[]string{"", "a", "héllo ☃", "with\x00byte", "trailing"}, nil),
+		"string-nulls": NewStringVector(
+			[]string{"x", "IGNORED", "", "yz", ""}, strNulls),
+		"bool": NewBoolVector(
+			[]bool{true, false, true, true, false, false, true, false, true, true, false}, nil),
+		"bool-nulls": NewBoolVector(
+			[]bool{true, false, true, true, false, false, true, false, true, true, true}, boolNulls),
+		"boxed": NewValueVector([]types.Value{
+			types.NewInt(1), types.NewString("mixed"), types.Null(),
+			types.NewFloat(math.NaN()), types.NewBool(true), types.NewInt(1 << 53),
+		}),
+		"empty-int":   NewInt64Vector(nil, nil),
+		"empty-boxed": NewValueVector(nil),
+	}
+	for name, v := range vecs {
+		roundTrip(t, name, v)
+	}
+}
+
+// TestWireVectorSlices pins that encoding a sliced window transmits the
+// window's elements with window-relative null positions.
+func TestWireVectorSlices(t *testing.T) {
+	nb := NewBitmap(10)
+	nb.Set(3)
+	nb.Set(7)
+	full := NewInt64Vector([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, nb)
+	window := full.Slice(2, 8)
+	got := roundTrip(t, "int64-window", window)
+	if got.Null(0) || !got.Null(1) || !got.Null(5) {
+		t.Errorf("window nulls landed wrong: %v %v %v", got.Null(0), got.Null(1), got.Null(5))
+	}
+}
+
+// TestWireVectorDeterministic: the encoded bytes are a function of the
+// values, not of garbage in masked slots — two semantically equal columns
+// encode identically (what the chunk CRC protects).
+func TestWireVectorDeterministic(t *testing.T) {
+	nb1 := NewBitmap(3)
+	nb1.Set(1)
+	nb2 := NewBitmap(3)
+	nb2.Set(1)
+	a := AppendVector(nil, NewInt64Vector([]int64{7, 12345, 9}, nb1))
+	b := AppendVector(nil, NewInt64Vector([]int64{7, -999, 9}, nb2))
+	if string(a) != string(b) {
+		t.Error("null-slot garbage leaked into the encoding")
+	}
+}
+
+func TestWireVectorCorruption(t *testing.T) {
+	nb := NewBitmap(4)
+	nb.Set(2)
+	vecs := []Vector{
+		NewInt64Vector([]int64{1, 2, 3, 4}, nb),
+		NewFloat64Vector([]float64{1, 2, 3, 4}, nil),
+		NewStringVector([]string{"ab", "", "cdef", "g"}, nil),
+		NewBoolVector([]bool{true, false, true, false}, nil),
+		NewValueVector([]types.Value{types.NewInt(1), types.Null(), types.NewString("x"), types.NewBool(true)}),
+	}
+	for _, v := range vecs {
+		buf := AppendVector(nil, v)
+		// Every proper prefix must fail cleanly, never panic or over-read.
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeVector(buf[:cut], v.Len()); err == nil {
+				t.Errorf("%c: truncation to %d of %d bytes decoded successfully", buf[0], cut, len(buf))
+			}
+		}
+	}
+	if _, _, err := DecodeVector([]byte{'Z', 0}, 1); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, _, err := DecodeVector([]byte{'I', 9}, 0); err == nil {
+		t.Error("bad null flag accepted")
+	}
+	// String offsets that point beyond the arena must be rejected.
+	buf := AppendVector(nil, NewStringVector([]string{"abc"}, nil))
+	buf[len(buf)-4-3] = 0xFF // corrupt offset[1]'s low byte (before 3 arena bytes)
+	if _, _, err := DecodeVector(buf, 1); err == nil {
+		t.Error("out-of-range string offset accepted")
+	}
+}
+
+func TestWireConcat(t *testing.T) {
+	nb := NewBitmap(2)
+	nb.Set(0)
+	got := Concat([]Vector{
+		NewInt64Vector([]int64{1, 2}, nil),
+		NewInt64Vector([]int64{0, 4}, nb),
+		NewInt64Vector(nil, nil),
+	})
+	want := []types.Value{types.NewInt(1), types.NewInt(2), types.Null(), types.NewInt(4)}
+	if _, ok := got.(*Int64Vector); !ok {
+		t.Fatalf("uniform parts concatenated boxed: %T", got)
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", got.Len(), len(want))
+	}
+	for i, w := range want {
+		if !sameWireValue(got.Value(i), w) {
+			t.Errorf("element %d = %v, want %v", i, got.Value(i), w)
+		}
+	}
+
+	mixed := Concat([]Vector{
+		NewInt64Vector([]int64{1}, nil),
+		NewValueVector([]types.Value{types.NewString("s")}),
+	})
+	if _, ok := mixed.(*ValueVector); !ok {
+		t.Fatalf("mixed parts stayed typed: %T", mixed)
+	}
+	if !sameWireValue(mixed.Value(0), types.NewInt(1)) || !sameWireValue(mixed.Value(1), types.NewString("s")) {
+		t.Errorf("mixed concat lost values: %v %v", mixed.Value(0), mixed.Value(1))
+	}
+
+	if empty := Concat(nil); empty.Len() != 0 {
+		t.Errorf("Concat(nil).Len() = %d", empty.Len())
+	}
+	one := NewBoolVector([]bool{true}, nil)
+	if Concat([]Vector{one}) != Vector(one) {
+		t.Error("single-part concat should return the part itself")
+	}
+}
+
+func TestPackedNullsRoundTrip(t *testing.T) {
+	nb := NewBitmap(13)
+	for _, i := range []int{0, 5, 12} {
+		nb.Set(i)
+	}
+	v := NewInt64Vector(make([]int64, 13), nb)
+	packed := PackedNulls(v)
+	if len(packed) != 2 {
+		t.Fatalf("packed len = %d, want 2", len(packed))
+	}
+	back := BitmapFromPacked(packed, 13)
+	for i := 0; i < 13; i++ {
+		if back.Get(i) != nb.Get(i) {
+			t.Errorf("bit %d: %v -> %v", i, nb.Get(i), back.Get(i))
+		}
+	}
+	if PackedNulls(NewInt64Vector(make([]int64, 4), nil)) != nil {
+		t.Error("null-free vector produced a bitmap")
+	}
+	if BitmapFromPacked(nil, 8) != nil {
+		t.Error("nil packed bytes produced a bitmap")
+	}
+	if BitmapFromPacked(make([]byte, 2), 16) != nil {
+		t.Error("all-zero packed bytes produced a bitmap")
+	}
+}
