@@ -230,8 +230,9 @@ func main() {
 func benchExecFlags(fs *flag.FlagSet, budgetUsage string) *cliutil.ExecFlags {
 	return cliutil.ExecFlagSpec{
 		DOPUsage:    "workers for the suite's parallel entries (0 = GOMAXPROCS; 1 skips them)",
-		BudgetUsage: budgetUsage,
-		NoFuse:      true,
+		BudgetUsage:  budgetUsage,
+		NoFuse:       true,
+		NoAttrBounds: true,
 	}.Register(fs)
 }
 

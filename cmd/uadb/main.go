@@ -134,6 +134,9 @@ func runRemote(addr string, tables cliutil.TableFlags, exec *cliutil.ExecFlags, 
 	if mb := exec.MemBudgetRaw(); mb != "" {
 		opts.MemBudget = &mb
 	}
+	if ab := exec.AttrBounds(); ab {
+		opts.AttrBounds = &ab
+	}
 	if opts != (server.SessionOpts{}) {
 		if err := c.Set(opts); err != nil {
 			return err

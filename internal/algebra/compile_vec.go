@@ -443,6 +443,8 @@ func compileVecSelector(e Expr) vecSelFn {
 		return nil
 	}
 	switch b.Op {
+	case OpAnd, OpOr:
+		return compileVecBoolSelector(b)
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 	default:
 		return nil
@@ -481,6 +483,78 @@ func compileVecSelector(e Expr) vecSelFn {
 			return selVecVec(l.eval(cols, n), r.eval(cols, n), onLt, onEq, onGt, sel)
 		}
 	}
+}
+
+// compileVecBoolSelector composes the selection kernels of an AND/OR over
+// selector-compilable predicates. Each sub-selector emits the ascending index
+// list of rows where its predicate is TRUE; under three-valued logic the rows
+// where the conjunction (disjunction) is TRUE are exactly the intersection
+// (union) of those lists — FALSE and NULL rows alike stay out, matching
+// SelectTruthy. NOT has no such form (the complement of the TRUE set includes
+// NULL rows) and stays on the row path.
+func compileVecBoolSelector(b Bin) vecSelFn {
+	ls := compileVecSelector(b.L)
+	rs := compileVecSelector(b.R)
+	if ls == nil || rs == nil {
+		return nil
+	}
+	// Sub-results live in per-kernel scratch reused batch to batch, under the
+	// arithmetic kernels' lifetime rule (kernels are compiled per Open per
+	// operator, so the scratch is single-goroutine by construction).
+	var lbuf, rbuf []int
+	if b.Op == OpAnd {
+		return func(cols []vector.Vector, n int, sel []int) []int {
+			lbuf = ls(cols, n, lbuf[:0])
+			rbuf = rs(cols, n, rbuf[:0])
+			return selIntersect(lbuf, rbuf, sel)
+		}
+	}
+	return func(cols []vector.Vector, n int, sel []int) []int {
+		lbuf = ls(cols, n, lbuf[:0])
+		rbuf = rs(cols, n, rbuf[:0])
+		return selUnion(lbuf, rbuf, sel)
+	}
+}
+
+// selIntersect appends to sel the elements common to two ascending index
+// lists.
+func selIntersect(a, b, sel []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			sel = append(sel, a[i])
+			i++
+			j++
+		}
+	}
+	return sel
+}
+
+// selUnion appends to sel the merged distinct elements of two ascending
+// index lists.
+func selUnion(a, b, sel []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			sel = append(sel, a[i])
+			i++
+		case a[i] > b[j]:
+			sel = append(sel, b[j])
+			j++
+		default:
+			sel = append(sel, a[i])
+			i++
+			j++
+		}
+	}
+	sel = append(sel, a[i:]...)
+	return append(sel, b[j:]...)
 }
 
 // rangeSelFn answers a comparison selection as one contiguous row range
@@ -862,9 +936,158 @@ func compileVecEval(e Expr) vecEvalFn {
 		return func(cols []vector.Vector, n int) vector.Vector {
 			return vecLeastGreatest(wantLess, args, cols, n)
 		}
+	case CaseExpr:
+		return compileVecCase(ex)
 	default:
 		return nil
 	}
+}
+
+// compileVecCase builds the columnar kernel for a searched single-branch
+// CASE — the shape the attribute-bounds rewrite leans on for its annotation
+// gates (CASE WHEN __ec = 1 THEN e END, CASE WHEN p THEN 1 ELSE 0 END). The
+// condition runs through the selection kernels; both branches evaluate over
+// the whole window (the vector kernels are total — element-wise, NULL on
+// division by zero — so evaluating rows the condition rejects cannot fault or
+// change the taken rows' results) and the output merges them row-wise. A
+// missing ELSE is an all-NULL branch, exactly Eval's fallthrough.
+func compileVecCase(e CaseExpr) vecEvalFn {
+	if e.Operand != nil || len(e.Whens) != 1 {
+		return nil
+	}
+	cond := compileVecSelector(e.Whens[0].Cond)
+	if cond == nil {
+		return nil
+	}
+	thenOp, ok := compileVecOperand(e.Whens[0].Result)
+	if !ok {
+		return nil
+	}
+	var elseOp vecOperand
+	hasElse := e.Else != nil
+	if hasElse {
+		if elseOp, ok = compileVecOperand(e.Else); !ok {
+			return nil
+		}
+	}
+	var selBuf []int
+	return func(cols []vector.Vector, n int) vector.Vector {
+		selBuf = cond(cols, n, selBuf[:0])
+		var tv, ev vector.Vector
+		if !thenOp.isConst {
+			tv = thenOp.eval(cols, n)
+		}
+		if hasElse && !elseOp.isConst {
+			ev = elseOp.eval(cols, n)
+		}
+		return vecCaseMerge(thenOp, tv, elseOp, ev, hasElse, selBuf, n)
+	}
+}
+
+// allNullSide is the missing-ELSE branch: NULL at every row.
+func allNullSide() arithSide { return arithSide{nullAt: func(int) bool { return true }} }
+
+// vecCaseMerge assembles the CASE output from the taken-row list and the two
+// branch results. Both-int sides merge into an Int64Vector and both-float
+// sides (strictly float — an int branch must keep its kind) into a
+// Float64Vector; any other combination takes the generic boxed loop, which
+// preserves each branch value's kind exactly as Eval does.
+func vecCaseMerge(thenOp vecOperand, tv vector.Vector, elseOp vecOperand, ev vector.Vector, hasElse bool, sel []int, n int) vector.Vector {
+	if ts, ok := resolveNumericSide(thenOp, tv, true); ok {
+		es, eok := allNullSide(), true
+		if hasElse {
+			es, eok = resolveNumericSide(elseOp, ev, true)
+		}
+		if eok {
+			out := make([]int64, n)
+			var nulls *vector.Bitmap
+			k := 0
+			for i := 0; i < n; i++ {
+				s := &es
+				if k < len(sel) && sel[k] == i {
+					s = &ts
+					k++
+				}
+				if s.null(i) {
+					if nulls == nil {
+						nulls = vector.NewBitmap(n)
+					}
+					nulls.Set(i)
+					continue
+				}
+				out[i] = s.int(i)
+			}
+			return vector.NewInt64Vector(out, nulls)
+		}
+	}
+	if ts, ok := resolveFloatStrict(thenOp, tv); ok {
+		es, eok := allNullSide(), true
+		if hasElse {
+			es, eok = resolveFloatStrict(elseOp, ev)
+		}
+		if eok {
+			out := make([]float64, n)
+			var nulls *vector.Bitmap
+			k := 0
+			for i := 0; i < n; i++ {
+				s := &es
+				if k < len(sel) && sel[k] == i {
+					s = &ts
+					k++
+				}
+				if s.null(i) {
+					if nulls == nil {
+						nulls = vector.NewBitmap(n)
+					}
+					nulls.Set(i)
+					continue
+				}
+				out[i] = s.float(i)
+			}
+			return vector.NewFloat64Vector(out, nulls)
+		}
+	}
+	// Generic: boxed row-wise pick, preserving each branch value's kind.
+	read := func(o vecOperand, v vector.Vector, i int) types.Value {
+		if o.isConst {
+			return o.c
+		}
+		return v.Value(i)
+	}
+	out := make([]types.Value, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		taken := k < len(sel) && sel[k] == i
+		if taken {
+			k++
+			out[i] = read(thenOp, tv, i)
+		} else if hasElse {
+			out[i] = read(elseOp, ev, i)
+		} // else: stays NULL
+	}
+	return vector.NewValueVector(out)
+}
+
+// resolveFloatStrict binds a branch side that is float64-typed outright — a
+// float constant or Float64Vector. Integer sides are rejected rather than
+// widened: a CASE branch returns its value kind unchanged, so an int branch
+// cannot be merged into a float output without changing semantics.
+func resolveFloatStrict(o vecOperand, v vector.Vector) (arithSide, bool) {
+	if o.isConst {
+		if o.c.Kind() != types.KindFloat {
+			return arithSide{}, false
+		}
+		return arithSide{cF: o.c.Float()}, true
+	}
+	tv, ok := v.(*vector.Float64Vector)
+	if !ok {
+		return arithSide{}, false
+	}
+	s := arithSide{f64: tv.Vals}
+	if tv.AnyNull() {
+		s.nullAt = tv.Null
+	}
+	return s, true
 }
 
 // constVector broadcasts a constant to n rows. A NULL constant broadcasts as

@@ -117,8 +117,17 @@ func TestVecKernelShapes(t *testing.T) {
 	if !hasSel(Bin{Op: OpGe, L: col(0), R: col(1)}) {
 		t.Error("col >= col lost its columnar selector")
 	}
-	if hasSel(Bin{Op: OpAnd, L: Bin{Op: OpLt, L: col(0), R: ci(1)}, R: Bin{Op: OpLt, L: col(1), R: ci(1)}}) {
-		t.Error("AND unexpectedly grew a columnar selector; update this test and the fallback docs")
+	if !hasSel(Bin{Op: OpAnd, L: Bin{Op: OpLt, L: col(0), R: ci(1)}, R: Bin{Op: OpLt, L: col(1), R: ci(1)}}) {
+		t.Error("AND of columnar comparisons lost its composed selector")
+	}
+	if !hasSel(Bin{Op: OpOr, L: Bin{Op: OpLt, L: col(0), R: ci(1)}, R: Bin{Op: OpGe, L: col(1), R: ci(5)}}) {
+		t.Error("OR of columnar comparisons lost its composed selector")
+	}
+	if hasSel(Bin{Op: OpAnd, L: Bin{Op: OpLt, L: col(0), R: ci(1)}, R: IsNullE{E: col(1)}}) {
+		t.Error("AND over a non-columnar side unexpectedly grew a selector; update this test")
+	}
+	if hasSel(Not{E: Bin{Op: OpLt, L: col(0), R: ci(1)}}) {
+		t.Error("NOT unexpectedly grew a columnar selector (its TRUE set includes rows the operand left NULL); update this test")
 	}
 	if !hasEval(Bin{Op: OpAdd, L: col(0), R: col(1)}) {
 		t.Error("col + col lost its columnar kernel")
@@ -131,6 +140,16 @@ func TestVecKernelShapes(t *testing.T) {
 	}
 	if hasEval(ScalarFunc{Name: "coalesce", Args: []Expr{col(0), col(1)}}) {
 		t.Error("coalesce unexpectedly grew a columnar kernel; update this test")
+	}
+	gate := CaseExpr{Whens: []CaseWhen{{Cond: Bin{Op: OpEq, L: col(0), R: ci(1)}, Result: col(1)}}}
+	if !hasEval(gate) {
+		t.Error("single-branch searched CASE — the attribute-bounds gate — lost its columnar kernel")
+	}
+	if !hasEval(CaseExpr{Whens: gate.Whens, Else: ci(0)}) {
+		t.Error("CASE ... ELSE const lost its columnar kernel")
+	}
+	if hasEval(CaseExpr{Operand: col(0), Whens: gate.Whens}) {
+		t.Error("simple CASE (with operand) unexpectedly grew a columnar kernel; update this test")
 	}
 }
 
@@ -204,5 +223,72 @@ func TestVecKernelsEdgeCases(t *testing.T) {
 			floatRows(math.NaN(), 1, -2, 0), 2)
 		checkVecParity(t, ScalarFunc{Name: name,
 			Args: []Expr{col0, Const{V: types.NewInt(2)}}}, intRows(1, 3, 2), 2)
+	}
+}
+
+// TestVecCaseAndBoolSelector pins the attribute-bounds hot shapes: composed
+// AND/OR selection and single-branch CASE stay unboxed (typed output
+// vectors), and the per-kernel scratch survives reuse across batches.
+func TestVecCaseAndBoolSelector(t *testing.T) {
+	col := func(i int) Expr { return Col{Idx: i, Name: "c"} }
+	ci := func(v int64) Expr { return Const{V: types.NewInt(v)} }
+
+	// CASE WHEN c0 = 1 THEN c1 ELSE 0 END over int columns.
+	gate := Compile(CaseExpr{
+		Whens: []CaseWhen{{Cond: Bin{Op: OpEq, L: col(0), R: ci(1)}, Result: col(1)}},
+		Else:  ci(0),
+	})
+	batch := func(ec, v []int64) []vector.Vector {
+		return []vector.Vector{
+			vector.NewInt64Vector(ec, nil),
+			vector.NewInt64Vector(v, nil),
+		}
+	}
+	out, ok := gate.EvalVec(batch([]int64{1, 0, 1}, []int64{10, 20, 30}), 3)
+	if !ok {
+		t.Fatal("gate CASE has no columnar kernel")
+	}
+	iv, isInt := out.(*vector.Int64Vector)
+	if !isInt {
+		t.Fatalf("gate CASE output is %T, want unboxed *vector.Int64Vector", out)
+	}
+	if iv.Vals[0] != 10 || iv.Vals[1] != 0 || iv.Vals[2] != 30 {
+		t.Fatalf("gate CASE = %v, want [10 0 30]", iv.Vals)
+	}
+	// Second batch through the same kernel: the condition scratch must reset.
+	out, _ = gate.EvalVec(batch([]int64{0, 1}, []int64{7, 8}), 2)
+	iv = out.(*vector.Int64Vector)
+	if iv.Vals[0] != 0 || iv.Vals[1] != 8 {
+		t.Fatalf("gate CASE batch 2 = %v, want [0 8]", iv.Vals)
+	}
+
+	// Missing ELSE: non-taken rows are NULL, taken rows unboxed.
+	ifEC := Compile(CaseExpr{
+		Whens: []CaseWhen{{Cond: Bin{Op: OpEq, L: col(0), R: ci(1)}, Result: col(1)}},
+	})
+	out, ok = ifEC.EvalVec(batch([]int64{1, 0}, []int64{5, 6}), 2)
+	if !ok {
+		t.Fatal("ELSE-less CASE has no columnar kernel")
+	}
+	iv = out.(*vector.Int64Vector)
+	if iv.Vals[0] != 5 || !out.Null(1) || out.Null(0) {
+		t.Fatalf("ELSE-less CASE = %v (null1=%v), want [5 NULL]", iv.Vals, out.Null(1))
+	}
+
+	// (c0 < 3 OR c0 > 7) AND c1 >= 10: composed selection across two batches.
+	pred := Compile(Bin{Op: OpAnd,
+		L: Bin{Op: OpOr, L: Bin{Op: OpLt, L: col(0), R: ci(3)}, R: Bin{Op: OpGt, L: col(0), R: ci(7)}},
+		R: Bin{Op: OpGe, L: col(1), R: ci(10)},
+	})
+	sel, ok := pred.SelectTruthyVec(batch([]int64{1, 5, 9, 2}, []int64{10, 10, 3, 50}), 4, nil)
+	if !ok {
+		t.Fatal("composed AND/OR has no columnar selector")
+	}
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 3 {
+		t.Fatalf("composed selection = %v, want [0 3]", sel)
+	}
+	sel, _ = pred.SelectTruthyVec(batch([]int64{8}, []int64{11}), 1, sel[:0])
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("composed selection batch 2 = %v, want [0]", sel)
 	}
 }

@@ -28,13 +28,17 @@ type ExecFlagSpec struct {
 	// NoFuse omits the -fuse flag (cmd/bench has no fusion knob; the
 	// suite measures both sides itself).
 	NoFuse bool
+	// NoAttrBounds omits the -attr-bounds flag (cmd/bench benchmarks the
+	// tuple-level path only).
+	NoAttrBounds bool
 }
 
 // ExecFlags holds the shared execution flags after Register.
 type ExecFlags struct {
-	dop       *int
-	fuse      *bool
-	memBudget *string
+	dop        *int
+	fuse       *bool
+	memBudget  *string
+	attrBounds *bool
 }
 
 // RegisterExec adds -dop, -fuse, and -mem-budget to fs with the standard
@@ -60,6 +64,9 @@ func (s ExecFlagSpec) Register(fs *flag.FlagSet) *ExecFlags {
 	if !s.NoFuse {
 		e.fuse = fs.Bool("fuse", false, "compile scan→filter→project(→probe) chains into fused single-loop pipelines (identical results, faster on columnar tables)")
 	}
+	if !s.NoAttrBounds {
+		e.attrBounds = fs.Bool("attr-bounds", false, "attribute-level uncertainty mode: answer every column as a [lower, best-guess, upper] range (AU-DB), enabling aggregates over uncertain data")
+	}
 	return e
 }
 
@@ -68,6 +75,10 @@ func (e *ExecFlags) DOP() int { return *e.dop }
 
 // Fuse reports the parsed -fuse value (false when not registered).
 func (e *ExecFlags) Fuse() bool { return e.fuse != nil && *e.fuse }
+
+// AttrBounds reports the parsed -attr-bounds value (false when not
+// registered).
+func (e *ExecFlags) AttrBounds() bool { return e.attrBounds != nil && *e.attrBounds }
 
 // MemBudgetRaw reports the unparsed -mem-budget string, for tools with
 // extra spellings (cmd/bench accepts "auto").
@@ -88,7 +99,7 @@ func (e *ExecFlags) QueryOpts() (rewrite.QueryOpts, error) {
 	if err != nil {
 		return rewrite.QueryOpts{}, err
 	}
-	return rewrite.QueryOpts{DOP: e.DOP(), MemBudget: budget, Fuse: e.Fuse()}, nil
+	return rewrite.QueryOpts{DOP: e.DOP(), MemBudget: budget, Fuse: e.Fuse(), AttrBounds: e.AttrBounds()}, nil
 }
 
 // TableFlags collects repeatable -table name=path.csv specs.

@@ -327,9 +327,19 @@ func (f *FusedPipeline) drainColumns() (*vector.Columns, bool, error) {
 	n := f.full.N
 	k := len(f.projProgs)
 	empty := func() *vector.Columns {
+		// Evaluate the projection kernels over a zero-width window so a
+		// filtered-to-nothing result keeps typed columns: the kernels are
+		// element-wise (zero iterations), but their output vectors still
+		// carry the column kind, which the wire protocol's header tags and
+		// columnar consumers rely on for zero-row results.
 		vecs := make([]vector.Vector, k)
-		for j := range vecs {
-			vecs[j] = vector.NewValueVector(nil)
+		win := f.window(0, 0)
+		for j, prog := range f.projProgs {
+			v, ok := prog.EvalVec(win, 0)
+			if !ok {
+				v = vector.NewValueVector(nil)
+			}
+			vecs[j] = v
 		}
 		return &vector.Columns{N: 0, Vecs: vecs}
 	}

@@ -1,0 +1,185 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/types"
+)
+
+// AttrTable is one relation in the AU-DB spine encoding: the 3k+2-column
+// table plus the static per-logical-column mask saying which attributes may
+// range-vary across possible worlds. The rewriter uses the mask to collapse
+// bound propagation over provably world-invariant expressions.
+type AttrTable struct {
+	Table *engine.Table
+	Mask  []bool
+}
+
+// tripled appends [v, v, v] — the spine encoding of a certain value.
+func tripled(row []types.Value, v types.Value) []types.Value {
+	return append(row, v, v, v)
+}
+
+// EncodeAttrDeterministic encodes a plain table with collapsed ranges:
+// every attribute certain, every row in every world.
+func EncodeAttrDeterministic(t *engine.Table) *AttrTable {
+	out := engine.NewTable(attrSchema(t.Schema))
+	one := types.NewInt(1)
+	for _, row := range t.Rows {
+		nr := make([]types.Value, 0, 3*len(row)+2)
+		for _, v := range row {
+			nr = tripled(nr, v)
+		}
+		out.Rows = append(out.Rows, append(nr, one, one))
+	}
+	return &AttrTable{Table: out, Mask: make([]bool, t.Schema.Arity())}
+}
+
+// EncodeAttrTI encodes a tuple-independent table: attribute values are
+// certain, existence is not. Unlike the tuple-level EncodeTITable, rows
+// below the best-guess threshold are kept as phantoms (__ebg = 0) — they
+// exist in some world, so sound aggregate upper bounds must see them.
+func EncodeAttrTI(t *engine.Table, probAttr string) (*AttrTable, error) {
+	pIdx := t.Schema.IndexOf(probAttr)
+	if pIdx < 0 {
+		return nil, fmt.Errorf("rewrite: TI table %s has no probability attribute %q", t.Schema.Name, probAttr)
+	}
+	var attrs []string
+	var keep []int
+	for i, a := range t.Schema.Attrs {
+		if i != pIdx {
+			attrs = append(attrs, a)
+			keep = append(keep, i)
+		}
+	}
+	out := engine.NewTable(attrSchema(types.Schema{Name: t.Schema.Name, Attrs: attrs}))
+	for _, row := range t.Rows {
+		p := row[pIdx]
+		if p.IsNull() || !p.IsNumeric() || p.Float() <= 0 {
+			continue // impossible row: in no world
+		}
+		ec, ebg := int64(0), int64(0)
+		if p.Float() >= 1 {
+			ec = 1
+		}
+		if p.Float() >= 0.5 {
+			ebg = 1
+		}
+		nr := make([]types.Value, 0, 3*len(keep)+2)
+		for _, i := range keep {
+			nr = tripled(nr, row[i])
+		}
+		out.Rows = append(out.Rows, append(nr, types.NewInt(ec), types.NewInt(ebg)))
+	}
+	return &AttrTable{Table: out, Mask: make([]bool, len(keep))}, nil
+}
+
+// EncodeAttrX encodes an x-relation: each x-tuple becomes one encoded row
+// whose per-attribute range spans its alternatives and whose best-guess
+// spine is the designated alternative under the same rule as the
+// tuple-level scheme (highest probability unless absence is likelier;
+// first alternative for incomplete x-relations). Attributes whose
+// alternatives disagree must be non-NULL and numeric — a range cannot
+// bound a string choice.
+func EncodeAttrX(r *models.XRelation) (*AttrTable, error) {
+	k := r.Schema.Arity()
+	out := engine.NewTable(attrSchema(r.Schema))
+	mask := make([]bool, k)
+	for xi, x := range r.XTuples {
+		if len(x.Alts) == 0 {
+			continue
+		}
+		best := 0
+		ec, ebg := int64(0), int64(1)
+		if r.Probabilistic {
+			for i, a := range x.Alts {
+				if a.Prob > x.Alts[best].Prob {
+					best = i
+				}
+			}
+			if x.Alts[best].Prob < 1-x.TotalProb() {
+				ebg = 0
+			}
+			if x.TotalProb() >= 1 {
+				ec = 1
+			}
+		} else if !x.Optional {
+			ec = 1
+		}
+		nr := make([]types.Value, 0, 3*k+2)
+		for j := 0; j < k; j++ {
+			lo, hi := x.Alts[0].Data[j], x.Alts[0].Data[j]
+			differ := false
+			for _, a := range x.Alts[1:] {
+				v := a.Data[j]
+				if c := v.Compare(lo); c != 0 {
+					differ = true
+					if c < 0 {
+						lo = v
+					}
+				}
+				if v.Compare(hi) > 0 {
+					hi = v
+				}
+			}
+			if differ {
+				if lo.IsNull() || !lo.IsNumeric() || !hi.IsNumeric() {
+					return nil, fmt.Errorf("rewrite: x-tuple %d attribute %s: range-uncertain values must be non-NULL numerics",
+						xi, r.Schema.Attrs[j])
+				}
+				mask[j] = true
+			}
+			nr = append(nr, lo, x.Alts[best].Data[j], hi)
+		}
+		out.Rows = append(out.Rows, append(nr, types.NewInt(ec), types.NewInt(ebg)))
+	}
+	return &AttrTable{Table: out, Mask: mask}, nil
+}
+
+// EncodeAttrXTable is EncodeAttrX over the SQL surface's flat x-table
+// shape (xid / altid / probability columns), the AU counterpart of
+// EncodeXTable: rows sharing an xid form one x-tuple.
+func EncodeAttrXTable(t *engine.Table, xidAttr, altAttr, probAttr string) (*AttrTable, error) {
+	xIdx, aIdx, pIdx := t.Schema.IndexOf(xidAttr), t.Schema.IndexOf(altAttr), t.Schema.IndexOf(probAttr)
+	if xIdx < 0 || aIdx < 0 || pIdx < 0 {
+		return nil, fmt.Errorf("rewrite: x-table %s missing xid/altid/probability attribute", t.Schema.Name)
+	}
+	var attrs []string
+	var keep []int
+	for i, a := range t.Schema.Attrs {
+		if i != xIdx && i != aIdx && i != pIdx {
+			attrs = append(attrs, a)
+			keep = append(keep, i)
+		}
+	}
+	rel := models.NewXRelation(types.Schema{Name: t.Schema.Name, Attrs: attrs})
+	rel.Probabilistic = true
+	groups := make(map[string]*models.XTuple)
+	var order []string
+	for _, row := range t.Rows {
+		key := types.Tuple{row[xIdx]}.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &models.XTuple{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		p := 0.0
+		if row[pIdx].IsNumeric() {
+			p = row[pIdx].Float()
+		}
+		data := make(types.Tuple, 0, len(keep))
+		for _, i := range keep {
+			data = append(data, row[i])
+		}
+		g.Alts = append(g.Alts, models.Alternative{Data: data, Prob: p})
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		rel.Add(*groups[key])
+	}
+	return EncodeAttrX(rel)
+}

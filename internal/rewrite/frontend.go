@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cond"
 	"repro/internal/engine"
@@ -43,6 +44,12 @@ type QueryOpts struct {
 	// admission grant — used instead of a per-query governor derived from
 	// MemBudget. One-shot callers leave it nil.
 	Gov *physical.MemGovernor
+	// AttrBounds switches the frontend from the tuple-level UA rewrite to
+	// the attribute-level AU-DB mode: plans are rewritten with
+	// RewriteAttrBounds and executed against the spine-encoded catalog,
+	// answering every attribute as a [lower, best-guess, upper] range.
+	// Off, the tuple-level path is untouched.
+	AttrBounds bool
 }
 
 // physical converts the options to the engine layer's form.
@@ -62,6 +69,10 @@ type Frontend struct {
 	Enc *engine.Catalog
 	// Raw holds un-encoded inputs referenced with model annotations.
 	Raw *engine.Catalog
+	// AEnc holds AU-encoded tables in the spine layout (3k+2 columns);
+	// AttrBounds-mode queries plan and execute against it. Tables are
+	// registered with PutAttrTable or derived on demand from Raw.
+	AEnc *engine.Catalog
 	// Opts are the frontend's default execution options, used when Query is
 	// called with a zero QueryOpts by callers that configure the frontend
 	// once (the CLIs) rather than per query (the server).
@@ -70,11 +81,34 @@ type Frontend struct {
 	// plans, when enabled, caches rewritten logical plans keyed on
 	// normalized SQL. See EnablePlanCache.
 	plans *planCache
+
+	// aMask maps AEnc table names to their range-uncertainty masks.
+	aMu   sync.RWMutex
+	aMask map[string][]bool
 }
 
 // NewFrontend returns a frontend over the given encoded catalog.
 func NewFrontend(enc *engine.Catalog) *Frontend {
-	return &Frontend{Enc: enc, Raw: engine.NewCatalog()}
+	return &Frontend{
+		Enc: enc, Raw: engine.NewCatalog(), AEnc: engine.NewCatalog(),
+		aMask: make(map[string][]bool),
+	}
+}
+
+// PutAttrTable registers an AU-encoded table (and its uncertainty mask)
+// for AttrBounds-mode queries under the given name.
+func (f *Frontend) PutAttrTable(name string, at *AttrTable) {
+	f.AEnc.PutAs(name, at.Table)
+	f.aMu.Lock()
+	f.aMask[strings.ToLower(name)] = at.Mask
+	f.aMu.Unlock()
+}
+
+// attrMask resolves a table's range-uncertainty mask (nil: all certain).
+func (f *Frontend) attrMask(name string) []bool {
+	f.aMu.RLock()
+	defer f.aMu.RUnlock()
+	return f.aMask[strings.ToLower(name)]
 }
 
 // Query is the frontend's one execution entrypoint: parse → resolve model
@@ -98,6 +132,14 @@ func (f *Frontend) Query(ctx context.Context, query string, opt QueryOpts) (*phy
 func (f *Frontend) QueryCached(ctx context.Context, query string, opt QueryOpts) (*physical.Result, bool, error) {
 	if opt == (QueryOpts{}) {
 		opt = f.Opts
+	}
+	if opt.AttrBounds {
+		plan, hit, err := f.planAttrSQL(query)
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := engine.NewSession(f.AEnc, opt.physical()).Execute(ctx, plan)
+		return res, hit, err
 	}
 	plan, hit, err := f.planSQL(query)
 	if err != nil {
@@ -148,6 +190,135 @@ func (f *Frontend) planSQL(query string) (algebraNode, bool, error) {
 		f.plans.put(key, plan)
 	}
 	return plan, false, nil
+}
+
+// attrPlanKeyPrefix namespaces AttrBounds-mode entries in the shared plan
+// cache: the same SQL text compiles to a structurally different plan per
+// mode, so the two modes must never collide on a key. Normalized SQL can
+// never start with a NUL byte (the lexer rejects it), so the prefix is
+// collision-free against tuple-level keys.
+const attrPlanKeyPrefix = "\x00attrbounds\x00"
+
+// planAttrSQL is planSQL for AttrBounds mode: parse → resolve annotations
+// into the AU catalog → deterministic plan → RewriteAttrBounds, cached
+// under a mode-prefixed key.
+func (f *Frontend) planAttrSQL(query string) (algebraNode, bool, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, false, err
+	}
+	if hasModelAnnotations(stmt) {
+		if err := f.resolveAttrAnnotations(stmt); err != nil {
+			return nil, false, err
+		}
+		plan, err := f.PlanAttr(stmt)
+		return plan, false, err
+	}
+	f.ensureAttrDerived()
+	var key string
+	if f.plans != nil {
+		key = attrPlanKeyPrefix + NormalizeSQL(query)
+		if plan, ok := f.plans.get(key); ok {
+			return plan, true, nil
+		}
+	}
+	plan, err := f.PlanAttr(stmt)
+	if err != nil {
+		return nil, false, err
+	}
+	if f.plans != nil {
+		f.plans.put(key, plan)
+	}
+	return plan, false, nil
+}
+
+// PlanAttr compiles and AU-rewrites a statement without executing it.
+func (f *Frontend) PlanAttr(stmt *sql.SelectStmt) (algebraNode, error) {
+	det, err := engine.NewPlanner(f.attrLogicalCatalog()).Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return RewriteAttrBounds(det, f.attrMask)
+}
+
+// attrLogicalCatalog exposes the AU-encoded tables with their spine layout
+// collapsed back to the logical schemas, so deterministic planning sees the
+// user's columns.
+func (f *Frontend) attrLogicalCatalog() *engine.Catalog {
+	out := engine.NewCatalog()
+	for _, name := range f.AEnc.Names() {
+		t := f.AEnc.Get(name)
+		stub := engine.NewTable(types.Schema{Name: name, Attrs: attrLogicalAttrs(t.Schema.Attrs)})
+		out.PutAs(name, stub)
+	}
+	return out
+}
+
+// ensureAttrDerived backfills the AU catalog from the raw catalog: a plain
+// table queried in AttrBounds mode is deterministic input — collapsed
+// ranges, every row certain. Registered AU tables are never overwritten.
+func (f *Frontend) ensureAttrDerived() {
+	for _, name := range f.Raw.Names() {
+		if f.AEnc.Get(name) == nil {
+			f.PutAttrTable(name, EncodeAttrDeterministic(f.Raw.Get(name)))
+		}
+	}
+}
+
+// resolveAttrAnnotations is resolveAnnotations for AttrBounds mode: IS TI
+// and IS X annotations encode into the AU catalog with range-preserving
+// labeling (phantom rows kept); C-tables have no range encoding.
+func (f *Frontend) resolveAttrAnnotations(stmt *sql.SelectStmt) error {
+	f.ensureAttrDerived()
+	for s := stmt; s != nil; s = s.Union {
+		for i := range s.From {
+			if err := f.resolveAttrPrimary(&s.From[i].Primary); err != nil {
+				return err
+			}
+			for j := range s.From[i].Joins {
+				if err := f.resolveAttrPrimary(&s.From[i].Joins[j].Right); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Frontend) resolveAttrPrimary(prim *sql.Primary) error {
+	if prim.Subquery != nil {
+		return f.resolveAttrAnnotations(prim.Subquery)
+	}
+	if prim.Model == nil {
+		return nil
+	}
+	raw := f.Raw.Get(prim.Table)
+	if raw == nil {
+		return fmt.Errorf("rewrite: annotated table %q not found in the raw catalog", prim.Table)
+	}
+	var enc *AttrTable
+	var err error
+	switch prim.Model.Kind {
+	case sql.ModelTI:
+		enc, err = EncodeAttrTI(raw, prim.Model.ProbAttr)
+	case sql.ModelX:
+		enc, err = EncodeAttrXTable(raw, prim.Model.XidAttr, prim.Model.AltAttr, prim.Model.ProbAttr)
+	case sql.ModelCTable:
+		err = fmt.Errorf("rewrite: C-table inputs have no attribute-range encoding (use tuple-level mode)")
+	default:
+		err = fmt.Errorf("rewrite: unknown model kind")
+	}
+	if err != nil {
+		return err
+	}
+	encName := "__au_" + prim.Table
+	f.PutAttrTable(encName, enc)
+	if prim.Alias == "" || strings.EqualFold(prim.Alias, prim.Table) {
+		prim.Alias = prim.Table
+	}
+	prim.Table = encName
+	prim.Model = nil
+	return nil
 }
 
 // EnablePlanCache turns on the frontend's rewritten-plan cache with space
@@ -238,6 +409,16 @@ func (f *Frontend) Explain(query string) (string, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return "", err
+	}
+	if f.Opts.AttrBounds {
+		if err := f.resolveAttrAnnotations(stmt); err != nil {
+			return "", err
+		}
+		plan, err := f.PlanAttr(stmt)
+		if err != nil {
+			return "", err
+		}
+		return plan.String(), nil
 	}
 	if err := f.resolveAnnotations(stmt); err != nil {
 		return "", err

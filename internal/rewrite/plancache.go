@@ -73,14 +73,19 @@ func (c *planCache) stats() (hits, misses int64) {
 }
 
 // NormalizeSQL is the plan-cache key function: it upper-cases and
-// whitespace-collapses everything outside quoted literals and strips
-// trailing semicolons, so the same statement written with different
-// spacing, line breaks, or keyword case shares one cache slot. Quoted
-// string literals ('...' and "...", with doubled-quote escapes) pass
-// through byte-for-byte — value semantics are case-sensitive even though
-// identifier resolution is not. The function is deliberately syntax-blind:
-// it never fails, and two statements that normalize equal would parse and
-// plan identically.
+// whitespace-collapses everything outside quoted literals, strips line
+// comments and trailing semicolons, so the same statement written with
+// different spacing, line breaks, comments, or keyword case shares one
+// cache slot. Quoted string literals ('...' and "...", with doubled-quote
+// and backslash escapes) pass through byte-for-byte — value semantics are
+// case-sensitive even though identifier resolution is not. The escape and
+// comment rules must mirror the lexer's exactly: if the key scanner closes
+// a literal the lexer stays inside (or reads a comment the lexer drops),
+// bytes that distinguish two statements land in the case-folded region and
+// the statements collide on one cache slot — a wrong-result bug, not a
+// missed optimization. The function is deliberately syntax-blind: it never
+// fails, and two statements that normalize equal would parse and plan
+// identically.
 func NormalizeSQL(q string) string {
 	var sb strings.Builder
 	sb.Grow(len(q))
@@ -98,6 +103,16 @@ func NormalizeSQL(q string) string {
 			sb.WriteByte(c)
 			i++
 			for i < len(q) {
+				// A backslash escaping a quote or a backslash stays inside
+				// the literal ('...' only — quoted identifiers have no
+				// backslash escapes in the lexer).
+				if quote == '\'' && q[i] == '\\' && i+1 < len(q) &&
+					(q[i+1] == '\'' || q[i+1] == '\\') {
+					sb.WriteByte(q[i])
+					sb.WriteByte(q[i+1])
+					i += 2
+					continue
+				}
 				sb.WriteByte(q[i])
 				if q[i] == quote {
 					// A doubled quote is an escaped quote: stay inside.
@@ -111,6 +126,14 @@ func NormalizeSQL(q string) string {
 				}
 				i++
 			}
+		case c == '-' && i+1 < len(q) && q[i+1] == '-':
+			// Line comment: the lexer drops it entirely, so the key must
+			// too — an apostrophe inside a comment would otherwise flip
+			// the literal tracking out of sync with the lexer.
+			for i < len(q) && q[i] != '\n' {
+				i++
+			}
+			pendingSpace = true
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			pendingSpace = true
 			i++

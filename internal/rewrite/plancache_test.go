@@ -22,6 +22,19 @@ func TestNormalizeSQL(t *testing.T) {
 		// Doubled-quote escapes stay inside the literal.
 		{"SELECT a FROM r WHERE x = 'it''s'", "select a from r where x = 'it''s'", true},
 		{"SELECT a FROM r", "SELECT b FROM r", false},
+		// Backslash escapes stay inside the literal too: statements
+		// differing only after an escaped quote must not share a key.
+		{`SELECT a FROM r WHERE x = 'it\'s ok'`, `SELECT a FROM r WHERE x = 'it\'S ok'`, false},
+		{`SELECT a FROM r WHERE x = 'it\'s'`, `select a from r where x = 'it\'s'`, true},
+		{`SELECT a FROM r WHERE x = 'a\\'`, `SELECT a FROM r WHERE x = 'a\\'`, true},
+		// Line comments are dropped exactly as the lexer drops them...
+		{"SELECT a FROM r -- note\n", "SELECT a FROM r", true},
+		{"SELECT a -- one\nFROM r", "select a\nfrom r", true},
+		// ...so an apostrophe inside a comment cannot desync the literal
+		// tracking and fold a literal's case difference away.
+		{"SELECT a FROM r -- don't\nWHERE x = 'P'", "SELECT a FROM r -- don't\nWHERE x = 'p'", false},
+		// A comment marker inside a literal is literal text, not a comment.
+		{"SELECT a FROM r WHERE x = '--note'", "SELECT a FROM r WHERE x = '--NOTE'", false},
 	}
 	for _, c := range cases {
 		na, nb := NormalizeSQL(c.a), NormalizeSQL(c.b)
@@ -91,6 +104,43 @@ func TestPlanCacheAnnotatedBypass(t *testing.T) {
 	hits, misses := front.PlanCacheStats()
 	if hits != 0 || misses != 0 {
 		t.Errorf("annotated statements touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestPlanCacheKeySoundness runs the collision shapes end to end: two
+// statements that differ only inside a string literal — with the
+// difference hidden behind an escaped quote or a line comment — must plan
+// separately and each return its own rows, never the other's cached plan.
+func TestPlanCacheKeySoundness(t *testing.T) {
+	front := NewFrontend(engine.NewCatalog())
+	tbl := engine.NewTable(types.NewSchema("t", "id", "s"))
+	tbl.AppendVals(iv(1), sv("p"))
+	tbl.AppendVals(iv(2), sv("P"))
+	tbl.AppendVals(iv(3), sv("don't"))
+	tbl.AppendVals(iv(4), sv("don'T"))
+	front.Enc.Put(EncodeDeterministic(tbl))
+	front.EnablePlanCache(8)
+
+	for _, c := range []struct {
+		q    string
+		want int64
+	}{
+		// The literal case difference sits after an apostrophe inside a
+		// comment: a comment-blind key folds both to one slot.
+		{"SELECT id FROM t -- don't\nWHERE s = 'p'", 1},
+		{"SELECT id FROM t -- don't\nWHERE s = 'P'", 2},
+		// The difference sits after a backslash-escaped quote inside the
+		// literal: an escape-blind key closes the literal early.
+		{`SELECT id FROM t WHERE s = 'don\'t'`, 3},
+		{`SELECT id FROM t WHERE s = 'don\'T'`, 4},
+	} {
+		res, err := runFront(front, c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].Int() != c.want {
+			t.Errorf("%s: rows = %v, want the single id %d", c.q, res.Rows, c.want)
+		}
 	}
 }
 

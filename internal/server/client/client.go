@@ -75,6 +75,7 @@ type call struct {
 
 	streaming bool
 	schema    []string
+	kinds     []string
 	cacheHit  bool
 	chunks    [][]vector.Vector
 	rows      int
@@ -233,6 +234,7 @@ func (c *Client) handleResponse(resp server.Response) error {
 	if resp.Chunked {
 		p.streaming = true
 		p.schema = resp.Schema
+		p.kinds = resp.Kinds
 		p.cacheHit = resp.CacheHit
 		return nil
 	}
@@ -263,6 +265,17 @@ func assemble(p *call, trailer server.Response) (*Result, error) {
 	vecs := make([]vector.Vector, len(p.schema))
 	parts := make([]vector.Vector, len(p.chunks))
 	for j := range vecs {
+		if len(parts) == 0 {
+			// A zero-row stream carries no chunks, so the header's kind
+			// tags are the only record of the column types: build typed
+			// empties from them rather than an untyped boxed vector.
+			tag := byte('V')
+			if j < len(p.kinds) && len(p.kinds[j]) == 1 {
+				tag = p.kinds[j][0]
+			}
+			vecs[j] = vector.EmptyOfTag(tag)
+			continue
+		}
 		for i, ch := range p.chunks {
 			parts[i] = ch[j]
 		}

@@ -193,21 +193,23 @@ func (s *Server) Close() error {
 // negotiated result encoding, and named statements. Options resolve lazily
 // so a set mid-session applies to the next query, not running ones.
 type session struct {
-	mu        sync.Mutex
-	dop       int
-	fuse      bool
-	memBudget int64 // per-query ask in bytes; 0 = server default
-	timeoutMS int64
-	encoding  string            // negotiated result encoding; "" = json
-	prepared  map[string]string // name -> SQL
+	mu         sync.Mutex
+	dop        int
+	fuse       bool
+	attrBounds bool
+	memBudget  int64 // per-query ask in bytes; 0 = server default
+	timeoutMS  int64
+	encoding   string            // negotiated result encoding; "" = json
+	prepared   map[string]string // name -> SQL
 }
 
 func (s *Server) newSession() *session {
 	return &session{
-		dop:      s.front.Opts.DOP,
-		fuse:     s.front.Opts.Fuse,
-		encoding: EncodingJSON,
-		prepared: map[string]string{},
+		dop:        s.front.Opts.DOP,
+		fuse:       s.front.Opts.Fuse,
+		attrBounds: s.front.Opts.AttrBounds,
+		encoding:   EncodingJSON,
+		prepared:   map[string]string{},
 	}
 }
 
@@ -254,6 +256,9 @@ func (sess *session) apply(o *SessionOpts) error {
 	}
 	if o.TimeoutMS != nil {
 		sess.timeoutMS = *o.TimeoutMS
+	}
+	if o.AttrBounds != nil {
+		sess.attrBounds = *o.AttrBounds
 	}
 	return nil
 }
@@ -390,6 +395,7 @@ func (s *Server) hello(sess *session, fw *frameWriter, req Request) {
 func (s *Server) runQuery(ctx context.Context, sess *session, fw *frameWriter, id uint64, sqlText string) {
 	sess.mu.Lock()
 	dop, fuse, ask, timeoutMS := sess.dop, sess.fuse, sess.memBudget, sess.timeoutMS
+	attrBounds := sess.attrBounds
 	encoding := sess.encoding
 	sess.mu.Unlock()
 
@@ -399,7 +405,7 @@ func (s *Server) runQuery(ctx context.Context, sess *session, fw *frameWriter, i
 		defer cancel()
 	}
 
-	opt := rewrite.QueryOpts{DOP: dop, Fuse: fuse, SpillDir: s.spillDir}
+	opt := rewrite.QueryOpts{DOP: dop, Fuse: fuse, SpillDir: s.spillDir, AttrBounds: attrBounds}
 	if s.admission != nil {
 		if ask <= 0 {
 			ask = s.queryBudget
@@ -449,9 +455,13 @@ func (s *Server) streamResult(ctx context.Context, fw *frameWriter, id uint64, r
 	} else {
 		vecs = vector.FromRows(res.Rows(), len(res.Schema.Attrs)).Vecs
 	}
+	kinds := make([]string, len(vecs))
+	for j, v := range vecs {
+		kinds[j] = string(vector.WireTag(v))
+	}
 	if err := fw.writeJSON(Response{
 		ID: id, OK: true, Chunked: true,
-		Schema: res.Schema.Attrs, Encoding: EncodingColBin, CacheHit: cacheHit,
+		Schema: res.Schema.Attrs, Kinds: kinds, Encoding: EncodingColBin, CacheHit: cacheHit,
 	}); err != nil {
 		return
 	}

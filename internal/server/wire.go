@@ -166,6 +166,10 @@ type SessionOpts struct {
 	// TimeoutMS bounds each query's total time — queueing in admission
 	// included — in milliseconds (0 = no timeout).
 	TimeoutMS *int64 `json:"timeout_ms,omitempty"`
+	// AttrBounds selects the attribute-level uncertainty mode: every
+	// result column is answered as a [lower, best-guess, upper] range
+	// (AU-DB spine layout) instead of the tuple-level certainty column.
+	AttrBounds *bool `json:"attr_bounds,omitempty"`
 }
 
 // Response is one server message, matched to its request by ID.
@@ -187,6 +191,12 @@ type Response struct {
 	// rows follow as binary chunk frames, and a trailer frame with Final
 	// set ends the result.
 	Chunked bool `json:"chunked,omitempty"`
+	// Kinds carries one wire column tag per result column on a streaming
+	// header frame ("I", "F", "S", "B", "V" — vector.WireTag). A zero-row
+	// stream has no chunk frames to name its column types, so the header
+	// must: clients reassemble empty results as typed empty vectors from
+	// these tags.
+	Kinds []string `json:"kinds,omitempty"`
 	// Final marks a streaming result's trailer frame: RowCount and Chunks
 	// summarize the stream on success, Error reports a mid-stream failure
 	// (rows already sent must be discarded).

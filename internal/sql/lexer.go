@@ -85,7 +85,16 @@ func (l *Lexer) Next() (Token, error) {
 		l.pos++
 		var sb strings.Builder
 		for l.pos < len(l.input) {
-			if l.input[l.pos] == '\'' {
+			switch l.input[l.pos] {
+			case '\\':
+				// Backslash escapes a quote or a backslash; before
+				// anything else it is a literal character.
+				if l.pos+1 < len(l.input) && (l.input[l.pos+1] == '\'' || l.input[l.pos+1] == '\\') {
+					sb.WriteByte(l.input[l.pos+1])
+					l.pos += 2
+					continue
+				}
+			case '\'':
 				// Doubled quote escapes a quote.
 				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
 					sb.WriteByte('\'')

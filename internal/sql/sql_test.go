@@ -37,6 +37,34 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+// TestTokenizeStringEscapes pins both escape forms inside string literals:
+// the SQL-standard doubled quote and the backslash forms \' and \\. A
+// backslash before any other character is a literal backslash.
+func TestTokenizeStringEscapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`'it''s'`, "it's"},
+		{`'it\'s'`, "it's"},
+		{`'a\\b'`, `a\b`},
+		{`'a\nb'`, `a\nb`},     // no C-style escapes: backslash is literal
+		{`'\\''x'`, `\'x`},     // backslash-escape then doubled quote
+		{`'don\'t -- go'`, "don't -- go"}, // comment marker inside a literal
+	}
+	for _, c := range cases {
+		toks, err := Tokenize(c.in)
+		if err != nil {
+			t.Errorf("Tokenize(%q): %v", c.in, err)
+			continue
+		}
+		if toks[0].Kind != TokString || toks[0].Text != c.want {
+			t.Errorf("Tokenize(%q) = %q, want %q", c.in, toks[0].Text, c.want)
+		}
+	}
+	// An escaped quote must not terminate the literal.
+	if _, err := Tokenize(`'dangling\'`); err == nil {
+		t.Error(`'dangling\' lexed as a complete string`)
+	}
+}
+
 func TestTokenizeErrors(t *testing.T) {
 	for _, in := range []string{"'unterminated", "\"unterminated", "a ! b", "$"} {
 		if _, err := Tokenize(in); err == nil {

@@ -87,6 +87,67 @@ func TestAscSlicePreservedGatherNot(t *testing.T) {
 	}
 }
 
+// TestAscNeverSurvivesWireOrConcat pins the remote-materialization hazard:
+// the wire encoding carries values only, never the Asc marking, and a
+// decoded or concatenated column must come back with Asc false — the
+// marking licenses binary-search range selection, and neither path can
+// guarantee order (decode trusts remote bytes; parts that are each sorted
+// are not sorted end to end). The sources here are force-marked ascending
+// over UNsorted data, so any path that preserved or recomputed-and-trusted
+// the flag would hand SelectRangeVec a broken invariant.
+func TestAscNeverSurvivesWireOrConcat(t *testing.T) {
+	iv := NewInt64Vector([]int64{5, 1, 9, 2}, nil)
+	iv.Asc = true
+	fv := NewFloat64Vector([]float64{3.5, 0.5, 7.25}, nil)
+	fv.Asc = true
+
+	asc := func(v Vector) bool {
+		switch tv := v.(type) {
+		case *Int64Vector:
+			return tv.Asc
+		case *Float64Vector:
+			return tv.Asc
+		}
+		return false
+	}
+
+	for name, v := range map[string]Vector{"int": iv, "float": fv} {
+		dec, rest, err := DecodeVector(AppendVector(nil, v), v.Len())
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%s: decode: %v (%d trailing bytes)", name, err, len(rest))
+		}
+		if asc(dec) {
+			t.Errorf("%s: Asc survived the wire round-trip", name)
+		}
+		for i := 0; i < v.Len(); i++ {
+			if !valuesEqualKey(v.Value(i), dec.Value(i)) {
+				t.Fatalf("%s: decode changed element %d", name, i)
+			}
+		}
+	}
+
+	// Concat: parts that are each genuinely ascending do not concatenate
+	// ascending ([1,5] ++ [2,9]), so the marking must not propagate.
+	a := NewInt64Vector([]int64{1, 5}, nil)
+	a.Asc = true
+	b := NewInt64Vector([]int64{2, 9}, nil)
+	b.Asc = true
+	if cat := Concat([]Vector{a, b}); asc(cat) {
+		t.Error("int Concat propagated Asc across parts")
+	}
+	fa := NewFloat64Vector([]float64{0.5, 2.5}, nil)
+	fa.Asc = true
+	fb := NewFloat64Vector([]float64{1.5, 3.5}, nil)
+	fb.Asc = true
+	if cat := Concat([]Vector{fa, fb}); asc(cat) {
+		t.Error("float Concat propagated Asc across parts")
+	}
+}
+
+func valuesEqualKey(a, b types.Value) bool {
+	return a.Kind() == b.Kind() && string(a.AppendKey(nil)) == string(b.AppendKey(nil))
+}
+
 // TestVectorKindAndAnyNull covers the Kind/AnyNull surface of every typed
 // vector, with and without bitmaps, and through zero-copy slices.
 func TestVectorKindAndAnyNull(t *testing.T) {

@@ -104,6 +104,32 @@ func AppendVector(buf []byte, v Vector) []byte {
 	}
 }
 
+// WireTag reports the wire column tag AppendVector would choose for v —
+// the concrete typed tags for the four unboxed kinds, 'V' for anything
+// boxed. Streaming headers carry these tags so a zero-chunk result can
+// still be reassembled with the right column types.
+func WireTag(v Vector) byte { return concreteKind(v) }
+
+// EmptyOfTag returns a zero-length vector of the concrete type a wire
+// column tag names. Unknown or 'V' tags yield an empty boxed vector, which
+// is always value-correct. This is the typed counterpart of Concat over an
+// empty parts list: with no chunks to inspect, the tag is the only record
+// of the column's kind.
+func EmptyOfTag(tag byte) Vector {
+	switch tag {
+	case 'I':
+		return NewInt64Vector(nil, nil)
+	case 'F':
+		return NewFloat64Vector(nil, nil)
+	case 'S':
+		return NewStringVector(nil, nil)
+	case 'B':
+		return NewBoolVector(nil, nil)
+	default:
+		return NewValueVector(nil)
+	}
+}
+
 // appendNullBitmap appends the null-presence byte and, when any element is
 // null, the packed bitmap.
 func appendNullBitmap(buf []byte, v Vector) []byte {
